@@ -1,0 +1,19 @@
+"""Shared benchmark fixtures: a deterministic key pool (keygen is the one
+slow primitive and is not what any figure measures)."""
+
+import random
+
+import pytest
+
+from repro.crypto import generate_keypair
+
+
+@pytest.fixture(scope="session")
+def keypool():
+    rng = random.Random(0xBE9C)
+    return [generate_keypair(512, rng) for _ in range(8)]
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(4321)

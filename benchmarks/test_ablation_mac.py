@@ -1,0 +1,79 @@
+"""Ablation: the MAC optimization vs per-request signing (Section 5.3.1).
+
+Sweeps the number of requests per session and finds where the MAC
+protocol's setup cost (seal/unseal + one delegation signature) pays off
+against signing every request — "amortizes the public-key operation."
+"""
+
+import pytest
+
+from benchmarks._scenarios import http_world, span
+from repro.sim.metrics import BarChart
+
+
+def _total_for_n_requests(keypool, rng, n, use_mac):
+    get, meter, _ = http_world(keypool, rng, protected=True, use_mac=use_mac)
+    start = meter.snapshot()
+    for index in range(n):
+        response = get("/doc-%d" % index)
+        assert response.status == 200
+    return meter.snapshot() - start
+
+
+def test_single_request_signing_wins(benchmark, keypool, rng):
+    """For one request, the MAC session's setup is pure overhead."""
+    sign_total = _total_for_n_requests(keypool, rng, 1, use_mac=False)
+    mac_total = _total_for_n_requests(keypool, rng, 1, use_mac=True)
+    assert sign_total < mac_total
+    benchmark(lambda: _total_for_n_requests(keypool, rng, 1, use_mac=False))
+
+
+def test_mac_wins_by_five_requests(benchmark, keypool, rng):
+    sign_total = _total_for_n_requests(keypool, rng, 5, use_mac=False)
+    mac_total = _total_for_n_requests(keypool, rng, 5, use_mac=True)
+    assert mac_total < sign_total
+    benchmark(lambda: _total_for_n_requests(keypool, rng, 5, use_mac=True))
+
+
+def test_crossover_point(benchmark, keypool, rng):
+    """Locate the crossover.  Marginal costs: signing ≈ +299 ms/request,
+    MAC ≈ +110 ms/request; setup difference is a few hundred ms, so the
+    crossover must land within the first handful of requests."""
+
+    def find_crossover():
+        for n in range(1, 12):
+            if _total_for_n_requests(keypool, rng, n, use_mac=True) < (
+                _total_for_n_requests(keypool, rng, n, use_mac=False)
+            ):
+                return n
+        return None
+
+    crossover = benchmark.pedantic(find_crossover, iterations=1, rounds=1)
+    assert crossover is not None and 1 < crossover <= 5
+    print("\nMAC protocol pays off at %d requests/session" % crossover)
+
+
+def test_amortization_sweep_shape(benchmark, keypool, rng):
+    def sweep():
+        chart = BarChart("Per-request cost vs session length", unit="ms/req")
+        for n in (1, 2, 5, 10, 20):
+            mac = _total_for_n_requests(keypool, rng, n, use_mac=True) / n
+            sign = _total_for_n_requests(keypool, rng, n, use_mac=False) / n
+            chart.add("n=%-3d sign" % n, sign)
+            chart.add("n=%-3d mac" % n, mac)
+        return chart
+
+    chart = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print()
+    print(chart.render())
+    # Marginal (setup-free) costs: signing ≈ 380 ms/request, MAC ≈ 110.
+    sign_marginal = (
+        _total_for_n_requests(keypool, rng, 20, use_mac=False)
+        - _total_for_n_requests(keypool, rng, 10, use_mac=False)
+    ) / 10.0
+    mac_marginal = (
+        _total_for_n_requests(keypool, rng, 20, use_mac=True)
+        - _total_for_n_requests(keypool, rng, 10, use_mac=True)
+    ) / 10.0
+    assert sign_marginal == pytest.approx(380.0, rel=0.05)
+    assert mac_marginal == pytest.approx(110.0, rel=0.05)

@@ -1,0 +1,110 @@
+"""Ablation: structured proofs vs SPKI sequences (Section 4.3).
+
+The paper argues for structured proofs on three grounds: self-exhibited
+meaning, one-to-one verification objects, and lemma extraction.  This
+ablation quantifies the price: real verification time of the same
+delegation chain in both representations, and what sequence verification
+*loses* (no reusable lemmas without re-running the program).
+"""
+
+import random
+
+import pytest
+
+from repro.core.principals import KeyPrincipal
+from repro.core.proofs import SignedCertificateStep, VerificationContext
+from repro.core.rules import TransitivityStep
+from repro.crypto import generate_keypair
+from repro.sexp import parse_canonical, to_canonical
+from repro.spki import Certificate, Sequence, SequenceVerifier
+from repro.tags import Tag
+
+_CHAIN_LENGTH = 6
+
+
+@pytest.fixture(scope="module")
+def chain():
+    rng = random.Random(0xAB1A)
+    keypairs = [generate_keypair(512, rng) for _ in range(_CHAIN_LENGTH + 1)]
+    certificates = []
+    for issuer, subject in zip(keypairs, keypairs[1:]):
+        certificates.append(
+            Certificate.issue(
+                issuer, KeyPrincipal(subject.public), Tag.all(), rng=rng
+            )
+        )
+    return certificates
+
+
+def _structured(certificates):
+    proof = SignedCertificateStep(certificates[-1])
+    for certificate in reversed(certificates[:-1]):
+        proof = TransitivityStep(proof, SignedCertificateStep(certificate))
+    return proof
+
+
+def test_structured_verification(benchmark, chain):
+    proof = _structured(chain)
+
+    def verify():
+        proof.verify(VerificationContext())
+        return proof.conclusion
+
+    conclusion = benchmark(verify)
+    assert conclusion.subject == chain[-1].subject
+
+
+def test_sequence_verification(benchmark, chain):
+    sequence = Sequence.from_chain(chain)
+
+    def verify():
+        return SequenceVerifier().run(sequence)
+
+    statement = benchmark(verify)
+    assert statement.subject == chain[-1].subject
+
+
+def test_structured_reverification_is_memoized(benchmark, chain):
+    """Structured proofs verify once per context; sequences re-run the
+    whole program every time."""
+    proof = _structured(chain)
+    context = VerificationContext()
+    proof.verify(context)
+
+    def reverify():
+        proof.verify(context)  # memoized: no RSA work
+
+    benchmark(reverify)
+
+
+def test_wire_size_comparison(benchmark, chain):
+    structured_wire = to_canonical(_structured(chain).to_sexp())
+    sequence_wire = to_canonical(Sequence.from_chain(chain).to_sexp())
+
+    def parse_structured():
+        return parse_canonical(structured_wire)
+
+    benchmark(parse_structured)
+    # Structure costs bytes: the tree repeats intermediate conclusions.
+    ratio = len(structured_wire) / len(sequence_wire)
+    print(
+        "\nwire bytes: structured=%d sequence=%d ratio=%.2f"
+        % (len(structured_wire), len(sequence_wire), ratio)
+    )
+    assert 1.0 < ratio < 4.0
+
+
+def test_lemma_extraction_only_structured(benchmark, chain):
+    """The qualitative half of the trade: the structured form yields every
+    intermediate lemma for the Prover's cache; the sequence yields one
+    statement."""
+    proof = _structured(chain)
+
+    def extract():
+        return list(proof.speaks_for_lemmas())
+
+    lemmas = benchmark(extract)
+    assert len(lemmas) == 2 * _CHAIN_LENGTH - 1  # every cert + every join
+    statement = SequenceVerifier().run(Sequence.from_chain(chain))
+    # The sequence's single output equals only the outermost lemma.
+    assert statement.subject == lemmas[0].conclusion.subject

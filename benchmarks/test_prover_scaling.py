@@ -1,0 +1,108 @@
+"""Prover scaling (Sections 4.4 / 7.4.1): graph traversal and the
+shortcut cache.
+
+"These shortcuts form a cache that eliminates most deep traversals of the
+graph" — quantified here: repeat queries over a deep delegation chain hit
+the one-hop shortcut edge instead of re-walking the chain, and "proofs are
+built incrementally ... with graph traversals of constant depth."
+"""
+
+import random
+
+import pytest
+
+from repro.core.principals import NamePrincipal, KeyPrincipal
+from repro.core.proofs import PremiseStep
+from repro.core.statements import SpeaksFor
+from repro.crypto import generate_keypair
+from repro.prover import Prover
+from repro.tags import Tag
+
+_BASE_KP = generate_keypair(384, random.Random(0x5CA1E))
+_BASE = KeyPrincipal(_BASE_KP.public)
+
+
+def _chain_prover(depth, fanout=3):
+    """A delegation chain of the given depth, with `fanout` distractor
+    edges per node to make traversal width realistic."""
+    prover = Prover(max_depth=depth + 2, max_visits=fanout + 2)
+    nodes = [NamePrincipal(_BASE, "n%d" % i) for i in range(depth + 1)]
+    for subject, issuer in zip(nodes[1:], nodes):
+        prover.add_proof(PremiseStep(SpeaksFor(subject, issuer, Tag.all())))
+    for i, node in enumerate(nodes[:-1]):
+        for j in range(fanout):
+            distractor = NamePrincipal(_BASE, "d%d-%d" % (i, j))
+            prover.add_proof(PremiseStep(SpeaksFor(distractor, node, Tag.all())))
+    return prover, nodes[-1], nodes[0]
+
+
+@pytest.mark.parametrize("depth", [2, 4, 8, 16])
+def test_first_query_scales_with_depth(benchmark, depth):
+    prover, subject, issuer = _chain_prover(depth)
+    # The cold query must walk at least the chain itself...
+    prover.stats["nodes_expanded"] = 0
+    assert prover.find_proof(subject, issuer) is not None
+    assert prover.stats["nodes_expanded"] >= depth
+    # ...while the benchmarked steady state rides the shortcut cache.
+    benchmark(lambda: prover.find_proof(subject, issuer))
+
+
+def test_shortcut_cache_makes_repeat_queries_constant(benchmark):
+    prover, subject, issuer = _chain_prover(16)
+    first = prover.find_proof(subject, issuer)
+    assert first is not None
+
+    def cached_search():
+        prover.stats["nodes_expanded"] = 0
+        proof = prover.find_proof(subject, issuer)
+        assert proof is not None
+        return prover.stats["nodes_expanded"]
+
+    expanded = benchmark(cached_search)
+    # One hop over the shortcut edge, regardless of chain depth.
+    assert expanded <= 2
+
+
+def test_cache_speedup_measured(benchmark):
+    """Wall-clock speedup of a cached query over a cold 16-hop traversal."""
+    import time
+
+    prover, subject, issuer = _chain_prover(16)
+
+    def cold():
+        fresh_prover, s, i = _chain_prover(16)
+        start = time.perf_counter()
+        fresh_prover.find_proof(s, i)
+        return time.perf_counter() - start
+
+    cold_time = min(cold() for _ in range(3))
+    prover.find_proof(subject, issuer)  # warm the cache
+
+    warm_time = benchmark(lambda: prover.find_proof(subject, issuer))
+    # benchmark() returns the function result; use its stats instead.
+    stats_mean = benchmark.stats.stats.mean
+    assert stats_mean < cold_time, "cached queries beat cold traversals"
+
+
+def test_incremental_collection_keeps_depth_constant(benchmark):
+    """The common case the paper describes: delegations are digested as
+    they are collected during naming, so each query starts from a cached
+    prefix and extends it by one hop."""
+    prover = Prover(max_depth=64, max_visits=4)
+    nodes = [NamePrincipal(_BASE, "inc%d" % i) for i in range(33)]
+    expansions = []
+
+    def incremental_walk():
+        expansions.clear()
+        for subject, issuer in zip(nodes[1:], nodes):
+            prover.add_proof(PremiseStep(SpeaksFor(subject, issuer, Tag.all())))
+            prover.stats["nodes_expanded"] = 0
+            proof = prover.find_proof(subject, nodes[0])
+            assert proof is not None
+            expansions.append(prover.stats["nodes_expanded"])
+        return expansions
+
+    benchmark.pedantic(incremental_walk, iterations=1, rounds=1)
+    # Each extension explores O(1) nodes thanks to the cached prefix.
+    tail = expansions[4:]
+    assert max(tail) <= 8

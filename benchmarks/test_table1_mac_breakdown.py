@@ -1,0 +1,90 @@
+"""Table 1: breakdown of time spent in the MAC authorization protocol.
+
+Paper columns (ms):
+
+    component                        SSL    Snowflake-MAC
+    minimum HTTP GET (C)               5        5
+    Java + Jetty overhead             20       20
+    Java SSL overhead                 22        -
+    S-expression parsing               -      ~20
+    SPKI object unmarshalling          -      ~20
+    other Snowflake overhead           -       17
+    MAC costs                          -       28
+    total                             47      110
+
+The Snowflake column is regenerated from the *measured component charges*
+of a real steady-state MAC request; the SSL column from the SSL scenario.
+"""
+
+import pytest
+
+from benchmarks._scenarios import http_world, span, ssl_scenario
+from repro.sim import Meter
+from repro.sim.metrics import ComparisonTable
+
+PAPER_SNOWFLAKE = {
+    "http_c": 4.6,            # paper rounds to 5
+    "http_java_extra": 20.4,  # paper rounds to 20
+    "sexp_parse": 20.0,
+    "spki_unmarshal": 20.0,
+    "sf_overhead": 17.0,
+    "mac_compute": 28.0,
+}
+PAPER_TOTALS = {"ssl": 47.0, "snowflake": 110.0}
+
+
+def _steady_mac_breakdown(keypool, rng):
+    get, meter, _ = http_world(keypool, rng, protected=True, use_mac=True)
+    get()
+    get()
+    meter.reset()
+    get()
+    return meter.breakdown(), get, meter
+
+
+def test_mac_request_component_breakdown(benchmark, keypool, rng):
+    breakdown, get, _ = _steady_mac_breakdown(keypool, rng)
+    benchmark(get)
+    table = ComparisonTable("Table 1, Snowflake-MAC column (paper vs measured)")
+    for component, paper_value in PAPER_SNOWFLAKE.items():
+        table.add(component, paper_value, breakdown.get(component, 0.0))
+    print()
+    print(table.render())
+    assert table.max_relative_error() < 0.02
+    assert set(breakdown) == set(PAPER_SNOWFLAKE), (
+        "no unaccounted components in the steady-state MAC request"
+    )
+
+
+def test_mac_total_matches_paper(benchmark, keypool, rng):
+    breakdown, get, meter = _steady_mac_breakdown(keypool, rng)
+    benchmark(get)
+    assert sum(breakdown.values()) == pytest.approx(
+        PAPER_TOTALS["snowflake"], abs=1.0
+    )
+
+
+def test_ssl_column(benchmark):
+    def ssl_request():
+        meter = Meter()
+        ssl_scenario(meter, "java", "request")
+        return meter
+
+    meter = benchmark(ssl_request)
+    breakdown = meter.breakdown()
+    assert breakdown["http_c"] == pytest.approx(4.6)
+    assert breakdown["http_java_extra"] == pytest.approx(20.4)
+    assert breakdown["ssl_record_java"] == pytest.approx(22.0)
+    assert meter.total_ms() == pytest.approx(PAPER_TOTALS["ssl"])
+
+
+def test_mac_vs_ssl_factor(benchmark, keypool, rng):
+    """§7.3: 'Snowflake's cached requests are a factor of two slower than
+    SSL requests.'"""
+    breakdown, get, _ = _steady_mac_breakdown(keypool, rng)
+    benchmark(get)
+    snowflake_total = sum(breakdown.values())
+    ssl_meter = Meter()
+    ssl_scenario(ssl_meter, "java", "request")
+    factor = snowflake_total / ssl_meter.total_ms()
+    assert 2.0 < factor < 2.7  # paper: 110 / 47 ≈ 2.34

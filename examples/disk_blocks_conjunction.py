@@ -1,0 +1,95 @@
+"""Mutually untrusting gateways over one resource: the disk-block
+configuration of Section 2.3.
+
+Run:  python examples/disk_blocks_conjunction.py
+
+"To grant Alice access to a specific file X, the sysadmin may allow Alice
+to speak for the file system regarding X, and allow the conjunction of
+Alice and the file system quoting Alice to speak for the disk blocks.  In
+this configuration, the file system cannot access the lower-level disk
+block resource without Alice's agreement, and Alice cannot meddle with
+arbitrary disk blocks without the file system agreeing."
+"""
+
+import random
+
+from repro.core.errors import AuthorizationError
+from repro.core.principals import ConjunctPrincipal, KeyPrincipal, QuotingPrincipal
+from repro.core.proofs import SignedCertificateStep, VerificationContext, authorizes
+from repro.core.rules import ConjunctionIntroStep, QuotingLeftMonotonicityStep, TransitivityStep
+from repro.crypto import generate_keypair
+from repro.prover import KeyClosure, Prover
+from repro.spki import Certificate
+from repro.tags import parse_tag
+
+
+def main():
+    rng = random.Random(23)
+
+    sysadmin_kp = generate_keypair(512, rng)   # controls the block allocator
+    fs_kp = generate_keypair(512, rng)          # the file-system program
+    alice_kp = generate_keypair(512, rng)
+    channel_kp = generate_keypair(512, rng)     # the request channel
+
+    BLOCKS = KeyPrincipal(sysadmin_kp.public)
+    FS = KeyPrincipal(fs_kp.public)
+    ALICE = KeyPrincipal(alice_kp.public)
+    CHANNEL = KeyPrincipal(channel_kp.public)
+
+    # --- The sysadmin's single policy statement. --------------------------
+    joint = ConjunctPrincipal.of(ALICE, QuotingPrincipal(FS, ALICE))
+    grant = Certificate.issue(
+        sysadmin_kp, joint, parse_tag("(tag (blocks (file X)))"), rng=rng
+    )
+    print("sysadmin granted:", grant.statement().display())
+
+    # --- A request flows through the file system, which quotes Alice. ----
+    # The utterer at the block allocator is CHANNEL|ALICE: the fs's channel
+    # claiming to speak on Alice's behalf.
+    quoted = QuotingPrincipal(CHANNEL, ALICE)
+    request = ["blocks", ["file", "X"], ["op", "read"]]
+
+    # Alice agrees: she delegates her half to the quoted request.
+    alice_leg = SignedCertificateStep(
+        Certificate.issue(alice_kp, quoted,
+                          parse_tag("(tag (blocks (file X)))"), rng=rng)
+    )
+    # The file system agrees: its delegation to the channel, lifted through
+    # quoting, gives CHANNEL|ALICE => FS|ALICE.
+    fs_leg = QuotingLeftMonotonicityStep(
+        SignedCertificateStep(
+            Certificate.issue(fs_kp, CHANNEL,
+                              parse_tag("(tag (blocks (file X)))"), rng=rng)
+        ),
+        ALICE,
+    )
+    both = ConjunctionIntroStep(alice_leg, fs_leg)
+    proof = TransitivityStep(both, SignedCertificateStep(grant))
+    print("\nthe end-to-end proof the block allocator verifies:")
+    print(proof.display_tree(1))
+
+    context = VerificationContext()
+    authorizes(proof, quoted, BLOCKS, request, context)
+    print("\nread of file X's blocks: AUTHORIZED")
+    print("audit shows both parties:", ALICE.display(), "and", FS.display())
+
+    # --- Neither party alone can reach the blocks. ------------------------
+    for name, keypair, principal in (
+        ("alice alone", alice_kp, ALICE),
+        ("file system alone", fs_kp, FS),
+    ):
+        prover = Prover()
+        prover.add_proof(SignedCertificateStep(grant))
+        prover.control(KeyClosure(keypair, rng))
+        found = prover.prove(principal, BLOCKS, request=request)
+        print("%s can reach the blocks: %s" % (name, found is not None))
+
+    # --- And the conjunction's restriction confines even joint action. ---
+    try:
+        authorizes(proof, quoted, BLOCKS, ["blocks", ["file", "Y"]], context)
+    except AuthorizationError as exc:
+        print("joint request for file Y: DENIED (%s)" % exc)
+
+
+if __name__ == "__main__":
+    main()

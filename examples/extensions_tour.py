@@ -1,0 +1,140 @@
+"""A tour of the implemented extensions beyond the paper's prototype.
+
+Run:  python examples/extensions_tour.py
+
+1. *Threshold principals* — a 2-of-3 board jointly controls spending
+   (SPKI threshold subjects, Section 4.2).
+2. *SDSI naming* — the server delegates to "alice's assistant" by name;
+   resolution collects the proofs (Section 4.4's incremental pattern).
+3. *SMTP adaptation* — the challenge/proof flow rides a third wire
+   protocol (Section 2.4's "adapting more protocols").
+4. *The blind gateway* — Section 9's future work: content sealed end to
+   end through a gateway that cannot read it.
+"""
+
+import random
+
+from repro import (
+    Certificate,
+    KeyPrincipal,
+    KeyClosure,
+    Prover,
+    SignedCertificateStep,
+    ThresholdPrincipal,
+    VerificationContext,
+    authorizes,
+    generate_keypair,
+    parse_tag,
+)
+from repro.core.principals import NamePrincipal
+from repro.core.rules import ThresholdIntroStep, TransitivityStep
+from repro.names import NameResolver
+from repro.net import Network, TrustEnvironment
+from repro.smtp import SnowflakeSmtpClient, SnowflakeSmtpServer
+from repro.tags import Tag
+
+
+def quorum_demo(rng):
+    print("=== 1. threshold principals: a 2-of-3 spending board ===")
+    treasurer, cfo, ceo, vault_kp, channel_kp = (
+        generate_keypair(512, rng) for _ in range(5)
+    )
+    board = [KeyPrincipal(k.public) for k in (treasurer, cfo, ceo)]
+    VAULT = KeyPrincipal(vault_kp.public)
+    CHANNEL = KeyPrincipal(channel_kp.public)
+    quorum = ThresholdPrincipal(2, board)
+    grant = SignedCertificateStep(
+        Certificate.issue(vault_kp, quorum, parse_tag("(tag (spend))"), rng=rng)
+    )
+    print("vault delegated to:", quorum.display())
+    legs = [
+        SignedCertificateStep(
+            Certificate.issue(officer, CHANNEL, parse_tag("(tag (spend))"), rng=rng)
+        )
+        for officer in (treasurer, cfo)
+    ]
+    proof = TransitivityStep(ThresholdIntroStep(legs, quorum), grant)
+    authorizes(proof, CHANNEL, VAULT, ["spend", "2500"], VerificationContext())
+    print("two officers signed: spend AUTHORIZED")
+    try:
+        ThresholdIntroStep(legs[:1], quorum)
+    except Exception as exc:
+        print("one officer alone:", type(exc).__name__, "-", exc)
+
+
+def naming_demo(rng):
+    print("\n=== 2. SDSI naming: delegate to 'alice's assistant' ===")
+    alice_kp, bob_kp, server_kp = (generate_keypair(512, rng) for _ in range(3))
+    A, B, S = (KeyPrincipal(k.public) for k in (alice_kp, bob_kp, server_kp))
+    resolver = NameResolver()
+    # The server's policy names no key at all — just alice's name for her
+    # assistant, whoever that is this week:
+    resolver.prover.add_certificate(
+        Certificate.issue(
+            server_kp, NamePrincipal(A, "assistant"),
+            parse_tag("(tag (calendar))"), rng=rng,
+        )
+    )
+    print("server delegated to:", NamePrincipal(A, "assistant").display())
+    before = resolver.prover.find_proof(B, S, request=["calendar"])
+    print("can bob act before resolution?", before is not None)
+    resolver.add_certificate(
+        Certificate.issue(
+            alice_kp, B, Tag.all(), issuer_name="assistant", rng=rng
+        )
+    )
+    proof = resolver.prover.find_proof(B, S, request=["calendar"])
+    print("after resolving alice.assistant -> bob:")
+    print(proof.display_tree(1))
+
+
+def smtp_demo(rng):
+    print("\n=== 3. the same authorization over SMTP ===")
+    net = Network()
+    server_kp, alice_kp = generate_keypair(512, rng), generate_keypair(512, rng)
+    ISSUER = KeyPrincipal(server_kp.public)
+    trust = TrustEnvironment()
+    server = SnowflakeSmtpServer(
+        "mail.example", lambda mb: ISSUER if mb == "bob" else None, trust
+    )
+    net.listen("mail.example", server)
+    prover = Prover()
+    prover.control(KeyClosure(alice_kp, rng))
+    prover.add_certificate(
+        Certificate.issue(
+            server_kp, KeyPrincipal(alice_kp.public),
+            parse_tag("(tag (smtp (rcpt bob)))"), rng=rng,
+        )
+    )
+    client = SnowflakeSmtpClient(net, "mail.example", prover)
+    client.helo()
+    reply = client.send("alice@a.example", "bob", b"Subject: hi\r\n\r\nlunch?")
+    print("delivery:", reply.strip())
+    print("bob's mailbox:", server.mailboxes["bob"])
+    client.quit()
+
+
+def blind_gateway_demo(rng):
+    print("\n=== 4. sealing content through a blind gateway ===")
+    from repro.crypto.seal import seal, unseal
+
+    alice_kp = generate_keypair(512, rng)
+    secret = b"the merger closes friday"
+    envelope = seal(alice_kp.public, secret, rng)
+    wire = envelope.to_canonical()
+    print("gateway view (%d bytes): plaintext visible? %s"
+          % (len(wire), secret in wire))
+    print("alice decrypts:", unseal(alice_kp.private, envelope))
+    print("(the full gateway flow runs in tests/apps/test_blindgateway.py)")
+
+
+def main():
+    rng = random.Random(31)
+    quorum_demo(rng)
+    naming_demo(rng)
+    smtp_demo(rng)
+    blind_gateway_demo(rng)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Cross-domain file sharing via the protected web server (Sections 2.1,
+5.3, 6.1).
+
+Run:  python examples/protected_file_sharing.py
+
+Dartmouth's owner runs a protected file server; Alice (same organization)
+gets a subtree; Alice shares one page with Bob — who belongs to a
+*different administrative domain* the server has never heard of — using
+the proxy's delegation-snippet flow.  No accounts are created and no
+passwords are shared; the authorization information itself crosses the
+boundary.
+"""
+
+import random
+
+from repro.apps.webserver import ProtectedWebServer
+from repro.core.principals import KeyPrincipal
+from repro.core.statements import Validity
+from repro.crypto import generate_keypair
+from repro.http.proxy import SnowflakeProxy
+from repro.net import Network
+from repro.prover import Prover
+from repro.sim import SimClock
+
+
+def main():
+    rng = random.Random(7)
+    net = Network()
+    clock = SimClock()
+
+    # --- The owner stands up the server, keyed by his public-key hash. ---
+    owner_kp = generate_keypair(512, rng)
+    server = ProtectedWebServer(owner_kp, clock=clock, rng=rng)
+    server.fs.write("/pub/schedule.html", "<h1>Course list</h1>", parents=True)
+    server.fs.write("/pub/syllabus.txt", "week 1: end-to-end arguments",
+                    parents=True)
+    server.fs.write("/staff/salaries.csv", "top,secret", parents=True)
+    server.listen(net, "files.dartmouth.example")
+    print("server issuer (hash of owner key):", server.owner_hash.display())
+
+    # --- Alice, in the owner's domain, receives the /pub subtree. --------
+    alice_kp = generate_keypair(512, rng)
+    ALICE = KeyPrincipal(alice_kp.public)
+    alice_grant = server.delegate_subtree(ALICE, "/pub")
+    print("owner delegated to alice:", alice_grant.conclusion.display())
+
+    alice_prover = Prover()
+    alice_prover.add_proof(alice_grant)
+    alice = SnowflakeProxy(net, alice_prover, alice_kp, rng=rng)
+
+    page = alice.get("files.dartmouth.example", "/pub/schedule.html")
+    print("\nalice reads /pub/schedule.html:", page.status, page.body)
+    denied = alice.get("files.dartmouth.example", "/staff/salaries.csv")
+    print("alice tries /staff/salaries.csv:", denied.status)
+
+    # --- Alice shares the schedule with Bob (another domain entirely). ---
+    bob_kp = generate_keypair(512, rng)
+    BOB = KeyPrincipal(bob_kp.public)
+    snippet = alice.make_delegation_snippet(
+        BOB,
+        visit=alice.history[0],
+        tag=server.file_tag("/pub/schedule.html"),
+        validity=Validity(not_after=clock.now() + 86400.0),  # one day
+    )
+    print("\nalice hands bob a snippet:", snippet.head(),
+          "(%d bytes)" % len(snippet.to_canonical()))
+
+    bob = SnowflakeProxy(net, Prover(), bob_kp, rng=rng)
+    address, path = bob.import_snippet(snippet)
+    page = bob.get(address, path)
+    print("bob follows the link:", page.status, page.body)
+    denied = bob.get(address, "/pub/syllabus.txt")
+    print("bob tries the rest of /pub:", denied.status,
+          "(the share was one file, not the subtree)")
+
+    # --- The share expires on its own. ------------------------------------
+    clock.advance(2 * 86400.0)
+    expired = bob.get(address, path)
+    print("bob after the share expired:", expired.status)
+
+
+if __name__ == "__main__":
+    main()

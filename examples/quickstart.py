@@ -1,0 +1,108 @@
+"""Quickstart: restricted delegation, structured proofs, verification.
+
+Run:  python examples/quickstart.py
+
+Builds the paper's primary objects in a dozen lines each: principals,
+a restricted ``speaks-for`` delegation (an SPKI certificate), a structured
+proof chain, wire transfer, and an authorization decision.
+"""
+
+import random
+
+from repro import (
+    Certificate,
+    KeyPrincipal,
+    Prover,
+    KeyClosure,
+    SignedCertificateStep,
+    Validity,
+    VerificationContext,
+    authorizes,
+    generate_keypair,
+    parse_tag,
+    proof_from_sexp,
+    to_canonical,
+)
+from repro.core.rules import TransitivityStep
+from repro.sexp import parse_canonical
+
+
+def main():
+    rng = random.Random(42)  # deterministic demo keys
+
+    # --- Principals: Alice controls a service; Bob is a stranger. -------
+    service_kp = generate_keypair(512, rng)
+    alice_kp = generate_keypair(512, rng)
+    bob_kp = generate_keypair(512, rng)
+    SERVICE = KeyPrincipal(service_kp.public)
+    ALICE = KeyPrincipal(alice_kp.public)
+    BOB = KeyPrincipal(bob_kp.public)
+    print("service:", SERVICE.display())
+    print("alice:  ", ALICE.display())
+    print("bob:    ", BOB.display())
+
+    # --- The service delegates web access to Alice. ----------------------
+    alice_grant = Certificate.issue(
+        service_kp, ALICE, parse_tag("(tag (web))")
+    )
+    print("\nservice issued:", alice_grant.statement().display())
+
+    # --- Alice re-delegates a *restricted, expiring* slice to Bob. -------
+    bob_grant = Certificate.issue(
+        alice_kp,
+        BOB,
+        parse_tag("(tag (web (method GET) (resourcePath (* prefix /pub))))"),
+        validity=Validity(not_after=3600.0),
+    )
+    print("alice issued:  ", bob_grant.statement().display())
+
+    # --- Compose the structured proof: BOB =T=> ALICE =T'=> SERVICE. -----
+    proof = TransitivityStep(
+        SignedCertificateStep(bob_grant), SignedCertificateStep(alice_grant)
+    )
+    print("\nthe structured proof:")
+    print(proof.display_tree(1))
+
+    # --- Ship it and verify it on the other side. ------------------------
+    wire = to_canonical(proof.to_sexp())
+    print("\nwire size: %d bytes" % len(wire))
+    received = proof_from_sexp(parse_canonical(wire))
+    context = VerificationContext(now=100.0)
+    received.verify(context)
+    print("verification: OK")
+
+    # --- The access decision. --------------------------------------------
+    request = ["web", ["method", "GET"], ["resourcePath", "/pub/report.pdf"]]
+    authorizes(received, BOB, SERVICE, request, context)
+    print("authorized:", request)
+
+    for bad_request in (
+        ["web", ["method", "POST"], ["resourcePath", "/pub/report.pdf"]],
+        ["web", ["method", "GET"], ["resourcePath", "/private/keys"]],
+    ):
+        try:
+            authorizes(received, BOB, SERVICE, bad_request, context)
+        except Exception as exc:
+            print("denied:    %s (%s)" % (bad_request, type(exc).__name__))
+
+    # After expiry, the same proof no longer authorizes anything.
+    try:
+        authorizes(
+            received, BOB, SERVICE, request, VerificationContext(now=7200.0)
+        )
+    except Exception as exc:
+        print("denied after expiry: %s" % exc)
+
+    # --- The Prover automates all of the above. ---------------------------
+    prover = Prover()
+    prover.add_certificate(alice_grant)
+    prover.control(KeyClosure(alice_kp))
+    carol_kp = generate_keypair(512, rng)
+    CAROL = KeyPrincipal(carol_kp.public)
+    found = prover.prove(CAROL, SERVICE, request=["web", ["method", "GET"]])
+    print("\nprover completed a fresh chain for Carol:")
+    print(found.display_tree(1))
+
+
+if __name__ == "__main__":
+    main()

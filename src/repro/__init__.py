@@ -1,0 +1,117 @@
+"""repro: a reproduction of "End-to-End Authorization" (Howell & Kotz,
+OSDI 2000) — the Snowflake unified authorization system.
+
+The package is organized bottom-up:
+
+- :mod:`repro.sexp` — SPKI S-expressions (canonical/transport/advanced);
+- :mod:`repro.tags` — authorization tags with complete intersection;
+- :mod:`repro.crypto` — RSA, hashes, MACs, built from scratch;
+- :mod:`repro.core` — the logic of authority: principals, restricted
+  speaks-for, self-verifying structured proofs;
+- :mod:`repro.spki` — certificates, SPKI sequences, revocation;
+- :mod:`repro.prover` — the delegation graph and proof search;
+- :mod:`repro.net` — secure (ssh-like) and local channels as principals;
+- :mod:`repro.rmi` — RMI-style RPC with checkAuth/invoker/proofRecipient;
+- :mod:`repro.http` — the Snowflake HTTP authorization method, MAC
+  sessions, document authentication, and the client proxy;
+- :mod:`repro.db` — a small relational engine;
+- :mod:`repro.apps` — the paper's three applications, culminating in the
+  quoting gateway that spans all four boundaries;
+- :mod:`repro.sim` — the clock, paper-calibrated cost model, and the
+  paper's regression-based measurement method.
+
+Quickstart::
+
+    from repro import *
+
+    alice = generate_keypair()
+    bob = generate_keypair()
+    A, B = KeyPrincipal(alice.public), KeyPrincipal(bob.public)
+
+    # Alice delegates read access to Bob, restricted and expiring:
+    cert = Certificate.issue(
+        alice, B, parse_tag('(tag (web (method GET)))'),
+        Validity(not_after=3600.0),
+    )
+    proof = SignedCertificateStep(cert)
+    proof.verify(VerificationContext(now=10.0))
+"""
+
+from repro.core import (
+    AuthorizationError,
+    NeedAuthorizationError,
+    ProofError,
+    VerificationError,
+    Principal,
+    KeyPrincipal,
+    HashPrincipal,
+    NamePrincipal,
+    ConjunctPrincipal,
+    QuotingPrincipal,
+    ThresholdPrincipal,
+    ChannelPrincipal,
+    MacPrincipal,
+    PseudoPrincipal,
+    principal_from_sexp,
+    SpeaksFor,
+    Says,
+    Validity,
+    Proof,
+    SignedCertificateStep,
+    PremiseStep,
+    VerificationContext,
+    proof_from_sexp,
+    authorizes,
+)
+from repro.crypto import generate_keypair, MacKey, hash_bytes, hash_sexp
+from repro.prover import Prover, KeyClosure, PremiseClosure
+from repro.sexp import parse, sexp, to_canonical, to_transport
+from repro.spki import Certificate, Sequence, SequenceVerifier, RevocationList
+from repro.tags import Tag, parse_tag
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuthorizationError",
+    "NeedAuthorizationError",
+    "ProofError",
+    "VerificationError",
+    "Principal",
+    "KeyPrincipal",
+    "HashPrincipal",
+    "NamePrincipal",
+    "ConjunctPrincipal",
+    "QuotingPrincipal",
+    "ThresholdPrincipal",
+    "ChannelPrincipal",
+    "MacPrincipal",
+    "PseudoPrincipal",
+    "principal_from_sexp",
+    "SpeaksFor",
+    "Says",
+    "Validity",
+    "Proof",
+    "SignedCertificateStep",
+    "PremiseStep",
+    "VerificationContext",
+    "proof_from_sexp",
+    "authorizes",
+    "generate_keypair",
+    "MacKey",
+    "hash_bytes",
+    "hash_sexp",
+    "Prover",
+    "KeyClosure",
+    "PremiseClosure",
+    "parse",
+    "sexp",
+    "to_canonical",
+    "to_transport",
+    "Certificate",
+    "Sequence",
+    "SequenceVerifier",
+    "RevocationList",
+    "Tag",
+    "parse_tag",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""The paper's three demonstration applications (Section 6).
+
+1. :mod:`repro.apps.webserver` — a protected web file server: one user
+   establishes control by naming the hash of his public key at startup and
+   delegates read access to subtrees or individual files.
+2. :mod:`repro.apps.emaildb` — a relational email database exposed over
+   Snowflake-authorized RMI; adapting it required only the ssh socket
+   factory and a ``checkAuth()`` prefix on each remote method.
+3. :mod:`repro.apps.gateway` — the quoting protocol gateway: an
+   HTML-over-HTTP front end to the email database that accesses the
+   database as *gateway quoting client*, so the database itself makes every
+   access-control decision.  It spans all four boundaries of Section 2.
+"""
+
+from repro.apps.fs import InMemoryFileSystem, FileSystemError
+from repro.apps.webserver import ProtectedWebServer
+from repro.apps.emaildb import EmailDatabaseServer, EmailClient
+from repro.apps.gateway import QuotingGateway
+
+__all__ = [
+    "InMemoryFileSystem",
+    "FileSystemError",
+    "ProtectedWebServer",
+    "EmailDatabaseServer",
+    "EmailClient",
+    "QuotingGateway",
+]

@@ -1,0 +1,95 @@
+"""The blind quoting gateway — Section 9's future-work extension, built.
+
+"We would like to cross our work on end-to-end authorization with work on
+models of secrecy and information flow ... we imagine a gateway that
+operates with only partial access to the information it translates,
+passing from server to client encrypted content that it need not view to
+accomplish its task."
+
+The configuration: the client's request carries its public key in an
+``Sf-Seal-To`` header; the gateway forwards it (quoting the client, as
+always) as an extra invocation argument; the database serves the mailbox
+*sealed to the client's key*.  The gateway still translates protocols and
+still appears in the authority chain — but the message bodies that flow
+through it are opaque.  Authorization stays end-to-end; now so does
+confidentiality.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.gateway import QuotingGateway
+from repro.core.principals import Principal
+from repro.crypto.rsa import RsaPublicKey
+from repro.db import Eq
+from repro.http.message import HttpRequest, HttpResponse
+from repro.rmi.remote import RemoteObject
+from repro.sexp import Atom, SExp, SList, from_transport, to_transport
+
+SEAL_TO_HEADER = "Sf-Seal-To"
+SEALED_TYPE = "application/x-snowflake-sealed"
+
+
+def add_sealed_select(email_server, rng=None) -> None:
+    """Extend an :class:`EmailDatabaseServer` with ``select-sealed``.
+
+    The method's first argument is still the mailbox (so the existing
+    mailbox delegations cover it via the args-prefix tag); the second is
+    the recipient key to seal the rows to.
+    """
+    from repro.crypto.seal import seal
+
+    def select_sealed(mailbox, recipient_key_sexp) -> SExp:
+        recipient = RsaPublicKey.from_sexp(recipient_key_sexp)
+        rows = email_server.messages.select(
+            Eq("mailbox", mailbox.text()), order_by="rowid"
+        )
+        plaintext = "\n".join(
+            "%s|%s|%s" % (row["sender"], row["subject"], row["body"])
+            for row in rows
+        ).encode("utf-8")
+        return seal(recipient, plaintext, rng)
+
+    email_server.remote.methods["select-sealed"] = select_sealed
+
+
+class BlindQuotingGateway(QuotingGateway):
+    """A quoting gateway that never sees the mailbox contents.
+
+    Requests to ``/mail/<mailbox>/sealed`` are served by the database's
+    ``select-sealed`` method; the gateway relays the envelope verbatim.
+    ``observed_plaintexts`` records everything the gateway *could* read —
+    the confidentiality tests assert mailbox contents never appear there.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.observed_plaintexts = []
+
+    def _act(
+        self, client: Principal, mailbox: str, action: str, rest
+    ) -> HttpResponse:
+        if action != "sealed":
+            return super()._act(client, mailbox, action, rest)
+        recipient_header = self._current_seal_to
+        if recipient_header is None:
+            return HttpResponse(400, body=b"missing Sf-Seal-To header")
+        stub = self._stub_for(client).stub
+        envelope = stub.invoke(
+            "select-sealed", mailbox, from_transport(recipient_header)
+        )
+        # Everything the gateway handles from here on is ciphertext; log
+        # what it can observe so tests can audit its view.
+        self.observed_plaintexts.append(envelope.to_canonical())
+        return HttpResponse(
+            200,
+            [("Content-Type", SEALED_TYPE)],
+            to_transport(envelope),
+        )
+
+    def service(self, request: HttpRequest) -> HttpResponse:
+        self._current_seal_to: Optional[str] = request.headers.get(SEAL_TO_HEADER)
+        self.observed_plaintexts.append(request.body)
+        response = super().service(request)
+        return response

@@ -1,0 +1,139 @@
+"""An in-memory hierarchical file system.
+
+The substrate behind the protected web file server: directories, files,
+and the usual tree operations.  Paths are ``/``-separated absolute
+strings; the root is ``/``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class FileSystemError(Exception):
+    """Missing paths, type mismatches, bad names."""
+
+
+class _Node:
+    __slots__ = ("name",)
+
+
+class _File(_Node):
+    __slots__ = ("name", "content")
+
+    def __init__(self, name: str, content: bytes):
+        self.name = name
+        self.content = content
+
+
+class _Directory(_Node):
+    __slots__ = ("name", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.children: Dict[str, _Node] = {}
+
+
+def _split(path: str) -> List[str]:
+    if not path.startswith("/"):
+        raise FileSystemError("paths must be absolute: %r" % path)
+    return [part for part in path.split("/") if part]
+
+
+class InMemoryFileSystem:
+    """A tree of directories and byte-content files."""
+
+    def __init__(self):
+        self._root = _Directory("")
+
+    def _walk(self, parts: List[str]) -> _Node:
+        node: _Node = self._root
+        for part in parts:
+            if not isinstance(node, _Directory) or part not in node.children:
+                raise FileSystemError("no such path: /%s" % "/".join(parts))
+            node = node.children[part]
+        return node
+
+    def mkdir(self, path: str, parents: bool = False) -> None:
+        parts = _split(path)
+        node = self._root
+        for index, part in enumerate(parts):
+            child = node.children.get(part)
+            if child is None:
+                if index < len(parts) - 1 and not parents:
+                    raise FileSystemError("missing parent for %r" % path)
+                child = _Directory(part)
+                node.children[part] = child
+            if not isinstance(child, _Directory):
+                raise FileSystemError("%r is a file" % part)
+            node = child
+
+    def write(self, path: str, content, parents: bool = False) -> None:
+        if isinstance(content, str):
+            content = content.encode("utf-8")
+        parts = _split(path)
+        if not parts:
+            raise FileSystemError("cannot write to /")
+        if len(parts) > 1:
+            directory = "/" + "/".join(parts[:-1])
+            if parents:
+                self.mkdir(directory, parents=True)
+            parent = self._walk(parts[:-1])
+        else:
+            parent = self._root
+        if not isinstance(parent, _Directory):
+            raise FileSystemError("parent of %r is a file" % path)
+        existing = parent.children.get(parts[-1])
+        if isinstance(existing, _Directory):
+            raise FileSystemError("%r is a directory" % path)
+        parent.children[parts[-1]] = _File(parts[-1], content)
+
+    def read(self, path: str) -> bytes:
+        node = self._walk(_split(path))
+        if not isinstance(node, _File):
+            raise FileSystemError("%r is not a file" % path)
+        return node.content
+
+    def listdir(self, path: str) -> List[str]:
+        node = self._walk(_split(path))
+        if not isinstance(node, _Directory):
+            raise FileSystemError("%r is not a directory" % path)
+        return sorted(node.children)
+
+    def exists(self, path: str) -> bool:
+        try:
+            self._walk(_split(path))
+            return True
+        except FileSystemError:
+            return False
+
+    def is_dir(self, path: str) -> bool:
+        try:
+            return isinstance(self._walk(_split(path)), _Directory)
+        except FileSystemError:
+            return False
+
+    def remove(self, path: str) -> None:
+        parts = _split(path)
+        if not parts:
+            raise FileSystemError("cannot remove /")
+        parent = self._walk(parts[:-1])
+        if not isinstance(parent, _Directory) or parts[-1] not in parent.children:
+            raise FileSystemError("no such path: %r" % path)
+        del parent.children[parts[-1]]
+
+    def tree(self, path: str = "/") -> List[Tuple[str, bool]]:
+        """Depth-first listing of (path, is_dir) pairs under ``path``."""
+        result: List[Tuple[str, bool]] = []
+
+        def visit(prefix: str, node: _Node) -> None:
+            if isinstance(node, _Directory):
+                result.append((prefix or "/", True))
+                for name in sorted(node.children):
+                    visit(prefix + "/" + name, node.children[name])
+            else:
+                result.append((prefix, False))
+
+        start = self._walk(_split(path))
+        visit(path.rstrip("/"), start)
+        return result

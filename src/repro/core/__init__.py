@@ -1,0 +1,103 @@
+"""The logic of authority: Snowflake's primary contribution.
+
+The paper's "main idea ... is a compact logic of authority" whose primary
+statement is ``B =T=> A`` — *B speaks for A regarding the statements in set
+T* — where speaks-for captures delegation and the restriction set ``T``
+(an SPKI authorization tag) captures restriction.
+
+This package implements:
+
+- :mod:`repro.core.principals` — every form of principal the paper uses:
+  keys, hashes of keys/objects, SDSI-style names (``K·N``), conjunctions
+  (``A ∧ B``), quoting principals (``A | B``), channels, MACs, and the
+  ``?`` pseudo-principal of the gateway protocol;
+- :mod:`repro.core.statements` — ``SpeaksFor`` and ``Says`` statements with
+  validity intervals;
+- :mod:`repro.core.rules` — the inference rules (transitivity, restriction
+  weakening, name/quoting/conjunction monotonicity, hash identity, ...);
+- :mod:`repro.core.proofs` — self-verifying structured proof trees with
+  S-expression wire form and lemma extraction (the paper's Figure 1).
+"""
+
+from repro.core.errors import (
+    AuthorizationError,
+    NeedAuthorizationError,
+    ProofError,
+    VerificationError,
+)
+from repro.core.principals import (
+    Principal,
+    KeyPrincipal,
+    HashPrincipal,
+    NamePrincipal,
+    ConjunctPrincipal,
+    QuotingPrincipal,
+    ThresholdPrincipal,
+    ChannelPrincipal,
+    MacPrincipal,
+    PseudoPrincipal,
+    principal_from_sexp,
+)
+from repro.core.statements import SpeaksFor, Says, Statement, Validity
+from repro.core.proofs import (
+    Proof,
+    SignedCertificateStep,
+    PremiseStep,
+    VerificationContext,
+    proof_from_sexp,
+    authorizes,
+)
+from repro.core.rules import (
+    TransitivityStep,
+    ReflexivityStep,
+    RestrictionWeakeningStep,
+    NameMonotonicityStep,
+    QuotingLeftMonotonicityStep,
+    QuotingRightMonotonicityStep,
+    QuotingCollapseStep,
+    ConjunctionIntroStep,
+    ConjunctionProjectionStep,
+    ThresholdIntroStep,
+    HashIdentityStep,
+    DerivedSaysStep,
+)
+
+__all__ = [
+    "AuthorizationError",
+    "NeedAuthorizationError",
+    "ProofError",
+    "VerificationError",
+    "Principal",
+    "KeyPrincipal",
+    "HashPrincipal",
+    "NamePrincipal",
+    "ConjunctPrincipal",
+    "QuotingPrincipal",
+    "ThresholdPrincipal",
+    "ChannelPrincipal",
+    "MacPrincipal",
+    "PseudoPrincipal",
+    "principal_from_sexp",
+    "SpeaksFor",
+    "Says",
+    "Statement",
+    "Validity",
+    "Proof",
+    "SignedCertificateStep",
+    "PremiseStep",
+    "VerificationContext",
+    "proof_from_sexp",
+    "authorizes",
+    "TransitivityStep",
+    "ReflexivityStep",
+    "RestrictionWeakeningStep",
+    "NameMonotonicityStep",
+    "QuotingLeftMonotonicityStep",
+    "QuotingRightMonotonicityStep",
+    "QuotingCollapseStep",
+    "ConjunctionIntroStep",
+    "ConjunctionProjectionStep",
+    "ThresholdIntroStep",
+    "HashIdentityStep",
+    "DerivedSaysStep",
+]

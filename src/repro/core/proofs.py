@@ -1,0 +1,316 @@
+"""Structured, self-verifying proofs of authority.
+
+Section 4.3: "We implemented a Proof class that represents a structured
+proof consisting of axioms and theorems of the logic and basic facts
+(delegations by principals).  An instance of Proof describes the statement
+that it proves and can verify itself upon request."
+
+Design points taken from the paper:
+
+- *Proofs are facts, not capabilities*: knowing a proof bestows nothing;
+  verification only establishes that its conclusion is true.
+- *Structured, not linear*: every node "clearly exhibits its own meaning,"
+  maps one-to-one onto a verifying object, and lemmas (subproofs) can be
+  extracted and reused — the Figure 1 behaviour, where an expired top-level
+  proof still yields a valid ``KS => KC·N`` lemma.
+- *Methods from a local code base*: proofs received from untrusted parties
+  deserialize into locally defined step classes, so verification results
+  are trustworthy.
+- *Verify once*: expiration lives in the conclusion's validity, so a
+  verified proof is matched against requests without re-verification; the
+  :class:`VerificationContext` memoizes verified nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import ProofError, VerificationError
+from repro.core.statements import (
+    Says,
+    SpeaksFor,
+    Statement,
+    statement_from_sexp,
+)
+from repro.sexp import Atom, SExp, SList
+from repro.spki.certificate import Certificate
+
+
+class VerificationContext:
+    """Everything a verifier trusts from outside the logic.
+
+    - ``now``: the current time, for matching validity windows;
+    - ``trusted_premises``: statements the local environment vouches for
+      (e.g. the transport layer's "message M emerged from channel CH");
+    - ``revocation``: a policy consulted for every signed certificate.
+    """
+
+    def __init__(
+        self,
+        now: float = 0.0,
+        trusted_premises: Optional[Sequence[Statement]] = None,
+        revocation=None,
+    ):
+        self.now = now
+        self.trusted_premises: Set[Statement] = set(trusted_premises or ())
+        self.revocation = revocation
+        self._verified: Set[int] = set()
+
+    def trust(self, statement: Statement) -> None:
+        """Vouch for a statement (transport layers call this)."""
+        self.trusted_premises.add(statement)
+
+    def was_verified(self, proof: "Proof") -> bool:
+        return id(proof) in self._verified
+
+    def mark_verified(self, proof: "Proof") -> None:
+        self._verified.add(id(proof))
+
+
+class Proof:
+    """Base class for proof steps.
+
+    Every step carries its ``conclusion`` and its ``premises`` (subproofs).
+    Subclasses implement ``_check`` (validate this one step, assuming the
+    premises verified) and payload (de)serialization.
+    """
+
+    rule: str = "abstract"
+
+    def __init__(self, conclusion: Statement, premises: Tuple["Proof", ...] = ()):
+        if not isinstance(conclusion, Statement):
+            raise ProofError("conclusion must be a Statement")
+        self._conclusion = conclusion
+        self._premises = tuple(premises)
+
+    @property
+    def conclusion(self) -> Statement:
+        return self._conclusion
+
+    @property
+    def premises(self) -> Tuple["Proof", ...]:
+        return self._premises
+
+    def verify(self, context: VerificationContext) -> None:
+        """Verify the whole tree; raises :class:`VerificationError`."""
+        if context.was_verified(self):
+            return
+        for premise in self._premises:
+            premise.verify(context)
+        self._check(context)
+        context.mark_verified(self)
+
+    def _check(self, context: VerificationContext) -> None:
+        raise NotImplementedError
+
+    # -- lemma extraction (Figure 1) ------------------------------------
+
+    def lemmas(self) -> Iterator["Proof"]:
+        """Yield every subproof (including self), outermost first.
+
+        "It is simple to extract lemmas (subproofs) from structured proofs,
+        allowing the prover to digest proofs into reusable components."
+        """
+        yield self
+        for premise in self._premises:
+            yield from premise.lemmas()
+
+    def speaks_for_lemmas(self) -> Iterator["Proof"]:
+        """Only the lemmas whose conclusions are speaks-for statements."""
+        for lemma in self.lemmas():
+            if isinstance(lemma.conclusion, SpeaksFor):
+                yield lemma
+
+    # -- serialization ----------------------------------------------------
+
+    def to_sexp(self) -> SExp:
+        items: List[SExp] = [Atom("proof"), Atom(self.rule)]
+        payload = self._payload_sexp()
+        if payload is not None:
+            items.append(SList([Atom("payload")] + list(payload)))
+        if self._premises:
+            items.append(
+                SList([Atom("premises")] + [p.to_sexp() for p in self._premises])
+            )
+        items.append(SList([Atom("conclusion"), self._conclusion.to_sexp()]))
+        return SList(items)
+
+    def _payload_sexp(self) -> Optional[List[SExp]]:
+        return None
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Proof):
+            return NotImplemented
+        return self.to_sexp() == other.to_sexp()
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash(self.to_sexp())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Proof[%s: %s]" % (self.rule, self._conclusion.display())
+
+    def display_tree(self, indent: int = 0) -> str:
+        """Render the proof the way the paper's Figure 1 does, as a tree."""
+        lines = ["%s%s: %s" % ("  " * indent, self.rule, self._conclusion.display())]
+        for premise in self._premises:
+            lines.append(premise.display_tree(indent + 1))
+        return "\n".join(lines)
+
+
+_RULE_REGISTRY: Dict[str, Callable[[List[SExp], List["Proof"], Statement], "Proof"]] = {}
+
+
+def register_rule(cls):
+    """Class decorator: register a step type for wire deserialization."""
+    _RULE_REGISTRY[cls.rule] = cls._from_parts
+    return cls
+
+
+def proof_from_sexp(node: SExp) -> Proof:
+    """Reconstruct a proof tree from the wire.
+
+    The step objects come from this local code base (never from the peer),
+    so the verification methods are trustworthy even though the proof came
+    from an untrusted party.
+    """
+    if not isinstance(node, SList) or node.head() != "proof" or len(node) < 3:
+        raise ProofError("expected (proof rule ... (conclusion ..))")
+    rule_atom = node.items[1]
+    if not isinstance(rule_atom, Atom):
+        raise ProofError("proof rule must be an atom")
+    rule = rule_atom.text()
+    builder = _RULE_REGISTRY.get(rule)
+    if builder is None:
+        raise ProofError("unknown proof rule %r" % rule)
+    payload_field = node.find("payload")
+    payload = list(payload_field.tail()) if payload_field is not None else []
+    premises_field = node.find("premises")
+    premises = (
+        [proof_from_sexp(item) for item in premises_field.tail()]
+        if premises_field is not None
+        else []
+    )
+    conclusion_field = node.find("conclusion")
+    if conclusion_field is None or len(conclusion_field) != 2:
+        raise ProofError("proof missing conclusion")
+    conclusion = statement_from_sexp(conclusion_field.items[1])
+    proof = builder(payload, premises, conclusion)
+    # The claimed conclusion must be exactly what the step derives; a
+    # mismatch is tampering, caught here rather than at verify time so the
+    # object can never exist in an inconsistent state.
+    if proof.conclusion != conclusion:
+        raise ProofError("conclusion does not match rule derivation")
+    return proof
+
+
+@register_rule
+class PremiseStep(Proof):
+    """An assumption vouched for outside the logic.
+
+    "Logical assumptions represent statements that a principal believes
+    based on some verification (outside the logic), such as the result of a
+    digital signature verification" — here, the non-signature kind: channel
+    bindings asserted by the transport, or the trusted host identifying
+    local IPC endpoints.  Verification succeeds only if the *local*
+    environment currently vouches for the statement; a premise shipped by
+    an adversary proves nothing to a verifier that does not trust it.
+    """
+
+    rule = "premise"
+
+    def __init__(self, statement: Statement):
+        super().__init__(statement)
+
+    def _check(self, context: VerificationContext) -> None:
+        if self._conclusion not in context.trusted_premises:
+            raise VerificationError(
+                "premise not vouched for locally: %s" % self._conclusion.display()
+            )
+
+    @classmethod
+    def _from_parts(cls, payload, premises, conclusion):
+        if premises:
+            raise ProofError("premise steps take no subproofs")
+        return cls(conclusion)
+
+
+@register_rule
+class SignedCertificateStep(Proof):
+    """A delegation justified by a digital signature.
+
+    Conclusion: ``subject =tag=> issuer-key`` with the certificate's
+    validity.  ``_check`` re-verifies the signature and consults the
+    context's revocation policy, so tampering with any field of a
+    transmitted certificate is caught.
+    """
+
+    rule = "signed-certificate"
+
+    def __init__(self, certificate: Certificate):
+        self.certificate = certificate
+        super().__init__(certificate.statement())
+
+    def _check(self, context: VerificationContext) -> None:
+        if not self.certificate.verify_signature():
+            raise VerificationError(
+                "bad signature on certificate %s" % self.certificate.serial.hex()
+            )
+        if context.revocation is not None:
+            context.revocation.check(self.certificate, context.now)
+
+    def _payload_sexp(self) -> Optional[List[SExp]]:
+        return [self.certificate.to_sexp()]
+
+    @classmethod
+    def _from_parts(cls, payload, premises, conclusion):
+        if len(payload) != 1 or premises:
+            raise ProofError("signed-certificate carries exactly one certificate")
+        return cls(Certificate.from_sexp(payload[0]))
+
+
+def authorizes(
+    proof: Proof,
+    speaker,
+    issuer,
+    request,
+    context: VerificationContext,
+) -> None:
+    """The server's final access check.
+
+    Confirms that ``proof`` is valid and concludes ``speaker =T=> issuer``
+    with the concrete ``request`` inside ``T`` and the window containing
+    ``context.now``.  "The step of matching a request to a proof
+    automatically disregards expired conclusions" (Section 4.3).
+
+    Raises :class:`VerificationError` if the proof fails, or
+    :class:`repro.core.errors.AuthorizationError` if it proves the wrong
+    thing.
+    """
+    from repro.core.errors import AuthorizationError
+    from repro.sexp import sexp
+
+    proof.verify(context)
+    conclusion = proof.conclusion
+    if not isinstance(conclusion, SpeaksFor):
+        raise AuthorizationError("proof does not conclude a speaks-for")
+    if conclusion.subject != speaker:
+        raise AuthorizationError(
+            "proof subject %s is not the requesting principal %s"
+            % (conclusion.subject.display(), speaker.display())
+        )
+    if conclusion.issuer != issuer:
+        raise AuthorizationError(
+            "proof issuer %s is not the resource issuer %s"
+            % (conclusion.issuer.display(), issuer.display())
+        )
+    if not conclusion.validity.contains(context.now):
+        raise AuthorizationError("proof conclusion has expired")
+    if not conclusion.tag.matches(sexp(request)):
+        raise AuthorizationError(
+            "request %s is outside the proven restriction set"
+            % sexp(request).to_advanced()
+        )

@@ -1,0 +1,269 @@
+"""Statements: what principals say.
+
+Two statement forms carry the whole system:
+
+- :class:`SpeaksFor` — the paper's primary statement ``B =T=> A`` with an
+  optional validity interval ("the logic encodes expiration times as part
+  of the restriction of a delegation, so that each proof need be verified
+  only once" — Section 4.3);
+- :class:`Says` — ``P says r`` for a ground request ``r``; the conclusion a
+  resource server ultimately needs is ``Server says r`` derived from the
+  requesting channel's utterance plus a speaks-for proof.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.principals import Principal, principal_from_sexp
+from repro.sexp import Atom, SExp, SList, sexp
+from repro.tags import Tag
+
+
+class Validity:
+    """A half-open validity window ``[not_before, not_after]`` in seconds.
+
+    ``None`` bounds are unbounded.  Validity intersects along transitivity
+    exactly like restriction tags; an expired window makes the statement
+    unusable for current requests but — per Figure 1 — still-valid lemmas
+    of a proof survive extraction.
+    """
+
+    __slots__ = ("not_before", "not_after")
+
+    ALWAYS: "Validity"
+
+    def __init__(
+        self,
+        not_before: Optional[float] = None,
+        not_after: Optional[float] = None,
+    ):
+        if (
+            not_before is not None
+            and not_after is not None
+            and not_before > not_after
+        ):
+            raise ValueError("empty validity window")
+        self.not_before = not_before
+        self.not_after = not_after
+
+    def contains(self, when: float) -> bool:
+        if self.not_before is not None and when < self.not_before:
+            return False
+        if self.not_after is not None and when > self.not_after:
+            return False
+        return True
+
+    def intersect(self, other: "Validity") -> "Validity":
+        not_before = _opt_max(self.not_before, other.not_before)
+        not_after = _opt_min(self.not_after, other.not_after)
+        if (
+            not_before is not None
+            and not_after is not None
+            and not_before > not_after
+        ):
+            # An unsatisfiable window; represent as a zero-length instant in
+            # the past so `contains` is False for every real time.
+            return Validity(not_after, not_after)
+        return Validity(not_before, not_after)
+
+    def is_unbounded(self) -> bool:
+        return self.not_before is None and self.not_after is None
+
+    def to_sexp(self) -> SExp:
+        items = [Atom("valid")]
+        if self.not_before is not None:
+            items.append(SList([Atom("not-before"), Atom(_format_time(self.not_before))]))
+        if self.not_after is not None:
+            items.append(SList([Atom("not-after"), Atom(_format_time(self.not_after))]))
+        return SList(items)
+
+    @classmethod
+    def from_sexp(cls, node: SExp) -> "Validity":
+        if not isinstance(node, SList) or node.head() != "valid":
+            raise ValueError("expected (valid ...), got %r" % (node,))
+        not_before = not_after = None
+        for field in node.tail():
+            if not isinstance(field, SList) or len(field) != 2:
+                raise ValueError("bad validity field %r" % (field,))
+            label = field.head()
+            value = float(field.items[1].text())
+            if label == "not-before":
+                not_before = value
+            elif label == "not-after":
+                not_after = value
+            else:
+                raise ValueError("unknown validity field %r" % label)
+        return cls(not_before, not_after)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Validity):
+            return NotImplemented
+        return (
+            self.not_before == other.not_before
+            and self.not_after == other.not_after
+        )
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash((Validity, self.not_before, self.not_after))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Validity(%r, %r)" % (self.not_before, self.not_after)
+
+
+Validity.ALWAYS = Validity()
+
+
+def _opt_max(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)
+
+
+def _opt_min(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _format_time(value: float) -> str:
+    # Integral seconds are the common case; keep them clean on the wire.
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+class Statement:
+    """Base class for logical statements."""
+
+    __slots__ = ()
+
+    def to_sexp(self) -> SExp:
+        raise NotImplementedError
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Statement):
+            return NotImplemented
+        return self.to_sexp() == other.to_sexp()
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash(self.to_sexp())
+
+    def __repr__(self) -> str:
+        return self.display()
+
+    def display(self) -> str:
+        return self.to_sexp().to_advanced()
+
+
+class SpeaksFor(Statement):
+    """``subject =tag=> issuer`` within a validity window.
+
+    Reads: *issuer agrees with subject about any statement in tag that
+    subject might make.*  Speaks-for captures delegation; the tag captures
+    restriction.
+    """
+
+    __slots__ = ("subject", "issuer", "tag", "validity")
+
+    def __init__(
+        self,
+        subject: Principal,
+        issuer: Principal,
+        tag: Tag,
+        validity: Validity = Validity.ALWAYS,
+    ):
+        if not isinstance(subject, Principal) or not isinstance(issuer, Principal):
+            raise TypeError("SpeaksFor needs Principal subject and issuer")
+        if not isinstance(tag, Tag):
+            raise TypeError("SpeaksFor needs a Tag restriction")
+        self.subject = subject
+        self.issuer = issuer
+        self.tag = tag
+        self.validity = validity
+
+    def to_sexp(self) -> SExp:
+        items = [
+            Atom("speaks-for"),
+            SList([Atom("subject"), self.subject.to_sexp()]),
+            SList([Atom("issuer"), self.issuer.to_sexp()]),
+            self.tag.to_sexp(),
+        ]
+        if not self.validity.is_unbounded():
+            items.append(self.validity.to_sexp())
+        return SList(items)
+
+    @classmethod
+    def from_sexp(cls, node: SExp) -> "SpeaksFor":
+        if not isinstance(node, SList) or node.head() != "speaks-for":
+            raise ValueError("expected (speaks-for ...), got %r" % (node,))
+        subject_field = node.find("subject")
+        issuer_field = node.find("issuer")
+        tag_field = node.find("tag")
+        if subject_field is None or issuer_field is None or tag_field is None:
+            raise ValueError("speaks-for missing subject/issuer/tag")
+        validity_field = node.find("valid")
+        validity = (
+            Validity.from_sexp(validity_field)
+            if validity_field is not None
+            else Validity.ALWAYS
+        )
+        return cls(
+            principal_from_sexp(subject_field.items[1]),
+            principal_from_sexp(issuer_field.items[1]),
+            Tag.from_sexp(tag_field),
+            validity,
+        )
+
+    def display(self) -> str:
+        return "%s ={%s}=> %s" % (
+            self.subject.display(),
+            self.tag.to_sexp().to_advanced(),
+            self.issuer.display(),
+        )
+
+
+class Says(Statement):
+    """``speaker says request`` for a ground request S-expression."""
+
+    __slots__ = ("speaker", "request")
+
+    def __init__(self, speaker: Principal, request):
+        if not isinstance(speaker, Principal):
+            raise TypeError("Says needs a Principal speaker")
+        self.speaker = speaker
+        self.request = sexp(request)
+
+    def to_sexp(self) -> SExp:
+        return SList([Atom("says"), self.speaker.to_sexp(), self.request])
+
+    @classmethod
+    def from_sexp(cls, node: SExp) -> "Says":
+        if not isinstance(node, SList) or node.head() != "says" or len(node) != 3:
+            raise ValueError("expected (says principal request), got %r" % (node,))
+        return cls(principal_from_sexp(node.items[1]), node.items[2])
+
+    def display(self) -> str:
+        return "%s says %s" % (self.speaker.display(), self.request.to_advanced())
+
+
+def statement_from_sexp(node: SExp) -> Statement:
+    """Parse either statement form from the wire."""
+    if isinstance(node, SList):
+        if node.head() == "speaks-for":
+            return SpeaksFor.from_sexp(node)
+        if node.head() == "says":
+            return Says.from_sexp(node)
+    raise ValueError("unknown statement form: %r" % (node,))

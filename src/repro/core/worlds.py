@@ -1,0 +1,300 @@
+"""A finite possible-worlds semantics for the logic of authority.
+
+Section 3: "The logic is founded in a possible-worlds semantics that
+provides intuition and guidance about possible extensions. ... The logic
+is backed by a semantics that not only provides unambiguous meaning for
+every logical statement, but tells us how the system may and may not be
+safely extended."  The full semantics is the companion paper (Howell &
+Kotz, *A Formal Semantics for SPKI*, ESORICS 2000); this module implements
+its finite fragment so the *rule set shipped in* :mod:`repro.core.rules`
+*can be model-checked*:
+
+- a :class:`Model` is a finite set of worlds plus, for each atomic
+  principal, an accessibility relation (a set of world pairs);
+- compound principals get derived relations, following ABLP:
+  conjunction is union of relations, quoting is composition;
+- ``A says s`` holds at world ``w`` iff ``s`` holds at every world
+  A-accessible from ``w``;
+- the restricted ``B =T=> A`` holds iff, for every statement ``s ∈ T``,
+  ``B says s`` implies ``A says s`` at every world — which is implied by
+  (but weaker than) the relational containment ``R_A ⊆ R_B``.
+
+The property tests in ``tests/core/test_worlds.py`` enumerate random
+finite models and check that every inference rule of the implementation is
+*sound*: whenever a rule's premises hold in a model, its conclusion does
+too.  This is the operational meaning of the paper's "safe extension"
+claim: a proposed new rule can be dropped into the same harness before
+being trusted in the verifier.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+World = int
+Pair = Tuple[World, World]
+
+
+class AtomicPrincipal:
+    """An uninterpreted principal name in a model."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, AtomicPrincipal) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash((AtomicPrincipal, self.name))
+
+
+class Conj:
+    """``A ∧ B``: joint authority (union of accessibility relations —
+    more accessible worlds means *fewer* statements said, so the
+    conjunction says only what every member says)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return "(%r & %r)" % (self.left, self.right)
+
+
+class Quote:
+    """``A | B``: composition of relations (A relaying B)."""
+
+    __slots__ = ("quoter", "quotee")
+
+    def __init__(self, quoter, quotee):
+        self.quoter = quoter
+        self.quotee = quotee
+
+    def __repr__(self) -> str:
+        return "(%r | %r)" % (self.quoter, self.quotee)
+
+
+class Model:
+    """A finite Kripke model: worlds, atomic relations, atomic facts.
+
+    ``facts`` maps each atomic statement name to the set of worlds where
+    it holds.
+    """
+
+    def __init__(
+        self,
+        world_count: int,
+        relations: Dict[AtomicPrincipal, Set[Pair]],
+        facts: Dict[str, Set[World]],
+    ):
+        if world_count < 1:
+            raise ValueError("a model needs at least one world")
+        self.worlds = range(world_count)
+        self.relations = dict(relations)
+        self.facts = dict(facts)
+
+    # -- relations for compound principals --------------------------------
+
+    def relation(self, principal) -> Set[Pair]:
+        if isinstance(principal, AtomicPrincipal):
+            return self.relations.get(principal, set())
+        if isinstance(principal, Conj):
+            return self.relation(principal.left) | self.relation(principal.right)
+        if isinstance(principal, Quote):
+            left = self.relation(principal.quoter)
+            right = self.relation(principal.quotee)
+            # Composition: w R_{A|B} w''  iff  ∃w': w R_A w' and w' R_B w''.
+            middle: Dict[World, List[World]] = {}
+            for a, b in right:
+                middle.setdefault(a, []).append(b)
+            return {
+                (a, c)
+                for a, b in left
+                for c in middle.get(b, ())
+            }
+        raise TypeError("unknown principal %r" % (principal,))
+
+    # -- satisfaction -------------------------------------------------------
+
+    def holds(self, statement: str, world: World) -> bool:
+        return world in self.facts.get(statement, set())
+
+    def says(self, principal, statement: str, world: World) -> bool:
+        """``principal says statement`` at ``world``."""
+        relation = self.relation(principal)
+        return all(
+            self.holds(statement, successor)
+            for origin, successor in relation
+            if origin == world
+        )
+
+    def says_everywhere(self, principal, statement: str) -> bool:
+        return all(self.says(principal, statement, w) for w in self.worlds)
+
+    def speaks_for(self, subject, issuer, statements: Iterable[str]) -> bool:
+        """``subject =T=> issuer`` for the finite restriction set ``T``:
+        at every world, whatever in T the subject says, the issuer says."""
+        statements = list(statements)
+        for world in self.worlds:
+            for statement in statements:
+                if self.says(subject, statement, world) and not self.says(
+                    issuer, statement, world
+                ):
+                    return False
+        return True
+
+    def relation_contained(self, subject, issuer) -> bool:
+        """The stronger, unrestricted reading: ``R_issuer ⊆ R_subject``.
+
+        Containment implies speaks-for over *every* restriction set (this
+        is the semantics' justification for the unrestricted axioms such
+        as conjunction projection and hash identity).
+        """
+        return self.relation(issuer) <= self.relation(subject)
+
+
+def enumerate_models(
+    atoms: Sequence[AtomicPrincipal],
+    statements: Sequence[str],
+    world_count: int = 2,
+    max_models: Optional[int] = None,
+):
+    """Exhaustively enumerate small models (for rule soundness checks).
+
+    The space is (2^(w²))^|atoms| × (2^w)^|statements|; callers keep the
+    parameters tiny (2 worlds, ≤2 atoms, ≤2 statements ⇒ 4096 models).
+    """
+    pairs = list(product(range(world_count), repeat=2))
+    pair_subsets = _subsets(pairs)
+    world_subsets = _subsets(list(range(world_count)))
+    count = 0
+    for relation_choice in product(pair_subsets, repeat=len(atoms)):
+        for fact_choice in product(world_subsets, repeat=len(statements)):
+            model = Model(
+                world_count,
+                {atom: set(rel) for atom, rel in zip(atoms, relation_choice)},
+                {stmt: set(ws) for stmt, ws in zip(statements, fact_choice)},
+            )
+            yield model
+            count += 1
+            if max_models is not None and count >= max_models:
+                return
+
+
+def _subsets(items: list) -> List[Tuple]:
+    result: List[Tuple] = [()]
+    for item in items:
+        result += [subset + (item,) for subset in result]
+    return result
+
+
+# -- rule soundness checks ---------------------------------------------------
+
+
+class RuleSoundness:
+    """Check each implementation rule against the semantics.
+
+    Every method quantifies over supplied models and returns the first
+    counterexample, or ``None`` when the rule is sound in all of them.
+    A new proof rule should pass ``enumerate_models``-driven checks here
+    before being registered with the verifier — this is the paper's "the
+    semantics can advise us about the safety of possible extensions" made
+    executable.
+    """
+
+    @staticmethod
+    def transitivity(models, a, b, c, statements) -> Optional[Model]:
+        """A =T=> B and B =T=> C entail A =T=> C."""
+        for model in models:
+            if (
+                model.speaks_for(a, b, statements)
+                and model.speaks_for(b, c, statements)
+                and not model.speaks_for(a, c, statements)
+            ):
+                return model
+        return None
+
+    @staticmethod
+    def weakening(models, a, b, big, small) -> Optional[Model]:
+        """A =T=> B entails A =T'=> B for T' ⊆ T."""
+        assert set(small) <= set(big)
+        for model in models:
+            if model.speaks_for(a, b, big) and not model.speaks_for(a, b, small):
+                return model
+        return None
+
+    @staticmethod
+    def conjunction_projection(models, a, b, statements) -> Optional[Model]:
+        """(A ∧ B) speaks for A, unrestricted (checked over ``statements``)."""
+        for model in models:
+            if not model.speaks_for(Conj(a, b), a, statements):
+                return model
+        return None
+
+    @staticmethod
+    def conjunction_intro(models, r, a, b, statements) -> Optional[Model]:
+        """R ⇒ A and R ⇒ B entail R ⇒ (A ∧ B) — in the *relational*
+        reading (the implementation's rule is justified by containment)."""
+        for model in models:
+            if (
+                model.relation_contained(r, a)
+                and model.relation_contained(r, b)
+                and not model.speaks_for(r, Conj(a, b), statements)
+            ):
+                return model
+        return None
+
+    @staticmethod
+    def quoting_left_monotonicity(models, a, b, c, statements) -> Optional[Model]:
+        """A ⇒ B (relationally) entails A|C ⇒ B|C."""
+        for model in models:
+            if model.relation_contained(a, b) and not model.speaks_for(
+                Quote(a, c), Quote(b, c), statements
+            ):
+                return model
+        return None
+
+    @staticmethod
+    def quoting_right_monotonicity(models, a, b, c, statements) -> Optional[Model]:
+        """A ⇒ B (relationally) entails C|A ⇒ C|B."""
+        for model in models:
+            if model.relation_contained(a, b) and not model.speaks_for(
+                Quote(c, a), Quote(c, b), statements
+            ):
+                return model
+        return None
+
+    @staticmethod
+    def says_derivation(models, a, b, statements) -> Optional[Model]:
+        """B says s and B =\\{s\\}=> A entail A says s (everywhere)."""
+        for model in models:
+            for statement in statements:
+                if (
+                    model.says_everywhere(b, statement)
+                    and model.speaks_for(b, a, [statement])
+                    and not model.says_everywhere(a, statement)
+                ):
+                    return model
+        return None
+
+    @staticmethod
+    def unsound_example_widening(models, a, b, big, small) -> Optional[Model]:
+        """The *converse* of weakening — A =T'=> B entails A =T=> B for
+        T' ⊂ T — is NOT sound; this finder returns its counterexample.
+
+        Kept here deliberately: the harness must be able to *reject* bad
+        extensions, not just bless good ones.
+        """
+        assert set(small) < set(big)
+        for model in models:
+            if model.speaks_for(a, b, small) and not model.speaks_for(a, b, big):
+                return model
+        return None

@@ -1,0 +1,36 @@
+"""Crypto substrate built from scratch on the Python standard library.
+
+The paper's prototype used 1024-bit RSA (via Cryptix), MD5 hashes, and an
+ssh-style key exchange.  We implement the same primitives:
+
+- :mod:`repro.crypto.numtheory` — modular arithmetic, Miller–Rabin, prime
+  generation;
+- :mod:`repro.crypto.rsa` — RSA keygen, hash-then-sign signatures, and raw
+  encrypt/decrypt (used by the MAC handoff and the key exchange);
+- :mod:`repro.crypto.hashes` — MD5/SHA-1/SHA-256 with SPKI ``(hash alg |..|)``
+  object forms;
+- :mod:`repro.crypto.mac` — HMAC message-authentication codes (the signed-
+  request optimization of Section 5.3.1).
+
+Key sizes are configurable; tests default to small fast keys while the
+benchmark cost model charges paper-calibrated 1024-bit timings.
+"""
+
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, RsaPrivateKey, generate_keypair
+from repro.crypto.hashes import hash_bytes, hash_sexp, HashValue
+from repro.crypto.mac import MacKey
+from repro.crypto.seal import seal, unseal, SealError
+
+__all__ = [
+    "RsaKeyPair",
+    "RsaPublicKey",
+    "RsaPrivateKey",
+    "generate_keypair",
+    "hash_bytes",
+    "hash_sexp",
+    "HashValue",
+    "MacKey",
+    "seal",
+    "unseal",
+    "SealError",
+]

@@ -1,0 +1,85 @@
+"""Hash objects in SPKI form.
+
+SPKI names objects by hash: the paper's Figure 5 challenge carries
+``(hash md5 |ehtQYd4EpQXOa/ON6Smesg==|)`` as the service issuer, and
+Figure 1's proof reasons about ``HD`` (hash of a document) and ``HKC``
+(hash of the client's key).  :class:`HashValue` is that object form.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.sexp import Atom, SExp, SList, to_canonical
+
+_ALGORITHMS = {
+    "md5": hashlib.md5,
+    "sha1": hashlib.sha1,
+    "sha256": hashlib.sha256,
+}
+
+DEFAULT_ALGORITHM = "md5"  # what the paper's prototype used
+
+
+class HashValue:
+    """An ``(hash <alg> |digest|)`` SPKI object."""
+
+    __slots__ = ("algorithm", "digest")
+
+    def __init__(self, algorithm: str, digest: bytes):
+        if algorithm not in _ALGORITHMS:
+            raise ValueError("unsupported hash algorithm %r" % algorithm)
+        self.algorithm = algorithm
+        self.digest = digest
+
+    @classmethod
+    def of_bytes(cls, data: bytes, algorithm: str = DEFAULT_ALGORITHM) -> "HashValue":
+        return cls(algorithm, _ALGORITHMS[algorithm](data).digest())
+
+    @classmethod
+    def of_sexp(cls, node: SExp, algorithm: str = DEFAULT_ALGORITHM) -> "HashValue":
+        """Hash of the canonical encoding — how SPKI names S-expressions."""
+        return cls.of_bytes(to_canonical(node), algorithm)
+
+    @classmethod
+    def from_sexp(cls, node: SExp) -> "HashValue":
+        if (
+            not isinstance(node, SList)
+            or node.head() != "hash"
+            or len(node) != 3
+            or not isinstance(node.items[1], Atom)
+            or not isinstance(node.items[2], Atom)
+        ):
+            raise ValueError("expected (hash alg digest), got %r" % (node,))
+        return cls(node.items[1].text(), node.items[2].value)
+
+    def to_sexp(self) -> SExp:
+        return SList([Atom("hash"), Atom(self.algorithm), Atom(self.digest)])
+
+    def verify(self, data: bytes) -> bool:
+        return _ALGORITHMS[self.algorithm](data).digest() == self.digest
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, HashValue):
+            return NotImplemented
+        return self.algorithm == other.algorithm and self.digest == other.digest
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash((HashValue, self.algorithm, self.digest))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "HashValue(%s, %s)" % (self.algorithm, self.digest.hex()[:16])
+
+
+def hash_bytes(data: bytes, algorithm: str = DEFAULT_ALGORITHM) -> HashValue:
+    """Convenience wrapper: hash raw bytes into a :class:`HashValue`."""
+    return HashValue.of_bytes(data, algorithm)
+
+
+def hash_sexp(node: SExp, algorithm: str = DEFAULT_ALGORITHM) -> HashValue:
+    """Hash an S-expression's canonical form into a :class:`HashValue`."""
+    return HashValue.of_sexp(node, algorithm)

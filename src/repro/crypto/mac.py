@@ -1,0 +1,80 @@
+"""Message authentication codes — the signed-request optimization.
+
+Section 5.3.1: "We implemented a more efficient protocol that amortizes the
+public-key operation by having the server send an encrypted, secret message
+authentication code (MAC) to the client.  The client then authorizes
+messages by sending a hash of <message, MAC>.  The protocol is represented
+in the end-to-end authorization chain by representing the MAC as a
+principal."
+
+:class:`MacKey` is that shared secret.  Its SPKI name (used to build the
+MAC principal) is the hash of the secret, so the name reveals nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+from typing import Optional
+
+from repro.crypto.hashes import HashValue
+from repro.crypto.numtheory import bytes_to_int, int_to_bytes
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+
+DEFAULT_MAC_BYTES = 20
+
+
+class MacKey:
+    """A shared MAC secret with HMAC-MD5 tagging (matching the paper's MD5)."""
+
+    __slots__ = ("secret",)
+
+    def __init__(self, secret: bytes):
+        if not secret:
+            raise ValueError("MAC secret must be non-empty")
+        self.secret = secret
+
+    @classmethod
+    def generate(cls, rng: Optional[random.Random] = None) -> "MacKey":
+        rng = rng or random.SystemRandom()
+        return cls(bytes(rng.getrandbits(8) for _ in range(DEFAULT_MAC_BYTES)))
+
+    def tag(self, message: bytes) -> bytes:
+        return hmac.new(self.secret, message, hashlib.md5).digest()
+
+    def verify(self, message: bytes, tag: bytes) -> bool:
+        return hmac.compare_digest(self.tag(message), tag)
+
+    def fingerprint(self) -> HashValue:
+        """Public name of this MAC: hash of the secret (reveals nothing)."""
+        return HashValue.of_bytes(self.secret)
+
+    def sealed_for(self, recipient: RsaPublicKey) -> int:
+        """Encrypt the secret to the client's public key (server → client)."""
+        value = bytes_to_int(self.secret)
+        if value >= recipient.n:
+            raise ValueError("MAC secret too large for recipient key")
+        return recipient.encrypt_block(value)
+
+    @classmethod
+    def unseal(cls, sealed: int, key: RsaPrivateKey) -> "MacKey":
+        """Client side: recover the MAC secret with the private key.
+
+        Left-pads to the generated length: the integer round trip drops
+        leading zero bytes.
+        """
+        secret = int_to_bytes(key.decrypt_block(sealed))
+        return cls(secret.rjust(DEFAULT_MAC_BYTES, b"\x00"))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MacKey):
+            return NotImplemented
+        return hmac.compare_digest(self.secret, other.secret)
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash((MacKey, self.secret))

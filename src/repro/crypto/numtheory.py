@@ -1,0 +1,89 @@
+"""Number-theoretic primitives for RSA: gcd, inverses, primality, primes.
+
+Everything here is deterministic given the supplied random source, which
+lets tests generate reproducible keys and the simulator replay runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+    149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+)
+
+
+def egcd(a: int, b: int):
+    """Extended Euclid: returns (g, x, y) with a*x + b*y == g == gcd(a, b)."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_s, s = s, old_s - quotient * s
+        old_t, t = t, old_t - quotient * t
+    return old_r, old_s, old_t
+
+
+def invmod(a: int, modulus: int) -> int:
+    """Multiplicative inverse of ``a`` modulo ``modulus``."""
+    g, x, _ = egcd(a % modulus, modulus)
+    if g != 1:
+        raise ValueError("%d is not invertible mod %d" % (a, modulus))
+    return x % modulus
+
+
+def is_probable_prime(n: int, rng: Optional[random.Random] = None, rounds: int = 24) -> bool:
+    """Miller–Rabin probabilistic primality test."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or random.Random(n)  # deterministic witnesses keep tests stable
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime with exactly ``bits`` bits."""
+    if bits < 4:
+        raise ValueError("prime size too small: %d bits" % bits)
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # force top bit and oddness
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+def int_to_bytes(value: int) -> bytes:
+    """Minimal big-endian byte encoding (b'\\x00' for zero)."""
+    if value == 0:
+        return b"\x00"
+    length = (value.bit_length() + 7) // 8
+    return value.to_bytes(length, "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    return int.from_bytes(data, "big")

@@ -1,0 +1,92 @@
+"""Hybrid sealing: encrypt bytes to a public key.
+
+Built for the paper's Section 9 vision: "we imagine a gateway that
+operates with only partial access to the information it translates,
+passing from server to client encrypted content that it need not view to
+accomplish its task."  A server seals content to the *end* client's key;
+intermediaries relay the opaque envelope.
+
+Construction: a fresh symmetric secret is RSA-sealed to the recipient;
+the body is XOR-encrypted under an HMAC-SHA256 keystream and integrity-
+protected by an HMAC trailer (same record discipline as the secure
+channel).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+from typing import Optional
+
+from repro.crypto.numtheory import bytes_to_int, int_to_bytes
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.sexp import Atom, SExp, SList
+
+_SECRET_BYTES = 24
+
+
+class SealError(ValueError):
+    """Malformed or tampered sealed envelope."""
+
+
+def _keystream(secret: bytes, length: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out += hmac.new(
+            secret, b"seal" + counter.to_bytes(4, "big"), hashlib.sha256
+        ).digest()
+        counter += 1
+    return bytes(out[:length])
+
+
+def seal(
+    recipient: RsaPublicKey,
+    plaintext: bytes,
+    rng: Optional[random.Random] = None,
+) -> SExp:
+    """Seal plaintext so only the holder of ``recipient``'s private key
+    can read it.  Returns the ``(sealed ...)`` envelope S-expression."""
+    rng = rng or random.SystemRandom()
+    secret = bytes(rng.getrandbits(8) for _ in range(_SECRET_BYTES))
+    ciphertext = bytes(
+        a ^ b for a, b in zip(plaintext, _keystream(secret, len(plaintext)))
+    )
+    tag = hmac.new(secret, ciphertext, hashlib.sha256).digest()
+    wrapped = recipient.encrypt_block(bytes_to_int(secret))
+    return SList(
+        [
+            Atom("sealed"),
+            SList([Atom("key"), Atom(int_to_bytes(wrapped))]),
+            SList([Atom("ct"), Atom(ciphertext)]),
+            SList([Atom("mac"), Atom(tag)]),
+        ]
+    )
+
+
+def unseal(private_key: RsaPrivateKey, envelope: SExp) -> bytes:
+    """Open a ``(sealed ...)`` envelope; raises :class:`SealError` on any
+    tampering or the wrong key."""
+    if not isinstance(envelope, SList) or envelope.head() != "sealed":
+        raise SealError("not a sealed envelope")
+    key_field = envelope.find("key")
+    ct_field = envelope.find("ct")
+    mac_field = envelope.find("mac")
+    if key_field is None or ct_field is None or mac_field is None:
+        raise SealError("envelope missing fields")
+    try:
+        secret = int_to_bytes(
+            private_key.decrypt_block(bytes_to_int(key_field.items[1].value))
+        )
+    except ValueError as exc:  # wrapped key out of range: wrong recipient
+        raise SealError("cannot unwrap the sealed key: %s" % exc)
+    # Left-pad: the integer round trip drops leading zero bytes.
+    secret = secret.rjust(_SECRET_BYTES, b"\x00")
+    ciphertext = ct_field.items[1].value
+    expected = hmac.new(secret, ciphertext, hashlib.sha256).digest()
+    if not hmac.compare_digest(expected, mac_field.items[1].value):
+        raise SealError("envelope integrity check failed (tampered or wrong key)")
+    return bytes(
+        a ^ b for a, b in zip(ciphertext, _keystream(secret, len(ciphertext)))
+    )

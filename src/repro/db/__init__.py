@@ -1,0 +1,28 @@
+"""A small from-scratch relational engine.
+
+The paper's second application "attaches Snowflake security to a
+relational email database" whose server "accepts insert, update, and
+select requests as RMI invocations."  This package supplies that
+substrate: tables with typed-ish columns, equality/comparison predicates,
+ordering, and an S-expression query form so conditions travel over RMI.
+"""
+
+from repro.db.engine import Database, Table, DatabaseError
+from repro.db.query import Condition, Eq, Ne, Lt, Le, Gt, Ge, And, Or, Not, condition_from_sexp
+
+__all__ = [
+    "Database",
+    "Table",
+    "DatabaseError",
+    "Condition",
+    "Eq",
+    "Ne",
+    "Lt",
+    "Le",
+    "Gt",
+    "Ge",
+    "And",
+    "Or",
+    "Not",
+    "condition_from_sexp",
+]

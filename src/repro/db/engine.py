@@ -1,0 +1,120 @@
+"""Tables, rows, and the four verbs: insert, select, update, delete."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.db.query import Condition, TrueCondition
+
+
+class DatabaseError(Exception):
+    """Schema violations and lookup failures."""
+
+
+class Table:
+    """One table: named columns, auto-assigned ``rowid``."""
+
+    def __init__(self, name: str, columns: Sequence[str], unique: Sequence[str] = ()):
+        if not columns:
+            raise DatabaseError("table %r needs at least one column" % name)
+        if len(set(columns)) != len(columns):
+            raise DatabaseError("duplicate column names in %r" % name)
+        self.name = name
+        self.columns = list(columns)
+        self.unique = list(unique)
+        for column in self.unique:
+            if column not in self.columns:
+                raise DatabaseError("unique column %r not in schema" % column)
+        self._rows: List[Dict[str, object]] = []
+        self._next_rowid = 1
+
+    def insert(self, values: Dict[str, object]) -> int:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise DatabaseError(
+                "unknown columns for %s: %s" % (self.name, sorted(unknown))
+            )
+        for column in self.unique:
+            value = values.get(column)
+            if any(row.get(column) == value for row in self._rows):
+                raise DatabaseError(
+                    "duplicate value %r for unique column %s.%s"
+                    % (value, self.name, column)
+                )
+        row = {column: values.get(column) for column in self.columns}
+        row["rowid"] = self._next_rowid
+        self._next_rowid += 1
+        self._rows.append(row)
+        return row["rowid"]
+
+    def select(
+        self,
+        where: Optional[Condition] = None,
+        columns: Optional[Sequence[str]] = None,
+        order_by: Optional[str] = None,
+        descending: bool = False,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, object]]:
+        where = where or TrueCondition()
+        rows = [dict(row) for row in self._rows if where.evaluate(row)]
+        if order_by is not None:
+            rows.sort(key=lambda row: (row.get(order_by) is None, row.get(order_by)),
+                      reverse=descending)
+        if limit is not None:
+            rows = rows[:limit]
+        if columns is not None:
+            bad = set(columns) - set(self.columns) - {"rowid"}
+            if bad:
+                raise DatabaseError("unknown columns %s" % sorted(bad))
+            rows = [{c: row.get(c) for c in columns} for row in rows]
+        return rows
+
+    def update(self, where: Condition, changes: Dict[str, object]) -> int:
+        unknown = set(changes) - set(self.columns)
+        if unknown:
+            raise DatabaseError("unknown columns %s" % sorted(unknown))
+        count = 0
+        for row in self._rows:
+            if where.evaluate(row):
+                row.update(changes)
+                count += 1
+        return count
+
+    def delete(self, where: Condition) -> int:
+        keep = [row for row in self._rows if not where.evaluate(row)]
+        removed = len(self._rows) - len(keep)
+        self._rows = keep
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class Database:
+    """A named collection of tables."""
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(
+        self, name: str, columns: Sequence[str], unique: Sequence[str] = ()
+    ) -> Table:
+        if name in self._tables:
+            raise DatabaseError("table %r already exists" % name)
+        table = Table(name, columns, unique)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise DatabaseError("no table %r" % name)
+        return self._tables[name]
+
+    def tables(self) -> List[str]:
+        return sorted(self._tables)
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise DatabaseError("no table %r" % name)
+        del self._tables[name]

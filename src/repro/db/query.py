@@ -1,0 +1,212 @@
+"""Query conditions with an S-expression wire form.
+
+Conditions evaluate against row dictionaries and serialize as
+``(eq col value)``, ``(and ...)``, etc., so a database client can ship a
+``where`` clause inside an RMI invocation — and so the invocation's
+S-expression (which authorization tags match against) fully describes the
+data being touched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sexp import Atom, SExp, SList
+
+
+class Condition:
+    """Base class: a predicate over a row."""
+
+    op: str = "?"
+
+    def evaluate(self, row: Dict[str, object]) -> bool:
+        raise NotImplementedError
+
+    def to_sexp(self) -> SExp:
+        raise NotImplementedError
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Condition):
+            return NotImplemented
+        return self.to_sexp() == other.to_sexp()
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash(self.to_sexp())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.to_sexp().to_advanced()
+
+
+class _Comparison(Condition):
+    __slots__ = ("column", "value")
+
+    def __init__(self, column: str, value):
+        self.column = column
+        self.value = value
+
+    def _compare(self, actual) -> bool:
+        raise NotImplementedError
+
+    def evaluate(self, row: Dict[str, object]) -> bool:
+        if self.column not in row:
+            return False
+        try:
+            return self._compare(row[self.column])
+        except TypeError:
+            return False
+
+    def to_sexp(self) -> SExp:
+        return SList([Atom(self.op), Atom(self.column), _value_to_atom(self.value)])
+
+
+class Eq(_Comparison):
+    op = "eq"
+
+    def _compare(self, actual) -> bool:
+        return actual == self.value
+
+
+class Ne(_Comparison):
+    op = "ne"
+
+    def _compare(self, actual) -> bool:
+        return actual != self.value
+
+
+class Lt(_Comparison):
+    op = "lt"
+
+    def _compare(self, actual) -> bool:
+        return actual < self.value
+
+
+class Le(_Comparison):
+    op = "le"
+
+    def _compare(self, actual) -> bool:
+        return actual <= self.value
+
+
+class Gt(_Comparison):
+    op = "gt"
+
+    def _compare(self, actual) -> bool:
+        return actual > self.value
+
+
+class Ge(_Comparison):
+    op = "ge"
+
+    def _compare(self, actual) -> bool:
+        return actual >= self.value
+
+
+class _Junction(Condition):
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: Condition):
+        if not parts:
+            raise ValueError("%s needs at least one part" % type(self).__name__)
+        self.parts = parts
+
+    def to_sexp(self) -> SExp:
+        return SList([Atom(self.op)] + [part.to_sexp() for part in self.parts])
+
+
+class And(_Junction):
+    op = "and"
+
+    def evaluate(self, row: Dict[str, object]) -> bool:
+        return all(part.evaluate(row) for part in self.parts)
+
+
+class Or(_Junction):
+    op = "or"
+
+    def evaluate(self, row: Dict[str, object]) -> bool:
+        return any(part.evaluate(row) for part in self.parts)
+
+
+class Not(Condition):
+    op = "not"
+    __slots__ = ("part",)
+
+    def __init__(self, part: Condition):
+        self.part = part
+
+    def evaluate(self, row: Dict[str, object]) -> bool:
+        return not self.part.evaluate(row)
+
+    def to_sexp(self) -> SExp:
+        return SList([Atom("not"), self.part.to_sexp()])
+
+
+class TrueCondition(Condition):
+    """Matches every row (the empty ``where``)."""
+
+    op = "true"
+
+    def evaluate(self, row: Dict[str, object]) -> bool:
+        return True
+
+    def to_sexp(self) -> SExp:
+        return SList([Atom("true")])
+
+
+_COMPARISONS = {cls.op: cls for cls in (Eq, Ne, Lt, Le, Gt, Ge)}
+
+
+def condition_from_sexp(node: SExp) -> Condition:
+    if not isinstance(node, SList) or not node.head():
+        raise ValueError("bad condition %r" % (node,))
+    op = node.head()
+    if op == "true":
+        return TrueCondition()
+    if op == "not":
+        return Not(condition_from_sexp(node.items[1]))
+    if op in ("and", "or"):
+        cls = And if op == "and" else Or
+        return cls(*[condition_from_sexp(item) for item in node.tail()])
+    if op in _COMPARISONS:
+        if len(node) != 3 or not isinstance(node.items[1], Atom):
+            raise ValueError("bad comparison %r" % (node,))
+        return _COMPARISONS[op](
+            node.items[1].text(), _atom_to_value(node.items[2])
+        )
+    raise ValueError("unknown condition op %r" % op)
+
+
+def _value_to_atom(value) -> Atom:
+    if isinstance(value, bool):
+        return Atom("#t" if value else "#f")
+    if isinstance(value, int):
+        return Atom("i:%d" % value)
+    if isinstance(value, float):
+        return Atom("f:%r" % value)
+    if isinstance(value, bytes):
+        return Atom(b"b:" + value)
+    return Atom("s:%s" % value)
+
+
+def _atom_to_value(atom: SExp):
+    if not isinstance(atom, Atom):
+        raise ValueError("condition value must be an atom")
+    raw = atom.value
+    if raw == b"#t":
+        return True
+    if raw == b"#f":
+        return False
+    kind, _, rest = raw.partition(b":")
+    if kind == b"i":
+        return int(rest)
+    if kind == b"f":
+        return float(rest)
+    if kind == b"b":
+        return rest
+    if kind == b"s":
+        return rest.decode("utf-8")
+    raise ValueError("untyped condition value %r" % raw)

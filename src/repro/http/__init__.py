@@ -1,0 +1,46 @@
+"""HTTP with Snowflake authorization (Section 5.3).
+
+"The most visible RPC mechanism on the Internet is HTTP.  To facilitate
+applications that use HTTP, we created a Snowflake version of the HTTP
+authorization protocol."
+
+- :mod:`repro.http.message` — HTTP/1.0 request/response objects with wire
+  encoding (the request hash is computed over the wire form, "less the
+  Authorization header");
+- :mod:`repro.http.server` — a small HTTP server that mounts servlets on
+  the simulated network;
+- :mod:`repro.http.auth` — Basic and Digest baselines plus the Snowflake
+  Authorization method and its :class:`ProtectedServlet` (Figure 5's
+  challenge format);
+- :mod:`repro.http.mac` — the MAC session optimization (Section 5.3.1);
+- :mod:`repro.http.docauth` — server document authentication (5.3.3);
+- :mod:`repro.http.proxy` — the client proxy with its Prover, delegation
+  snippets, and import flow (5.3.5).
+"""
+
+from repro.http.message import HttpRequest, HttpResponse
+from repro.http.server import HttpServer, Servlet
+from repro.http.auth import (
+    ProtectedServlet,
+    BasicAuthServlet,
+    DigestAuthServlet,
+    web_request_sexp,
+)
+from repro.http.mac import MacSessionManager
+from repro.http.docauth import attach_document_proof, verify_document
+from repro.http.proxy import SnowflakeProxy
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "Servlet",
+    "ProtectedServlet",
+    "BasicAuthServlet",
+    "DigestAuthServlet",
+    "web_request_sexp",
+    "MacSessionManager",
+    "attach_document_proof",
+    "verify_document",
+    "SnowflakeProxy",
+]

@@ -1,0 +1,170 @@
+"""HTTP/1.0 messages with a canonical wire form.
+
+The Snowflake Authorization method signs "a hash of the request, less the
+Authorization header" (Section 5.3), so requests need a deterministic
+byte encoding and a way to strip that header.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.crypto.hashes import HashValue
+
+_REASONS = {
+    200: "OK",
+    301: "Moved Permanently",
+    302: "Found",
+    400: "Bad Request",
+    401: "UNAUTHORIZED",
+    403: "Forbidden",
+    404: "Not Found",
+    500: "Internal Server Error",
+}
+
+
+class HttpMessageError(ValueError):
+    """Malformed HTTP wire data."""
+
+
+class _Headers:
+    """Case-insensitive, order-preserving header multimap."""
+
+    def __init__(self, items: Iterable[Tuple[str, str]] = ()):
+        self._items: List[Tuple[str, str]] = []
+        for name, value in items:
+            self.add(name, value)
+
+    def add(self, name: str, value: str) -> None:
+        self._items.append((name, str(value)))
+
+    def set(self, name: str, value: str) -> None:
+        self.remove(name)
+        self.add(name, value)
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        lowered = name.lower()
+        for item_name, value in self._items:
+            if item_name.lower() == lowered:
+                return value
+        return default
+
+    def get_all(self, name: str) -> List[str]:
+        lowered = name.lower()
+        return [v for n, v in self._items if n.lower() == lowered]
+
+    def remove(self, name: str) -> None:
+        lowered = name.lower()
+        self._items = [(n, v) for n, v in self._items if n.lower() != lowered]
+
+    def items(self) -> List[Tuple[str, str]]:
+        return list(self._items)
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+
+class HttpRequest:
+    """An HTTP request."""
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        headers: Iterable[Tuple[str, str]] = (),
+        body: bytes = b"",
+        version: str = "HTTP/1.0",
+    ):
+        self.method = method.upper()
+        self.path = path
+        self.headers = _Headers(headers)
+        self.body = body
+        self.version = version
+
+    def to_wire(self, exclude_headers: Iterable[str] = ()) -> bytes:
+        excluded = {name.lower() for name in exclude_headers}
+        lines = ["%s %s %s" % (self.method, self.path, self.version)]
+        for name, value in self.headers.items():
+            if name.lower() not in excluded:
+                lines.append("%s: %s" % (name, value))
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "HttpRequest":
+        head, _, body = data.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        if not lines or len(lines[0].split(" ", 2)) != 3:
+            raise HttpMessageError("bad request line")
+        method, path, version = lines[0].split(" ", 2)
+        headers = []
+        for line in lines[1:]:
+            if not line:
+                continue
+            if ":" not in line:
+                raise HttpMessageError("bad header line %r" % line)
+            name, _, value = line.partition(":")
+            headers.append((name.strip(), value.strip()))
+        return cls(method, path, headers, body, version)
+
+    def hash(self) -> HashValue:
+        """The request hash that serves as the proof subject: the wire form
+        minus the Authorization header (Section 5.3)."""
+        return HashValue.of_bytes(self.to_wire(exclude_headers=("Authorization",)))
+
+    def copy(self) -> "HttpRequest":
+        return HttpRequest(
+            self.method, self.path, self.headers.items(), self.body, self.version
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "HttpRequest(%s %s)" % (self.method, self.path)
+
+
+class HttpResponse:
+    """An HTTP response."""
+
+    def __init__(
+        self,
+        status: int,
+        headers: Iterable[Tuple[str, str]] = (),
+        body: bytes = b"",
+        reason: Optional[str] = None,
+        version: str = "HTTP/1.0",
+    ):
+        self.status = status
+        self.reason = reason or _REASONS.get(status, "Unknown")
+        self.headers = _Headers(headers)
+        self.body = body if isinstance(body, bytes) else body.encode("utf-8")
+        self.version = version
+
+    def to_wire(self) -> bytes:
+        lines = ["%s %d %s" % (self.version, self.status, self.reason)]
+        for name, value in self.headers.items():
+            lines.append("%s: %s" % (name, value))
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "HttpResponse":
+        head, _, body = data.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ", 2)
+        if len(parts) < 2:
+            raise HttpMessageError("bad status line")
+        version = parts[0]
+        status = int(parts[1])
+        reason = parts[2] if len(parts) > 2 else None
+        headers = []
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers.append((name.strip(), value.strip()))
+        return cls(status, headers, body, reason, version)
+
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "HttpResponse(%d %s)" % (self.status, self.reason)

@@ -1,0 +1,407 @@
+"""The client proxy: Snowflake authorization for any HTTP client.
+
+Section 5.3.5: "Like any proxy, it forwards each HTTP request from the
+browser to a server.  When a reply is '401 Unauthorized' and requires
+Snowflake authorization, the proxy uses its Prover to find a suitable
+proof, rewrites the request with an Authorization header, and retries."
+
+The proxy also implements the delegation UI as a programmatic API: a
+history of visited pages, ``make_delegation_snippet`` (the HTML snippet a
+user hands a friend — here an S-expression carrying the delegation *and*
+the supporting proof), and ``import_snippet`` on the recipient side.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import AuthorizationError
+from repro.core.principals import (
+    HashPrincipal,
+    KeyPrincipal,
+    MacPrincipal,
+    Principal,
+    principal_from_sexp,
+)
+from repro.core.proofs import Proof, proof_from_sexp
+from repro.core.statements import Validity
+from repro.crypto.rsa import RsaKeyPair
+from repro.http.mac import (
+    MAC_GRANT_HEADER,
+    MAC_REQUEST_HEADER,
+    PROOF_HEADER,
+    unseal_grant,
+)
+from repro.http.auth import MAC_SCHEME, SNOWFLAKE_SCHEME
+from repro.http.docauth import verify_document
+from repro.http.message import HttpRequest, HttpResponse
+from repro.net.network import Network
+from repro.prover import KeyClosure, Prover
+from repro.sexp import Atom, SExp, SList, from_transport, to_transport
+from repro.sim.costmodel import Meter, maybe_charge
+from repro.tags import Tag, TagList, TagStar
+from repro.tags.tag import TagAtom
+
+
+class VisitRecord:
+    """One authorized page view, for the delegation UI's history."""
+
+    __slots__ = ("address", "path", "issuer", "tag", "proof")
+
+    def __init__(self, address, path, issuer, tag, proof):
+        self.address = address
+        self.path = path
+        self.issuer = issuer
+        self.tag = tag
+        self.proof = proof
+
+
+class _MacSession:
+    __slots__ = ("mac_key", "principal", "proof_sent")
+
+    def __init__(self, mac_key):
+        self.mac_key = mac_key
+        self.principal = MacPrincipal(mac_key.fingerprint())
+        self.proof_sent = False
+
+
+class SnowflakeProxy:
+    """An authorizing HTTP client."""
+
+    def __init__(
+        self,
+        network: Network,
+        prover: Prover,
+        keypair: RsaKeyPair,
+        rng: Optional[random.Random] = None,
+        meter: Optional[Meter] = None,
+        use_mac: bool = False,
+        verify_documents: bool = False,
+        trust=None,
+    ):
+        self.network = network
+        self.prover = prover
+        self.keypair = keypair
+        self.principal = KeyPrincipal(keypair.public)
+        self._rng = rng or random.SystemRandom()
+        self.meter = meter
+        self.use_mac = use_mac
+        self.verify_documents = verify_documents
+        self.trust = trust  # context source for verifying document proofs
+        if not prover.controls(self.principal):
+            prover.control(KeyClosure(keypair, rng=rng, meter=meter))
+        self._issuers: Dict[str, Principal] = {}  # address -> service issuer
+        # address -> (issuer, broadened tag) learned from past challenges,
+        # enabling preemptive signing without a 401 round trip.
+        self._challenge_tags: Dict[str, Tuple[Principal, Tag]] = {}
+        self._mac_sessions: Dict[str, _MacSession] = {}
+        self.history: List[VisitRecord] = []
+        self.last_document_verified: Optional[bool] = None
+
+    # -- plain client API ---------------------------------------------------
+
+    def get(self, address: str, path: str, headers=()) -> HttpResponse:
+        return self.request(address, HttpRequest("GET", path, headers))
+
+    def request(self, address: str, request: HttpRequest) -> HttpResponse:
+        session = self._mac_sessions.get(address)
+        if session is not None:
+            self._attach_mac(address, request, session)
+        elif not self.use_mac:
+            self._preemptive_sign(address, request)
+        response = self._send(address, request)
+        if response.status == 401 and self._is_snowflake_challenge(response):
+            try:
+                response = self._retry_with_proof(address, request, response)
+            except AuthorizationError as exc:
+                # We hold no suitable authority: hand the challenge back to
+                # the browser, annotated with why the proxy could not help.
+                response.headers.set("Sf-Proxy-Note", str(exc))
+        self._check_document(address, response)
+        return response
+
+    def _preemptive_sign(self, address: str, request: HttpRequest) -> None:
+        """Sign up-front for a service whose challenge we have seen.
+
+        After the first 401 the proxy knows the service's issuer and tag
+        shape, so subsequent requests carry their proof immediately —
+        the steady state the paper's per-request measurements report.
+        """
+        known = self._challenge_tags.get(address)
+        if known is None or "Authorization" in request.headers:
+            return
+        issuer, session_tag = known
+        try:
+            subject = HashPrincipal(request.hash())
+            proof = self.prover.prove(subject, issuer, min_tag=session_tag)
+        except AuthorizationError:
+            return
+        if proof is None:
+            return
+        request.headers.set(
+            "Authorization",
+            "%s %s"
+            % (SNOWFLAKE_SCHEME, to_transport(proof.to_sexp()).decode("ascii")),
+        )
+
+    def _send(self, address: str, request: HttpRequest) -> HttpResponse:
+        transport = self.network.connect(address, meter=self.meter)
+        try:
+            return HttpResponse.from_wire(transport.request(request.to_wire()))
+        finally:
+            transport.close()
+
+    @staticmethod
+    def _is_snowflake_challenge(response: HttpResponse) -> bool:
+        scheme = response.headers.get("WWW-Authenticate", "")
+        return scheme.startswith(SNOWFLAKE_SCHEME)
+
+    # -- the authorization retry -------------------------------------------
+
+    def _retry_with_proof(
+        self, address: str, request: HttpRequest, challenge: HttpResponse
+    ) -> HttpResponse:
+        issuer, min_tag = self._parse_challenge(challenge)
+        self._issuers[address] = issuer
+        self._challenge_tags[address] = (issuer, _broaden_web_tag(min_tag))
+        retry = request.copy()
+        retry.headers.remove("Authorization")
+        required_subject = challenge.headers.get("Sf-RequiredSubject")
+        if required_subject is not None:
+            return self._answer_gateway(
+                address, request, retry, issuer, min_tag, required_subject
+            )
+        if self.use_mac:
+            session = self._ensure_mac_session(address, request, challenge)
+            proof = self._session_proof(session, issuer, min_tag)
+            if not session.proof_sent:
+                retry.headers.set(
+                    PROOF_HEADER, to_transport(proof.to_sexp()).decode("ascii")
+                )
+                session.proof_sent = True
+            self._attach_mac(address, retry, session)
+            record_proof = proof
+        else:
+            record_proof = self._sign_request(retry, issuer, min_tag)
+        response = self._send(address, retry)
+        if response.ok():
+            self.history.append(
+                VisitRecord(address, request.path, issuer, min_tag, record_proof)
+            )
+        return response
+
+    def _answer_gateway(
+        self,
+        address: str,
+        request: HttpRequest,
+        retry: HttpRequest,
+        issuer: Principal,
+        min_tag: Tag,
+        required_subject_header: str,
+    ) -> HttpResponse:
+        """Answer a gateway's ``G|?`` challenge (Section 6.3).
+
+        "The client knows to substitute its identity for the
+        pseudo-principal ?": we delegate our authority over the issuer to
+        *gateway quoting us*, and sign the original request to show
+        ``R => C``.
+        """
+        from repro.core.principals import substitute
+
+        required = substitute(
+            principal_from_sexp(from_transport(required_subject_header)),
+            self.principal,
+        )
+        delegation = self.prover.prove(required, issuer, min_tag=min_tag)
+        if delegation is None:
+            raise AuthorizationError(
+                "cannot delegate %s authority over %s"
+                % (required.display(), issuer.display())
+            )
+        retry.headers.set(
+            "Sf-Delegation", to_transport(delegation.to_sexp()).decode("ascii")
+        )
+        # Sign the request itself: the gateway verifies R => C.
+        subject = HashPrincipal(retry.hash())
+        signed = self.prover.prove(subject, self.principal, min_tag=Tag.all())
+        if signed is None:
+            raise AuthorizationError("cannot sign the request")
+        retry.headers.set(
+            "Authorization",
+            "%s %s"
+            % (SNOWFLAKE_SCHEME, to_transport(signed.to_sexp()).decode("ascii")),
+        )
+        response = self._send(address, retry)
+        if response.ok():
+            self.history.append(
+                VisitRecord(address, request.path, issuer, min_tag, delegation)
+            )
+        return response
+
+    @staticmethod
+    def _parse_challenge(response: HttpResponse) -> Tuple[Principal, Tag]:
+        issuer_header = response.headers.get("Sf-ServiceIssuer")
+        tag_header = response.headers.get("Sf-MinimumTag")
+        if issuer_header is None or tag_header is None:
+            raise AuthorizationError("challenge missing Snowflake parameters")
+        return (
+            principal_from_sexp(from_transport(issuer_header)),
+            Tag.from_sexp(from_transport(tag_header)),
+        )
+
+    def _sign_request(
+        self, request: HttpRequest, issuer: Principal, min_tag: Tag
+    ) -> Proof:
+        """Per-request signature: prove H(request) speaks for the issuer.
+
+        The Prover walks back from the issuer to our key and mints the
+        final delegation to the request hash (one public-key signature per
+        request — the slow path the MAC protocol amortizes away).
+        """
+        subject = HashPrincipal(request.hash())
+        proof = self.prover.prove(subject, issuer, min_tag=min_tag)
+        if proof is None:
+            raise AuthorizationError(
+                "cannot prove authority over %s" % issuer.display()
+            )
+        request.headers.set(
+            "Authorization",
+            "%s %s" % (SNOWFLAKE_SCHEME, to_transport(proof.to_sexp()).decode("ascii")),
+        )
+        return proof
+
+    # -- MAC sessions ---------------------------------------------------------
+
+    def _ensure_mac_session(
+        self, address: str, request: HttpRequest, challenge: HttpResponse
+    ) -> _MacSession:
+        session = self._mac_sessions.get(address)
+        if session is not None:
+            return session
+        grant = challenge.headers.get(MAC_GRANT_HEADER)
+        if grant is None:
+            # Ask for a grant: re-send the request with our public key.
+            asking = request.copy()
+            asking.headers.set(
+                MAC_REQUEST_HEADER,
+                to_transport(self.keypair.public.to_sexp()).decode("ascii"),
+            )
+            maybe_charge(self.meter, "pk_verify")  # server seals to our key
+            challenge = self._send(address, asking)
+            grant = challenge.headers.get(MAC_GRANT_HEADER)
+            if grant is None:
+                raise AuthorizationError("server did not grant a MAC session")
+        maybe_charge(self.meter, "pk_sign")  # unseal with our private key
+        mac_key = unseal_grant(grant, self.keypair.private)
+        session = _MacSession(mac_key)
+        self._mac_sessions[address] = session
+        return session
+
+    def _session_proof(
+        self, session: _MacSession, issuer: Principal, min_tag: Tag
+    ) -> Proof:
+        session_tag = _broaden_web_tag(min_tag)
+        proof = self.prover.prove(
+            session.principal, issuer, min_tag=session_tag
+        )
+        if proof is None:
+            raise AuthorizationError(
+                "cannot prove MAC session authority over %s" % issuer.display()
+            )
+        return proof
+
+    def _attach_mac(
+        self, address: str, request: HttpRequest, session: _MacSession
+    ) -> None:
+        # The single mac_compute charge for the round trip is issued by the
+        # server-side verifier (shared single-machine meter, as in §7.1).
+        message = request.to_wire(exclude_headers=("Authorization", PROOF_HEADER))
+        tag = session.mac_key.tag(message)
+        request.headers.set(
+            "Authorization",
+            "%s %s %s"
+            % (MAC_SCHEME, session.mac_key.fingerprint().digest.hex(), tag.hex()),
+        )
+
+    # -- document authentication ---------------------------------------------
+
+    def _check_document(self, address: str, response: HttpResponse) -> None:
+        self.last_document_verified = None
+        if not self.verify_documents or self.trust is None:
+            return
+        issuer = self._issuers.get(address)
+        if issuer is None or not response.ok():
+            return
+        self.last_document_verified = verify_document(
+            response, issuer, self.trust.context(), meter=self.meter
+        )
+
+    # -- the delegation UI -----------------------------------------------------
+
+    def make_delegation_snippet(
+        self,
+        recipient: Principal,
+        visit: Optional[VisitRecord] = None,
+        tag: Optional[Tag] = None,
+        validity: Validity = Validity.ALWAYS,
+    ) -> SExp:
+        """Build the shareable snippet for a visited page.
+
+        "A link inside the snippet names the destination page and carries
+        both the delegation from the user as well as the proof the user
+        needed to access the page."
+        """
+        if visit is None:
+            if not self.history:
+                raise AuthorizationError("no visited pages to delegate")
+            visit = self.history[-1]
+        closure = self.prover.closure_for(self.principal)
+        delegation = closure.delegate(
+            recipient, tag if tag is not None else visit.tag, validity
+        )
+        supporting = self.prover.prove(
+            self.principal, visit.issuer, min_tag=visit.tag
+        )
+        items = [
+            Atom("sf-snippet"),
+            SList([Atom("url"), Atom(visit.address), Atom(visit.path)]),
+            SList([Atom("delegation"), delegation.to_sexp()]),
+        ]
+        if supporting is not None:
+            items.append(SList([Atom("supporting"), supporting.to_sexp()]))
+        return SList(items)
+
+    def import_snippet(self, snippet: SExp) -> Tuple[str, str]:
+        """Recipient side: digest the authorization and return the URL."""
+        if not isinstance(snippet, SList) or snippet.head() != "sf-snippet":
+            raise AuthorizationError("not a delegation snippet")
+        url_field = snippet.find("url")
+        delegation_field = snippet.find("delegation")
+        if url_field is None or delegation_field is None:
+            raise AuthorizationError("snippet missing url or delegation")
+        self.prover.add_proof(proof_from_sexp(delegation_field.items[1]))
+        supporting_field = snippet.find("supporting")
+        if supporting_field is not None:
+            self.prover.add_proof(proof_from_sexp(supporting_field.items[1]))
+        return url_field.items[1].text(), url_field.items[2].text()
+
+
+def _broaden_web_tag(min_tag: Tag) -> Tag:
+    """Widen a per-request challenge tag into a session tag.
+
+    ``(tag (web (method GET) (service S) (resourcePath "/x")))`` becomes
+    ``(tag (web (*) (service S)))`` — any method and path on the same
+    service.  The client chooses how much of its own authority to put
+    behind the MAC; scoping to the challenged service is the least
+    privilege that still amortizes across requests.
+    """
+    expr = min_tag.expr
+    if (
+        isinstance(expr, TagList)
+        and len(expr.elements) >= 3
+        and isinstance(expr.elements[0], TagAtom)
+        and expr.elements[0].value == b"web"
+    ):
+        return Tag(TagList([expr.elements[0], TagStar(), expr.elements[2]]))
+    return min_tag

@@ -1,0 +1,71 @@
+"""A small servlet-hosting HTTP server on the simulated network.
+
+Plays the role of the paper's Jetty: routes requests to servlets by
+longest path prefix, charges the Java/Jetty-class dispatch cost, and turns
+servlet exceptions into 500s rather than unwinding the transport.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.http.message import HttpRequest, HttpResponse
+from repro.net.network import Connection, ServerFactory
+from repro.sim.costmodel import Meter, maybe_charge
+
+
+class Servlet:
+    """Anything that maps a request to a response."""
+
+    def service(self, request: HttpRequest) -> HttpResponse:
+        raise NotImplementedError
+
+
+class HttpServer(ServerFactory):
+    """Routes to the servlet with the longest matching path prefix."""
+
+    def __init__(self, meter: Optional[Meter] = None, stack: str = "java"):
+        # ``stack`` selects the baseline dispatch cost: "c" for the
+        # Apache-like optimized server, "java" for the Jetty-like one.
+        self._routes: List[Tuple[str, Servlet]] = []
+        self.meter = meter
+        if stack not in ("c", "java"):
+            raise ValueError("stack must be 'c' or 'java'")
+        self.stack = stack
+
+    def mount(self, prefix: str, servlet: Servlet) -> None:
+        self._routes.append((prefix, servlet))
+        self._routes.sort(key=lambda route: len(route[0]), reverse=True)
+
+    def resolve(self, path: str) -> Optional[Servlet]:
+        for prefix, servlet in self._routes:
+            if path.startswith(prefix):
+                return servlet
+        return None
+
+    def service(self, request: HttpRequest) -> HttpResponse:
+        maybe_charge(self.meter, "http_c")
+        if self.stack == "java":
+            maybe_charge(self.meter, "http_java_extra")
+        servlet = self.resolve(request.path)
+        if servlet is None:
+            return HttpResponse(404, body=b"not found")
+        try:
+            return servlet.service(request)
+        except Exception as exc:
+            return HttpResponse(
+                500, body=("%s: %s" % (type(exc).__name__, exc)).encode("utf-8")
+            )
+
+    def open_connection(self, peer_address: str) -> "_HttpConnection":
+        return _HttpConnection(self)
+
+
+class _HttpConnection(Connection):
+    def __init__(self, server: HttpServer):
+        self.server = server
+
+    def handle(self, data: bytes) -> bytes:
+        request = HttpRequest.from_wire(data)
+        response = self.server.service(request)
+        return response.to_wire()

@@ -1,0 +1,19 @@
+"""SDSI-style naming: resolution that collects authorization as it goes.
+
+Section 4.4: "In the common case, we expect applications to collect
+authorization information in the course of resolving names, so that
+proofs are built incrementally with graph traversals of constant depth."
+Snowflake is "part of a project ... that facilitates naming and sharing
+across administrative boundaries."
+
+This package supplies that naming layer: name certificates (issued via
+:class:`repro.spki.Certificate` with ``issuer_name``) bind ``K·label`` to
+principals; the :class:`NameResolver` walks dotted paths, and every
+resolution step deposits its proof into the application's Prover — the
+incremental-collection pattern the paper relies on for prover
+performance.
+"""
+
+from repro.names.resolver import NameResolver, NameResolutionError, Binding
+
+__all__ = ["NameResolver", "NameResolutionError", "Binding"]

@@ -1,0 +1,38 @@
+"""Channels: how authorization-bearing requests travel between programs.
+
+Section 5: "When a client makes a request of a server, the server needs
+some mechanism to ensure that the client really uttered the request.  We
+implemented three such mechanisms: a secure network channel, a local
+channel vouched for by a trusted authority in the same (virtual) machine,
+and a signed request."
+
+This package provides the first two (the third lives in
+:mod:`repro.http`):
+
+- :mod:`repro.net.network` — the in-process network: addresses, listeners,
+  synchronous request transports, optional metering;
+- :mod:`repro.net.trust` — each server's bag of premises vouched for by
+  its transports (what the paper calls assumptions made "outside the
+  logic");
+- :mod:`repro.net.secure` — the ssh-like channel: public-key key exchange
+  establishing a symmetric session key, with the channel reified as a
+  principal that speaks for the client's key;
+- :mod:`repro.net.local` — the trusted-host channel: no cryptography, the
+  host vouches for both endpoints (Section 5.2).
+"""
+
+from repro.net.network import Network, Transport, ServerFactory
+from repro.net.trust import TrustEnvironment
+from repro.net.secure import SecureChannelServer, SecureChannelClient
+from repro.net.local import TrustedHost, LocalChannelClient
+
+__all__ = [
+    "Network",
+    "Transport",
+    "ServerFactory",
+    "TrustEnvironment",
+    "SecureChannelServer",
+    "SecureChannelClient",
+    "TrustedHost",
+    "LocalChannelClient",
+]

@@ -1,0 +1,110 @@
+"""Local channels: the trusted host vouches, no cryptography.
+
+Section 5.2: "If a server trusts its host machine enough to run its
+software, it may as well trust the host to identify parties connected to
+local IPC channels. ... when a client is colocated in the same JVM with
+the server, there is no encryption or system-call overhead associated with
+the channel, only RMI serialization costs."
+
+:class:`TrustedHost` plays the JVM-plus-system-classes role: it registers
+local parties and their principals, builds pipe channels between them, and
+vouches ``KCH => client-principal`` into the server's trust environment
+directly — because the host constructed the endpoints, it *knows* who
+holds each one.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.core.principals import ChannelPrincipal, Principal, principal_from_sexp
+from repro.core.statements import Says, SpeaksFor
+from repro.net.secure import SecureChannelService
+from repro.sexp import Atom, SExp, SList, parse_canonical, to_canonical
+from repro.sim.costmodel import Meter, maybe_charge
+from repro.tags import Tag
+
+
+class TrustedHost:
+    """The trusted authority within one (virtual) machine."""
+
+    def __init__(self, rng: Optional[random.Random] = None):
+        self._rng = rng or random.SystemRandom()
+        self._services: Dict[str, tuple] = {}
+
+    def register_service(
+        self, name: str, service: SecureChannelService, trust
+    ) -> None:
+        """Host a local service: any same-host party may connect to it."""
+        if name in self._services:
+            raise ValueError("service %r already registered" % name)
+        self._services[name] = (service, trust)
+
+    def connect(
+        self,
+        client_principal: Principal,
+        service_name: str,
+        meter: Optional[Meter] = None,
+    ) -> "LocalChannelClient":
+        """Open a local channel; the host vouches for the client's identity.
+
+        The host "was involved in constructing the key pairs," so it simply
+        asserts that this channel speaks for the client principal — no
+        public-key operation is performed.
+        """
+        if service_name not in self._services:
+            raise ConnectionRefusedError("no local service %r" % service_name)
+        service, trust = self._services[service_name]
+        channel_id = bytes(self._rng.getrandbits(8) for _ in range(16))
+        channel_principal = ChannelPrincipal.of_secret(channel_id)
+        premise = SpeaksFor(channel_principal, client_principal, Tag.all())
+        trust.vouch(premise)
+        return LocalChannelClient(
+            service, trust, channel_principal, client_principal, premise, meter
+        )
+
+
+class LocalChannelClient:
+    """Client endpoint of an in-process pipe.
+
+    Requests still round-trip through canonical S-expression serialization
+    (the paper's "only RMI serialization costs") so the wire behaviour is
+    identical to the secure channel minus the crypto.
+    """
+
+    def __init__(
+        self, service, trust, channel_principal, client_principal, premise, meter
+    ):
+        self._service = service
+        self._trust = trust
+        self.channel_principal = channel_principal
+        # The host vouched that this channel speaks for the client.
+        self.bound_principal = client_principal
+        self._premise = premise
+        self.meter = meter
+        self._closed = False
+
+    def request(self, payload: SExp, quoting: Optional[Principal] = None) -> SExp:
+        if self._closed:
+            raise ConnectionError("local channel is closed")
+        maybe_charge(self.meter, "local_ipc")
+        wire = to_canonical(payload)  # serialization is the only copy cost
+        maybe_charge(self.meter, "serialize_per_kb", times=len(wire) / 1024.0)
+        request = parse_canonical(wire)
+        speaker: Principal = self.channel_principal
+        if quoting is not None:
+            speaker = speaker.quoting(quoting)
+        self._trust.vouch(Says(speaker, request))
+        response = self._service.handle_request(request, speaker, self)
+        return parse_canonical(to_canonical(response))
+
+    def speaker(self, quoting: Optional[Principal] = None) -> Principal:
+        if quoting is None:
+            return self.channel_principal
+        return self.channel_principal.quoting(quoting)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._trust.retract(self._premise)

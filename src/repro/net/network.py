@@ -1,0 +1,112 @@
+"""The simulated network: addresses, listeners, synchronous transports.
+
+The paper's measurements are single-machine ("computation time, the
+dominant source of overhead, cannot hide under network latency"), so the
+substrate is a synchronous in-process message exchange: a client
+``Transport.request(bytes)`` delivers the payload to the server side's
+connection object and returns its reply.  Per-connection server state
+(handshakes, session keys, proof caches) lives in the connection object a
+:class:`ServerFactory` creates for each accepted connect.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.sim.costmodel import Meter, maybe_charge
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer closed this connection."""
+
+
+class Connection:
+    """Server-side endpoint: stateful handler for one client connection."""
+
+    def handle(self, data: bytes) -> bytes:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        return None
+
+
+class ServerFactory:
+    """Accepts connections by building a :class:`Connection` per client."""
+
+    def open_connection(self, peer_address: str) -> Connection:
+        raise NotImplementedError
+
+
+class _CallableFactory(ServerFactory):
+    def __init__(self, factory: Callable[[str], Connection]):
+        self._factory = factory
+
+    def open_connection(self, peer_address: str) -> Connection:
+        return self._factory(peer_address)
+
+
+class Transport:
+    """Client-side endpoint of an established connection."""
+
+    def __init__(
+        self,
+        connection: Connection,
+        meter: Optional[Meter] = None,
+        latency_charge: Optional[str] = None,
+    ):
+        self._connection = connection
+        self.meter = meter
+        self._latency_charge = latency_charge
+        self._closed = False
+
+    def request(self, data: bytes) -> bytes:
+        if self._closed:
+            raise ConnectionClosed("transport is closed")
+        if self._latency_charge is not None:
+            maybe_charge(self.meter, self._latency_charge)
+        return self._connection.handle(data)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._connection.close()
+
+
+class Network:
+    """A registry of listeners, playing the role of the IP network."""
+
+    def __init__(self):
+        self._listeners: Dict[str, ServerFactory] = {}
+        self._connects = 0
+
+    def listen(self, address: str, server) -> None:
+        """Bind a server factory (or a plain ``Connection`` factory callable)
+        to an address."""
+        if address in self._listeners:
+            raise ValueError("address %r already bound" % address)
+        if not isinstance(server, ServerFactory):
+            if not callable(server):
+                raise TypeError("server must be a ServerFactory or callable")
+            server = _CallableFactory(server)
+        self._listeners[address] = server
+
+    def unlisten(self, address: str) -> None:
+        self._listeners.pop(address, None)
+
+    def connect(
+        self,
+        address: str,
+        meter: Optional[Meter] = None,
+        client_address: Optional[str] = None,
+    ) -> Transport:
+        factory = self._listeners.get(address)
+        if factory is None:
+            raise ConnectionRefusedError("nothing listening on %r" % address)
+        self._connects += 1
+        peer = client_address or ("client-%d" % self._connects)
+        connection = factory.open_connection(peer)
+        return Transport(connection, meter=meter)
+
+    @property
+    def connects(self) -> int:
+        return self._connects

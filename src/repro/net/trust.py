@@ -1,0 +1,47 @@
+"""A server's trusted premises: assumptions made outside the logic.
+
+"Logical assumptions represent statements that a principal believes based
+on some verification (outside the logic)" (Section 3).  Concretely: when
+the ssh layer completes a key exchange, it is entitled to assume the
+channel speaks for the client's key; when the trusted host wires up a
+local pipe, it vouches for the endpoints' identities.  Those assumptions
+are collected here, per server, and baked into every
+:class:`VerificationContext` the server uses to check proofs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.core.proofs import VerificationContext
+from repro.core.statements import Statement
+from repro.sim.clock import SimClock
+
+
+class TrustEnvironment:
+    """The set of statements this process's transports vouch for."""
+
+    def __init__(self, clock: Optional[SimClock] = None, revocation=None):
+        self.clock = clock or SimClock()
+        self.revocation = revocation
+        self._premises: Set[Statement] = set()
+
+    def vouch(self, statement: Statement) -> None:
+        self._premises.add(statement)
+
+    def retract(self, statement: Statement) -> None:
+        """Withdraw a premise (e.g. when a channel closes)."""
+        self._premises.discard(statement)
+
+    def vouches_for(self, statement: Statement) -> bool:
+        return statement in self._premises
+
+    def context(self, now: Optional[float] = None) -> VerificationContext:
+        return VerificationContext(
+            now=self.clock.now() if now is None else now,
+            trusted_premises=set(self._premises),
+            revocation=self.revocation,
+        )
+
+    def __len__(self) -> int:
+        return len(self._premises)

@@ -1,0 +1,29 @@
+"""The Prover: collects delegations, caches proofs, constructs new ones.
+
+Section 4.4: "A Prover object helps Snowflake applications collect and
+create proofs.  It has three tasks: it collects delegations, caches proofs,
+and constructs new delegations."
+
+- The *delegation graph* (:mod:`repro.prover.graph`) stores principals as
+  nodes and proofs as edges; received multi-step proofs are "digested" into
+  component edges, and derived proofs are added back as *shortcut* edges
+  that cache deep traversals.
+- The *search* (:mod:`repro.prover.prover`) walks the graph breadth-first,
+  backwards from the required issuer, composing transitivity steps.
+- *Closures* (:mod:`repro.prover.closures`) represent principals the
+  application controls (a held private key, a capability): the Prover uses
+  them to complete proofs by minting the final restricted delegation.
+"""
+
+from repro.prover.graph import DelegationGraph, Edge
+from repro.prover.prover import Prover
+from repro.prover.closures import Closure, KeyClosure, PremiseClosure
+
+__all__ = [
+    "DelegationGraph",
+    "Edge",
+    "Prover",
+    "Closure",
+    "KeyClosure",
+    "PremiseClosure",
+]

@@ -1,0 +1,101 @@
+"""Closures: controlled principals that can mint fresh delegations.
+
+Section 4.4: "When an application controls one or more principals (e.g.,
+by holding the corresponding private key or capability), its Prover can
+store a closure (an object that knows the private key or how to exercise
+the capability) in its graph to represent the controlled principal."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.core.principals import KeyPrincipal, Principal
+from repro.core.proofs import PremiseStep, Proof, SignedCertificateStep
+from repro.core.statements import SpeaksFor, Validity
+from repro.crypto.rsa import RsaKeyPair
+from repro.spki.certificate import Certificate
+from repro.tags import Tag
+
+
+class Closure:
+    """A principal this application can cause to say things (it is *final*
+    in Figure 2's sense)."""
+
+    @property
+    def principal(self) -> Principal:
+        raise NotImplementedError
+
+    def delegate(
+        self,
+        subject: Principal,
+        tag: Tag,
+        validity: Validity = Validity.ALWAYS,
+    ) -> Proof:
+        """Produce a proof that ``subject =tag=> self.principal``."""
+        raise NotImplementedError
+
+
+class KeyClosure(Closure):
+    """Holds a private key; delegates by signing SPKI certificates."""
+
+    def __init__(
+        self,
+        keypair: RsaKeyPair,
+        rng: Optional[random.Random] = None,
+        meter=None,
+    ):
+        self.keypair = keypair
+        self._principal = KeyPrincipal(keypair.public)
+        self._rng = rng
+        self.meter = meter
+
+    @property
+    def principal(self) -> Principal:
+        return self._principal
+
+    def delegate(
+        self,
+        subject: Principal,
+        tag: Tag,
+        validity: Validity = Validity.ALWAYS,
+    ) -> Proof:
+        if self.meter is not None:
+            self.meter.charge("pk_sign")  # the delegation's signature
+        certificate = Certificate.issue(
+            self.keypair, subject, tag, validity, rng=self._rng
+        )
+        return SignedCertificateStep(certificate)
+
+
+class PremiseClosure(Closure):
+    """A principal vouched for by a trusted local environment.
+
+    Used for channels and trusted-host identities: ``delegate`` produces a
+    :class:`PremiseStep` and notifies ``vouch`` so the relevant verifier's
+    context will trust the statement.  This is how the local-channel path
+    (Section 5.2) avoids any public-key operation.
+    """
+
+    def __init__(
+        self,
+        principal: Principal,
+        vouch: Callable[[SpeaksFor], None],
+    ):
+        self._principal = principal
+        self._vouch = vouch
+
+    @property
+    def principal(self) -> Principal:
+        return self._principal
+
+    def delegate(
+        self,
+        subject: Principal,
+        tag: Tag,
+        validity: Validity = Validity.ALWAYS,
+    ) -> Proof:
+        statement = SpeaksFor(subject, self._principal, tag, validity)
+        self._vouch(statement)
+        return PremiseStep(statement)

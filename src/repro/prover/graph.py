@@ -1,0 +1,95 @@
+"""The delegation graph: principals as nodes, proofs as edges.
+
+Figure 2 of the paper: "Each node represents a principal, and each edge a
+proof."  An edge from subject ``A`` to issuer ``B`` holds a proof that
+``A =T=> B``.  Shortcut edges (the dotted lines of Figure 2) carry derived
+multi-step proofs and "form a cache that eliminates most deep traversals."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.core.principals import Principal
+from repro.core.proofs import Proof
+from repro.core.statements import SpeaksFor
+
+
+class Edge:
+    """One delegation edge: a proof of ``subject =tag=> issuer``."""
+
+    __slots__ = ("proof", "shortcut")
+
+    def __init__(self, proof: Proof, shortcut: bool = False):
+        if not isinstance(proof.conclusion, SpeaksFor):
+            raise ValueError("graph edges must prove speaks-for statements")
+        self.proof = proof
+        self.shortcut = shortcut
+
+    @property
+    def statement(self) -> SpeaksFor:
+        return self.proof.conclusion  # type: ignore[return-value]
+
+    @property
+    def subject(self) -> Principal:
+        return self.statement.subject
+
+    @property
+    def issuer(self) -> Principal:
+        return self.statement.issuer
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        marker = "~" if self.shortcut else "-"
+        return "Edge[%s %s> %s]" % (
+            self.subject.display(),
+            marker,
+            self.issuer.display(),
+        )
+
+
+class DelegationGraph:
+    """Adjacency indexed by issuer, for the Prover's backward traversal."""
+
+    def __init__(self):
+        # issuer -> edges whose proofs conclude "<someone> speaks for issuer"
+        self._incoming: Dict[Principal, List[Edge]] = {}
+        self._edge_keys: Set[bytes] = set()
+
+    def add(self, proof: Proof, shortcut: bool = False) -> bool:
+        """Insert an edge; returns False if an identical proof is present."""
+        key = proof.to_sexp().to_canonical()
+        if key in self._edge_keys:
+            return False
+        self._edge_keys.add(key)
+        edge = Edge(proof, shortcut)
+        self._incoming.setdefault(edge.issuer, []).append(edge)
+        return True
+
+    def incoming(self, issuer: Principal) -> List[Edge]:
+        """Edges proving that someone speaks for ``issuer``."""
+        return list(self._incoming.get(issuer, ()))
+
+    def principals(self) -> Iterator[Principal]:
+        seen: Set[Principal] = set()
+        for issuer, edges in self._incoming.items():
+            if issuer not in seen:
+                seen.add(issuer)
+                yield issuer
+            for edge in edges:
+                if edge.subject not in seen:
+                    seen.add(edge.subject)
+                    yield edge.subject
+
+    def edges(self) -> Iterator[Edge]:
+        for edge_list in self._incoming.values():
+            yield from edge_list
+
+    def edge_count(self, include_shortcuts: bool = True) -> int:
+        return sum(
+            1
+            for edge in self.edges()
+            if include_shortcuts or not edge.shortcut
+        )
+
+    def __len__(self) -> int:
+        return len(set(self.principals()))

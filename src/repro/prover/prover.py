@@ -1,0 +1,328 @@
+"""Proof search over the delegation graph.
+
+"The Prover traverses the graph breadth first to find proofs of delegation
+required by the application.  For example, if the Prover must prove that a
+channel KCH speaks for a server S, it works backwards from the node S ...
+A is final, meaning that the Prover can make statements as A; therefore,
+Prover simply issues a delegation KCH => A to complete the proof."
+
+The search is deliberately *incomplete* — the paper cites Abadi et al.'s
+result that general access control with conjunction and quoting is
+exponential — but, as in the paper, applications collect delegations in the
+course of naming, so chains are short and the shortcut cache keeps repeat
+queries constant-time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Optional
+
+from repro.core.principals import Principal, QuotingPrincipal
+from repro.core.proofs import Proof
+from repro.core.rules import TransitivityStep
+from repro.core.statements import SpeaksFor, Validity
+from repro.prover.closures import Closure
+from repro.prover.graph import DelegationGraph
+from repro.sexp import SExp, sexp
+from repro.spki.certificate import Certificate
+from repro.tags import Tag
+
+
+class Prover:
+    """Collects delegations, caches proofs, and constructs new delegations."""
+
+    def __init__(self, max_depth: int = 16, max_visits: int = 4):
+        self.graph = DelegationGraph()
+        self._closures: Dict[Principal, Closure] = {}
+        self.max_depth = max_depth
+        self.max_visits = max_visits
+        # Search statistics, reported by the prover-scaling benchmark.
+        self.stats = {"searches": 0, "nodes_expanded": 0, "shortcut_hits": 0}
+
+    # -- collection -------------------------------------------------------
+
+    def add_proof(self, proof: Proof, digest: bool = True) -> None:
+        """Store a proof; digest multi-step proofs into component edges.
+
+        "When the Prover receives a delegation that is actually a proof
+        involving several steps, the Prover 'digests' the proof into its
+        component parts for storage in the graph.  Whenever it receives or
+        computes a derived proof composed of smaller components, the Prover
+        adds a shortcut edge to the graph to represent the proof."
+        """
+        if not isinstance(proof.conclusion, SpeaksFor):
+            raise ValueError("the graph stores speaks-for proofs")
+        if digest:
+            for lemma in proof.speaks_for_lemmas():
+                self.graph.add(lemma, shortcut=bool(lemma.premises))
+        else:
+            self.graph.add(proof, shortcut=bool(proof.premises))
+
+    def add_certificate(self, certificate: Certificate) -> None:
+        from repro.core.proofs import SignedCertificateStep
+
+        self.add_proof(SignedCertificateStep(certificate))
+
+    def control(self, closure: Closure) -> None:
+        """Register a principal this application can speak as (it is final)."""
+        self._closures[closure.principal] = closure
+
+    def controls(self, principal: Principal) -> bool:
+        return principal in self._closures
+
+    def closure_for(self, principal: Principal) -> Optional[Closure]:
+        return self._closures.get(principal)
+
+    # -- search -----------------------------------------------------------
+
+    def find_proof(
+        self,
+        subject: Principal,
+        issuer: Principal,
+        request: Optional[SExp] = None,
+        min_tag: Optional[Tag] = None,
+        now: Optional[float] = None,
+    ) -> Optional[Proof]:
+        """Find an existing proof that ``subject`` speaks for ``issuer``.
+
+        Coverage is specified either by a concrete ``request`` (the found
+        conclusion's tag must match it) or a ``min_tag`` (the challenge's
+        minimum restriction set, which must provably lie inside the found
+        tag), or both.
+        """
+        return self._search(
+            subject, issuer, request, min_tag, now, use_closures=False
+        )
+
+    def prove(
+        self,
+        subject: Principal,
+        issuer: Principal,
+        request: Optional[SExp] = None,
+        min_tag: Optional[Tag] = None,
+        now: Optional[float] = None,
+        delegation_validity: Validity = Validity.ALWAYS,
+    ) -> Optional[Proof]:
+        """Find a proof, completing it with a fresh delegation if needed.
+
+        If the backward walk reaches a *final* principal (one we hold a
+        closure for) before reaching ``subject``, the closure delegates the
+        needed restricted authority to ``subject`` and the chain is
+        completed, exactly as in Figure 2's narration.
+        """
+        found = self._search(
+            subject,
+            issuer,
+            request,
+            min_tag,
+            now,
+            use_closures=True,
+            delegation_validity=delegation_validity,
+        )
+        if found is None and isinstance(subject, QuotingPrincipal):
+            found = self._prove_quoting(
+                subject, issuer, request, min_tag, now, delegation_validity
+            )
+        return found
+
+    def _prove_quoting(
+        self,
+        subject: "QuotingPrincipal",
+        issuer: Principal,
+        request,
+        min_tag: Optional[Tag],
+        now: Optional[float],
+        delegation_validity: Validity,
+    ) -> Optional[Proof]:
+        """Quoting fallback: to prove ``A|Q => issuer``, find some known
+        ``X|Q => issuer`` and lift a proof of ``A => X`` through quoting
+        monotonicity.  This covers the gateway pattern (the delegation is
+        to ``G|C``; the request arrives as ``KCH|C``) without a general —
+        and exponential — compound-principal search.
+        """
+        from repro.core.rules import QuotingLeftMonotonicityStep
+
+        for principal in list(self.graph.principals()):
+            if (
+                not isinstance(principal, QuotingPrincipal)
+                or principal.quotee != subject.quotee
+                or principal == subject
+            ):
+                continue
+            tail = self._search(
+                principal, issuer, request, min_tag, now, use_closures=True,
+                delegation_validity=delegation_validity,
+            )
+            if tail is None:
+                continue
+            quoter_proof = self._search(
+                subject.quoter, principal.quoter, None, None, now,
+                use_closures=True, delegation_validity=delegation_validity,
+            )
+            if quoter_proof is None:
+                continue
+            lifted = QuotingLeftMonotonicityStep(quoter_proof, subject.quotee)
+            combined = TransitivityStep(lifted, tail)
+            if self._covers(combined.conclusion,
+                            sexp(request) if request is not None else None,
+                            min_tag, now):
+                self._cache(combined)
+                return combined
+        return None
+
+    def _search(
+        self,
+        subject: Principal,
+        issuer: Principal,
+        request: Optional[SExp],
+        min_tag: Optional[Tag],
+        now: Optional[float],
+        use_closures: bool,
+        delegation_validity: Validity = Validity.ALWAYS,
+    ) -> Optional[Proof]:
+        if request is not None:
+            request = sexp(request)
+        self.stats["searches"] += 1
+        needed_tag = self._needed_tag(request, min_tag)
+
+        # Trivial case: we control the issuer itself.
+        if use_closures and subject != issuer:
+            closure = self._closures.get(issuer)
+            if closure is not None:
+                minted = closure.delegate(subject, needed_tag, delegation_validity)
+                self.add_proof(minted)
+                if self._covers(minted.conclusion, request, min_tag, now):
+                    return minted
+
+        # Backward BFS from the issuer. Each queue entry carries a proof
+        # that `principal` speaks for `issuer` (None = identity at start).
+        queue = deque([(issuer, None, 0)])
+        visits: Dict[Principal, int] = {issuer: 1}
+        while queue:
+            principal, proof_to_issuer, depth = queue.popleft()
+            self.stats["nodes_expanded"] += 1
+
+            if proof_to_issuer is not None:
+                if principal == subject and self._covers(
+                    proof_to_issuer.conclusion, request, min_tag, now
+                ):
+                    self._cache(proof_to_issuer)
+                    return proof_to_issuer
+                if use_closures and principal in self._closures:
+                    completed = self._complete(
+                        subject,
+                        principal,
+                        proof_to_issuer,
+                        needed_tag,
+                        delegation_validity,
+                    )
+                    if completed is not None and self._covers(
+                        completed.conclusion, request, min_tag, now
+                    ):
+                        self._cache(completed)
+                        return completed
+
+            if depth >= self.max_depth:
+                continue
+            # Shortcut (cached) edges first — newest first, since the most
+            # recently derived proof is the likeliest prefix of the next
+            # query ("shortcuts ... eliminate most deep traversals", §4.4).
+            incoming = self.graph.incoming(principal)
+            edges = [e for e in reversed(incoming) if e.shortcut] + [
+                e for e in incoming if not e.shortcut
+            ]
+            for edge in edges:
+                if not self._edge_usable(edge, request, min_tag, now):
+                    continue
+                count = visits.get(edge.subject, 0)
+                if count >= self.max_visits:
+                    continue
+                visits[edge.subject] = count + 1
+                if edge.shortcut:
+                    self.stats["shortcut_hits"] += 1
+                if proof_to_issuer is None:
+                    combined = edge.proof
+                else:
+                    combined = TransitivityStep(edge.proof, proof_to_issuer)
+                # Goal test at generation: returning here keeps repeat and
+                # incremental queries constant-depth.
+                if edge.subject == subject and self._covers(
+                    combined.conclusion, request, min_tag, now
+                ):
+                    self._cache(combined)
+                    return combined
+                queue.append((edge.subject, combined, depth + 1))
+        return None
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _needed_tag(request: Optional[SExp], min_tag: Optional[Tag]) -> Tag:
+        if min_tag is not None:
+            return min_tag
+        if request is not None:
+            # "The minimum restriction set T = {m} contains the singleton
+            # request made by the invoker."
+            return Tag.exactly(request)
+        return Tag.all()
+
+    @staticmethod
+    def _covers(
+        conclusion: SpeaksFor,
+        request: Optional[SExp],
+        min_tag: Optional[Tag],
+        now: Optional[float],
+    ) -> bool:
+        if now is not None and not conclusion.validity.contains(now):
+            return False
+        if request is not None and not conclusion.tag.matches(request):
+            return False
+        if min_tag is not None and not min_tag.implies(conclusion.tag):
+            return False
+        return True
+
+    @staticmethod
+    def _edge_usable(
+        edge,
+        request: Optional[SExp],
+        min_tag: Optional[Tag],
+        now: Optional[float],
+    ) -> bool:
+        # A chain's tag is the intersection of its edges' tags, so any
+        # usable edge must individually cover the requirement; likewise for
+        # validity. This prunes the walk without losing completeness
+        # relative to the coverage check.
+        statement = edge.statement
+        if now is not None and not statement.validity.contains(now):
+            return False
+        if request is not None and not statement.tag.matches(request):
+            return False
+        if min_tag is not None and not min_tag.implies(statement.tag):
+            return False
+        return True
+
+    def _complete(
+        self,
+        subject: Principal,
+        final_principal: Principal,
+        proof_to_issuer: Proof,
+        needed_tag: Tag,
+        delegation_validity: Validity,
+    ) -> Optional[Proof]:
+        if subject == final_principal:
+            return proof_to_issuer
+        # Reuse an existing delegation before minting a fresh one (a
+        # public-key signature): the cache exists to avoid exactly this.
+        for edge in self.graph.incoming(final_principal):
+            if edge.subject == subject and needed_tag.implies(edge.statement.tag):
+                return TransitivityStep(edge.proof, proof_to_issuer)
+        closure = self._closures[final_principal]
+        minted = closure.delegate(subject, needed_tag, delegation_validity)
+        self.add_proof(minted)
+        return TransitivityStep(minted, proof_to_issuer)
+
+    def _cache(self, proof: Proof) -> None:
+        """Record a derived proof as a shortcut edge (Figure 2's dotted lines)."""
+        if proof.premises:
+            self.graph.add(proof, shortcut=True)

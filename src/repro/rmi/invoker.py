@@ -1,0 +1,191 @@
+"""The client-side stub and its invoker.
+
+Figure 4's client half: the stub's invoker makes the remote call, catches
+the serialized ``SfNeedAuthorizationException``, "inspects the exception to
+discover the issuer KS it must speak for and the minimum restriction set
+regarding which it must speak for that issuer," queries the Prover for a
+proof, ships it to the proofRecipient, and retries.
+
+The paper's thread-scope idiom (``pushIdentity`` inside ``try...finally``)
+is :func:`identity_scope`: a context manager installing a thread-local
+:class:`ClientIdentity` (Prover + keys) that stubs inherit.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.core.errors import AuthorizationError, NeedAuthorizationError
+from repro.core.principals import (
+    Principal,
+    QuotingPrincipal,
+    principal_from_sexp,
+)
+from repro.core.proofs import PremiseStep, Proof
+from repro.core.rules import QuotingLeftMonotonicityStep, TransitivityStep
+from repro.core.statements import SpeaksFor
+from repro.crypto.rsa import RsaKeyPair
+from repro.prover import KeyClosure, Prover
+from repro.rmi.remote import invocation_sexp
+from repro.sexp import Atom, SExp, SList
+from repro.tags import Tag
+
+
+class ClientIdentity:
+    """A Prover plus the keys it controls — what ``pushIdentity`` installs."""
+
+    def __init__(self, prover: Prover, keypair: Optional[RsaKeyPair] = None):
+        self.prover = prover
+        self.keypair = keypair
+        if keypair is not None:
+            from repro.core.principals import KeyPrincipal
+
+            self.principal = KeyPrincipal(keypair.public)
+            if not prover.controls(self.principal):
+                prover.control(KeyClosure(keypair))
+        else:
+            self.principal = None
+
+
+_thread_state = threading.local()
+
+
+def _stack():
+    if not hasattr(_thread_state, "identities"):
+        _thread_state.identities = []
+    return _thread_state.identities
+
+
+@contextmanager
+def identity_scope(identity: ClientIdentity):
+    """``try { pushIdentity(); ... } finally { popIdentity(); }``."""
+    _stack().append(identity)
+    try:
+        yield identity
+    finally:
+        _stack().pop()
+
+
+def current_identity() -> Optional[ClientIdentity]:
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+class RemoteStub:
+    """A mechanically rewritten stub: every call goes through the invoker."""
+
+    def __init__(
+        self,
+        channel,
+        object_name: str,
+        identity: Optional[ClientIdentity] = None,
+        quoting: Optional[Principal] = None,
+    ):
+        self.channel = channel
+        self.object_name = object_name
+        self._identity = identity
+        self.quoting = quoting
+
+    def identity(self) -> ClientIdentity:
+        identity = self._identity or current_identity()
+        if identity is None:
+            raise AuthorizationError(
+                "no client identity in scope (use identity_scope)"
+            )
+        return identity
+
+    def invoke(self, method: str, *args):
+        """Call a remote method, transparently supplying proofs."""
+        request = invocation_sexp(self.object_name, method, args)
+        response = self.channel.request(request, quoting=self.quoting)
+        if _is_need_auth(response):
+            self._authorize(response)
+            response = self.channel.request(request, quoting=self.quoting)
+        return _unwrap(response)
+
+    # -- the invoker's authorization path --------------------------------
+
+    def _authorize(self, error: SList) -> None:
+        issuer_field = error.find("issuer")
+        tag_field = error.find("tag")
+        if issuer_field is None or tag_field is None:
+            raise AuthorizationError("malformed need-auth challenge")
+        issuer = principal_from_sexp(issuer_field.items[1])
+        min_tag = Tag.from_sexp(tag_field)
+        self.identity()  # missing identity is a programming error: raise as-is
+        try:
+            proof = self.build_proof(issuer, min_tag)
+        except AuthorizationError:
+            # Cannot satisfy the challenge: surface it to the application
+            # (a gateway relays it to *its* client).
+            raise NeedAuthorizationError(issuer, min_tag)
+        submit = SList([Atom("submit-proof"), proof.to_sexp()])
+        result = self.channel.request(submit, quoting=self.quoting)
+        if _is_need_auth(result):
+            raise AuthorizationError("server rejected the submitted proof")
+        _unwrap(result)
+
+    def build_proof(self, issuer: Principal, min_tag: Tag) -> Proof:
+        """Prove that this channel (quoting whoever we quote) speaks for
+        ``issuer`` regarding ``min_tag``."""
+        identity = self.identity()
+        prover = identity.prover
+        bound = self.channel.bound_principal
+        channel_principal = self.channel.channel_principal
+        # The transport vouches this at the server: KCH => K2.
+        premise = PremiseStep(SpeaksFor(channel_principal, bound, Tag.all()))
+        if self.quoting is None:
+            if bound == issuer:
+                return premise
+            rest = prover.prove(bound, issuer, min_tag=min_tag)
+            if rest is None:
+                raise AuthorizationError(
+                    "cannot prove %s speaks for %s" % (bound.display(), issuer.display())
+                )
+            return TransitivityStep(premise, rest)
+        # Quoting: lift KCH => K2 to KCH|C => K2|C, then connect K2|C to
+        # the issuer (the gateway case of Section 6.3).
+        lifted = QuotingLeftMonotonicityStep(premise, self.quoting)
+        lifted_subject = QuotingPrincipal(bound, self.quoting)
+        if lifted_subject == issuer:
+            return lifted
+        rest = prover.prove(lifted_subject, issuer, min_tag=min_tag)
+        if rest is None:
+            raise AuthorizationError(
+                "cannot prove %s speaks for %s"
+                % (lifted_subject.display(), issuer.display())
+            )
+        return TransitivityStep(lifted, rest)
+
+
+def _is_need_auth(node: SExp) -> bool:
+    return (
+        isinstance(node, SList)
+        and node.head() == "error"
+        and len(node) > 1
+        and isinstance(node.items[1], Atom)
+        and node.items[1].text() == "need-auth"
+    )
+
+
+def _unwrap(node: SExp) -> SExp:
+    if isinstance(node, SList) and node.head() == "result":
+        return node.items[1]
+    if isinstance(node, SList) and node.head() == "error":
+        kind = node.items[1].text() if len(node) > 1 else "unknown"
+        detail = (
+            node.items[2].text()
+            if len(node) > 2 and isinstance(node.items[2], Atom)
+            else ""
+        )
+        if kind == "need-auth":
+            issuer_field = node.find("issuer")
+            tag_field = node.find("tag")
+            raise NeedAuthorizationError(
+                principal_from_sexp(issuer_field.items[1]),
+                Tag.from_sexp(tag_field),
+            )
+        raise AuthorizationError("%s: %s" % (kind, detail))
+    raise AuthorizationError("uninterpretable response %r" % (node,))

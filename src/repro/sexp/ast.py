@@ -1,0 +1,151 @@
+"""Abstract syntax for S-expressions.
+
+An S-expression is either an :class:`Atom` (an immutable byte string with an
+optional display hint) or an :class:`SList` (an immutable sequence of
+S-expressions).  Both are hashable so they can serve as dictionary keys and
+set members, which the Prover's delegation graph relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple, Union
+
+
+class SExp:
+    """Base class for S-expression nodes."""
+
+    __slots__ = ()
+
+    def is_atom(self) -> bool:
+        return isinstance(self, Atom)
+
+    def is_list(self) -> bool:
+        return isinstance(self, SList)
+
+    def to_canonical(self) -> bytes:
+        from repro.sexp.encoder import to_canonical
+
+        return to_canonical(self)
+
+    def to_advanced(self) -> str:
+        from repro.sexp.encoder import to_advanced
+
+        return to_advanced(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "{}({})".format(type(self).__name__, self.to_advanced())
+
+
+class Atom(SExp):
+    """A byte-string atom, optionally carrying a display hint.
+
+    Display hints are the ``[mime/type]`` prefixes of Rivest's draft.  SPKI
+    rarely uses them but the encoder and parser round-trip them faithfully.
+    """
+
+    __slots__ = ("value", "hint")
+
+    def __init__(self, value: Union[bytes, str], hint: Optional[bytes] = None):
+        if isinstance(value, str):
+            value = value.encode("utf-8")
+        if not isinstance(value, bytes):
+            raise TypeError("Atom value must be bytes or str, got %r" % (value,))
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "hint", hint)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Atom instances are immutable")
+
+    def text(self) -> str:
+        """Decode the atom as UTF-8 text (raises on binary garbage)."""
+        return self.value.decode("utf-8")
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return self.value == other.value and self.hint == other.hint
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash((Atom, self.value, self.hint))
+
+
+class SList(SExp):
+    """An immutable list of S-expressions."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Iterable[SExp] = ()):
+        items = tuple(items)
+        for item in items:
+            if not isinstance(item, SExp):
+                raise TypeError("SList items must be SExp, got %r" % (item,))
+        object.__setattr__(self, "items", items)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("SList instances are immutable")
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[SExp]:
+        return iter(self.items)
+
+    def __getitem__(self, index) -> SExp:
+        result = self.items[index]
+        if isinstance(result, tuple):  # slice
+            return SList(result)
+        return result
+
+    def head(self) -> Optional[str]:
+        """Return the leading atom's text, or None (SPKI type dispatch)."""
+        if self.items and isinstance(self.items[0], Atom):
+            try:
+                return self.items[0].text()
+            except UnicodeDecodeError:
+                return None
+        return None
+
+    def tail(self) -> Tuple[SExp, ...]:
+        return self.items[1:]
+
+    def find(self, head: str) -> Optional["SList"]:
+        """Find the first sub-list whose head matches (SPKI field lookup)."""
+        for item in self.items:
+            if isinstance(item, SList) and item.head() == head:
+                return item
+        return None
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SList):
+            return NotImplemented
+        return self.items == other.items
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash((SList, self.items))
+
+
+def sexp(value) -> SExp:
+    """Coerce nested Python lists/tuples/strings/bytes/ints into an SExp.
+
+    This is the convenience constructor used throughout the codebase:
+
+    >>> sexp(["tag", ["web", ["method", "GET"]]]).to_advanced()
+    '(tag (web (method GET)))'
+    """
+    if isinstance(value, SExp):
+        return value
+    if isinstance(value, (bytes, str)):
+        return Atom(value)
+    if isinstance(value, int):
+        return Atom(str(value))
+    if isinstance(value, (list, tuple)):
+        return SList(sexp(item) for item in value)
+    raise TypeError("cannot coerce %r to SExp" % (value,))

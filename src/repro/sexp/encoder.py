@@ -1,0 +1,102 @@
+"""Encoders for the three S-expression wire forms.
+
+The canonical form is the basis for hashing and signing; transport form is
+base64-of-canonical wrapped in braces (safe inside HTTP headers, as in the
+paper's Figure 5); advanced form is the human-readable syntax used in the
+paper's listings.
+"""
+
+from __future__ import annotations
+
+import base64
+import re
+
+from repro.sexp.ast import Atom, SExp, SList
+
+# A token may be printed bare in advanced form: it must start with a
+# non-digit token character and contain only token characters.
+_TOKEN_CHARS = re.compile(rb"\A[A-Za-z0-9\-./_:*+=]+\Z")
+_TOKEN_START = re.compile(rb"\A[A-Za-z\-./_:*+=]")
+# Strings of printable characters (plus blank) may be shown quoted.
+_QUOTABLE = re.compile(rb"\A[\x20-\x7e]*\Z")
+
+
+def to_canonical(node: SExp) -> bytes:
+    """Encode in canonical form: ``<len>:<bytes>`` atoms, ``(`` ``)`` lists."""
+    out = bytearray()
+    _canonical_into(node, out)
+    return bytes(out)
+
+
+def _canonical_into(node: SExp, out: bytearray) -> None:
+    if isinstance(node, Atom):
+        if node.hint is not None:
+            out += b"["
+            out += str(len(node.hint)).encode("ascii")
+            out += b":"
+            out += node.hint
+            out += b"]"
+        out += str(len(node.value)).encode("ascii")
+        out += b":"
+        out += node.value
+    elif isinstance(node, SList):
+        out += b"("
+        for item in node.items:
+            _canonical_into(item, out)
+        out += b")"
+    else:  # pragma: no cover - type guard
+        raise TypeError("not an SExp: %r" % (node,))
+
+
+def to_transport(node: SExp) -> bytes:
+    """Encode in transport form: ``{base64(canonical)}``."""
+    return b"{" + base64.b64encode(to_canonical(node)) + b"}"
+
+
+def from_transport(data) -> SExp:
+    """Decode a transport-form S-expression back into an AST."""
+    from repro.sexp.parser import parse_canonical, SexpParseError
+
+    if isinstance(data, str):
+        data = data.encode("ascii")
+    data = data.strip()
+    if not (data.startswith(b"{") and data.endswith(b"}")):
+        raise SexpParseError("transport form must be wrapped in braces")
+    try:
+        canonical = base64.b64decode(data[1:-1], validate=True)
+    except Exception as exc:
+        raise SexpParseError("bad base64 in transport form: %s" % exc)
+    return parse_canonical(canonical)
+
+
+def to_advanced(node: SExp) -> str:
+    """Encode in advanced (human-readable) form."""
+    parts = []
+    _advanced_into(node, parts)
+    return "".join(parts)
+
+
+def _advanced_into(node: SExp, parts: list) -> None:
+    if isinstance(node, Atom):
+        parts.append(_advanced_atom(node))
+    elif isinstance(node, SList):
+        parts.append("(")
+        for index, item in enumerate(node.items):
+            if index:
+                parts.append(" ")
+            _advanced_into(item, parts)
+        parts.append(")")
+    else:  # pragma: no cover - type guard
+        raise TypeError("not an SExp: %r" % (node,))
+
+
+def _advanced_atom(atom: Atom) -> str:
+    prefix = ""
+    if atom.hint is not None:
+        prefix = "[" + _advanced_atom(Atom(atom.hint)) + "]"
+    value = atom.value
+    if value and _TOKEN_CHARS.match(value) and _TOKEN_START.match(value):
+        return prefix + value.decode("ascii")
+    if _QUOTABLE.match(value) and b'"' not in value and b"\\" not in value:
+        return prefix + '"' + value.decode("ascii") + '"'
+    return prefix + "|" + base64.b64encode(value).decode("ascii") + "|"

@@ -1,0 +1,30 @@
+"""A manually advanced simulation clock.
+
+Channels and certificate validity are time-dependent; tests and benchmarks
+drive this clock instead of the wall clock so expiration, CRL freshness,
+and MAC-session lifetimes are deterministic.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic simulated time, in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("time cannot run backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_ms(self, milliseconds: float) -> float:
+        return self.advance(milliseconds / 1000.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SimClock(%.6f)" % self._now

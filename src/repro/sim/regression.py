@@ -1,0 +1,124 @@
+"""The paper's experimental method (Section 7.1).
+
+"The values reported in this section are the parameters of linear
+regressions.  In setup cost and bandwidth experiments, we vary the file
+length to separate copy cost from connection setup.  ...  We ran each
+experiment ten times, discarding the first iteration so that caches are
+warm ...  When the nine runs had coefficient of variation greater than
+0.1, we re-ran the experiment."
+
+:class:`Experiment` packages that method: repeated runs, first-iteration
+discard, CoV re-run rule, and least-squares parameter extraction with R²
+and confidence intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+class RegressionResult:
+    """Slope/intercept of a least-squares fit, with fit diagnostics."""
+
+    __slots__ = ("slope", "intercept", "r_squared", "slope_ci95", "intercept_ci95")
+
+    def __init__(self, slope, intercept, r_squared, slope_ci95, intercept_ci95):
+        self.slope = slope
+        self.intercept = intercept
+        self.r_squared = r_squared
+        self.slope_ci95 = slope_ci95
+        self.intercept_ci95 = intercept_ci95
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "y = %.4f x + %.4f (R^2 = %.4f)" % (
+            self.slope,
+            self.intercept,
+            self.r_squared,
+        )
+
+
+def linear_regression(
+    xs: Sequence[float], ys: Sequence[float]
+) -> RegressionResult:
+    """Ordinary least squares with R² and 95% confidence intervals."""
+    n = len(xs)
+    if n != len(ys) or n < 2:
+        raise ValueError("need at least two matching points")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    ss_xx = sum((x - mean_x) ** 2 for x in xs)
+    ss_xy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    ss_yy = sum((y - mean_y) ** 2 for y in ys)
+    if ss_xx == 0:
+        raise ValueError("all x values identical; cannot fit a slope")
+    slope = ss_xy / ss_xx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum(
+        (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+    )
+    r_squared = 1.0 if ss_yy == 0 else 1.0 - ss_res / ss_yy
+    # Standard errors (t ≈ 1.96 for large n; exact-enough for reporting).
+    if n > 2 and ss_res > 0:
+        sigma2 = ss_res / (n - 2)
+        se_slope = math.sqrt(sigma2 / ss_xx)
+        se_intercept = math.sqrt(sigma2 * (1.0 / n + mean_x**2 / ss_xx))
+    else:
+        se_slope = se_intercept = 0.0
+    return RegressionResult(
+        slope, intercept, r_squared, 1.96 * se_slope, 1.96 * se_intercept
+    )
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Standard deviation over mean (the paper's re-run criterion)."""
+    n = len(values)
+    if n == 0:
+        raise ValueError("no values")
+    mean = sum(values) / n
+    if mean == 0:
+        return 0.0
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return math.sqrt(variance) / abs(mean)
+
+
+class Experiment:
+    """Run a measured operation the way the paper did.
+
+    ``run_once(parameter)`` must return a cost (ms).  ``measure`` performs
+    ``runs`` repetitions, discards the first (cold caches), re-runs while
+    the coefficient of variation exceeds ``cov_limit`` (up to
+    ``max_attempts``), and returns the per-run means.
+    """
+
+    def __init__(
+        self,
+        run_once: Callable[[float], float],
+        runs: int = 10,
+        cov_limit: float = 0.1,
+        max_attempts: int = 5,
+    ):
+        self.run_once = run_once
+        self.runs = runs
+        self.cov_limit = cov_limit
+        self.max_attempts = max_attempts
+
+    def measure(self, parameter: float) -> float:
+        for _ in range(self.max_attempts):
+            samples = [self.run_once(parameter) for _ in range(self.runs)]
+            samples = samples[1:]  # discard the first iteration
+            if coefficient_of_variation(samples) <= self.cov_limit:
+                return sum(samples) / len(samples)
+        return sum(samples) / len(samples)  # best effort after max attempts
+
+    def sweep(
+        self, parameters: Sequence[float]
+    ) -> Tuple[List[float], List[float]]:
+        values = [self.measure(p) for p in parameters]
+        return list(parameters), values
+
+    def fit(self, parameters: Sequence[float]) -> RegressionResult:
+        """Sweep the parameter and regress cost against it — the paper's
+        setup-vs-marginal-cost separation."""
+        xs, ys = self.sweep(parameters)
+        return linear_regression(xs, ys)

@@ -1,0 +1,29 @@
+"""SMTP with Snowflake authorization — the paper's named extension.
+
+Section 2.4: "Adapting more protocols, such as NFS and SMTP, to support
+unified authorization will result in wider applicability of end-to-end
+authorization."  Section 5.3.3 asks the receiving-side question directly:
+"Does that server have authority to receive my e-mail?"
+
+This package adapts a small SMTP-shaped submission protocol:
+
+- the server challenges senders with ``530 AUTH-REQUIRED`` carrying the
+  mailbox's issuer and minimum restriction tag (the Snowflake challenge
+  pattern, re-skinned from HTTP's 401 to SMTP's 5xx);
+- the client authorizes a ``DATA`` payload by proving the *message hash*
+  speaks for the issuer regarding ``(smtp (rcpt <mailbox>))`` — the
+  signed-request mechanism riding a third wire protocol;
+- the server's ``220`` greeting may carry a receiver proof ("this server
+  speaks for the mailbox's controller"), answering the paper's question
+  about servers authorized to receive mail.
+"""
+
+from repro.smtp.server import SnowflakeSmtpServer, smtp_request_sexp
+from repro.smtp.client import SnowflakeSmtpClient, SmtpError
+
+__all__ = [
+    "SnowflakeSmtpServer",
+    "SnowflakeSmtpClient",
+    "SmtpError",
+    "smtp_request_sexp",
+]

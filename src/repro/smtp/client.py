@@ -1,0 +1,121 @@
+"""The Snowflake-authorized SMTP client.
+
+Speaks the lockstep dialogue, answers ``530 AUTH-REQUIRED`` challenges by
+proving the message hash speaks for the mailbox's issuer (via its
+Prover), and can verify the server's receiver proof from the HELO banner
+— the "does that server have authority to receive my e-mail?" check.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Tuple
+
+from repro.core.errors import AuthorizationError
+from repro.core.principals import HashPrincipal, Principal, principal_from_sexp
+from repro.core.proofs import proof_from_sexp
+from repro.core.statements import SpeaksFor
+from repro.crypto.hashes import HashValue
+from repro.net.network import Network
+from repro.prover import Prover
+from repro.sexp import from_transport, to_transport
+from repro.sim.costmodel import Meter, maybe_charge
+from repro.tags import Tag
+
+
+class SmtpError(Exception):
+    """A permanent (5xx) failure from the server."""
+
+
+_CHALLENGE = re.compile(r"^530 AUTH-REQUIRED issuer=(\{[^}]*\}) tag=(\{[^}]*\})")
+_RECEIVER = re.compile(r"SF-RECEIVER=(\{[^}]*\})")
+
+
+class SnowflakeSmtpClient:
+    """One submission session over one connection."""
+
+    def __init__(
+        self,
+        network: Network,
+        address: str,
+        prover: Prover,
+        meter: Optional[Meter] = None,
+        expected_receiver: Optional[Principal] = None,
+        verify_context=None,
+    ):
+        self.prover = prover
+        self.meter = meter
+        self._transport = network.connect(address, meter=meter)
+        self.expected_receiver = expected_receiver
+        self.verify_context = verify_context
+        self.receiver_verified: Optional[bool] = None
+
+    def _command(self, line: str) -> str:
+        reply = self._transport.request(line.encode("utf-8")).decode("utf-8")
+        if reply.startswith("5") and not reply.startswith("530"):
+            raise SmtpError(reply.strip())
+        return reply
+
+    def helo(self, hostname: str = "client.example") -> str:
+        reply = self._command("HELO %s" % hostname)
+        self._check_receiver(reply)
+        return reply
+
+    def _check_receiver(self, banner: str) -> None:
+        """Verify the server's authority to receive (Section 5.3.3's
+        question, answered with the same proof machinery)."""
+        self.receiver_verified = None
+        if self.expected_receiver is None or self.verify_context is None:
+            return
+        match = _RECEIVER.search(banner)
+        if match is None:
+            self.receiver_verified = False
+            return
+        maybe_charge(self.meter, "sexp_parse")
+        proof = proof_from_sexp(from_transport(match.group(1)))
+        proof.verify(self.verify_context)
+        conclusion = proof.conclusion
+        self.receiver_verified = (
+            isinstance(conclusion, SpeaksFor)
+            and conclusion.issuer == self.expected_receiver
+        )
+
+    def send(self, sender: str, mailbox: str, message: bytes) -> str:
+        """Deliver one message, satisfying any authorization challenge."""
+        self._command("MAIL FROM:<%s>" % sender)
+        self._command("RCPT TO:<%s>" % mailbox)
+        reply = self._data(message)
+        if reply.startswith("530"):
+            reply = self._data(message, challenge=reply)
+        if not reply.startswith("250"):
+            raise SmtpError(reply.strip())
+        return reply
+
+    def _data(self, message: bytes, challenge: Optional[str] = None) -> str:
+        payload = b"DATA\r\n" + message
+        if challenge is not None:
+            issuer, min_tag = self._parse_challenge(challenge)
+            subject = HashPrincipal(HashValue.of_bytes(message))
+            proof = self.prover.prove(subject, issuer, min_tag=min_tag)
+            if proof is None:
+                raise AuthorizationError(
+                    "cannot prove delivery authority over %s" % issuer.display()
+                )
+            payload += b"\r\nX-Sf-Proof: " + to_transport(proof.to_sexp())
+        return self._transport.request(payload).decode("utf-8")
+
+    @staticmethod
+    def _parse_challenge(reply: str) -> Tuple[Principal, Tag]:
+        match = _CHALLENGE.match(reply)
+        if match is None:
+            raise SmtpError("unintelligible challenge: %r" % reply)
+        return (
+            principal_from_sexp(from_transport(match.group(1))),
+            Tag.from_sexp(from_transport(match.group(2))),
+        )
+
+    def quit(self) -> None:
+        try:
+            self._command("QUIT")
+        finally:
+            self._transport.close()

@@ -1,0 +1,181 @@
+"""The Snowflake-authorized SMTP server.
+
+Per-connection state machine over the simulated network (one request per
+command, as SMTP's lockstep dialogue allows): HELO → MAIL → RCPT → DATA.
+Authorization happens at DATA time, when the full message is known: the
+client's ``X-Sf-Proof`` trailer must show the message hash speaks for the
+mailbox's issuer regarding ``(smtp (rcpt <mailbox>) (from <sender>))``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import AuthorizationError, VerificationError
+from repro.core.principals import HashPrincipal, Principal
+from repro.core.proofs import proof_from_sexp
+from repro.core.statements import SpeaksFor
+from repro.crypto.hashes import HashValue
+from repro.net.network import Connection, ServerFactory
+from repro.net.trust import TrustEnvironment
+from repro.sexp import Atom, SExp, SList, from_transport, to_transport
+from repro.sim.costmodel import Meter, maybe_charge
+from repro.tags import Tag
+
+
+def smtp_request_sexp(mailbox: str, sender: str) -> SExp:
+    """The logical form an SMTP delivery must be authorized for."""
+    return SList(
+        [
+            Atom("smtp"),
+            SList([Atom("rcpt"), Atom(mailbox)]),
+            SList([Atom("from"), Atom(sender)]),
+        ]
+    )
+
+
+class SnowflakeSmtpServer(ServerFactory):
+    """Accepts mail for mailboxes, each controlled by an issuer principal.
+
+    ``deliver(mailbox, sender, message_bytes)`` is called for authorized
+    deliveries; the default keeps an in-memory mailbox dict.
+    """
+
+    def __init__(
+        self,
+        hostname: str,
+        issuer_for: Callable[[str], Optional[Principal]],
+        trust: TrustEnvironment,
+        deliver: Optional[Callable[[str, str, bytes], None]] = None,
+        receiver_proof=None,
+        meter: Optional[Meter] = None,
+    ):
+        self.hostname = hostname
+        self.issuer_for = issuer_for
+        self.trust = trust
+        self.meter = meter
+        self.mailboxes: Dict[str, List[Tuple[str, bytes]]] = {}
+        self._deliver = deliver or self._default_deliver
+        # Optional proof that this host may receive for its mailboxes —
+        # shown in the greeting (the paper's server-authorization question).
+        self.receiver_proof = receiver_proof
+
+    def _default_deliver(self, mailbox: str, sender: str, message: bytes) -> None:
+        self.mailboxes.setdefault(mailbox, []).append((sender, message))
+
+    def open_connection(self, peer_address: str) -> "_SmtpConnection":
+        return _SmtpConnection(self)
+
+
+class _SmtpConnection(Connection):
+    def __init__(self, server: SnowflakeSmtpServer):
+        self.server = server
+        self.greeted = False
+        self.sender: Optional[str] = None
+        self.recipient: Optional[str] = None
+
+    def handle(self, data: bytes) -> bytes:
+        try:
+            # DATA carries the raw message after its CRLF; dispatch on the
+            # verb alone, before any line decoding touches the body.
+            if data[:5].upper() in (b"DATA\r", b"DATA"):
+                return self._data(data)
+            line = data.decode("utf-8", "replace").rstrip("\r\n")
+            verb, _, argument = line.partition(" ")
+            verb = verb.upper()
+            if verb == "HELO":
+                return self._helo(argument)
+            if verb == "MAIL":
+                return self._mail(argument)
+            if verb == "RCPT":
+                return self._rcpt(argument)
+            if verb == "RSET":
+                self.sender = self.recipient = None
+                return b"250 flushed\r\n"
+            if verb == "QUIT":
+                return b"221 bye\r\n"
+            return b"502 command not implemented\r\n"
+        except (AuthorizationError, VerificationError) as exc:
+            return ("554 authorization failed: %s\r\n" % exc).encode("utf-8")
+
+    def _helo(self, argument: str) -> bytes:
+        self.greeted = True
+        banner = "250 %s snowflake-smtp" % self.server.hostname
+        if self.server.receiver_proof is not None:
+            banner += " SF-RECEIVER=%s" % to_transport(
+                self.server.receiver_proof.to_sexp()
+            ).decode("ascii")
+        return (banner + "\r\n").encode("utf-8")
+
+    def _mail(self, argument: str) -> bytes:
+        if not self.greeted:
+            return b"503 HELO first\r\n"
+        if not argument.upper().startswith("FROM:"):
+            return b"501 expected MAIL FROM:<address>\r\n"
+        self.sender = argument[5:].strip().strip("<>")
+        return b"250 sender ok\r\n"
+
+    def _rcpt(self, argument: str) -> bytes:
+        if self.sender is None:
+            return b"503 MAIL first\r\n"
+        if not argument.upper().startswith("TO:"):
+            return b"501 expected RCPT TO:<mailbox>\r\n"
+        mailbox = argument[3:].strip().strip("<>")
+        issuer = self.server.issuer_for(mailbox)
+        if issuer is None:
+            return b"550 no such mailbox\r\n"
+        self.recipient = mailbox
+        return b"250 recipient ok\r\n"
+
+    def _data(self, raw: bytes) -> bytes:
+        if self.recipient is None:
+            return b"503 RCPT first\r\n"
+        # DATA <CRLF> message ... optionally ending with an X-Sf-Proof
+        # trailer line carrying the transport-form proof.
+        _, _, body = raw.partition(b"\r\n")
+        message, proof_node = _split_proof_trailer(body)
+        issuer = self.server.issuer_for(self.recipient)
+        logical = smtp_request_sexp(self.recipient, self.sender)
+        if proof_node is None:
+            return self._challenge(issuer, logical)
+        maybe_charge(self.server.meter, "sexp_parse")
+        proof = proof_from_sexp(proof_node)
+        maybe_charge(self.server.meter, "spki_unmarshal")
+        maybe_charge(self.server.meter, "sf_overhead")
+        conclusion = proof.conclusion
+        if not isinstance(conclusion, SpeaksFor):
+            raise AuthorizationError("proof must conclude speaks-for")
+        if conclusion.subject != HashPrincipal(HashValue.of_bytes(message)):
+            raise AuthorizationError("proof subject is not this message's hash")
+        if conclusion.issuer != issuer:
+            raise AuthorizationError("proof names the wrong issuer")
+        if not conclusion.tag.matches(logical):
+            raise AuthorizationError("delivery is outside the proven restriction")
+        context = self.server.trust.context()
+        proof.verify(context)
+        if not conclusion.validity.contains(context.now):
+            raise AuthorizationError("proof has expired")
+        self.server._deliver(self.recipient, self.sender, message)
+        return b"250 delivered\r\n"
+
+    def _challenge(self, issuer: Principal, logical: SExp) -> bytes:
+        # The 530 challenge mirrors HTTP's 401: issuer + minimum tag.
+        return (
+            "530 AUTH-REQUIRED issuer=%s tag=%s\r\n"
+            % (
+                to_transport(issuer.to_sexp()).decode("ascii"),
+                to_transport(Tag.exactly(logical).to_sexp()).decode("ascii"),
+            )
+        ).encode("utf-8")
+
+
+_TRAILER = b"\r\nX-Sf-Proof: "
+
+
+def _split_proof_trailer(body: bytes):
+    index = body.rfind(_TRAILER)
+    if index < 0:
+        return body, None
+    message = body[:index]
+    header_value = body[index + len(_TRAILER):].split(b"\r\n", 1)[0]
+    return message, from_transport(header_value)

@@ -1,0 +1,34 @@
+"""SPKI substrate: certificates, sequences, and revocation.
+
+The paper builds on SPKI "to simplify potential interoperation with SPKI,
+to exploit SPKI's unambiguous S-expression representation, and to build on
+existing implementations" (Section 3).  This package provides:
+
+- :mod:`repro.spki.certificate` — signed delegation certificates whose
+  conclusions are ``subject =tag=> issuer-key`` statements;
+- :mod:`repro.spki.sequence` — the SPKI *sequence* representation of proofs
+  and its linear stack-machine verifier, implemented for the paper's
+  comparison against structured proofs (Section 4.3);
+- :mod:`repro.spki.revocation` — certificate revocation lists and one-time
+  revalidation, both expressible as statements in the logic (Section 4.1).
+"""
+
+from repro.spki.certificate import Certificate
+from repro.spki.sequence import Sequence, SequenceVerifier, SequenceError
+from repro.spki.revocation import (
+    RevocationList,
+    OneTimeRevalidator,
+    RevocationPolicy,
+    NoRevocation,
+)
+
+__all__ = [
+    "Certificate",
+    "Sequence",
+    "SequenceVerifier",
+    "SequenceError",
+    "RevocationList",
+    "OneTimeRevalidator",
+    "RevocationPolicy",
+    "NoRevocation",
+]

@@ -1,0 +1,228 @@
+"""Signed delegation certificates.
+
+A certificate is the wire form of a basic fact: the issuer key's holder
+signed a statement that *subject speaks for issuer-key regarding tag,
+within validity*.  Verifying the signature justifies the logical assumption
+``K says (subject =tag=> K)``, which the hand-off rule turns into
+``subject =tag=> K`` — the conclusion of a signed-certificate proof step.
+
+SPKI's ``propagate`` (delegation) bit is carried for interoperability and
+honored by the SPKI sequence verifier; the Snowflake logic itself treats
+speaks-for as transitive, per the paper's semantics.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.principals import KeyPrincipal, Principal, principal_from_sexp
+from repro.core.statements import SpeaksFor, Validity
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
+from repro.sexp import Atom, SExp, SList, to_canonical
+from repro.tags import Tag
+
+
+class Certificate:
+    """An issued, signed delegation.
+
+    When ``issuer_name`` is set, this is an SPKI/SDSI *name certificate*:
+    the issuing principal is the compound name ``K·name`` (or ``H(K)·name``
+    with ``issuer_via_hash``), still signed by ``K`` — the form behind
+    Figure 1's ``KS => HKC·N`` edge.
+    """
+
+    __slots__ = (
+        "issuer_key",
+        "subject",
+        "tag",
+        "validity",
+        "serial",
+        "propagate",
+        "signature",
+        "issuer_name",
+        "issuer_via_hash",
+    )
+
+    def __init__(
+        self,
+        issuer_key: RsaPublicKey,
+        subject: Principal,
+        tag: Tag,
+        validity: Validity,
+        serial: bytes,
+        propagate: bool,
+        signature: bytes,
+        issuer_name: Optional[str] = None,
+        issuer_via_hash: bool = False,
+    ):
+        self.issuer_key = issuer_key
+        self.subject = subject
+        self.tag = tag
+        self.validity = validity
+        self.serial = serial
+        self.propagate = propagate
+        self.signature = signature
+        self.issuer_name = issuer_name
+        self.issuer_via_hash = issuer_via_hash
+
+    @classmethod
+    def issue(
+        cls,
+        issuer: RsaKeyPair,
+        subject: Principal,
+        tag: Tag,
+        validity: Validity = Validity.ALWAYS,
+        serial: Optional[bytes] = None,
+        propagate: bool = True,
+        rng: Optional[random.Random] = None,
+        issuer_name: Optional[str] = None,
+        issuer_via_hash: bool = False,
+    ) -> "Certificate":
+        """Sign a new delegation with the issuer's private key."""
+        if serial is None:
+            rng = rng or random.SystemRandom()
+            serial = bytes(rng.getrandbits(8) for _ in range(8))
+        body = cls._body_sexp(
+            issuer.public, subject, tag, validity, serial, propagate,
+            issuer_name, issuer_via_hash,
+        )
+        signature = issuer.sign(to_canonical(body))
+        return cls(
+            issuer.public, subject, tag, validity, serial, propagate,
+            signature, issuer_name, issuer_via_hash,
+        )
+
+    @staticmethod
+    def _body_sexp(
+        issuer_key: RsaPublicKey,
+        subject: Principal,
+        tag: Tag,
+        validity: Validity,
+        serial: bytes,
+        propagate: bool,
+        issuer_name: Optional[str] = None,
+        issuer_via_hash: bool = False,
+    ) -> SExp:
+        issuer_field = [Atom("issuer"), issuer_key.to_sexp()]
+        if issuer_name is not None:
+            issuer_field.append(SList([Atom("issuer-name"), Atom(issuer_name)]))
+            if issuer_via_hash:
+                issuer_field.append(SList([Atom("via-hash")]))
+        items = [
+            Atom("cert"),
+            SList(issuer_field),
+            SList([Atom("subject"), subject.to_sexp()]),
+            tag.to_sexp(),
+        ]
+        if not validity.is_unbounded():
+            items.append(validity.to_sexp())
+        items.append(SList([Atom("serial"), Atom(serial)]))
+        if propagate:
+            items.append(SList([Atom("propagate")]))
+        return SList(items)
+
+    def body_sexp(self) -> SExp:
+        return self._body_sexp(
+            self.issuer_key,
+            self.subject,
+            self.tag,
+            self.validity,
+            self.serial,
+            self.propagate,
+            self.issuer_name,
+            self.issuer_via_hash,
+        )
+
+    def verify_signature(self) -> bool:
+        return self.issuer_key.verify(to_canonical(self.body_sexp()), self.signature)
+
+    def issuer_principal(self) -> Principal:
+        base: Principal = KeyPrincipal(self.issuer_key)
+        if self.issuer_name is None:
+            return base
+        if self.issuer_via_hash:
+            from repro.core.principals import HashPrincipal
+
+            base = HashPrincipal(self.issuer_key.fingerprint())
+        from repro.core.principals import NamePrincipal
+
+        return NamePrincipal(base, self.issuer_name)
+
+    def statement(self) -> SpeaksFor:
+        """The delegation this certificate proves (when the signature checks)."""
+        return SpeaksFor(self.subject, self.issuer_principal(), self.tag, self.validity)
+
+    def to_sexp(self) -> SExp:
+        return SList(
+            [
+                Atom("signed-cert"),
+                self.body_sexp(),
+                SList([Atom("signature"), Atom(self.signature)]),
+            ]
+        )
+
+    @classmethod
+    def from_sexp(cls, node: SExp) -> "Certificate":
+        if (
+            not isinstance(node, SList)
+            or node.head() != "signed-cert"
+            or len(node) != 3
+        ):
+            raise ValueError("expected (signed-cert body (signature ..))")
+        body = node.items[1]
+        sig_field = node.items[2]
+        if not isinstance(body, SList) or body.head() != "cert":
+            raise ValueError("bad certificate body")
+        if (
+            not isinstance(sig_field, SList)
+            or sig_field.head() != "signature"
+            or len(sig_field) != 2
+        ):
+            raise ValueError("bad certificate signature field")
+        issuer_field = body.find("issuer")
+        subject_field = body.find("subject")
+        tag_field = body.find("tag")
+        serial_field = body.find("serial")
+        if issuer_field is None or subject_field is None or tag_field is None:
+            raise ValueError("certificate missing issuer/subject/tag")
+        validity_field = body.find("valid")
+        validity = (
+            Validity.from_sexp(validity_field)
+            if validity_field is not None
+            else Validity.ALWAYS
+        )
+        issuer_key = RsaPublicKey.from_sexp(issuer_field.items[1])
+        name_field = issuer_field.find("issuer-name")
+        issuer_name = (
+            name_field.items[1].text() if name_field is not None else None
+        )
+        issuer_via_hash = issuer_field.find("via-hash") is not None
+        serial = serial_field.items[1].value if serial_field is not None else b""
+        propagate = body.find("propagate") is not None
+        return cls(
+            issuer_key,
+            principal_from_sexp(subject_field.items[1]),
+            Tag.from_sexp(tag_field),
+            validity,
+            serial,
+            propagate,
+            sig_field.items[1].value,
+            issuer_name,
+            issuer_via_hash,
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Certificate):
+            return NotImplemented
+        return self.to_sexp() == other.to_sexp()
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash(self.to_sexp())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Certificate(%s)" % self.statement().display()

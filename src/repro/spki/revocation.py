@@ -1,0 +1,205 @@
+"""Revocation: CRLs and one-time revalidation.
+
+Section 4.1: "Our semantics paper explains how SPKI's revocation mechanisms
+(lists and one-time revalidations) can be expressed as statements in our
+logic."  Operationally, a verifier's :class:`VerificationContext` carries a
+:class:`RevocationPolicy`; every signed-certificate step consults it.
+
+- :class:`RevocationList` — a signed list of revoked serials with its own
+  validity window; a *stale* CRL is itself unusable, so the policy can
+  demand freshness.
+- :class:`OneTimeRevalidator` — the issuer (or its agent) must confirm the
+  certificate is still good *now*; the confirmation is single-use.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, Optional, Set
+
+from repro.core.errors import VerificationError
+from repro.core.statements import Validity
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
+from repro.sexp import Atom, SExp, SList, to_canonical
+
+
+class RevocationPolicy:
+    """Interface: raise :class:`VerificationError` if a cert is unusable."""
+
+    def check(self, certificate, now: float) -> None:
+        raise NotImplementedError
+
+
+class NoRevocation(RevocationPolicy):
+    """The default policy: certificates are good until they expire."""
+
+    def check(self, certificate, now: float) -> None:
+        return None
+
+
+class RevocationList(RevocationPolicy):
+    """A signed CRL.
+
+    The list is signed by the issuing key, covers a validity window, and
+    enumerates revoked serial numbers.  Checking a certificate from a
+    *different* issuer is a no-op (that issuer's CRL is someone else's
+    problem); a certificate from this issuer fails if its serial is listed,
+    or if the CRL itself is stale at ``now`` (no fresh evidence of
+    non-revocation).
+    """
+
+    def __init__(
+        self,
+        issuer_key: RsaPublicKey,
+        revoked_serials: Iterable[bytes],
+        validity: Validity,
+        signature: bytes,
+    ):
+        self.issuer_key = issuer_key
+        self.revoked_serials: Set[bytes] = set(revoked_serials)
+        self.validity = validity
+        self.signature = signature
+
+    @classmethod
+    def issue(
+        cls,
+        issuer: RsaKeyPair,
+        revoked_serials: Iterable[bytes],
+        validity: Validity = Validity.ALWAYS,
+    ) -> "RevocationList":
+        serials = set(revoked_serials)
+        body = cls._body_sexp(issuer.public, serials, validity)
+        return cls(issuer.public, serials, validity, issuer.sign(to_canonical(body)))
+
+    @staticmethod
+    def _body_sexp(
+        issuer_key: RsaPublicKey, serials: Set[bytes], validity: Validity
+    ) -> SExp:
+        items = [
+            Atom("crl"),
+            SList([Atom("issuer"), issuer_key.to_sexp()]),
+            SList([Atom("revoked")] + [Atom(serial) for serial in sorted(serials)]),
+        ]
+        if not validity.is_unbounded():
+            items.append(validity.to_sexp())
+        return SList(items)
+
+    def body_sexp(self) -> SExp:
+        return self._body_sexp(self.issuer_key, self.revoked_serials, self.validity)
+
+    def verify_signature(self) -> bool:
+        return self.issuer_key.verify(to_canonical(self.body_sexp()), self.signature)
+
+    def to_sexp(self) -> SExp:
+        return SList(
+            [
+                Atom("signed-crl"),
+                self.body_sexp(),
+                SList([Atom("signature"), Atom(self.signature)]),
+            ]
+        )
+
+    @classmethod
+    def from_sexp(cls, node: SExp) -> "RevocationList":
+        if (
+            not isinstance(node, SList)
+            or node.head() != "signed-crl"
+            or len(node) != 3
+        ):
+            raise ValueError("expected (signed-crl body (signature ..))")
+        body = node.items[1]
+        issuer_field = body.find("issuer")
+        revoked_field = body.find("revoked")
+        if issuer_field is None or revoked_field is None:
+            raise ValueError("CRL missing issuer or revoked list")
+        validity_field = body.find("valid")
+        validity = (
+            Validity.from_sexp(validity_field)
+            if validity_field is not None
+            else Validity.ALWAYS
+        )
+        signature = node.items[2].items[1].value
+        return cls(
+            RsaPublicKey.from_sexp(issuer_field.items[1]),
+            [atom.value for atom in revoked_field.tail()],
+            validity,
+            signature,
+        )
+
+    def check(self, certificate, now: float) -> None:
+        if certificate.issuer_key != self.issuer_key:
+            return
+        if not self.verify_signature():
+            raise VerificationError("CRL signature is invalid")
+        if not self.validity.contains(now):
+            raise VerificationError("CRL is stale: no fresh revocation evidence")
+        if certificate.serial in self.revoked_serials:
+            raise VerificationError(
+                "certificate %s has been revoked" % certificate.serial.hex()
+            )
+
+
+class OneTimeRevalidator(RevocationPolicy):
+    """One-time revalidation: each use demands a fresh confirmation.
+
+    The verifier calls ``oracle(certificate, nonce)``; the issuer-side
+    oracle answers with a signature over ``(revalidate serial nonce)``.
+    Nonces are single-use, so an answer cannot be replayed for a later
+    check — exactly SPKI's one-time revalidation semantics.
+    """
+
+    def __init__(
+        self,
+        issuer_key: RsaPublicKey,
+        oracle: Callable,
+        rng: Optional[random.Random] = None,
+    ):
+        self.issuer_key = issuer_key
+        self.oracle = oracle
+        self._rng = rng or random.SystemRandom()
+        self._used_nonces: Set[bytes] = set()
+
+    @staticmethod
+    def revalidation_body(serial: bytes, nonce: bytes) -> bytes:
+        return to_canonical(
+            SList([Atom("revalidate"), Atom(serial), Atom(nonce)])
+        )
+
+    @classmethod
+    def make_oracle(cls, issuer: RsaKeyPair, still_valid: Callable) -> Callable:
+        """Build an issuer-side oracle from a liveness predicate."""
+
+        def oracle(certificate, nonce: bytes) -> Optional[bytes]:
+            if not still_valid(certificate):
+                return None
+            return issuer.sign(cls.revalidation_body(certificate.serial, nonce))
+
+        return oracle
+
+    def check(self, certificate, now: float) -> None:
+        if certificate.issuer_key != self.issuer_key:
+            return
+        nonce = bytes(self._rng.getrandbits(8) for _ in range(16))
+        while nonce in self._used_nonces:  # pragma: no cover - negligible odds
+            nonce = bytes(self._rng.getrandbits(8) for _ in range(16))
+        self._used_nonces.add(nonce)
+        answer = self.oracle(certificate, nonce)
+        if answer is None:
+            raise VerificationError(
+                "issuer declined to revalidate certificate %s"
+                % certificate.serial.hex()
+            )
+        body = self.revalidation_body(certificate.serial, nonce)
+        if not self.issuer_key.verify(body, answer):
+            raise VerificationError("revalidation signature is invalid")
+
+
+class CompositePolicy(RevocationPolicy):
+    """Apply several policies; all must pass."""
+
+    def __init__(self, policies: Iterable[RevocationPolicy]):
+        self.policies = list(policies)
+
+    def check(self, certificate, now: float) -> None:
+        for policy in self.policies:
+            policy.check(certificate, now)

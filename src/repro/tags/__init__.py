@@ -1,0 +1,46 @@
+"""SPKI authorization tags: restriction sets with full intersection.
+
+The paper (Section 4.1) replaces Morcos' "minimal implementation of
+authorization tags with a complete one that performs arbitrary intersection
+operations."  Tags "concisely represent infinitely refinable sets," and are
+the ``T`` in the paper's primary statement ``B =T=> A`` ("B speaks for A
+regarding the statements in set T").
+
+This package implements the RFC 2693 tag algebra — atoms, lists with prefix
+matching, ``(*)``, ``(* set ...)``, ``(* prefix ...)`` and ``(* range ...)``
+— plus one extension, ``(* and ...)`` (conjunction), which makes the
+intersection operation *total*: some intersections (e.g. a prefix with a
+range) are not representable in the base algebra, and the paper's semantics
+framework explicitly licenses such safe extensions.
+"""
+
+from repro.tags.tag import (
+    Tag,
+    TagExpr,
+    TagAtom,
+    TagList,
+    TagStar,
+    TagSet,
+    TagPrefix,
+    TagRange,
+    TagAnd,
+    TagError,
+    parse_tag,
+)
+from repro.tags.intersect import intersect, implies
+
+__all__ = [
+    "Tag",
+    "TagExpr",
+    "TagAtom",
+    "TagList",
+    "TagStar",
+    "TagSet",
+    "TagPrefix",
+    "TagRange",
+    "TagAnd",
+    "TagError",
+    "parse_tag",
+    "intersect",
+    "implies",
+]

@@ -1,0 +1,283 @@
+"""Tag intersection and conservative implication.
+
+``intersect`` is total and exact: for every ground request ``r``,
+
+    intersect(a, b).matches(r)  ==  a.matches(r) and b.matches(r)
+
+(this is the property our hypothesis tests check).  Exactness is possible
+because the algebra is closed under the ``(* and ...)`` extension; pairs the
+base RFC 2693 algebra cannot express (prefix∩range, ranges over different
+orderings) come back as an ``and`` form rather than an approximation.
+
+``implies(a, b)`` is a *conservative* subset test: it returns True only when
+``a ⊆ b`` is provable by structural rules.  The proof checker uses it to
+ensure a delegation chain never widens its restriction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.tags.tag import (
+    TagAnd,
+    TagAtom,
+    TagExpr,
+    TagList,
+    TagPrefix,
+    TagRange,
+    TagSet,
+    TagStar,
+)
+
+_EMPTY = TagSet()
+
+
+def intersect(a: TagExpr, b: TagExpr) -> TagExpr:
+    """Exact intersection of two tag expressions (total function)."""
+    # Universal and union forms first: they absorb every other case.
+    if isinstance(a, TagStar):
+        return b
+    if isinstance(b, TagStar):
+        return a
+    if isinstance(a, TagSet):
+        return _set_intersect(a, b)
+    if isinstance(b, TagSet):
+        return _set_intersect(b, a)
+    if isinstance(a, TagAnd):
+        return _and_combine(list(a.elements) + [b])
+    if isinstance(b, TagAnd):
+        return _and_combine(list(b.elements) + [a])
+    if isinstance(a, TagAtom):
+        return a if b.matches(a.to_sexp()) else _EMPTY
+    if isinstance(b, TagAtom):
+        return b if a.matches(b.to_sexp()) else _EMPTY
+    if isinstance(a, TagList) and isinstance(b, TagList):
+        return _list_intersect(a, b)
+    if isinstance(a, TagList) or isinstance(b, TagList):
+        return _EMPTY  # lists are disjoint from prefix/range (atom-only) sets
+    if isinstance(a, TagPrefix) and isinstance(b, TagPrefix):
+        return _prefix_intersect(a, b)
+    if isinstance(a, TagRange) and isinstance(b, TagRange):
+        return _range_intersect(a, b)
+    # prefix ∩ range (either order): exactly representable only via `and`.
+    return _and_combine([a, b])
+
+
+def _set_intersect(s: TagSet, other: TagExpr) -> TagExpr:
+    survivors = []
+    for element in s.elements:
+        piece = intersect(element, other)
+        if not _definitely_empty(piece):
+            survivors.append(piece)
+    return _simplify_set(survivors)
+
+
+def _simplify_set(elements: List[TagExpr]) -> TagExpr:
+    # Drop duplicates while preserving order.
+    unique: List[TagExpr] = []
+    for element in elements:
+        if element not in unique:
+            unique.append(element)
+    if not unique:
+        return _EMPTY
+    if len(unique) == 1:
+        return unique[0]
+    return TagSet(unique)
+
+
+def _list_intersect(a: TagList, b: TagList) -> TagExpr:
+    short, long_ = (a, b) if len(a.elements) <= len(b.elements) else (b, a)
+    merged: List[TagExpr] = []
+    for pa, pb in zip(short.elements, long_.elements):
+        piece = intersect(pa, pb)
+        if _definitely_empty(piece):
+            return _EMPTY
+        merged.append(piece)
+    merged.extend(long_.elements[len(short.elements):])
+    return TagList(merged)
+
+
+def _prefix_intersect(a: TagPrefix, b: TagPrefix) -> TagExpr:
+    if a.prefix.startswith(b.prefix):
+        return a
+    if b.prefix.startswith(a.prefix):
+        return b
+    return _EMPTY
+
+
+def _range_intersect(a: TagRange, b: TagRange) -> TagExpr:
+    if a.ordering != b.ordering:
+        return _and_combine([a, b])
+    lower, lower_op = _tighter_bound(
+        (a.lower, a.lower_op), (b.lower, b.lower_op), a, want_max=True
+    )
+    upper, upper_op = _tighter_bound(
+        (a.upper, a.upper_op), (b.upper, b.upper_op), a, want_max=False
+    )
+    if lower is _INCOMPARABLE or upper is _INCOMPARABLE:
+        return _and_combine([a, b])
+    merged = TagRange(a.ordering, lower, lower_op or "ge", upper, upper_op or "le")
+    if _range_definitely_empty(merged):
+        return _EMPTY
+    return merged
+
+
+_INCOMPARABLE = object()
+
+
+def _tighter_bound(
+    bound_a: Tuple[Optional[bytes], str],
+    bound_b: Tuple[Optional[bytes], str],
+    ordering_source: TagRange,
+    want_max: bool,
+):
+    value_a, op_a = bound_a
+    value_b, op_b = bound_b
+    if value_a is None:
+        return value_b, op_b
+    if value_b is None:
+        return value_a, op_a
+    key_a = ordering_source._key(value_a)
+    key_b = ordering_source._key(value_b)
+    if key_a is None or key_b is None:
+        return _INCOMPARABLE, None
+    if key_a == key_b:
+        # Equal values: the strict op ('g'/'l') is the tighter constraint.
+        strict = op_a if len(op_a) == 1 else op_b
+        return value_a, strict
+    if (key_a > key_b) == want_max:
+        return value_a, op_a
+    return value_b, op_b
+
+
+def _range_definitely_empty(r: TagRange) -> bool:
+    if r.lower is None or r.upper is None:
+        return False
+    low, high = r._key(r.lower), r._key(r.upper)
+    if low is None or high is None:
+        return False
+    if low > high:
+        return True
+    if low == high and (r.lower_op == "g" or r.upper_op == "l"):
+        return True
+    return False
+
+
+def _and_combine(elements: List[TagExpr]) -> TagExpr:
+    """Build a simplified conjunction: flatten, dedupe, fold what we can."""
+    flat: List[TagExpr] = []
+    for element in elements:
+        if isinstance(element, TagAnd):
+            flat.extend(element.elements)
+        elif isinstance(element, TagStar):
+            continue
+        else:
+            flat.append(element)
+    # A ground atom in a conjunction decides everything.
+    for element in flat:
+        if isinstance(element, TagAtom):
+            node = element.to_sexp()
+            if all(other.matches(node) for other in flat):
+                return element
+            return _EMPTY
+    if any(_definitely_empty(element) for element in flat):
+        return _EMPTY
+    # Fold pairs that intersect exactly (prefix/prefix, range/range-same-
+    # ordering, list/list, set/anything) so `and` only keeps residual pairs.
+    folded: List[TagExpr] = []
+    for element in flat:
+        merged = False
+        for index, existing in enumerate(folded):
+            if _foldable(existing, element):
+                folded[index] = intersect(existing, element)
+                if _definitely_empty(folded[index]):
+                    return _EMPTY
+                merged = True
+                break
+        if not merged and element not in folded:
+            folded.append(element)
+    if not folded:
+        return TagStar()
+    if len(folded) == 1:
+        return folded[0]
+    return TagAnd(folded)
+
+
+def _foldable(a: TagExpr, b: TagExpr) -> bool:
+    if isinstance(a, TagPrefix) and isinstance(b, TagPrefix):
+        return True
+    if isinstance(a, TagRange) and isinstance(b, TagRange):
+        return a.ordering == b.ordering
+    if isinstance(a, TagList) and isinstance(b, TagList):
+        return True
+    if isinstance(a, TagSet) or isinstance(b, TagSet):
+        return True
+    # A list is disjoint from atom-only forms; fold to empty via intersect.
+    if isinstance(a, TagList) != isinstance(b, TagList):
+        return True
+    return False
+
+
+def _definitely_empty(expr: TagExpr) -> bool:
+    if isinstance(expr, TagSet):
+        return all(_definitely_empty(element) for element in expr.elements)
+    if isinstance(expr, TagList):
+        return any(_definitely_empty(element) for element in expr.elements)
+    if isinstance(expr, TagAnd):
+        return any(_definitely_empty(element) for element in expr.elements)
+    return False
+
+
+def implies(a: TagExpr, b: TagExpr) -> bool:
+    """Conservative proof that every request matching ``a`` matches ``b``."""
+    if isinstance(b, TagStar):
+        return True
+    if _definitely_empty(a):
+        return True
+    if a == b:
+        return True
+    if isinstance(a, TagAtom):
+        return b.matches(a.to_sexp())  # ground: exact
+    if isinstance(a, TagSet):
+        return all(implies(element, b) for element in a.elements)
+    if isinstance(b, TagAnd):
+        return all(implies(a, element) for element in b.elements)
+    if isinstance(a, TagAnd):
+        return any(implies(element, b) for element in a.elements)
+    if isinstance(b, TagSet):
+        return any(implies(a, element) for element in b.elements)
+    if isinstance(a, TagStar):
+        return False  # b is not star and not a union that covers it provably
+    if isinstance(a, TagList) and isinstance(b, TagList):
+        if len(a.elements) < len(b.elements):
+            return False
+        return all(
+            implies(pa, pb) for pa, pb in zip(a.elements, b.elements)
+        )
+    if isinstance(a, TagPrefix) and isinstance(b, TagPrefix):
+        return a.prefix.startswith(b.prefix)
+    if isinstance(a, TagRange) and isinstance(b, TagRange):
+        return _range_implies(a, b)
+    return False
+
+
+def _range_implies(a: TagRange, b: TagRange) -> bool:
+    if a.ordering != b.ordering:
+        return False
+    if b.lower is not None:
+        if a.lower is None:
+            return False
+        key_a, key_b = a._key(a.lower), b._key(b.lower)
+        if key_a is None or key_b is None or key_a < key_b:
+            return False
+        if key_a == key_b and b.lower_op == "g" and a.lower_op == "ge":
+            return False
+    if b.upper is not None:
+        if a.upper is None:
+            return False
+        key_a, key_b = a._key(a.upper), b._key(b.upper)
+        if key_a is None or key_b is None or key_a > key_b:
+            return False
+        if key_a == key_b and b.upper_op == "l" and a.upper_op == "le":
+            return False
+    return True

@@ -1,0 +1,19 @@
+"""Command-line tools for working with Snowflake objects.
+
+``python -m repro.tools <command>``:
+
+- ``keygen``      — generate an RSA key pair (S-expression files)
+- ``fingerprint`` — print a key's SPKI hash name
+- ``issue``       — sign a delegation certificate
+- ``show``        — pretty-print any Snowflake object (advanced form)
+- ``verify``      — check a certificate or structured proof
+- ``tag``         — intersect / match authorization tags
+
+These mirror the administrative actions the paper's proxy exposes through
+its ``http://security.localhost/`` UI (Section 5.3.5): create a key pair,
+import identities and delegations, delegate authority to others.
+"""
+
+from repro.tools.cli import main
+
+__all__ = ["main"]

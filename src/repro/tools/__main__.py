@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.tools``."""
+
+import sys
+
+from repro.tools.cli import main
+
+sys.exit(main())

@@ -1,0 +1,241 @@
+"""The ``repro.tools`` command-line interface."""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.core.principals import principal_from_sexp
+from repro.core.proofs import (
+    SignedCertificateStep,
+    VerificationContext,
+    proof_from_sexp,
+)
+from repro.core.statements import Validity
+from repro.crypto.numtheory import int_to_bytes
+from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey, RsaPublicKey, generate_keypair
+from repro.sexp import (
+    Atom,
+    SExp,
+    SList,
+    parse,
+    parse_canonical,
+    to_advanced,
+    to_canonical,
+)
+from repro.spki.certificate import Certificate
+from repro.tags import Tag
+
+
+def _private_key_sexp(keypair: RsaKeyPair) -> SExp:
+    private = keypair.private
+    return SList(
+        [
+            Atom("private-key"),
+            SList(
+                [
+                    Atom("rsa"),
+                    SList([Atom("e"), Atom(int_to_bytes(private.e))]),
+                    SList([Atom("n"), Atom(int_to_bytes(private.n))]),
+                    SList([Atom("d"), Atom(int_to_bytes(private.d))]),
+                    SList([Atom("p"), Atom(int_to_bytes(private.p))]),
+                    SList([Atom("q"), Atom(int_to_bytes(private.q))]),
+                ]
+            ),
+        ]
+    )
+
+
+def load_private_key(path: str) -> RsaKeyPair:
+    node = _read_object(path)
+    if not isinstance(node, SList) or node.head() != "private-key":
+        raise SystemExit("%s: not a private key" % path)
+    body = node.items[1]
+    fields = {}
+    for name in ("e", "n", "d", "p", "q"):
+        field = body.find(name)
+        if field is None:
+            raise SystemExit("%s: private key missing %r" % (path, name))
+        fields[name] = int.from_bytes(field.items[1].value, "big")
+    public = RsaPublicKey(fields["n"], fields["e"])
+    private = RsaPrivateKey(
+        fields["n"], fields["e"], fields["d"], fields["p"], fields["q"]
+    )
+    return RsaKeyPair(public, private)
+
+
+def _read_object(path: str) -> SExp:
+    data = sys.stdin.buffer.read() if path == "-" else open(path, "rb").read()
+    data = data.strip()
+    try:
+        if data.startswith(b"("):
+            return parse(data)
+        return parse_canonical(data)
+    except Exception as exc:
+        raise SystemExit("%s: cannot parse S-expression: %s" % (path, exc))
+
+
+def _write(path: Optional[str], node: SExp, canonical: bool) -> None:
+    payload = to_canonical(node) if canonical else (to_advanced(node) + "\n").encode()
+    if path in (None, "-"):
+        sys.stdout.buffer.write(payload)
+        sys.stdout.buffer.flush()
+    else:
+        with open(path, "wb") as handle:
+            handle.write(payload)
+
+
+def cmd_keygen(args) -> int:
+    rng = random.Random(args.seed) if args.seed is not None else None
+    keypair = generate_keypair(args.bits, rng)
+    _write(args.out + ".private", _private_key_sexp(keypair), canonical=True)
+    _write(args.out + ".public", keypair.public.to_sexp(), canonical=True)
+    print("wrote %s.private and %s.public" % (args.out, args.out))
+    print("fingerprint:", to_advanced(keypair.fingerprint().to_sexp()))
+    return 0
+
+
+def cmd_fingerprint(args) -> int:
+    node = _read_object(args.key)
+    if isinstance(node, SList) and node.head() == "private-key":
+        keypair = load_private_key(args.key)
+        print(to_advanced(keypair.fingerprint().to_sexp()))
+    else:
+        key = RsaPublicKey.from_sexp(node)
+        print(to_advanced(key.fingerprint().to_sexp()))
+    return 0
+
+
+def cmd_issue(args) -> int:
+    issuer = load_private_key(args.issuer)
+    subject = principal_from_sexp(_read_object(args.subject))
+    tag = Tag.from_sexp(parse(args.tag))
+    validity = Validity(args.not_before, args.not_after)
+    certificate = Certificate.issue(
+        issuer, subject, tag, validity,
+        propagate=not args.no_propagate,
+        issuer_name=args.name,
+    )
+    _write(args.out, certificate.to_sexp(), canonical=args.canonical)
+    return 0
+
+
+def cmd_show(args) -> int:
+    node = _read_object(args.object)
+    print(to_advanced(node))
+    head = node.head() if isinstance(node, SList) else None
+    if head == "signed-cert":
+        certificate = Certificate.from_sexp(node)
+        print("\nmeaning:", certificate.statement().display())
+    elif head == "proof":
+        proof = proof_from_sexp(node)
+        print("\nproof tree:")
+        print(proof.display_tree(1))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    node = _read_object(args.object)
+    head = node.head() if isinstance(node, SList) else None
+    context = VerificationContext(now=args.now)
+    if head == "signed-cert":
+        proof = SignedCertificateStep(Certificate.from_sexp(node))
+    elif head == "proof":
+        proof = proof_from_sexp(node)
+    else:
+        raise SystemExit("expected a signed-cert or proof object")
+    try:
+        proof.verify(context)
+    except Exception as exc:
+        print("INVALID: %s" % exc)
+        return 1
+    conclusion = proof.conclusion
+    print("VALID:", conclusion.display())
+    from repro.core.statements import SpeaksFor
+
+    if isinstance(conclusion, SpeaksFor) and not conclusion.validity.contains(
+        args.now
+    ):
+        print("note: conclusion is outside its validity window at t=%s" % args.now)
+        return 2
+    return 0
+
+
+def cmd_tag(args) -> int:
+    first = Tag.from_sexp(parse(args.first))
+    if args.match is not None:
+        request = parse(args.match)
+        print("match" if first.matches(request) else "no-match")
+        return 0 if first.matches(request) else 1
+    if args.intersect is not None:
+        second = Tag.from_sexp(parse(args.intersect))
+        result = first.intersect(second)
+        print(to_advanced(result.to_sexp()))
+        return 0 if not result.is_empty() else 1
+    print(to_advanced(first.to_sexp()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools", description=__doc__
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    keygen = commands.add_parser("keygen", help="generate an RSA key pair")
+    keygen.add_argument("--bits", type=int, default=1024)
+    keygen.add_argument("--seed", type=int, default=None,
+                        help="deterministic keys (testing only)")
+    keygen.add_argument("--out", required=True, help="output path stem")
+    keygen.set_defaults(func=cmd_keygen)
+
+    fingerprint = commands.add_parser(
+        "fingerprint", help="print a key's SPKI hash name"
+    )
+    fingerprint.add_argument("key", help="public or private key file")
+    fingerprint.set_defaults(func=cmd_fingerprint)
+
+    issue = commands.add_parser("issue", help="sign a delegation certificate")
+    issue.add_argument("--issuer", required=True, help="private key file")
+    issue.add_argument("--subject", required=True,
+                       help="subject principal file (e.g. a .public)")
+    issue.add_argument("--tag", required=True,
+                       help="restriction, e.g. '(tag (web (method GET)))'")
+    issue.add_argument("--not-before", type=float, default=None)
+    issue.add_argument("--not-after", type=float, default=None)
+    issue.add_argument("--name", default=None,
+                       help="issue as the compound name <issuer>·NAME")
+    issue.add_argument("--no-propagate", action="store_true")
+    issue.add_argument("--canonical", action="store_true",
+                       help="write canonical bytes instead of advanced text")
+    issue.add_argument("--out", default="-")
+    issue.set_defaults(func=cmd_issue)
+
+    show = commands.add_parser("show", help="pretty-print a Snowflake object")
+    show.add_argument("object")
+    show.set_defaults(func=cmd_show)
+
+    verify = commands.add_parser("verify", help="verify a certificate or proof")
+    verify.add_argument("object")
+    verify.add_argument("--now", type=float, default=0.0)
+    verify.set_defaults(func=cmd_verify)
+
+    tag = commands.add_parser("tag", help="authorization-tag algebra")
+    tag.add_argument("first", help="a tag, e.g. '(tag (web))'")
+    tag.add_argument("--intersect", default=None, help="another tag")
+    tag.add_argument("--match", default=None, help="a ground request")
+    tag.set_defaults(func=cmd_tag)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -1,0 +1,152 @@
+"""Tests for the blind quoting gateway (Section 9's future work) and the
+hybrid sealing primitive beneath it."""
+
+import pytest
+
+from repro.apps.blindgateway import (
+    BlindQuotingGateway,
+    SEAL_TO_HEADER,
+    add_sealed_select,
+)
+from repro.apps.emaildb import EmailDatabaseServer
+from repro.core.principals import KeyPrincipal
+from repro.crypto.seal import SealError, seal, unseal
+from repro.http import HttpServer
+from repro.http.message import HttpRequest
+from repro.http.proxy import SnowflakeProxy
+from repro.net import Network
+from repro.net.secure import SecureChannelClient
+from repro.prover import KeyClosure, Prover
+from repro.rmi import ClientIdentity, RmiServer
+from repro.sexp import from_transport, to_transport
+from repro.sim import SimClock
+from repro.spki import Certificate
+
+SECRET_BODY = "the secret plans are under the stairs"
+
+
+class TestSeal:
+    def test_roundtrip(self, alice_kp, rng):
+        envelope = seal(alice_kp.public, b"hello", rng)
+        assert unseal(alice_kp.private, envelope) == b"hello"
+
+    def test_wrong_key_fails(self, alice_kp, bob_kp, rng):
+        envelope = seal(alice_kp.public, b"hello", rng)
+        with pytest.raises(SealError):
+            unseal(bob_kp.private, envelope)
+
+    def test_tampered_ciphertext_fails(self, alice_kp, rng):
+        from repro.sexp import Atom, SList
+
+        envelope = seal(alice_kp.public, b"hello", rng)
+        ct = bytearray(envelope.find("ct").items[1].value)
+        ct[0] ^= 1
+        tampered = SList(
+            [
+                Atom("sealed"),
+                envelope.find("key"),
+                SList([Atom("ct"), Atom(bytes(ct))]),
+                envelope.find("mac"),
+            ]
+        )
+        with pytest.raises(SealError):
+            unseal(alice_kp.private, tampered)
+
+    def test_empty_plaintext(self, alice_kp, rng):
+        assert unseal(alice_kp.private, seal(alice_kp.public, b"", rng)) == b""
+
+    def test_ciphertext_hides_plaintext(self, alice_kp, rng):
+        body = b"A" * 64
+        envelope = seal(alice_kp.public, body, rng)
+        assert body not in envelope.to_canonical()
+
+
+@pytest.fixture()
+def world(host_kp, server_kp, gateway_kp, alice_kp, rng):
+    net = Network()
+    clock = SimClock()
+    rmi = RmiServer(net, "db.addr", host_kp, clock=clock)
+    email = EmailDatabaseServer(rmi, server_kp)
+    add_sealed_select(email, rng)
+    email.messages.insert(
+        {"mailbox": "alice", "sender": "carol", "subject": "plans",
+         "body": SECRET_BODY, "unread": True}
+    )
+    gw_prover = Prover()
+    gw_prover.control(KeyClosure(gateway_kp, rng))
+    gw_channel = SecureChannelClient(
+        net.connect("db.addr"), gateway_kp, host_kp.public, rng=rng
+    )
+    gateway = BlindQuotingGateway(gw_channel, ClientIdentity(gw_prover, gateway_kp))
+    http = HttpServer()
+    http.mount("/", gateway)
+    net.listen("gw.addr", http)
+
+    alice_prover = Prover()
+    alice_prover.add_certificate(
+        Certificate.issue(
+            server_kp, KeyPrincipal(alice_kp.public),
+            email.mailbox_tag("alice"), rng=rng,
+        )
+    )
+    proxy = SnowflakeProxy(net, alice_prover, alice_kp, rng=rng)
+    return {"net": net, "gateway": gateway, "proxy": proxy, "email": email}
+
+
+class TestBlindGateway:
+    def _sealed_get(self, world, alice_kp):
+        headers = [(
+            SEAL_TO_HEADER,
+            to_transport(alice_kp.public.to_sexp()).decode("ascii"),
+        )]
+        return world["proxy"].request(
+            "gw.addr", HttpRequest("GET", "/mail/alice/sealed", headers)
+        )
+
+    def test_client_decrypts_end_to_end(self, world, alice_kp):
+        response = self._sealed_get(world, alice_kp)
+        assert response.status == 200
+        envelope = from_transport(response.body)
+        plaintext = unseal(alice_kp.private, envelope).decode("utf-8")
+        assert SECRET_BODY in plaintext
+
+    def test_gateway_never_observes_plaintext(self, world, alice_kp):
+        self._sealed_get(world, alice_kp)
+        secret = SECRET_BODY.encode("utf-8")
+        for observed in world["gateway"].observed_plaintexts:
+            assert secret not in observed
+
+    def test_authorization_still_end_to_end(self, world, bob_kp, rng):
+        """An undelegated client gets no sealed content either: blinding
+        does not bypass the database's access decision."""
+        stranger_prover = Prover()
+        stranger = SnowflakeProxy(world["net"], stranger_prover, bob_kp, rng=rng)
+        headers = [(
+            SEAL_TO_HEADER,
+            to_transport(bob_kp.public.to_sexp()).decode("ascii"),
+        )]
+        response = stranger.request(
+            "gw.addr", HttpRequest("GET", "/mail/alice/sealed", headers)
+        )
+        assert response.status == 401
+
+    def test_stolen_envelope_useless_to_other_keys(self, world, alice_kp,
+                                                   carol_kp):
+        """Even a recipient swap at the gateway cannot leak: content is
+        sealed to the key named in the request, and another key cannot
+        open it."""
+        response = self._sealed_get(world, alice_kp)
+        envelope = from_transport(response.body)
+        with pytest.raises(SealError):
+            unseal(carol_kp.private, envelope)
+
+    def test_missing_seal_header_rejected(self, world, alice_kp):
+        response = world["proxy"].request(
+            "gw.addr", HttpRequest("GET", "/mail/alice/sealed")
+        )
+        assert response.status == 400
+
+    def test_normal_html_path_still_works(self, world):
+        response = world["proxy"].get("gw.addr", "/mail/alice")
+        assert response.status == 200
+        assert SECRET_BODY.encode() in response.body

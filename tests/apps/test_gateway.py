@@ -1,0 +1,150 @@
+"""Tests for the quoting protocol gateway (Section 6.3).
+
+The showcase: HTTP client -> gateway -> RMI database, with the gateway
+quoting each client so the database makes every access decision.
+"""
+
+import pytest
+
+from repro.apps.emaildb import EmailDatabaseServer
+from repro.apps.gateway import QuotingGateway
+from repro.core.principals import KeyPrincipal, QuotingPrincipal
+from repro.crypto import generate_keypair
+from repro.http import HttpServer
+from repro.http.proxy import SnowflakeProxy
+from repro.net import Network
+from repro.net.secure import SecureChannelClient
+from repro.prover import KeyClosure, Prover
+from repro.rmi import ClientIdentity, RmiServer
+from repro.sim import SimClock
+from repro.spki import Certificate
+
+
+@pytest.fixture()
+def world(host_kp, server_kp, gateway_kp, alice_kp, bob_kp, rng):
+    net = Network()
+    clock = SimClock()
+    rmi = RmiServer(net, "db.addr", host_kp, clock=clock)
+    email = EmailDatabaseServer(rmi, server_kp)
+    email.messages.insert(
+        {"mailbox": "alice", "sender": "carol", "subject": "hi",
+         "body": "lunch?", "unread": True}
+    )
+    email.messages.insert(
+        {"mailbox": "bob", "sender": "dave", "subject": "yo",
+         "body": "game?", "unread": True}
+    )
+
+    gw_prover = Prover()
+    gw_prover.control(KeyClosure(gateway_kp, rng))
+    gw_identity = ClientIdentity(gw_prover, gateway_kp)
+    gw_channel = SecureChannelClient(
+        net.connect("db.addr"), gateway_kp, host_kp.public, rng=rng
+    )
+    gateway = QuotingGateway(gw_channel, gw_identity)
+    http = HttpServer()
+    http.mount("/", gateway)
+    net.listen("gw.addr", http)
+
+    def proxy_for(keypair, mailbox=None):
+        prover = Prover()
+        if mailbox is not None:
+            prover.add_certificate(
+                Certificate.issue(
+                    server_kp, KeyPrincipal(keypair.public),
+                    email.mailbox_tag(mailbox), rng=rng,
+                )
+            )
+        return SnowflakeProxy(net, prover, keypair, rng=rng)
+
+    return {
+        "net": net,
+        "rmi": rmi,
+        "email": email,
+        "gateway": gateway,
+        "proxy_for": proxy_for,
+    }
+
+
+class TestGatewayFlow:
+    def test_alice_reads_her_mail_as_html(self, world, alice_kp):
+        proxy = world["proxy_for"](alice_kp, "alice")
+        response = proxy.get("gw.addr", "/mail/alice")
+        assert response.status == 200
+        assert b"<h1>Mail for alice</h1>" in response.body
+        assert b"lunch?" in response.body
+
+    def test_repeat_requests_stay_authorized(self, world, alice_kp):
+        proxy = world["proxy_for"](alice_kp, "alice")
+        assert proxy.get("gw.addr", "/mail/alice").status == 200
+        assert proxy.get("gw.addr", "/mail/alice").status == 200
+
+    def test_actions_route_through_quoting(self, world, alice_kp):
+        proxy = world["proxy_for"](alice_kp, "alice")
+        proxy.get("gw.addr", "/mail/alice")
+        rows = world["email"].messages.select()
+        rowid = [r for r in rows if r["mailbox"] == "alice"][0]["rowid"]
+        response = proxy.get("gw.addr", "/mail/alice/read/%d" % rowid)
+        assert response.status == 200
+        updated = [r for r in world["email"].messages.select()
+                   if r["rowid"] == rowid][0]
+        assert updated["unread"] is False
+
+    def test_html_escapes_content(self, world, alice_kp):
+        world["email"].messages.insert(
+            {"mailbox": "alice", "sender": "m", "subject": "<script>",
+             "body": "x", "unread": True}
+        )
+        proxy = world["proxy_for"](alice_kp, "alice")
+        response = proxy.get("gw.addr", "/mail/alice")
+        assert b"<script>" not in response.body
+        assert b"&lt;script&gt;" in response.body
+
+
+class TestGatewaySecurity:
+    def test_alice_cannot_read_bobs_mailbox(self, world, alice_kp):
+        proxy = world["proxy_for"](alice_kp, "alice")
+        response = proxy.get("gw.addr", "/mail/bob")
+        assert response.status == 401  # proxy cannot delegate what it lacks
+
+    def test_gateway_cannot_serve_alice_with_bobs_authority(
+        self, world, alice_kp, bob_kp
+    ):
+        """Even after Bob delegates to the gateway, requests quoted as
+        Alice must not reach Bob's rows: the database, not the gateway,
+        decides."""
+        bob_proxy = world["proxy_for"](bob_kp, "bob")
+        assert bob_proxy.get("gw.addr", "/mail/bob").status == 200
+        alice_proxy = world["proxy_for"](alice_kp, "alice")
+        assert alice_proxy.get("gw.addr", "/mail/alice").status == 200
+        # Alice still cannot see Bob's mail through the shared gateway.
+        assert alice_proxy.get("gw.addr", "/mail/bob").status == 401
+
+    def test_unknown_client_gets_challenge(self, world, carol_kp):
+        proxy = world["proxy_for"](carol_kp, None)
+        response = proxy.get("gw.addr", "/mail/alice")
+        assert response.status == 401
+
+    def test_db_audit_shows_gateway_and_client(self, world, alice_kp,
+                                               gateway_kp):
+        proxy = world["proxy_for"](alice_kp, "alice")
+        proxy.get("gw.addr", "/mail/alice")
+        record = world["rmi"].audit.records[-1]
+        involved = record.involved_principals()
+        G = KeyPrincipal(gateway_kp.public)
+        A = KeyPrincipal(alice_kp.public)
+        assert A in involved, "the end-to-end client appears in the audit"
+        assert QuotingPrincipal(G, A) in involved, (
+            "the gateway's quoting involvement appears in the audit"
+        )
+
+    def test_speaker_at_db_is_channel_quoting_client(self, world, alice_kp):
+        proxy = world["proxy_for"](alice_kp, "alice")
+        proxy.get("gw.addr", "/mail/alice")
+        record = world["rmi"].audit.records[-1]
+        assert isinstance(record.speaker, QuotingPrincipal)
+        assert record.speaker.quotee == KeyPrincipal(alice_kp.public)
+
+    def test_bad_path_404(self, world, alice_kp):
+        proxy = world["proxy_for"](alice_kp, "alice")
+        assert proxy.get("gw.addr", "/notmail").status == 404

@@ -1,0 +1,57 @@
+"""Shared fixtures.
+
+Key generation is the slowest primitive, so a session-scoped pool of
+deterministic 512-bit keys is shared across tests; tests that need
+distinct identities draw different indices.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto import generate_keypair
+
+_POOL_SIZE = 10
+
+
+@pytest.fixture(scope="session")
+def keypool():
+    rng = random.Random(0xC0FFEE)
+    return [generate_keypair(512, rng) for _ in range(_POOL_SIZE)]
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(1234)
+
+
+@pytest.fixture()
+def alice_kp(keypool):
+    return keypool[0]
+
+
+@pytest.fixture()
+def bob_kp(keypool):
+    return keypool[1]
+
+
+@pytest.fixture()
+def carol_kp(keypool):
+    return keypool[2]
+
+
+@pytest.fixture()
+def server_kp(keypool):
+    return keypool[3]
+
+
+@pytest.fixture()
+def host_kp(keypool):
+    return keypool[4]
+
+
+@pytest.fixture()
+def gateway_kp(keypool):
+    return keypool[5]

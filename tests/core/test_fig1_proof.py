@@ -1,0 +1,135 @@
+"""Reproduction of the paper's Figure 1: a structured proof and its reuse.
+
+The proof shows "that document D is the object client C associates with
+the name N."  HKC is the hash of the client's key KC, HD the hash of the
+document, KS the server's key.  Structure (leaves up):
+
+    hash-identity:       HKC => KC
+    name-monotonicity:   HKC·N => KC·N
+    signed-certificate:  KS => HKC·N          (a name certificate)
+    transitivity:        KS => KC·N
+    signed-certificate:  HD => KS             (short-lived!)
+    transitivity:        HD => KC·N
+
+"Since the structure of the proof is preserved, if the topmost statement
+should expire (perhaps because it depends on the short-lived statement
+HD => KS), the still-useful proof of KS => KC·N may be extracted and
+reused in future proofs."
+"""
+
+import pytest
+
+from repro.core.principals import HashPrincipal, KeyPrincipal, NamePrincipal
+from repro.core.proofs import (
+    SignedCertificateStep,
+    VerificationContext,
+    proof_from_sexp,
+)
+from repro.core.rules import (
+    HashIdentityStep,
+    NameMonotonicityStep,
+    TransitivityStep,
+)
+from repro.core.statements import SpeaksFor, Validity
+from repro.crypto.hashes import HashValue
+from repro.sexp import parse_canonical, to_canonical
+from repro.spki.certificate import Certificate
+from repro.tags import Tag
+
+
+@pytest.fixture()
+def fig1(alice_kp, server_kp, rng):
+    """Build the Figure 1 proof; alice_kp plays KC, server_kp plays KS."""
+    client_kp, srv_kp = alice_kp, server_kp
+    KC = KeyPrincipal(client_kp.public)
+    KS = KeyPrincipal(srv_kp.public)
+    HKC = KC.hash_principal()
+    document = b"The Document D"
+    HD = HashPrincipal(HashValue.of_bytes(document))
+
+    # hash identity: HKC => KC
+    hash_identity = HashIdentityStep(client_kp.public.to_sexp())
+    # name monotonicity: HKC·N => KC·N
+    name_mono = NameMonotonicityStep(hash_identity, "N")
+    # signed name certificate: KS => HKC·N (client binds the name to KS)
+    name_cert = SignedCertificateStep(
+        Certificate.issue(
+            client_kp, KS, Tag.all(), rng=rng,
+            issuer_name="N", issuer_via_hash=True,
+        )
+    )
+    assert name_cert.conclusion.issuer == NamePrincipal(HKC, "N")
+    # transitivity: KS => KC·N — the reusable middle lemma
+    middle = TransitivityStep(name_cert, name_mono)
+    # short-lived signed certificate: HD => KS
+    short_lived = SignedCertificateStep(
+        Certificate.issue(
+            srv_kp, HD, Tag.all(), validity=Validity(0.0, 100.0), rng=rng
+        )
+    )
+    # transitivity: HD => KC·N — the whole Figure 1 proof
+    top = TransitivityStep(short_lived, middle)
+    return {
+        "top": top,
+        "middle": middle,
+        "name_cert": name_cert,
+        "hash_identity": hash_identity,
+        "short_lived": short_lived,
+        "KC": KC,
+        "KS": KS,
+        "HKC": HKC,
+        "HD": HD,
+    }
+
+
+class TestFigure1:
+    def test_whole_proof_verifies_while_fresh(self, fig1):
+        fig1["top"].verify(VerificationContext(now=10.0))
+
+    def test_conclusion_matches_the_figure(self, fig1):
+        conclusion = fig1["top"].conclusion
+        assert isinstance(conclusion, SpeaksFor)
+        assert conclusion.subject == fig1["HD"]
+        assert conclusion.issuer == NamePrincipal(fig1["KC"], "N")
+
+    def test_middle_lemma_matches_the_figure(self, fig1):
+        middle = fig1["middle"].conclusion
+        assert middle.subject == fig1["KS"]
+        assert middle.issuer == NamePrincipal(fig1["KC"], "N")
+
+    def test_top_conclusion_expires_with_short_lived_leaf(self, fig1):
+        assert fig1["top"].conclusion.validity.contains(50.0)
+        assert not fig1["top"].conclusion.validity.contains(200.0)
+
+    def test_still_useful_lemma_extracted_and_reused(self, fig1):
+        # After the top statement expires, the KS => KC·N lemma survives.
+        lemmas = list(fig1["top"].speaks_for_lemmas())
+        assert fig1["middle"] in lemmas
+        middle = fig1["middle"]
+        assert middle.conclusion.validity.is_unbounded()
+        middle.verify(VerificationContext(now=1e9))  # far future: still good
+
+    def test_all_figure_leaves_present(self, fig1):
+        lemmas = list(fig1["top"].lemmas())
+        for key in ("hash_identity", "name_cert", "short_lived", "middle"):
+            assert fig1[key] in lemmas
+
+    def test_proof_survives_wire_transfer(self, fig1):
+        restored = proof_from_sexp(
+            parse_canonical(to_canonical(fig1["top"].to_sexp()))
+        )
+        assert restored == fig1["top"]
+        restored.verify(VerificationContext(now=10.0))
+
+    def test_prover_digests_and_reuses_the_lemma(self, fig1):
+        from repro.prover import Prover
+
+        prover = Prover()
+        prover.add_proof(fig1["top"])
+        # After digestion, a query for the middle lemma's statement finds
+        # it without the expired document leaf.
+        found = prover.find_proof(
+            fig1["KS"], NamePrincipal(fig1["KC"], "N"), now=1e9
+        )
+        assert found is not None
+        assert found.conclusion.subject == fig1["KS"]

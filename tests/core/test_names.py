@@ -1,0 +1,137 @@
+"""Tests for SDSI name resolution and its prover integration."""
+
+import pytest
+
+from repro.core.principals import KeyPrincipal, NamePrincipal
+from repro.names import Binding, NameResolutionError, NameResolver
+from repro.spki import Certificate
+from repro.tags import Tag, parse_tag
+
+
+@pytest.fixture()
+def principals(alice_kp, bob_kp, carol_kp, server_kp):
+    return {
+        "A": KeyPrincipal(alice_kp.public),
+        "B": KeyPrincipal(bob_kp.public),
+        "C": KeyPrincipal(carol_kp.public),
+        "S": KeyPrincipal(server_kp.public),
+    }
+
+
+def name_cert(issuer_kp, label, subject, rng):
+    return Certificate.issue(
+        issuer_kp, subject, Tag.all(), issuer_name=label, rng=rng
+    )
+
+
+class TestBindings:
+    def test_add_and_resolve(self, alice_kp, principals, rng):
+        resolver = NameResolver()
+        resolver.add_certificate(name_cert(alice_kp, "bob", principals["B"], rng))
+        name = NamePrincipal(principals["A"], "bob")
+        bindings = resolver.resolve(name)
+        assert len(bindings) == 1
+        assert bindings[0].subject == principals["B"]
+
+    def test_non_name_cert_rejected(self, alice_kp, principals, rng):
+        resolver = NameResolver()
+        plain = Certificate.issue(alice_kp, principals["B"], Tag.all(), rng=rng)
+        with pytest.raises(ValueError):
+            resolver.add_certificate(plain)
+
+    def test_bad_signature_rejected(self, alice_kp, principals, rng):
+        from repro.core.errors import VerificationError
+
+        resolver = NameResolver()
+        cert = name_cert(alice_kp, "bob", principals["B"], rng)
+        cert.issuer_name = "mallory"  # breaks the signature
+        with pytest.raises(VerificationError):
+            resolver.add_certificate(cert)
+
+    def test_multiple_bindings_for_group_names(self, alice_kp, principals, rng):
+        """SDSI names are groups: alice·friends can bind many members."""
+        resolver = NameResolver()
+        resolver.add_certificate(name_cert(alice_kp, "friends", principals["B"], rng))
+        resolver.add_certificate(name_cert(alice_kp, "friends", principals["C"], rng))
+        name = NamePrincipal(principals["A"], "friends")
+        subjects = {binding.subject for binding in resolver.resolve(name)}
+        assert subjects == {principals["B"], principals["C"]}
+
+    def test_resolve_unique_rejects_ambiguity(self, alice_kp, principals, rng):
+        resolver = NameResolver()
+        resolver.add_certificate(name_cert(alice_kp, "friends", principals["B"], rng))
+        resolver.add_certificate(name_cert(alice_kp, "friends", principals["C"], rng))
+        with pytest.raises(NameResolutionError):
+            resolver.resolve_unique(NamePrincipal(principals["A"], "friends"))
+
+    def test_missing_binding(self, principals):
+        resolver = NameResolver()
+        with pytest.raises(NameResolutionError):
+            resolver.resolve_unique(NamePrincipal(principals["A"], "ghost"))
+
+
+class TestPathLookup:
+    def test_two_level_path(self, alice_kp, bob_kp, principals, rng):
+        """alice.assistant -> bob; bob.mailbox -> carol."""
+        resolver = NameResolver()
+        resolver.add_certificate(name_cert(alice_kp, "assistant", principals["B"], rng))
+        resolver.add_certificate(name_cert(bob_kp, "mailbox", principals["C"], rng))
+        binding = resolver.lookup(principals["A"], "assistant.mailbox")
+        assert binding.subject == principals["C"]
+
+    def test_nested_name_resolution(self, alice_kp, bob_kp, principals, rng):
+        """Resolving (A·assistant)·mailbox directly re-anchors through B."""
+        resolver = NameResolver()
+        resolver.add_certificate(name_cert(alice_kp, "assistant", principals["B"], rng))
+        resolver.add_certificate(name_cert(bob_kp, "mailbox", principals["C"], rng))
+        nested = NamePrincipal(
+            NamePrincipal(principals["A"], "assistant"), "mailbox"
+        )
+        bindings = resolver.resolve(nested)
+        assert {binding.subject for binding in bindings} == {principals["C"]}
+
+    def test_proofs_of_path(self, alice_kp, bob_kp, principals, rng):
+        resolver = NameResolver()
+        resolver.add_certificate(name_cert(alice_kp, "assistant", principals["B"], rng))
+        resolver.add_certificate(name_cert(bob_kp, "mailbox", principals["C"], rng))
+        proofs = resolver.proofs_of_path(principals["A"], "assistant.mailbox")
+        assert len(proofs) == 2
+        assert proofs[0].conclusion.subject == principals["B"]
+        assert proofs[1].conclusion.subject == principals["C"]
+
+    def test_empty_path_rejected(self, principals):
+        with pytest.raises(NameResolutionError):
+            NameResolver().lookup(principals["A"], "")
+
+
+class TestProverIntegration:
+    def test_resolution_collects_authorization(
+        self, alice_kp, server_kp, principals, rng
+    ):
+        """The Section 4.4 pattern end-to-end: the server delegates to
+        "alice's assistant" by *name*; resolving the name deposits exactly
+        the proofs the prover needs to authorize the assistant."""
+        resolver = NameResolver()
+        prover = resolver.prover
+        # The server delegates to the name A·assistant:
+        assistant_name = NamePrincipal(principals["A"], "assistant")
+        prover.add_certificate(
+            Certificate.issue(
+                server_kp, assistant_name, parse_tag("(tag (web))"), rng=rng
+            )
+        )
+        # Before resolution: no proof that B (the actual assistant) may act.
+        assert prover.find_proof(
+            principals["B"], principals["S"], request=["web"]
+        ) is None
+        # Resolving the name collects the binding proof:
+        resolver.add_certificate(
+            name_cert(alice_kp, "assistant", principals["B"], rng)
+        )
+        proof = prover.find_proof(
+            principals["B"], principals["S"], request=["web"]
+        )
+        assert proof is not None
+        # The chain routes through the name principal:
+        displays = [lemma.conclusion.display() for lemma in proof.lemmas()]
+        assert any(".assistant" in text for text in displays)

@@ -1,0 +1,176 @@
+"""Property-based tests over randomly composed proof trees.
+
+Invariants (DESIGN.md): wire round-trips preserve trees exactly;
+verification accepts every honestly composed tree; restriction never
+widens along any chain; and lemma digestion re-proves whatever the
+original proved.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.principals import KeyPrincipal, NamePrincipal, QuotingPrincipal
+from repro.core.proofs import (
+    PremiseStep,
+    VerificationContext,
+    proof_from_sexp,
+)
+from repro.core.rules import (
+    NameMonotonicityStep,
+    QuotingLeftMonotonicityStep,
+    QuotingRightMonotonicityStep,
+    RestrictionWeakeningStep,
+    TransitivityStep,
+)
+from repro.core.statements import SpeaksFor
+from repro.crypto import generate_keypair
+from repro.sexp import parse_canonical, to_canonical
+from repro.tags import Tag, parse_tag
+
+_BASE = KeyPrincipal(generate_keypair(384, random.Random(0xF00D)).public)
+_NODES = [NamePrincipal(_BASE, "p%d" % i) for i in range(5)]
+_TAGS = [
+    parse_tag("(tag (*))"),
+    parse_tag("(tag (web))"),
+    parse_tag("(tag (web (method GET)))"),
+]
+_REQUEST = ["web", ["method", "GET"], ["path", "/x"]]
+
+
+def _premise(subject_index, issuer_index, tag_index):
+    return PremiseStep(
+        SpeaksFor(
+            _NODES[subject_index % 5],
+            _NODES[issuer_index % 5],
+            _TAGS[tag_index % 3],
+        )
+    )
+
+
+class _Builder:
+    """Interprets a byte program as proof-tree construction ops."""
+
+    def build(self, program):
+        proof = _premise(program[0] if program else 0, 1, 0)
+        for op in program:
+            kind = op % 5
+            try:
+                if kind == 0:
+                    # extend the chain with transitivity
+                    issuer = proof.conclusion.issuer
+                    index = _NODES.index(issuer) if issuer in _NODES else 0
+                    extension = PremiseStep(
+                        SpeaksFor(issuer, _NODES[(index + op) % 5], _TAGS[op % 3])
+                    )
+                    proof = TransitivityStep(proof, extension)
+                elif kind == 1:
+                    proof = NameMonotonicityStep(proof, "n%d" % (op % 3))
+                elif kind == 2:
+                    proof = QuotingLeftMonotonicityStep(proof, _NODES[op % 5])
+                elif kind == 3:
+                    proof = QuotingRightMonotonicityStep(proof, _NODES[op % 5])
+                else:
+                    narrower = proof.conclusion.tag.intersect(_TAGS[op % 3])
+                    proof = RestrictionWeakeningStep(proof, narrower)
+            except Exception:
+                continue  # op inapplicable at this point: skip
+        return proof
+
+
+programs = st.lists(st.integers(0, 255), max_size=10)
+
+
+@given(programs)
+@settings(max_examples=150, deadline=None)
+def test_random_trees_roundtrip_and_verify(program):
+    proof = _Builder().build(program)
+    wire = to_canonical(proof.to_sexp())
+    restored = proof_from_sexp(parse_canonical(wire))
+    assert restored == proof
+    context = VerificationContext(
+        trusted_premises=[
+            lemma.conclusion for lemma in proof.lemmas() if not lemma.premises
+        ]
+    )
+    restored.verify(context)
+
+
+@given(programs)
+@settings(max_examples=150, deadline=None)
+def test_restriction_never_widens(program):
+    """Whatever the tree shape, anything the conclusion's tag matches is
+    matched by every speaks-for lemma's tag along its own spine — i.e.
+    composition can only narrow authority."""
+    proof = _Builder().build(program)
+    conclusion = proof.conclusion
+    if not isinstance(conclusion, SpeaksFor):
+        return
+    if conclusion.tag.matches(_REQUEST):
+        # Then every transitivity input on the spine matched it too.
+        for lemma in proof.lemmas():
+            if isinstance(lemma, TransitivityStep):
+                inner = lemma.conclusion
+                assert inner.tag.matches(_REQUEST) or not _on_spine(proof, lemma)
+
+
+def _on_spine(root, target):
+    # Whether target contributes directly to the root conclusion's tag
+    # (for this builder, every transitivity node does).
+    return any(lemma is target for lemma in root.lemmas())
+
+
+@given(programs)
+@settings(max_examples=100, deadline=None)
+def test_digestion_preserves_provability(program):
+    from repro.prover import Prover
+
+    proof = _Builder().build(program)
+    conclusion = proof.conclusion
+    if not isinstance(conclusion, SpeaksFor):
+        return
+    prover = Prover()
+    prover.add_proof(proof)
+    found = prover.find_proof(conclusion.subject, conclusion.issuer)
+    assert found is not None
+    assert found.conclusion.subject == conclusion.subject
+    assert found.conclusion.issuer == conclusion.issuer
+
+
+@given(programs)
+@settings(max_examples=100, deadline=None)
+def test_issuer_swap_never_verifies(program):
+    """Rewriting any tree's claimed conclusion to name a *different
+    issuer* must never produce a verifying proof: it is either rejected at
+    parse time (the rule cannot rederive it) or at verification time (a
+    swapped premise is not vouched for)."""
+    from repro.core.errors import ProofError, VerificationError
+    from repro.sexp import Atom, SList
+
+    proof = _Builder().build(program)
+    conclusion = proof.conclusion
+    if not isinstance(conclusion, SpeaksFor):
+        return
+    outsider = KeyPrincipal(
+        generate_keypair(384, random.Random(0xBAD)).public
+    )
+    if conclusion.issuer == outsider:
+        return
+    forged_statement = SpeaksFor(conclusion.subject, outsider, conclusion.tag)
+    node = proof.to_sexp()
+    items = list(node.items)
+    for index, item in enumerate(items):
+        if isinstance(item, SList) and item.head() == "conclusion":
+            items[index] = SList([Atom("conclusion"), forged_statement.to_sexp()])
+    honest_premises = [
+        lemma.conclusion for lemma in proof.lemmas() if not lemma.premises
+    ]
+    try:
+        forged = proof_from_sexp(SList(items))
+    except ProofError:
+        return  # rejected at parse: good
+    try:
+        forged.verify(VerificationContext(trusted_premises=honest_premises))
+    except (ProofError, VerificationError):
+        return  # rejected at verification: good
+    raise AssertionError("forged issuer survived parse and verification")

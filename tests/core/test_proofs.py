@@ -1,0 +1,153 @@
+"""Unit tests for proof steps, verification, and wire transfer."""
+
+import pytest
+
+from repro.core.errors import ProofError, VerificationError
+from repro.core.principals import KeyPrincipal
+from repro.core.proofs import (
+    PremiseStep,
+    SignedCertificateStep,
+    VerificationContext,
+    proof_from_sexp,
+)
+from repro.core.rules import TransitivityStep
+from repro.core.statements import Says, SpeaksFor, Validity
+from repro.sexp import Atom, SList, parse_canonical, to_canonical
+from repro.spki.certificate import Certificate
+from repro.tags import Tag, parse_tag
+
+
+@pytest.fixture()
+def A(alice_kp):
+    return KeyPrincipal(alice_kp.public)
+
+
+@pytest.fixture()
+def B(bob_kp):
+    return KeyPrincipal(bob_kp.public)
+
+
+class TestPremiseStep:
+    def test_verifies_when_vouched(self, A, B):
+        statement = SpeaksFor(B, A, Tag.all())
+        context = VerificationContext(trusted_premises=[statement])
+        PremiseStep(statement).verify(context)
+
+    def test_fails_when_not_vouched(self, A, B):
+        statement = SpeaksFor(B, A, Tag.all())
+        with pytest.raises(VerificationError):
+            PremiseStep(statement).verify(VerificationContext())
+
+    def test_adversary_shipped_premise_proves_nothing(self, A, B):
+        # A premise serialized by an attacker deserializes fine but fails
+        # verification at any party that does not vouch for it.
+        step = PremiseStep(SpeaksFor(B, A, Tag.all()))
+        shipped = proof_from_sexp(parse_canonical(to_canonical(step.to_sexp())))
+        with pytest.raises(VerificationError):
+            shipped.verify(VerificationContext())
+
+    def test_says_premise(self, A):
+        statement = Says(A, "ping")
+        context = VerificationContext(trusted_premises=[statement])
+        PremiseStep(statement).verify(context)
+
+
+class TestSignedCertificateStep:
+    def test_verifies(self, alice_kp, B, rng):
+        cert = Certificate.issue(alice_kp, B, parse_tag("(tag read)"), rng=rng)
+        SignedCertificateStep(cert).verify(VerificationContext())
+
+    def test_conclusion_is_certificate_statement(self, alice_kp, B, rng):
+        cert = Certificate.issue(alice_kp, B, parse_tag("(tag read)"), rng=rng)
+        step = SignedCertificateStep(cert)
+        conclusion = step.conclusion
+        assert isinstance(conclusion, SpeaksFor)
+        assert conclusion.subject == B
+        assert conclusion.issuer == KeyPrincipal(alice_kp.public)
+
+    def test_tampered_tag_fails(self, alice_kp, B, rng):
+        cert = Certificate.issue(alice_kp, B, parse_tag("(tag read)"), rng=rng)
+        cert.tag = parse_tag("(tag (*))")  # widen authority after signing
+        with pytest.raises(VerificationError):
+            SignedCertificateStep(cert).verify(VerificationContext())
+
+    def test_tampered_subject_fails(self, alice_kp, B, carol_kp, rng):
+        cert = Certificate.issue(alice_kp, B, parse_tag("(tag read)"), rng=rng)
+        cert.subject = KeyPrincipal(carol_kp.public)
+        with pytest.raises(VerificationError):
+            SignedCertificateStep(cert).verify(VerificationContext())
+
+    def test_verification_memoized(self, alice_kp, B, rng):
+        cert = Certificate.issue(alice_kp, B, parse_tag("(tag read)"), rng=rng)
+        step = SignedCertificateStep(cert)
+        context = VerificationContext()
+        step.verify(context)
+        assert context.was_verified(step)
+        step.verify(context)  # second call is the cached path
+
+
+class TestWireTransfer:
+    def test_roundtrip_preserves_structure(self, alice_kp, bob_kp, B, carol_kp, rng):
+        C = KeyPrincipal(carol_kp.public)
+        first = Certificate.issue(bob_kp, C, parse_tag("(tag read)"), rng=rng)
+        second = Certificate.issue(alice_kp, B, parse_tag("(tag (*))"), rng=rng)
+        chain = TransitivityStep(
+            SignedCertificateStep(first), SignedCertificateStep(second)
+        )
+        restored = proof_from_sexp(parse_canonical(to_canonical(chain.to_sexp())))
+        assert restored == chain
+        restored.verify(VerificationContext())
+
+    def test_tampered_conclusion_rejected_at_parse(self, alice_kp, B, rng):
+        cert = Certificate.issue(alice_kp, B, parse_tag("(tag read)"), rng=rng)
+        node = SignedCertificateStep(cert).to_sexp()
+        # Rewrite the claimed conclusion to a broader tag.
+        items = list(node.items)
+        for index, item in enumerate(items):
+            if isinstance(item, SList) and item.head() == "conclusion":
+                broad = SpeaksFor(B, KeyPrincipal(alice_kp.public), Tag.all())
+                items[index] = SList([Atom("conclusion"), broad.to_sexp()])
+        with pytest.raises(ProofError):
+            proof_from_sexp(SList(items))
+
+    def test_unknown_rule_rejected(self):
+        from repro.sexp import parse
+
+        with pytest.raises(ProofError):
+            proof_from_sexp(
+                parse('(proof alchemy (conclusion (says (pseudo) ok)))')
+            )
+
+
+class TestLemmas:
+    def test_lemma_iteration(self, alice_kp, bob_kp, B, carol_kp, rng):
+        C = KeyPrincipal(carol_kp.public)
+        first = SignedCertificateStep(
+            Certificate.issue(bob_kp, C, parse_tag("(tag read)"), rng=rng)
+        )
+        second = SignedCertificateStep(
+            Certificate.issue(alice_kp, B, parse_tag("(tag (*))"), rng=rng)
+        )
+        chain = TransitivityStep(first, second)
+        lemmas = list(chain.lemmas())
+        assert chain in lemmas and first in lemmas and second in lemmas
+        assert len(lemmas) == 3
+
+    def test_speaks_for_lemmas_filter(self, A, alice_kp, B, rng):
+        cert = SignedCertificateStep(
+            Certificate.issue(alice_kp, B, parse_tag("(tag read)"), rng=rng)
+        )
+        says = PremiseStep(Says(B, "read"))
+        from repro.core.rules import DerivedSaysStep
+
+        derived = DerivedSaysStep(says, cert)
+        speaks = list(derived.speaks_for_lemmas())
+        assert cert in speaks
+        assert says not in speaks
+
+    def test_display_tree_renders_every_step(self, alice_kp, B, rng):
+        cert = SignedCertificateStep(
+            Certificate.issue(alice_kp, B, parse_tag("(tag read)"), rng=rng)
+        )
+        text = cert.display_tree()
+        assert "signed-certificate" in text

@@ -1,0 +1,151 @@
+"""Tests for SPKI threshold (k-of-n) principals and their quorum rule."""
+
+import pytest
+
+from repro.core.errors import ProofError, VerificationError
+from repro.core.principals import (
+    KeyPrincipal,
+    ThresholdPrincipal,
+    principal_from_sexp,
+)
+from repro.core.proofs import (
+    PremiseStep,
+    SignedCertificateStep,
+    VerificationContext,
+    proof_from_sexp,
+)
+from repro.core.rules import ThresholdIntroStep, TransitivityStep
+from repro.core.statements import SpeaksFor, Validity
+from repro.sexp import parse_canonical, to_canonical
+from repro.spki import Certificate
+from repro.tags import Tag, parse_tag
+
+
+@pytest.fixture()
+def board(alice_kp, bob_kp, carol_kp):
+    return [
+        KeyPrincipal(alice_kp.public),
+        KeyPrincipal(bob_kp.public),
+        KeyPrincipal(carol_kp.public),
+    ]
+
+
+def premise(subject, issuer, tag=None):
+    return PremiseStep(SpeaksFor(subject, issuer, tag or Tag.all()))
+
+
+class TestThresholdPrincipal:
+    def test_construction_and_roundtrip(self, board):
+        quorum = ThresholdPrincipal(2, board)
+        assert principal_from_sexp(quorum.to_sexp()) == quorum
+
+    def test_membership_is_a_set(self, board):
+        assert ThresholdPrincipal(2, board) == ThresholdPrincipal(2, reversed(board))
+
+    def test_k_matters(self, board):
+        assert ThresholdPrincipal(2, board) != ThresholdPrincipal(3, board)
+
+    def test_bad_k_rejected(self, board):
+        with pytest.raises(ValueError):
+            ThresholdPrincipal(0, board)
+        with pytest.raises(ValueError):
+            ThresholdPrincipal(4, board)
+
+    def test_single_member_rejected(self, board):
+        with pytest.raises(ValueError):
+            ThresholdPrincipal(1, board[:1])
+
+    def test_display(self, board):
+        assert ThresholdPrincipal(2, board).display().startswith("2-of-3")
+
+
+class TestThresholdIntro:
+    def test_quorum_speaks_for_threshold(self, board, server_kp):
+        quorum = ThresholdPrincipal(2, board)
+        R = KeyPrincipal(server_kp.public)
+        step = ThresholdIntroStep(
+            [premise(R, board[0]), premise(R, board[1])], quorum
+        )
+        context = VerificationContext(
+            trusted_premises=[p.conclusion for p in step.premises]
+        )
+        step.verify(context)
+        assert step.conclusion.subject == R
+        assert step.conclusion.issuer == quorum
+
+    def test_tags_intersect_across_quorum(self, board, server_kp):
+        quorum = ThresholdPrincipal(2, board)
+        R = KeyPrincipal(server_kp.public)
+        step = ThresholdIntroStep(
+            [
+                premise(R, board[0], parse_tag("(tag (pay (* range numeric (le 100))))")),
+                premise(R, board[1], parse_tag("(tag (pay (* range numeric (le 500))))")),
+            ],
+            quorum,
+        )
+        assert step.conclusion.tag.matches(["pay", "50"])
+        assert not step.conclusion.tag.matches(["pay", "200"])
+
+    def test_undersized_quorum_rejected(self, board, server_kp):
+        quorum = ThresholdPrincipal(2, board)
+        R = KeyPrincipal(server_kp.public)
+        with pytest.raises(ProofError):
+            ThresholdIntroStep([premise(R, board[0])], quorum)
+
+    def test_duplicate_member_rejected(self, board, server_kp):
+        quorum = ThresholdPrincipal(2, board)
+        R = KeyPrincipal(server_kp.public)
+        with pytest.raises(ProofError):
+            ThresholdIntroStep(
+                [premise(R, board[0]), premise(R, board[0])], quorum
+            )
+
+    def test_non_member_rejected(self, board, server_kp, host_kp):
+        quorum = ThresholdPrincipal(2, board[:2] + [board[2]])
+        R = KeyPrincipal(server_kp.public)
+        outsider = KeyPrincipal(host_kp.public)
+        with pytest.raises(ProofError):
+            ThresholdIntroStep(
+                [premise(R, board[0]), premise(R, outsider)], quorum
+            )
+
+    def test_wire_roundtrip(self, board, server_kp):
+        quorum = ThresholdPrincipal(2, board)
+        R = KeyPrincipal(server_kp.public)
+        step = ThresholdIntroStep(
+            [premise(R, board[0]), premise(R, board[1])], quorum
+        )
+        restored = proof_from_sexp(parse_canonical(to_canonical(step.to_sexp())))
+        assert restored == step
+
+
+class TestEndToEndQuorum:
+    def test_two_of_three_signing_officers(
+        self, alice_kp, bob_kp, carol_kp, server_kp, host_kp, board, rng
+    ):
+        """A resource delegated to a 2-of-3 board: any two officers can
+        jointly authorize a request channel; one alone cannot."""
+        from repro.core.proofs import authorizes
+
+        resource_kp = server_kp
+        RESOURCE = KeyPrincipal(resource_kp.public)
+        quorum = ThresholdPrincipal(2, board)
+        grant = SignedCertificateStep(
+            Certificate.issue(
+                resource_kp, quorum, parse_tag("(tag (spend))"), rng=rng
+            )
+        )
+        CHANNEL = KeyPrincipal(host_kp.public)
+        leg_a = SignedCertificateStep(
+            Certificate.issue(alice_kp, CHANNEL, parse_tag("(tag (spend))"), rng=rng)
+        )
+        leg_b = SignedCertificateStep(
+            Certificate.issue(bob_kp, CHANNEL, parse_tag("(tag (spend))"), rng=rng)
+        )
+        quorum_proof = ThresholdIntroStep([leg_a, leg_b], quorum)
+        chain = TransitivityStep(quorum_proof, grant)
+        authorizes(chain, CHANNEL, RESOURCE, ["spend", "100"], VerificationContext())
+
+        # One officer alone cannot produce the quorum step.
+        with pytest.raises(ProofError):
+            ThresholdIntroStep([leg_a], quorum)

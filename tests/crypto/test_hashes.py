@@ -1,0 +1,53 @@
+"""Unit tests for SPKI hash objects."""
+
+import pytest
+
+from repro.crypto.hashes import HashValue, hash_bytes, hash_sexp
+from repro.sexp import parse, sexp
+
+
+class TestHashValue:
+    def test_md5_default(self):
+        h = hash_bytes(b"hello")
+        assert h.algorithm == "md5"
+        assert len(h.digest) == 16
+
+    def test_sha256(self):
+        h = hash_bytes(b"hello", "sha256")
+        assert len(h.digest) == 32
+
+    def test_unsupported_algorithm(self):
+        with pytest.raises(ValueError):
+            HashValue("crc32", b"xxxx")
+
+    def test_verify(self):
+        h = hash_bytes(b"data")
+        assert h.verify(b"data")
+        assert not h.verify(b"Data")
+
+    def test_sexp_roundtrip(self):
+        h = hash_bytes(b"data")
+        assert HashValue.from_sexp(h.to_sexp()) == h
+
+    def test_from_sexp_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            HashValue.from_sexp(parse("(hash md5)"))
+        with pytest.raises(ValueError):
+            HashValue.from_sexp(parse("(digest md5 |AA==|)"))
+
+    def test_of_sexp_hashes_canonical_form(self):
+        node = sexp(["public-key", ["rsa"]])
+        a = hash_sexp(node)
+        b = hash_bytes(node.to_canonical())
+        assert a == b
+
+    def test_equality_and_hash(self):
+        assert hash_bytes(b"x") == hash_bytes(b"x")
+        assert hash_bytes(b"x") != hash_bytes(b"y")
+        assert hash_bytes(b"x") != hash_bytes(b"x", "sha1")
+        assert len({hash_bytes(b"x"), hash_bytes(b"x")}) == 1
+
+    def test_figure5_wire_shape(self):
+        # (hash md5 |...|) — exactly the paper's Figure 5 issuer form.
+        rendered = hash_bytes(b"service").to_sexp().to_advanced()
+        assert rendered.startswith("(hash md5 |")

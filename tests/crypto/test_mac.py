@@ -1,0 +1,48 @@
+"""Unit tests for MAC keys (the Section 5.3.1 optimization)."""
+
+import random
+
+import pytest
+
+from repro.crypto.mac import MacKey
+
+
+class TestMacKey:
+    def test_tag_verify_roundtrip(self):
+        key = MacKey.generate(random.Random(1))
+        message = b"GET /doc HTTP/1.0"
+        assert key.verify(message, key.tag(message))
+
+    def test_tampered_message_fails(self):
+        key = MacKey.generate(random.Random(1))
+        tag = key.tag(b"GET /doc")
+        assert not key.verify(b"GET /etc", tag)
+
+    def test_wrong_key_fails(self):
+        a = MacKey.generate(random.Random(1))
+        b = MacKey.generate(random.Random(2))
+        assert not b.verify(b"m", a.tag(b"m"))
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(ValueError):
+            MacKey(b"")
+
+    def test_fingerprint_hides_secret(self):
+        key = MacKey.generate(random.Random(3))
+        assert key.secret not in key.fingerprint().to_sexp().to_canonical()
+
+    def test_equality_constant_time_semantics(self):
+        assert MacKey(b"abc") == MacKey(b"abc")
+        assert MacKey(b"abc") != MacKey(b"abd")
+
+    def test_seal_unseal_roundtrip(self, alice_kp):
+        key = MacKey.generate(random.Random(4))
+        sealed = key.sealed_for(alice_kp.public)
+        recovered = MacKey.unseal(sealed, alice_kp.private)
+        assert recovered == key
+
+    def test_unseal_with_wrong_key_gives_different_secret(self, alice_kp, bob_kp):
+        key = MacKey.generate(random.Random(5))
+        sealed = key.sealed_for(alice_kp.public)
+        recovered = MacKey.unseal(sealed, bob_kp.private)
+        assert recovered != key

@@ -1,0 +1,85 @@
+"""Unit tests for the number-theory primitives."""
+
+import random
+
+import pytest
+
+from repro.crypto import numtheory
+
+
+class TestEgcd:
+    def test_basic(self):
+        g, x, y = numtheory.egcd(240, 46)
+        assert g == 2
+        assert 240 * x + 46 * y == 2
+
+    def test_coprime(self):
+        g, x, y = numtheory.egcd(17, 31)
+        assert g == 1
+        assert 17 * x + 31 * y == 1
+
+    def test_with_zero(self):
+        assert numtheory.egcd(0, 5)[0] == 5
+        assert numtheory.egcd(5, 0)[0] == 5
+
+
+class TestInvmod:
+    def test_inverse(self):
+        inv = numtheory.invmod(3, 11)
+        assert (3 * inv) % 11 == 1
+
+    def test_large(self):
+        p = 2**127 - 1  # a Mersenne prime
+        inv = numtheory.invmod(65537, p)
+        assert (65537 * inv) % p == 1
+
+    def test_noninvertible_raises(self):
+        with pytest.raises(ValueError):
+            numtheory.invmod(6, 9)
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 97, 101, 199):
+            assert numtheory.is_probable_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 9, 15, 91, 100, 561):  # 561 is a Carmichael number
+            assert not numtheory.is_probable_prime(c)
+
+    def test_carmichael_numbers_rejected(self):
+        for c in (1105, 1729, 2465, 2821, 6601):
+            assert not numtheory.is_probable_prime(c)
+
+    def test_known_large_prime(self):
+        assert numtheory.is_probable_prime(2**89 - 1)
+        assert not numtheory.is_probable_prime(2**89 - 3)
+
+
+class TestGeneratePrime:
+    def test_exact_bit_length(self):
+        rng = random.Random(5)
+        for bits in (16, 32, 64):
+            p = numtheory.generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert numtheory.is_probable_prime(p)
+
+    def test_deterministic_with_seed(self):
+        assert numtheory.generate_prime(32, random.Random(7)) == \
+            numtheory.generate_prime(32, random.Random(7))
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            numtheory.generate_prime(2, random.Random(1))
+
+
+class TestByteConversion:
+    def test_roundtrip(self):
+        for value in (0, 1, 255, 256, 2**64 + 17):
+            assert numtheory.bytes_to_int(numtheory.int_to_bytes(value)) == value
+
+    def test_zero_is_one_byte(self):
+        assert numtheory.int_to_bytes(0) == b"\x00"
+
+    def test_minimal_encoding(self):
+        assert numtheory.int_to_bytes(256) == b"\x01\x00"

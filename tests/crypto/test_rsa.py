@@ -1,0 +1,124 @@
+"""Unit tests for RSA keys and signatures."""
+
+import random
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.rsa import RsaPublicKey, generate_keypair
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, alice_kp):
+        assert alice_kp.public.bit_length() in (511, 512)
+
+    def test_deterministic_from_seed(self):
+        a = generate_keypair(256, random.Random(9))
+        b = generate_keypair(256, random.Random(9))
+        assert a.public == b.public
+
+    def test_distinct_keys(self, alice_kp, bob_kp):
+        assert alice_kp.public != bob_kp.public
+
+
+class TestSignatures:
+    def test_sign_verify_roundtrip(self, alice_kp):
+        message = b"it would be good to read file X"
+        signature = alice_kp.sign(message)
+        assert alice_kp.public.verify(message, signature)
+
+    def test_wrong_message_fails(self, alice_kp):
+        signature = alice_kp.sign(b"message one")
+        assert not alice_kp.public.verify(b"message two", signature)
+
+    def test_wrong_key_fails(self, alice_kp, bob_kp):
+        signature = alice_kp.sign(b"message")
+        assert not bob_kp.public.verify(b"message", signature)
+
+    def test_bitflip_in_signature_fails(self, alice_kp):
+        message = b"message"
+        signature = bytearray(alice_kp.sign(message))
+        signature[3] ^= 0x40
+        assert not alice_kp.public.verify(message, bytes(signature))
+
+    def test_oversized_signature_rejected(self, alice_kp):
+        huge = (alice_kp.public.n + 5).to_bytes(
+            (alice_kp.public.n.bit_length() // 8) + 2, "big"
+        )
+        assert not alice_kp.public.verify(b"m", huge)
+
+    def test_empty_message_signs(self, alice_kp):
+        assert alice_kp.public.verify(b"", alice_kp.sign(b""))
+
+
+class TestBlockCrypt:
+    def test_encrypt_decrypt_roundtrip(self, alice_kp):
+        block = 0xDEADBEEF
+        assert alice_kp.private.decrypt_block(
+            alice_kp.public.encrypt_block(block)
+        ) == block
+
+    def test_out_of_range_rejected(self, alice_kp):
+        with pytest.raises(ValueError):
+            alice_kp.public.encrypt_block(alice_kp.public.n)
+        with pytest.raises(ValueError):
+            alice_kp.private.decrypt_block(-1)
+
+
+class TestSerialization:
+    def test_public_key_roundtrip(self, alice_kp):
+        node = alice_kp.public.to_sexp()
+        assert RsaPublicKey.from_sexp(node) == alice_kp.public
+
+    def test_fingerprint_stable(self, alice_kp):
+        assert alice_kp.fingerprint() == alice_kp.public.fingerprint()
+
+    def test_fingerprints_distinct(self, alice_kp, bob_kp):
+        assert alice_kp.fingerprint() != bob_kp.fingerprint()
+
+    def test_rejects_non_key(self):
+        from repro.sexp import parse
+
+        with pytest.raises(ValueError):
+            RsaPublicKey.from_sexp(parse("(hash md5 |AA==|)"))
+
+    def test_rejects_missing_fields(self):
+        from repro.sexp import parse
+
+        with pytest.raises(ValueError):
+            RsaPublicKey.from_sexp(parse("(public-key (rsa (e 1:a)))"))
+
+
+class TestTinyKeyRejection:
+    def test_modulus_too_small_for_padding(self):
+        tiny = generate_keypair(128, random.Random(3))
+        with pytest.raises(ValueError):
+            tiny.sign(b"message")
+
+
+@given(st.binary(max_size=64))
+@settings(max_examples=25, deadline=None)
+def test_property_sign_verify(message):
+    keypair = _shared_key()
+    assert keypair.public.verify(message, keypair.sign(message))
+
+
+@given(st.binary(min_size=1, max_size=64), st.integers(0, 7))
+@settings(max_examples=25, deadline=None)
+def test_property_tampered_message_fails(message, bit):
+    keypair = _shared_key()
+    signature = keypair.sign(message)
+    tampered = bytearray(message)
+    tampered[0] ^= 1 << bit
+    if bytes(tampered) != message:
+        assert not keypair.public.verify(bytes(tampered), signature)
+
+
+_KEY_CACHE = {}
+
+
+def _shared_key():
+    if "k" not in _KEY_CACHE:
+        _KEY_CACHE["k"] = generate_keypair(512, random.Random(0xBEEF))
+    return _KEY_CACHE["k"]

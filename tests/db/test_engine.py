@@ -1,0 +1,137 @@
+"""Unit tests for the relational engine."""
+
+import pytest
+
+from repro.db import Database, DatabaseError, Eq, Gt, And
+
+
+@pytest.fixture()
+def db():
+    database = Database("test")
+    table = database.create_table(
+        "messages", ["mailbox", "sender", "subject"], unique=[]
+    )
+    table.insert({"mailbox": "alice", "sender": "bob", "subject": "hi"})
+    table.insert({"mailbox": "alice", "sender": "carol", "subject": "yo"})
+    table.insert({"mailbox": "bob", "sender": "alice", "subject": "re: hi"})
+    return database
+
+
+class TestSchema:
+    def test_create_and_list_tables(self):
+        db = Database()
+        db.create_table("a", ["x"])
+        db.create_table("b", ["y"])
+        assert db.tables() == ["a", "b"]
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table("a", ["x"])
+        with pytest.raises(DatabaseError):
+            db.create_table("a", ["x"])
+
+    def test_missing_table_rejected(self):
+        with pytest.raises(DatabaseError):
+            Database().table("ghost")
+
+    def test_drop_table(self):
+        db = Database()
+        db.create_table("a", ["x"])
+        db.drop_table("a")
+        with pytest.raises(DatabaseError):
+            db.table("a")
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(DatabaseError):
+            Database().create_table("a", [])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(DatabaseError):
+            Database().create_table("a", ["x", "x"])
+
+    def test_unknown_unique_column_rejected(self):
+        with pytest.raises(DatabaseError):
+            Database().create_table("a", ["x"], unique=["y"])
+
+
+class TestInsert:
+    def test_rowids_sequential(self, db):
+        table = db.table("messages")
+        rowid = table.insert({"mailbox": "z", "sender": "s", "subject": "t"})
+        assert rowid == 4
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.table("messages").insert({"mailbox": "a", "reply_to": "x"})
+
+    def test_missing_columns_default_none(self):
+        db = Database()
+        table = db.create_table("t", ["a", "b"])
+        table.insert({"a": 1})
+        assert table.select()[0]["b"] is None
+
+    def test_unique_constraint(self):
+        db = Database()
+        table = db.create_table("users", ["name"], unique=["name"])
+        table.insert({"name": "alice"})
+        with pytest.raises(DatabaseError):
+            table.insert({"name": "alice"})
+
+
+class TestSelect:
+    def test_where_filters(self, db):
+        rows = db.table("messages").select(Eq("mailbox", "alice"))
+        assert len(rows) == 2
+        assert all(row["mailbox"] == "alice" for row in rows)
+
+    def test_no_where_returns_all(self, db):
+        assert len(db.table("messages").select()) == 3
+
+    def test_column_projection(self, db):
+        rows = db.table("messages").select(columns=["sender"])
+        assert set(rows[0]) == {"sender"}
+
+    def test_unknown_projection_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.table("messages").select(columns=["ghost"])
+
+    def test_order_and_limit(self, db):
+        rows = db.table("messages").select(order_by="sender")
+        assert [row["sender"] for row in rows] == ["alice", "bob", "carol"]
+        rows = db.table("messages").select(
+            order_by="sender", descending=True, limit=1
+        )
+        assert rows[0]["sender"] == "carol"
+
+    def test_select_returns_copies(self, db):
+        rows = db.table("messages").select()
+        rows[0]["subject"] = "mutated"
+        assert db.table("messages").select()[0]["subject"] == "hi"
+
+    def test_compound_condition(self, db):
+        rows = db.table("messages").select(
+            And(Eq("mailbox", "alice"), Gt("rowid", 1))
+        )
+        assert len(rows) == 1 and rows[0]["sender"] == "carol"
+
+
+class TestUpdateDelete:
+    def test_update_counts(self, db):
+        count = db.table("messages").update(
+            Eq("mailbox", "alice"), {"subject": "edited"}
+        )
+        assert count == 2
+        rows = db.table("messages").select(Eq("subject", "edited"))
+        assert len(rows) == 2
+
+    def test_update_unknown_column_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.table("messages").update(Eq("mailbox", "alice"), {"nope": 1})
+
+    def test_delete_counts_and_removes(self, db):
+        count = db.table("messages").delete(Eq("mailbox", "alice"))
+        assert count == 2
+        assert len(db.table("messages")) == 1
+
+    def test_delete_nothing(self, db):
+        assert db.table("messages").delete(Eq("mailbox", "nobody")) == 0

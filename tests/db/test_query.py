@@ -1,0 +1,94 @@
+"""Unit tests for query conditions and their wire form."""
+
+import pytest
+
+from repro.db.query import (
+    And,
+    Eq,
+    Ge,
+    Gt,
+    Le,
+    Lt,
+    Ne,
+    Not,
+    Or,
+    TrueCondition,
+    condition_from_sexp,
+)
+
+
+ROW = {"mailbox": "alice", "size": 10, "unread": True, "score": 1.5}
+
+
+class TestEvaluation:
+    def test_eq(self):
+        assert Eq("mailbox", "alice").evaluate(ROW)
+        assert not Eq("mailbox", "bob").evaluate(ROW)
+
+    def test_ne(self):
+        assert Ne("mailbox", "bob").evaluate(ROW)
+
+    def test_comparisons(self):
+        assert Lt("size", 20).evaluate(ROW)
+        assert Le("size", 10).evaluate(ROW)
+        assert Gt("size", 5).evaluate(ROW)
+        assert Ge("size", 10).evaluate(ROW)
+        assert not Gt("size", 10).evaluate(ROW)
+
+    def test_missing_column_is_false(self):
+        assert not Eq("ghost", 1).evaluate(ROW)
+
+    def test_type_mismatch_is_false_not_error(self):
+        assert not Lt("mailbox", 5).evaluate(ROW)
+
+    def test_junctions(self):
+        assert And(Eq("mailbox", "alice"), Gt("size", 5)).evaluate(ROW)
+        assert not And(Eq("mailbox", "alice"), Gt("size", 50)).evaluate(ROW)
+        assert Or(Eq("mailbox", "bob"), Gt("size", 5)).evaluate(ROW)
+        assert Not(Eq("mailbox", "bob")).evaluate(ROW)
+
+    def test_empty_junction_rejected(self):
+        with pytest.raises(ValueError):
+            And()
+
+    def test_true_condition(self):
+        assert TrueCondition().evaluate({})
+
+
+class TestWireForm:
+    @pytest.mark.parametrize(
+        "condition",
+        [
+            Eq("mailbox", "alice"),
+            Ne("size", 10),
+            Lt("score", 2.5),
+            Ge("unread", True),
+            Eq("blob", b"\x00\x01"),
+            And(Eq("a", 1), Or(Eq("b", 2), Not(Eq("c", 3)))),
+            TrueCondition(),
+        ],
+    )
+    def test_roundtrip(self, condition):
+        assert condition_from_sexp(condition.to_sexp()) == condition
+
+    def test_typed_values_survive(self):
+        restored = condition_from_sexp(Eq("size", 10).to_sexp())
+        assert restored.evaluate({"size": 10})
+        assert not restored.evaluate({"size": "10"})  # int, not string
+
+    def test_bool_values_survive(self):
+        restored = condition_from_sexp(Eq("unread", True).to_sexp())
+        assert restored.evaluate({"unread": True})
+        assert not restored.evaluate({"unread": 1 == 2})
+
+    def test_unknown_op_rejected(self):
+        from repro.sexp import parse
+
+        with pytest.raises(ValueError):
+            condition_from_sexp(parse("(matches col s:x)"))
+
+    def test_malformed_comparison_rejected(self):
+        from repro.sexp import parse
+
+        with pytest.raises(ValueError):
+            condition_from_sexp(parse("(eq col)"))

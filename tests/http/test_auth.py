@@ -1,0 +1,222 @@
+"""Unit tests for the HTTP authorization methods (Snowflake, Basic, Digest)."""
+
+import base64
+
+import pytest
+
+from repro.core.principals import HashPrincipal, KeyPrincipal
+from repro.http.auth import (
+    BasicAuthServlet,
+    DigestAuthServlet,
+    ProtectedServlet,
+    web_request_sexp,
+)
+from repro.http.message import HttpRequest, HttpResponse
+from repro.net.trust import TrustEnvironment
+from repro.prover import KeyClosure, Prover
+from repro.sexp import from_transport, to_transport
+from repro.spki import Certificate
+from repro.tags import Tag, parse_tag
+
+
+class _DocServlet(ProtectedServlet):
+    def __init__(self, issuer, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._issuer = issuer
+
+    def issuer_for(self, request):
+        return self._issuer
+
+    def serve(self, request):
+        return HttpResponse(200, body=b"the document")
+
+
+@pytest.fixture()
+def servlet(server_kp):
+    issuer = KeyPrincipal(server_kp.public)
+    trust = TrustEnvironment()
+    return _DocServlet(issuer, b"svc", trust)
+
+
+@pytest.fixture()
+def alice_prover(alice_kp, server_kp, rng):
+    prover = Prover()
+    prover.control(KeyClosure(alice_kp, rng))
+    prover.add_certificate(
+        Certificate.issue(
+            server_kp, KeyPrincipal(alice_kp.public), parse_tag("(tag (web))"),
+            rng=rng,
+        )
+    )
+    return prover
+
+
+def signed_request(path, prover, issuer, min_tag):
+    request = HttpRequest("GET", path)
+    subject = HashPrincipal(request.hash())
+    proof = prover.prove(subject, issuer, min_tag=min_tag)
+    assert proof is not None
+    request.headers.set(
+        "Authorization",
+        "SnowflakeProof %s" % to_transport(proof.to_sexp()).decode("ascii"),
+    )
+    return request
+
+
+class TestChallengeFormat:
+    """The Figure 5 wire shape."""
+
+    def test_401_with_snowflake_headers(self, servlet, server_kp):
+        response = servlet.service(HttpRequest("GET", "/doc"))
+        assert response.status == 401
+        assert response.reason == "UNAUTHORIZED"
+        assert response.headers.get("WWW-Authenticate") == "SnowflakeProof"
+        issuer_node = from_transport(response.headers.get("Sf-ServiceIssuer"))
+        assert issuer_node == KeyPrincipal(server_kp.public).to_sexp()
+
+    def test_minimum_tag_names_method_service_path(self, servlet):
+        response = servlet.service(HttpRequest("GET", "/doc"))
+        tag = Tag.from_sexp(from_transport(response.headers.get("Sf-MinimumTag")))
+        logical = web_request_sexp(HttpRequest("GET", "/doc"), b"svc")
+        assert tag.matches(logical)
+        other = web_request_sexp(HttpRequest("GET", "/other"), b"svc")
+        assert not tag.matches(other)
+
+    def test_web_request_sexp_shape(self):
+        node = web_request_sexp(HttpRequest("GET", "/x"), b"svc")
+        assert node.head() == "web"
+        assert node.find("method").items[1].text() == "GET"
+        assert node.find("service").items[1].value == b"svc"
+        assert node.find("resourcePath").items[1].text() == "/x"
+
+
+class TestSnowflakeAuthorization:
+    def test_signed_request_accepted(self, servlet, alice_prover, server_kp):
+        issuer = KeyPrincipal(server_kp.public)
+        challenge = servlet.service(HttpRequest("GET", "/doc"))
+        min_tag = Tag.from_sexp(from_transport(challenge.headers.get("Sf-MinimumTag")))
+        request = signed_request("/doc", alice_prover, issuer, min_tag)
+        response = servlet.service(request)
+        assert response.status == 200
+        assert response.body == b"the document"
+
+    def test_proof_bound_to_request_hash(self, servlet, alice_prover, server_kp):
+        # A proof for /doc must not authorize /secret.
+        issuer = KeyPrincipal(server_kp.public)
+        challenge = servlet.service(HttpRequest("GET", "/doc"))
+        min_tag = Tag.from_sexp(from_transport(challenge.headers.get("Sf-MinimumTag")))
+        request = signed_request("/doc", alice_prover, issuer, min_tag)
+        stolen = HttpRequest("GET", "/secret")
+        stolen.headers.set("Authorization", request.headers.get("Authorization"))
+        response = servlet.service(stolen)
+        assert response.status == 403
+
+    def test_delegation_tag_enforced(self, server_kp, bob_kp, rng):
+        # Bob only holds (tag (web (method HEAD))): GET must be refused.
+        issuer = KeyPrincipal(server_kp.public)
+        trust = TrustEnvironment()
+        servlet = _DocServlet(issuer, b"svc", trust)
+        prover = Prover()
+        prover.control(KeyClosure(bob_kp, rng))
+        prover.add_certificate(
+            Certificate.issue(
+                server_kp, KeyPrincipal(bob_kp.public),
+                parse_tag("(tag (web (method HEAD)))"), rng=rng,
+            )
+        )
+        request = HttpRequest("GET", "/doc")
+        subject = HashPrincipal(request.hash())
+        # The prover cannot cover GET's minimum tag: no proof exists.
+        min_tag = Tag.exactly(web_request_sexp(request, b"svc"))
+        assert prover.prove(subject, issuer, min_tag=min_tag) is None
+
+    def test_garbage_authorization_rejected(self, servlet):
+        request = HttpRequest("GET", "/doc")
+        request.headers.set("Authorization", "SnowflakeProof {notbase64!}")
+        assert servlet.service(request).status == 403
+
+    def test_unknown_scheme_rejected(self, servlet):
+        request = HttpRequest("GET", "/doc")
+        request.headers.set("Authorization", "Kerberos ticket")
+        assert servlet.service(request).status == 403
+
+
+class _Files(BasicAuthServlet):
+    def serve(self, request, user):
+        return HttpResponse(200, body=("hello %s" % user).encode())
+
+
+class TestBasicAuth:
+    @pytest.fixture()
+    def servlet(self):
+        return _Files(
+            "realm", {"alice": "secret", "bob": "hunter2"},
+            {"/": {"alice"}, "/shared": {"alice", "bob"}},
+        )
+
+    def auth_header(self, user, password):
+        token = base64.b64encode(("%s:%s" % (user, password)).encode()).decode()
+        return "Basic " + token
+
+    def test_challenge(self, servlet):
+        response = servlet.service(HttpRequest("GET", "/"))
+        assert response.status == 401
+        assert 'Basic realm="realm"' == response.headers.get("WWW-Authenticate")
+
+    def test_good_password(self, servlet):
+        request = HttpRequest("GET", "/", [("Authorization", self.auth_header("alice", "secret"))])
+        assert servlet.service(request).body == b"hello alice"
+
+    def test_bad_password(self, servlet):
+        request = HttpRequest("GET", "/", [("Authorization", self.auth_header("alice", "wrong"))])
+        assert servlet.service(request).status == 403
+
+    def test_acl_enforced(self, servlet):
+        request = HttpRequest("GET", "/", [("Authorization", self.auth_header("bob", "hunter2"))])
+        assert servlet.service(request).status == 403
+        shared = HttpRequest("GET", "/shared", [("Authorization", self.auth_header("bob", "hunter2"))])
+        assert servlet.service(shared).status == 200
+
+
+class _DigestFiles(DigestAuthServlet):
+    def serve(self, request, user):
+        return HttpResponse(200, body=("hi %s" % user).encode())
+
+
+class TestDigestAuth:
+    @pytest.fixture()
+    def servlet(self, rng):
+        return _DigestFiles("realm", {"alice": "secret"}, {"/": {"alice"}}, rng)
+
+    def _answer(self, servlet, challenge, user, password, method="GET", path="/"):
+        import re
+
+        nonce = re.search(r'nonce="([^"]+)"', challenge.headers.get("WWW-Authenticate")).group(1)
+        digest = DigestAuthServlet.response_hash(
+            user, "realm", password, nonce, method, path
+        )
+        return 'Digest username="%s", nonce="%s", response="%s"' % (user, nonce, digest)
+
+    def test_full_handshake(self, servlet):
+        challenge = servlet.service(HttpRequest("GET", "/"))
+        assert challenge.status == 401
+        header = self._answer(servlet, challenge, "alice", "secret")
+        request = HttpRequest("GET", "/", [("Authorization", header)])
+        assert servlet.service(request).body == b"hi alice"
+
+    def test_wrong_password_fails(self, servlet):
+        challenge = servlet.service(HttpRequest("GET", "/"))
+        header = self._answer(servlet, challenge, "alice", "wrong")
+        request = HttpRequest("GET", "/", [("Authorization", header)])
+        assert servlet.service(request).status == 403
+
+    def test_unknown_nonce_fails(self, servlet):
+        header = 'Digest username="alice", nonce="forged", response="00"'
+        request = HttpRequest("GET", "/", [("Authorization", header)])
+        assert servlet.service(request).status == 403
+
+    def test_digest_bound_to_path(self, servlet):
+        challenge = servlet.service(HttpRequest("GET", "/"))
+        header = self._answer(servlet, challenge, "alice", "secret", path="/")
+        request = HttpRequest("GET", "/other", [("Authorization", header)])
+        assert servlet.service(request).status == 403

@@ -1,0 +1,83 @@
+"""Unit tests for server document authentication (Section 5.3.3)."""
+
+import pytest
+
+from repro.core.errors import VerificationError
+from repro.core.principals import KeyPrincipal
+from repro.core.proofs import VerificationContext
+from repro.http.docauth import DocumentSigner, verify_document
+from repro.http.message import HttpResponse
+from repro.sim import Meter
+
+
+@pytest.fixture()
+def signer(server_kp, rng):
+    return DocumentSigner(server_kp, rng=rng)
+
+
+@pytest.fixture()
+def issuer(server_kp):
+    return KeyPrincipal(server_kp.public)
+
+
+class TestAttachAndVerify:
+    def test_roundtrip(self, signer, issuer):
+        response = HttpResponse(200, body=b"important document")
+        signer.attach(response)
+        assert verify_document(response, issuer, VerificationContext())
+
+    def test_no_proof_returns_false(self, issuer):
+        response = HttpResponse(200, body=b"doc")
+        assert not verify_document(response, issuer, VerificationContext())
+
+    def test_tampered_body_rejected(self, signer, issuer):
+        response = HttpResponse(200, body=b"original")
+        signer.attach(response)
+        response.body = b"tampered"
+        with pytest.raises(VerificationError):
+            verify_document(response, issuer, VerificationContext())
+
+    def test_wrong_issuer_rejected(self, signer, alice_kp):
+        response = HttpResponse(200, body=b"doc")
+        signer.attach(response)
+        with pytest.raises(VerificationError):
+            verify_document(
+                response, KeyPrincipal(alice_kp.public), VerificationContext()
+            )
+
+    def test_proof_transplant_rejected(self, signer, issuer):
+        # Moving a document proof onto a different body must fail.
+        first = HttpResponse(200, body=b"doc one")
+        second = HttpResponse(200, body=b"doc two")
+        signer.attach(first)
+        second.headers.set("Sf-Doc-Proof", first.headers.get("Sf-Doc-Proof"))
+        with pytest.raises(VerificationError):
+            verify_document(second, issuer, VerificationContext())
+
+
+class TestCaching:
+    def test_cached_proof_skips_signing(self, server_kp, rng):
+        meter = Meter()
+        signer = DocumentSigner(server_kp, meter=meter, rng=rng)
+        response = HttpResponse(200, body=b"doc")
+        signer.attach(response)
+        first_signs = meter.counts().get("pk_sign", 0)
+        assert first_signs == 1
+        signer.attach(HttpResponse(200, body=b"doc"))
+        assert meter.counts()["pk_sign"] == first_signs  # cache hit
+
+    def test_fresh_forces_signing(self, server_kp, rng):
+        meter = Meter()
+        signer = DocumentSigner(server_kp, meter=meter, rng=rng)
+        signer.attach(HttpResponse(200, body=b"doc"))
+        signer.attach(HttpResponse(200, body=b"doc"), fresh=True)
+        assert meter.counts()["pk_sign"] == 2
+
+    def test_distinct_documents_distinct_proofs(self, signer, issuer):
+        a = HttpResponse(200, body=b"doc A")
+        b = HttpResponse(200, body=b"doc B")
+        signer.attach(a)
+        signer.attach(b)
+        assert a.headers.get("Sf-Doc-Proof") != b.headers.get("Sf-Doc-Proof")
+        assert verify_document(a, issuer, VerificationContext())
+        assert verify_document(b, issuer, VerificationContext())

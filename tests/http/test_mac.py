@@ -1,0 +1,146 @@
+"""Unit tests for MAC sessions (Section 5.3.1)."""
+
+import pytest
+
+from repro.core.errors import AuthorizationError
+from repro.core.principals import KeyPrincipal, MacPrincipal
+from repro.http.auth import ProtectedServlet
+from repro.http.mac import MacSessionManager, unseal_grant
+from repro.http.message import HttpRequest, HttpResponse
+from repro.net.trust import TrustEnvironment
+from repro.prover import KeyClosure, Prover
+from repro.sexp import to_transport
+from repro.spki import Certificate
+from repro.tags import Tag, parse_tag
+
+
+class _DocServlet(ProtectedServlet):
+    def __init__(self, issuer, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._issuer = issuer
+
+    def issuer_for(self, request):
+        return self._issuer
+
+    def serve(self, request):
+        return HttpResponse(200, body=b"doc")
+
+
+@pytest.fixture()
+def stack(server_kp, rng):
+    trust = TrustEnvironment()
+    manager = MacSessionManager(trust, rng)
+    issuer = KeyPrincipal(server_kp.public)
+    servlet = _DocServlet(issuer, b"svc", trust, mac_sessions=manager)
+    return servlet, manager, issuer, trust
+
+
+class TestGrant:
+    def test_offer_on_challenge_with_request_header(self, stack, alice_kp):
+        servlet, manager, _, _ = stack
+        request = HttpRequest("GET", "/doc")
+        request.headers.set(
+            "Sf-Mac-Request",
+            to_transport(alice_kp.public.to_sexp()).decode("ascii"),
+        )
+        challenge = servlet.service(request)
+        assert challenge.status == 401
+        grant = challenge.headers.get("Sf-Mac-Grant")
+        assert grant is not None
+        mac_key = unseal_grant(grant, alice_kp.private)
+        assert manager.session_count() == 1
+        assert mac_key.fingerprint().digest.hex() in grant
+
+    def test_no_offer_without_request_header(self, stack):
+        servlet, _, _, _ = stack
+        challenge = servlet.service(HttpRequest("GET", "/doc"))
+        assert challenge.headers.get("Sf-Mac-Grant") is None
+
+    def test_unseal_detects_wrong_key(self, stack, alice_kp, bob_kp):
+        servlet, _, _, _ = stack
+        request = HttpRequest("GET", "/doc")
+        request.headers.set(
+            "Sf-Mac-Request",
+            to_transport(alice_kp.public.to_sexp()).decode("ascii"),
+        )
+        grant = servlet.service(request).headers.get("Sf-Mac-Grant")
+        with pytest.raises(AuthorizationError):
+            unseal_grant(grant, bob_kp.private)  # not the granted key
+
+
+class TestMacRequests:
+    def _session(self, stack, alice_kp, server_kp, rng):
+        servlet, manager, issuer, trust = stack
+        request = HttpRequest("GET", "/doc")
+        request.headers.set(
+            "Sf-Mac-Request",
+            to_transport(alice_kp.public.to_sexp()).decode("ascii"),
+        )
+        grant = servlet.service(request).headers.get("Sf-Mac-Grant")
+        mac_key = unseal_grant(grant, alice_kp.private)
+        prover = Prover()
+        prover.control(KeyClosure(alice_kp, rng))
+        prover.add_certificate(
+            Certificate.issue(
+                server_kp, KeyPrincipal(alice_kp.public),
+                parse_tag("(tag (web))"), rng=rng,
+            )
+        )
+        principal = MacPrincipal(mac_key.fingerprint())
+        proof = prover.prove(principal, issuer, min_tag=parse_tag("(tag (web))"))
+        return mac_key, proof
+
+    def _mac_request(self, path, mac_key, proof=None):
+        request = HttpRequest("GET", path)
+        if proof is not None:
+            request.headers.set(
+                "Sf-Proof", to_transport(proof.to_sexp()).decode("ascii")
+            )
+        message = request.to_wire(exclude_headers=("Authorization", "Sf-Proof"))
+        request.headers.set(
+            "Authorization",
+            "SnowflakeMac %s %s"
+            % (mac_key.fingerprint().digest.hex(), mac_key.tag(message).hex()),
+        )
+        return request
+
+    def test_first_request_carries_proof_then_steady_state(
+        self, stack, alice_kp, server_kp, rng
+    ):
+        servlet, _, _, _ = stack
+        mac_key, proof = self._session(stack, alice_kp, server_kp, rng)
+        first = self._mac_request("/doc", mac_key, proof)
+        assert servlet.service(first).status == 200
+        # Steady state: no Sf-Proof header needed.
+        second = self._mac_request("/doc", mac_key)
+        assert servlet.service(second).status == 200
+
+    def test_tampered_request_rejected(self, stack, alice_kp, server_kp, rng):
+        servlet, _, _, _ = stack
+        mac_key, proof = self._session(stack, alice_kp, server_kp, rng)
+        request = self._mac_request("/doc", mac_key, proof)
+        request.path = "/secret"  # after the MAC was computed
+        assert servlet.service(request).status == 403
+
+    def test_unknown_session_rejected(self, stack, alice_kp, server_kp, rng):
+        servlet, _, _, _ = stack
+        from repro.crypto.mac import MacKey
+        import random as random_module
+
+        rogue = MacKey.generate(random_module.Random(77))
+        request = self._mac_request("/doc", rogue)
+        assert servlet.service(request).status == 403
+
+    def test_session_without_proof_rechallenged(self, stack, alice_kp,
+                                                server_kp, rng):
+        servlet, _, _, _ = stack
+        mac_key, _ = self._session(stack, alice_kp, server_kp, rng)
+        # Valid MAC but no delegation chain submitted: 401, not 403.
+        request = self._mac_request("/doc", mac_key)
+        assert servlet.service(request).status == 401
+
+    def test_malformed_mac_header(self, stack):
+        servlet, _, _, _ = stack
+        request = HttpRequest("GET", "/doc")
+        request.headers.set("Authorization", "SnowflakeMac onlyonepart")
+        assert servlet.service(request).status == 403

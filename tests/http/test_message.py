@@ -1,0 +1,89 @@
+"""Unit tests for HTTP message objects."""
+
+import pytest
+
+from repro.http.message import HttpMessageError, HttpRequest, HttpResponse
+
+
+class TestHttpRequest:
+    def test_wire_roundtrip(self):
+        request = HttpRequest(
+            "GET", "/doc", [("Host", "example"), ("Accept", "*/*")], b"body"
+        )
+        restored = HttpRequest.from_wire(request.to_wire())
+        assert restored.method == "GET"
+        assert restored.path == "/doc"
+        assert restored.headers.get("Host") == "example"
+        assert restored.body == b"body"
+
+    def test_method_uppercased(self):
+        assert HttpRequest("get", "/").method == "GET"
+
+    def test_headers_case_insensitive(self):
+        request = HttpRequest("GET", "/", [("X-Thing", "1")])
+        assert request.headers.get("x-thing") == "1"
+        assert "X-THING" in request.headers
+
+    def test_header_set_replaces(self):
+        request = HttpRequest("GET", "/", [("A", "1")])
+        request.headers.set("a", "2")
+        assert request.headers.get_all("A") == ["2"]
+
+    def test_hash_excludes_authorization(self):
+        base = HttpRequest("GET", "/doc", [("Host", "h")])
+        with_auth = HttpRequest(
+            "GET", "/doc", [("Host", "h"), ("Authorization", "xyz")]
+        )
+        assert base.hash() == with_auth.hash()
+
+    def test_hash_covers_everything_else(self):
+        a = HttpRequest("GET", "/doc", [("Host", "h")])
+        b = HttpRequest("GET", "/doc", [("Host", "h2")])
+        c = HttpRequest("GET", "/other", [("Host", "h")])
+        d = HttpRequest("GET", "/doc", [("Host", "h")], b"body")
+        hashes = {x.hash().digest for x in (a, b, c, d)}
+        assert len(hashes) == 4
+
+    def test_copy_is_independent(self):
+        request = HttpRequest("GET", "/doc", [("A", "1")])
+        clone = request.copy()
+        clone.headers.set("A", "2")
+        assert request.headers.get("A") == "1"
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpMessageError):
+            HttpRequest.from_wire(b"BROKEN\r\n\r\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(HttpMessageError):
+            HttpRequest.from_wire(b"GET / HTTP/1.0\r\nnocolon\r\n\r\n")
+
+
+class TestHttpResponse:
+    def test_wire_roundtrip(self):
+        response = HttpResponse(200, [("Content-Type", "text/plain")], b"ok")
+        restored = HttpResponse.from_wire(response.to_wire())
+        assert restored.status == 200
+        assert restored.reason == "OK"
+        assert restored.body == b"ok"
+
+    def test_default_reasons(self):
+        assert HttpResponse(401).reason == "UNAUTHORIZED"
+        assert HttpResponse(403).reason == "Forbidden"
+
+    def test_str_body_encoded(self):
+        assert HttpResponse(200, body="héllo").body == "héllo".encode("utf-8")
+
+    def test_ok_predicate(self):
+        assert HttpResponse(204).ok()
+        assert not HttpResponse(401).ok()
+        assert not HttpResponse(500).ok()
+
+    def test_malformed_status_line(self):
+        with pytest.raises(HttpMessageError):
+            HttpResponse.from_wire(b"HTTP/1.0\r\n\r\n")
+
+    def test_binary_body_preserved(self):
+        body = bytes(range(256))
+        response = HttpResponse(200, body=body)
+        assert HttpResponse.from_wire(response.to_wire()).body == body

@@ -1,0 +1,171 @@
+"""Unit tests for the client proxy (Section 5.3.5)."""
+
+import pytest
+
+from repro.core.principals import KeyPrincipal
+from repro.http import HttpServer
+from repro.http.auth import ProtectedServlet
+from repro.http.docauth import DocumentSigner
+from repro.http.mac import MacSessionManager
+from repro.http.message import HttpResponse
+from repro.http.proxy import SnowflakeProxy
+from repro.net import Network, TrustEnvironment
+from repro.prover import KeyClosure, Prover
+from repro.sim import Meter, SimClock
+from repro.spki import Certificate
+from repro.tags import parse_tag
+
+
+class _DocServlet(ProtectedServlet):
+    def __init__(self, issuer, *args, doc_signer=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._issuer = issuer
+        self.doc_signer = doc_signer
+
+    def issuer_for(self, request):
+        return self._issuer
+
+    def serve(self, request):
+        response = HttpResponse(200, body=b"content of " + request.path.encode())
+        if self.doc_signer is not None:
+            self.doc_signer.attach(response)
+        return response
+
+
+@pytest.fixture()
+def world(server_kp, alice_kp, rng):
+    net = Network()
+    clock = SimClock()
+    trust = TrustEnvironment(clock=clock)
+    issuer = KeyPrincipal(server_kp.public)
+    macs = MacSessionManager(trust, rng)
+    signer = DocumentSigner(server_kp, rng=rng)
+    servlet = _DocServlet(
+        issuer, b"svc", trust, doc_signer=signer, mac_sessions=macs
+    )
+    http = HttpServer()
+    http.mount("/", servlet)
+    net.listen("web", http)
+    prover = Prover()
+    prover.add_certificate(
+        Certificate.issue(
+            server_kp, KeyPrincipal(alice_kp.public),
+            parse_tag("(tag (web))"), rng=rng,
+        )
+    )
+    return {"net": net, "prover": prover, "issuer": issuer, "trust": trust}
+
+
+class TestSignedRequests:
+    def test_transparent_authorization(self, world, alice_kp, rng):
+        proxy = SnowflakeProxy(world["net"], world["prover"], alice_kp, rng=rng)
+        response = proxy.get("web", "/doc")
+        assert response.status == 200
+        assert response.body == b"content of /doc"
+
+    def test_history_records_visit(self, world, alice_kp, rng):
+        proxy = SnowflakeProxy(world["net"], world["prover"], alice_kp, rng=rng)
+        proxy.get("web", "/doc")
+        assert len(proxy.history) == 1
+        assert proxy.history[0].path == "/doc"
+        assert proxy.history[0].issuer == world["issuer"]
+
+    def test_each_request_freshly_signed(self, world, alice_kp, rng):
+        meter = Meter()
+        proxy = SnowflakeProxy(
+            world["net"], world["prover"], alice_kp, rng=rng, meter=meter
+        )
+        proxy.get("web", "/a")
+        proxy.get("web", "/b")
+        assert meter.counts()["pk_sign"] == 2  # one per request
+
+    def test_unauthorized_user_gets_challenge_back(self, world, bob_kp, rng):
+        empty_prover = Prover()
+        proxy = SnowflakeProxy(world["net"], empty_prover, bob_kp, rng=rng)
+        response = proxy.get("web", "/doc")
+        assert response.status == 401
+        assert response.headers.get("Sf-Proxy-Note") is not None
+
+
+class TestMacMode:
+    def test_amortized_session(self, world, alice_kp, rng):
+        meter = Meter()
+        proxy = SnowflakeProxy(
+            world["net"], world["prover"], alice_kp, rng=rng,
+            meter=meter, use_mac=True,
+        )
+        assert proxy.get("web", "/one").status == 200
+        signs_after_setup = meter.counts()["pk_sign"]
+        assert proxy.get("web", "/two").status == 200
+        assert proxy.get("web", "/three").status == 200
+        # No further public-key operations after session setup; requests
+        # authenticate with the symmetric MAC alone.
+        assert meter.counts()["pk_sign"] == signs_after_setup
+
+    def test_session_covers_whole_service(self, world, alice_kp, rng):
+        proxy = SnowflakeProxy(
+            world["net"], world["prover"], alice_kp, rng=rng, use_mac=True
+        )
+        proxy.get("web", "/one")
+        # Second path requires no new 401 round (session tag is broad).
+        response = proxy.get("web", "/other-path")
+        assert response.status == 200
+
+
+class TestDocumentVerification:
+    def test_verifies_attached_proofs(self, world, alice_kp, rng):
+        proxy = SnowflakeProxy(
+            world["net"], world["prover"], alice_kp, rng=rng,
+            verify_documents=True, trust=world["trust"],
+        )
+        response = proxy.get("web", "/doc")
+        assert response.status == 200
+        assert proxy.last_document_verified is True
+
+
+class TestDelegationSnippets:
+    def test_share_page_with_bob(self, world, alice_kp, bob_kp, rng):
+        """The Section 5.3.5 flow: Alice delegates a visited page to Bob;
+        Bob imports the snippet and fetches the page himself."""
+        alice_proxy = SnowflakeProxy(world["net"], world["prover"], alice_kp, rng=rng)
+        assert alice_proxy.get("web", "/doc").status == 200
+
+        B = KeyPrincipal(bob_kp.public)
+        snippet = alice_proxy.make_delegation_snippet(B)
+        assert snippet.head() == "sf-snippet"
+
+        bob_prover = Prover()
+        bob_proxy = SnowflakeProxy(world["net"], bob_prover, bob_kp, rng=rng)
+        address, path = bob_proxy.import_snippet(snippet)
+        assert (address, path) == ("web", "/doc")
+        response = bob_proxy.get(address, path)
+        assert response.status == 200
+        assert response.body == b"content of /doc"
+
+    def test_snippet_restriction_limits_bob(self, world, alice_kp, bob_kp, rng):
+        alice_proxy = SnowflakeProxy(world["net"], world["prover"], alice_kp, rng=rng)
+        alice_proxy.get("web", "/doc")
+        B = KeyPrincipal(bob_kp.public)
+        narrow = parse_tag(
+            '(tag (web (method GET) (service svc) (resourcePath "/doc")))'
+        )
+        snippet = alice_proxy.make_delegation_snippet(B, tag=narrow)
+        bob_proxy = SnowflakeProxy(world["net"], Prover(), bob_kp, rng=rng)
+        bob_proxy.import_snippet(snippet)
+        assert bob_proxy.get("web", "/doc").status == 200
+        assert bob_proxy.get("web", "/other").status == 401
+
+    def test_snippet_without_history_rejected(self, world, alice_kp, bob_kp, rng):
+        from repro.core.errors import AuthorizationError
+
+        proxy = SnowflakeProxy(world["net"], world["prover"], alice_kp, rng=rng)
+        with pytest.raises(AuthorizationError):
+            proxy.make_delegation_snippet(KeyPrincipal(bob_kp.public))
+
+    def test_import_rejects_garbage(self, world, bob_kp, rng):
+        from repro.core.errors import AuthorizationError
+        from repro.sexp import parse
+
+        proxy = SnowflakeProxy(world["net"], Prover(), bob_kp, rng=rng)
+        with pytest.raises(AuthorizationError):
+            proxy.import_snippet(parse("(not-a-snippet)"))

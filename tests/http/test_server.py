@@ -1,0 +1,74 @@
+"""Unit tests for the servlet-hosting HTTP server."""
+
+import pytest
+
+from repro.http.message import HttpRequest, HttpResponse
+from repro.http.server import HttpServer, Servlet
+from repro.net import Network
+from repro.sim import Meter
+
+
+class _Static(Servlet):
+    def __init__(self, text):
+        self.text = text
+
+    def service(self, request):
+        return HttpResponse(200, body=self.text.encode())
+
+
+class _Boom(Servlet):
+    def service(self, request):
+        raise RuntimeError("kaboom")
+
+
+def do_get(net, address, path):
+    transport = net.connect(address)
+    wire = HttpRequest("GET", path).to_wire()
+    return HttpResponse.from_wire(transport.request(wire))
+
+
+class TestRouting:
+    def test_longest_prefix_wins(self):
+        server = HttpServer()
+        server.mount("/", _Static("root"))
+        server.mount("/api", _Static("api"))
+        net = Network()
+        net.listen("web", server)
+        assert do_get(net, "web", "/api/x").body == b"api"
+        assert do_get(net, "web", "/other").body == b"root"
+
+    def test_404_when_unrouted(self):
+        server = HttpServer()
+        server.mount("/api", _Static("api"))
+        net = Network()
+        net.listen("web", server)
+        assert do_get(net, "web", "/nope").status == 404
+
+    def test_servlet_exception_becomes_500(self):
+        server = HttpServer()
+        server.mount("/", _Boom())
+        net = Network()
+        net.listen("web", server)
+        response = do_get(net, "web", "/")
+        assert response.status == 500
+        assert b"kaboom" in response.body
+
+
+class TestStacks:
+    def test_java_stack_charges_jetty_overhead(self):
+        meter = Meter()
+        server = HttpServer(meter=meter, stack="java")
+        server.mount("/", _Static("x"))
+        server.service(HttpRequest("GET", "/"))
+        assert meter.total_ms() == pytest.approx(25.0)
+
+    def test_c_stack_is_apache_only(self):
+        meter = Meter()
+        server = HttpServer(meter=meter, stack="c")
+        server.mount("/", _Static("x"))
+        server.service(HttpRequest("GET", "/"))
+        assert meter.total_ms() == pytest.approx(4.6)
+
+    def test_unknown_stack_rejected(self):
+        with pytest.raises(ValueError):
+            HttpServer(stack="rust")

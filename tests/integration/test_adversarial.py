@@ -1,0 +1,218 @@
+"""Adversarial scenarios: the security claims under active attack.
+
+The paper's central security claim is that proofs are *facts*, not bearer
+capabilities, and that verification is end-to-end: every test here plays
+an attacker somewhere in the middle and checks the system fails closed.
+"""
+
+import pytest
+
+from repro.core.errors import (
+    AuthorizationError,
+    NeedAuthorizationError,
+    VerificationError,
+)
+from repro.core.principals import ChannelPrincipal, KeyPrincipal
+from repro.core.proofs import (
+    PremiseStep,
+    SignedCertificateStep,
+    VerificationContext,
+    authorizes,
+    proof_from_sexp,
+)
+from repro.core.rules import TransitivityStep
+from repro.core.statements import Says, SpeaksFor, Validity
+from repro.sexp import Atom, SList, parse_canonical, to_canonical
+from repro.spki import Certificate
+from repro.tags import Tag, parse_tag
+
+
+class TestProofTheft:
+    """Knowledge of a proof must bestow nothing on an adversary."""
+
+    def test_stolen_proof_bound_to_victims_channel(self, alice_kp, server_kp, rng):
+        """Mallory records Alice's channel proof and presents it from her
+        own channel: the subject no longer matches the utterer."""
+        S = KeyPrincipal(server_kp.public)
+        A = KeyPrincipal(alice_kp.public)
+        alice_channel = ChannelPrincipal.of_secret(b"alice-session")
+        mallory_channel = ChannelPrincipal.of_secret(b"mallory-session")
+        premise = SpeaksFor(alice_channel, A, Tag.all())
+        chain = TransitivityStep(
+            PremiseStep(premise),
+            SignedCertificateStep(
+                Certificate.issue(server_kp, A, Tag.all(), rng=rng)
+            ),
+        )
+        context = VerificationContext(trusted_premises=[premise])
+        # Works for Alice's channel:
+        authorizes(chain, alice_channel, S, ["read"], context)
+        # Useless for Mallory's:
+        with pytest.raises(AuthorizationError):
+            authorizes(chain, mallory_channel, S, ["read"], context)
+
+    def test_premise_cannot_be_fabricated(self, alice_kp, server_kp, bob_kp, rng):
+        """Mallory ships a proof whose channel premise claims her channel
+        speaks for Alice; no transport vouches it, so it verifies nowhere."""
+        A = KeyPrincipal(alice_kp.public)
+        S = KeyPrincipal(server_kp.public)
+        mallory_channel = ChannelPrincipal.of_secret(b"mallory")
+        forged = TransitivityStep(
+            PremiseStep(SpeaksFor(mallory_channel, A, Tag.all())),
+            SignedCertificateStep(
+                Certificate.issue(server_kp, A, Tag.all(), rng=rng)
+            ),
+        )
+        shipped = proof_from_sexp(parse_canonical(to_canonical(forged.to_sexp())))
+        with pytest.raises(VerificationError):
+            shipped.verify(VerificationContext())
+
+
+class TestWireTampering:
+    def test_widening_the_tag_in_transit(self, alice_kp, bob_kp, rng):
+        """Rewrite a narrow delegation's tag on the wire to (*): the
+        certificate signature no longer checks."""
+        B = KeyPrincipal(bob_kp.public)
+        cert = Certificate.issue(
+            alice_kp, B, parse_tag("(tag (web (method GET)))"), rng=rng
+        )
+        wire = to_canonical(SignedCertificateStep(cert).to_sexp())
+        narrow = to_canonical(parse_tag("(tag (web (method GET)))").to_sexp())
+        wide = to_canonical(Tag.all().to_sexp())
+        tampered_wire = wire.replace(narrow, wide)
+        assert tampered_wire != wire
+        tampered = proof_from_sexp(parse_canonical(tampered_wire))
+        with pytest.raises(VerificationError):
+            tampered.verify(VerificationContext())
+
+    def test_extending_validity_in_transit(self, alice_kp, bob_kp, rng):
+        B = KeyPrincipal(bob_kp.public)
+        cert = Certificate.issue(
+            alice_kp, B, Tag.all(), validity=Validity(0, 100), rng=rng
+        )
+        wire = to_canonical(SignedCertificateStep(cert).to_sexp())
+        tampered_wire = wire.replace(b"3:100", b"3:999")
+        assert tampered_wire != wire
+        tampered = proof_from_sexp(parse_canonical(tampered_wire))
+        with pytest.raises(VerificationError):
+            tampered.verify(VerificationContext())
+
+    def test_certificate_substitution_in_tree(self, alice_kp, bob_kp,
+                                              carol_kp, server_kp, rng):
+        """Splicing a different (validly signed) certificate into a proof
+        tree breaks the transitivity step's recomputation."""
+        A = KeyPrincipal(alice_kp.public)
+        B = KeyPrincipal(bob_kp.public)
+        C = KeyPrincipal(carol_kp.public)
+        S = KeyPrincipal(server_kp.public)
+        good_chain = TransitivityStep(
+            SignedCertificateStep(Certificate.issue(alice_kp, B, Tag.all(), rng=rng)),
+            SignedCertificateStep(Certificate.issue(server_kp, A, Tag.all(), rng=rng)),
+        )
+        # Mallory swaps the upper certificate for one issued *to Carol*
+        # (validly signed) while keeping the original conclusion.
+        node = good_chain.to_sexp()
+        evil_cert = Certificate.issue(server_kp, C, Tag.all(), rng=rng)
+        items = list(node.items)
+        for index, item in enumerate(items):
+            if isinstance(item, SList) and item.head() == "premises":
+                premises = list(item.items)
+                premises[2] = SignedCertificateStep(evil_cert).to_sexp()
+                items[index] = SList(premises)
+        from repro.core.errors import ProofError
+
+        with pytest.raises(ProofError):
+            # The rebuilt tree's derivation no longer matches the claimed
+            # conclusion; rejected already at parse time.
+            proof_from_sexp(SList(items))
+
+
+class TestChannelAttacks:
+    def test_impostor_server(self, host_kp, bob_kp, alice_kp, rng):
+        """Mallory answers the client's connect with her own host key;
+        the client expected a different key and aborts the handshake."""
+        from repro.net import Network, SecureChannelClient, SecureChannelServer, TrustEnvironment
+        from repro.net.secure import ChannelError, SecureChannelService
+
+        class Sink(SecureChannelService):
+            def handle_request(self, request, speaker, connection):
+                return request
+
+        net = Network()
+        mallory_kp = bob_kp  # mallory's host key
+        net.listen(
+            "svc", SecureChannelServer(mallory_kp, Sink(), TrustEnvironment())
+        )
+        with pytest.raises(Exception):
+            SecureChannelClient(
+                net.connect("svc"), alice_kp, host_kp.public, rng=rng
+            )
+
+    def test_record_replay_across_connection(self, host_kp, alice_kp, rng):
+        """Captured records cannot be replayed: sequence numbers advance."""
+        from repro.net import Network, SecureChannelClient, SecureChannelServer, TrustEnvironment
+        from repro.net.secure import ChannelError, SecureChannelService, _seal_record
+        from repro.sexp import sexp
+
+        class Echo(SecureChannelService):
+            def handle_request(self, request, speaker, connection):
+                return request
+
+        net = Network()
+        net.listen("svc", SecureChannelServer(host_kp, Echo(), TrustEnvironment()))
+        channel = SecureChannelClient(
+            net.connect("svc"), alice_kp, host_kp.public, rng=rng
+        )
+        channel.request(sexp(["one"]))
+        # Replay the first record verbatim at the raw transport: the
+        # server expects seq 1 now and refuses seq 0.
+        replay = _seal_record(
+            channel.secret, 0, to_canonical(sexp(["msg", ["one"]]))
+        )
+        with pytest.raises(ChannelError):
+            channel.transport.request(to_canonical(replay))
+
+
+class TestCrossClientConfusion:
+    def test_client_cannot_use_anothers_delegation_chain(
+        self, host_kp, server_kp, alice_kp, bob_kp, rng
+    ):
+        """Bob digests Alice's *public* proof chain into his prover; it
+        cannot complete a proof for Bob's channel because nothing connects
+        Bob's key to Alice's."""
+        from repro.net import Network
+        from repro.prover import KeyClosure, Prover
+        from repro.rmi import ClientIdentity, Registry, RemoteObject, RmiServer
+
+        net = Network()
+        server = RmiServer(net, "svc", host_kp)
+        KS = KeyPrincipal(server_kp.public)
+        server.export(RemoteObject("obj", KS, {"ping": lambda: "pong"}))
+        registry = Registry()
+        registry.bind("obj", "svc", "obj", host_kp.public)
+
+        alice_chain = SignedCertificateStep(
+            Certificate.issue(
+                server_kp, KeyPrincipal(alice_kp.public), Tag.all(), rng=rng
+            )
+        )
+        bob_prover = Prover()
+        bob_prover.add_proof(alice_chain)  # stolen/public knowledge
+        bob_prover.control(KeyClosure(bob_kp, rng))
+        stub = registry.connect(
+            net, "obj", bob_kp, identity=ClientIdentity(bob_prover, bob_kp),
+            rng=rng,
+        )
+        with pytest.raises(NeedAuthorizationError):
+            stub.invoke("ping")
+
+    def test_mac_session_not_transferable(self, server_kp, alice_kp, bob_kp, rng):
+        """A MAC tag computed with one session's secret fails under
+        another session, and sessions are bound to the granted key."""
+        from repro.crypto.mac import MacKey
+        import random as random_module
+
+        alice_mac = MacKey.generate(random_module.Random(1))
+        bob_mac = MacKey.generate(random_module.Random(2))
+        message = b"GET /mail HTTP/1.0"
+        assert not bob_mac.verify(message, alice_mac.tag(message))

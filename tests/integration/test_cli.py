@@ -1,0 +1,110 @@
+"""Tests for the repro.tools command-line interface."""
+
+import pytest
+
+from repro.tools.cli import main, load_private_key
+
+
+@pytest.fixture()
+def keys(tmp_path):
+    alice = str(tmp_path / "alice")
+    bob = str(tmp_path / "bob")
+    assert main(["keygen", "--bits", "512", "--seed", "1", "--out", alice]) == 0
+    assert main(["keygen", "--bits", "512", "--seed", "2", "--out", bob]) == 0
+    return {"alice": alice, "bob": bob, "tmp": tmp_path}
+
+
+class TestKeygen:
+    def test_writes_both_halves(self, keys, tmp_path):
+        assert (tmp_path / "alice.private").exists()
+        assert (tmp_path / "alice.public").exists()
+
+    def test_private_key_roundtrip(self, keys):
+        keypair = load_private_key(keys["alice"] + ".private")
+        signature = keypair.sign(b"message")
+        assert keypair.public.verify(b"message", signature)
+
+    def test_deterministic_seed(self, tmp_path):
+        a = str(tmp_path / "a")
+        b = str(tmp_path / "b")
+        main(["keygen", "--bits", "512", "--seed", "7", "--out", a])
+        main(["keygen", "--bits", "512", "--seed", "7", "--out", b])
+        assert open(a + ".public", "rb").read() == open(b + ".public", "rb").read()
+
+    def test_fingerprint(self, keys, capsys):
+        assert main(["fingerprint", keys["alice"] + ".public"]) == 0
+        public_fp = capsys.readouterr().out.strip()
+        assert main(["fingerprint", keys["alice"] + ".private"]) == 0
+        private_fp = capsys.readouterr().out.strip()
+        assert public_fp == private_fp
+        assert public_fp.startswith("(hash md5 ")
+
+
+class TestIssueShowVerify:
+    def _issue(self, keys, out, extra=()):
+        return main(
+            [
+                "issue",
+                "--issuer", keys["alice"] + ".private",
+                "--subject", keys["bob"] + ".public",
+                "--tag", "(tag (web (method GET)))",
+                "--out", out,
+                *extra,
+            ]
+        )
+
+    def test_issue_and_verify(self, keys, tmp_path, capsys):
+        cert_path = str(tmp_path / "grant.cert")
+        assert self._issue(keys, cert_path) == 0
+        assert main(["verify", cert_path]) == 0
+        assert "VALID" in capsys.readouterr().out
+
+    def test_show_explains_meaning(self, keys, tmp_path, capsys):
+        cert_path = str(tmp_path / "grant.cert")
+        self._issue(keys, cert_path)
+        assert main(["show", cert_path]) == 0
+        out = capsys.readouterr().out
+        assert "meaning:" in out and "=>" in out
+
+    def test_expired_certificate_flagged(self, keys, tmp_path, capsys):
+        cert_path = str(tmp_path / "short.cert")
+        assert self._issue(keys, cert_path, ["--not-after", "100"]) == 0
+        assert main(["verify", cert_path, "--now", "50"]) == 0
+        assert main(["verify", cert_path, "--now", "500"]) == 2
+
+    def test_tampered_certificate_invalid(self, keys, tmp_path, capsys):
+        cert_path = str(tmp_path / "grant.cert")
+        self._issue(keys, cert_path)
+        text = open(cert_path).read().replace("GET", "PUT")
+        open(cert_path, "w").write(text)
+        assert main(["verify", cert_path]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_canonical_output_parses(self, keys, tmp_path):
+        cert_path = str(tmp_path / "grant.bin")
+        assert self._issue(keys, cert_path, ["--canonical"]) == 0
+        assert main(["verify", cert_path]) == 0
+
+    def test_name_certificate(self, keys, tmp_path, capsys):
+        cert_path = str(tmp_path / "name.cert")
+        assert self._issue(keys, cert_path, ["--name", "assistant"]) == 0
+        main(["show", cert_path])
+        assert "assistant" in capsys.readouterr().out
+
+
+class TestTagCommand:
+    def test_match(self, capsys):
+        assert main(["tag", "(tag (web))", "--match", "(web (method GET))"]) == 0
+        assert capsys.readouterr().out.strip() == "match"
+
+    def test_no_match_exit_code(self, capsys):
+        assert main(["tag", "(tag (ftp))", "--match", "(web)"]) == 1
+
+    def test_intersect(self, capsys):
+        assert main(
+            ["tag", "(tag (web))", "--intersect", "(tag (web (method GET)))"]
+        ) == 0
+        assert "(method GET)" in capsys.readouterr().out
+
+    def test_empty_intersection_exit_code(self):
+        assert main(["tag", "(tag (web))", "--intersect", "(tag (ftp))"]) == 1

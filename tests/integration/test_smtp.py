@@ -1,0 +1,145 @@
+"""Tests for the SMTP protocol adapter (the paper's named extension)."""
+
+import pytest
+
+from repro.core.errors import AuthorizationError
+from repro.core.principals import KeyPrincipal
+from repro.core.proofs import SignedCertificateStep, VerificationContext
+from repro.net import Network, TrustEnvironment
+from repro.prover import KeyClosure, Prover
+from repro.smtp import SmtpError, SnowflakeSmtpClient, SnowflakeSmtpServer
+from repro.spki import Certificate
+from repro.tags import Tag, parse_tag
+
+
+@pytest.fixture()
+def world(server_kp, alice_kp, bob_kp, rng):
+    """bob's mailbox lives on mail.example, controlled by server_kp; alice
+    holds a delegation to send to it."""
+    net = Network()
+    trust = TrustEnvironment()
+    BOB_ISSUER = KeyPrincipal(server_kp.public)
+
+    def issuer_for(mailbox):
+        return BOB_ISSUER if mailbox == "bob" else None
+
+    server = SnowflakeSmtpServer("mail.example", issuer_for, trust)
+    net.listen("mail.example", server)
+
+    alice_prover = Prover()
+    alice_prover.control(KeyClosure(alice_kp, rng))
+    alice_prover.add_certificate(
+        Certificate.issue(
+            server_kp, KeyPrincipal(alice_kp.public),
+            parse_tag("(tag (smtp (rcpt bob)))"), rng=rng,
+        )
+    )
+    return {
+        "net": net,
+        "server": server,
+        "alice_prover": alice_prover,
+        "issuer": BOB_ISSUER,
+        "trust": trust,
+    }
+
+
+def client_for(world, prover, **kwargs):
+    client = SnowflakeSmtpClient(world["net"], "mail.example", prover, **kwargs)
+    client.helo()
+    return client
+
+
+class TestDelivery:
+    def test_authorized_delivery(self, world):
+        client = client_for(world, world["alice_prover"])
+        reply = client.send("alice@a.example", "bob", b"Subject: hi\r\n\r\nlunch?")
+        assert reply.startswith("250")
+        assert world["server"].mailboxes["bob"] == [
+            ("alice@a.example", b"Subject: hi\r\n\r\nlunch?")
+        ]
+        client.quit()
+
+    def test_unauthorized_sender_rejected(self, world, carol_kp, rng):
+        stranger = Prover()
+        stranger.control(KeyClosure(carol_kp, rng))
+        client = client_for(world, stranger)
+        with pytest.raises(AuthorizationError):
+            client.send("carol@c.example", "bob", b"spam")
+        assert "bob" not in world["server"].mailboxes
+
+    def test_unknown_mailbox_rejected(self, world):
+        client = client_for(world, world["alice_prover"])
+        with pytest.raises(SmtpError):
+            client.send("alice@a.example", "nobody", b"hi")
+
+    def test_delegation_scoped_to_mailbox(self, world, server_kp, rng):
+        """Alice's grant covers bob only; another mailbox on the same
+        server must be refused even though the issuer matches."""
+
+        def issuer_for(mailbox):
+            return world["issuer"] if mailbox in ("bob", "root") else None
+
+        world["server"].issuer_for = issuer_for
+        client = client_for(world, world["alice_prover"])
+        with pytest.raises(AuthorizationError):
+            client.send("alice@a.example", "root", b"payload")
+
+    def test_tampered_message_rejected(self, world, alice_kp, rng):
+        """A proof for one message body must not deliver another."""
+        from repro.core.principals import HashPrincipal
+        from repro.crypto.hashes import HashValue
+        from repro.sexp import to_transport
+
+        message = b"original body"
+        subject = HashPrincipal(HashValue.of_bytes(message))
+        proof = world["alice_prover"].prove(
+            subject, world["issuer"],
+            min_tag=parse_tag("(tag (smtp (rcpt bob)))"),
+        )
+        transport = world["net"].connect("mail.example")
+        transport.request(b"HELO x")
+        transport.request(b"MAIL FROM:<alice@a.example>")
+        transport.request(b"RCPT TO:<bob>")
+        tampered = (
+            b"DATA\r\n" + b"evil body" + b"\r\nX-Sf-Proof: "
+            + to_transport(proof.to_sexp())
+        )
+        reply = transport.request(tampered)
+        assert reply.startswith(b"554")
+
+    def test_lockstep_ordering_enforced(self, world):
+        transport = world["net"].connect("mail.example")
+        assert transport.request(b"MAIL FROM:<x>").startswith(b"503")
+        transport.request(b"HELO x")
+        assert transport.request(b"RCPT TO:<bob>").startswith(b"503")
+        assert transport.request(b"DATA\r\nhello").startswith(b"503")
+
+
+class TestReceiverAuthorization:
+    def test_client_verifies_receiving_server(self, world, server_kp,
+                                              host_kp, rng):
+        """'Does that server have authority to receive my e-mail?' — the
+        mailbox controller certifies the host; the client checks."""
+        host_proof = SignedCertificateStep(
+            Certificate.issue(
+                server_kp, KeyPrincipal(host_kp.public),
+                parse_tag("(tag (smtp))"), rng=rng,
+            )
+        )
+        world["server"].receiver_proof = host_proof
+        client = SnowflakeSmtpClient(
+            world["net"], "mail.example", world["alice_prover"],
+            expected_receiver=world["issuer"],
+            verify_context=VerificationContext(),
+        )
+        client.helo()
+        assert client.receiver_verified is True
+
+    def test_missing_receiver_proof_flagged(self, world):
+        client = SnowflakeSmtpClient(
+            world["net"], "mail.example", world["alice_prover"],
+            expected_receiver=world["issuer"],
+            verify_context=VerificationContext(),
+        )
+        client.helo()
+        assert client.receiver_verified is False

@@ -1,0 +1,93 @@
+"""Unit tests for trusted-host local channels."""
+
+import pytest
+
+from repro.core.principals import KeyPrincipal
+from repro.core.statements import Says, SpeaksFor
+from repro.net import TrustedHost, TrustEnvironment
+from repro.net.secure import SecureChannelService
+from repro.sexp import Atom, SList, sexp
+from repro.sim import Meter
+from repro.tags import Tag
+
+
+class _EchoService(SecureChannelService):
+    def __init__(self):
+        self.seen = []
+
+    def handle_request(self, request, speaker, connection):
+        self.seen.append((request, speaker))
+        return SList([Atom("ok")])
+
+
+@pytest.fixture()
+def host_stack(rng):
+    host = TrustedHost(rng)
+    trust = TrustEnvironment()
+    service = _EchoService()
+    host.register_service("db", service, trust)
+    return host, trust, service
+
+
+class TestTrustedHost:
+    def test_connect_and_request(self, host_stack, alice_kp):
+        host, trust, service = host_stack
+        A = KeyPrincipal(alice_kp.public)
+        channel = host.connect(A, "db")
+        assert channel.request(sexp(["ping"])) == SList([Atom("ok")])
+        assert service.seen[0][1] == channel.channel_principal
+
+    def test_host_vouches_without_crypto(self, host_stack, alice_kp):
+        host, trust, _ = host_stack
+        A = KeyPrincipal(alice_kp.public)
+        channel = host.connect(A, "db")
+        assert trust.vouches_for(
+            SpeaksFor(channel.channel_principal, A, Tag.all())
+        )
+        assert channel.bound_principal == A
+
+    def test_no_public_key_charges(self, host_stack, alice_kp):
+        host, _, _ = host_stack
+        meter = Meter()
+        channel = host.connect(KeyPrincipal(alice_kp.public), "db", meter=meter)
+        channel.request(sexp(["ping"]))
+        counts = meter.counts()
+        assert "pk_sign" not in counts and "pk_verify" not in counts
+        assert counts["local_ipc"] == 1  # only IPC + serialization costs
+
+    def test_unknown_service_refused(self, host_stack, alice_kp):
+        host, _, _ = host_stack
+        with pytest.raises(ConnectionRefusedError):
+            host.connect(KeyPrincipal(alice_kp.public), "nope")
+
+    def test_duplicate_service_rejected(self, host_stack):
+        host, trust, service = host_stack
+        with pytest.raises(ValueError):
+            host.register_service("db", service, trust)
+
+    def test_close_retracts_and_blocks(self, host_stack, alice_kp):
+        host, trust, _ = host_stack
+        A = KeyPrincipal(alice_kp.public)
+        channel = host.connect(A, "db")
+        premise = SpeaksFor(channel.channel_principal, A, Tag.all())
+        channel.close()
+        assert not trust.vouches_for(premise)
+        with pytest.raises(ConnectionError):
+            channel.request(sexp(["ping"]))
+
+    def test_quoting_over_local_channel(self, host_stack, alice_kp, bob_kp):
+        host, trust, service = host_stack
+        A = KeyPrincipal(alice_kp.public)
+        B = KeyPrincipal(bob_kp.public)
+        channel = host.connect(A, "db")
+        channel.request(sexp(["ping"]), quoting=B)
+        _, speaker = service.seen[-1]
+        assert speaker == channel.channel_principal.quoting(B)
+        assert trust.vouches_for(Says(speaker, sexp(["ping"])))
+
+    def test_distinct_channels(self, host_stack, alice_kp):
+        host, _, _ = host_stack
+        A = KeyPrincipal(alice_kp.public)
+        first = host.connect(A, "db")
+        second = host.connect(A, "db")
+        assert first.channel_principal != second.channel_principal

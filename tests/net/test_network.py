@@ -1,0 +1,93 @@
+"""Unit tests for the simulated network."""
+
+import pytest
+
+from repro.net.network import Connection, ConnectionClosed, Network, ServerFactory
+
+
+class _Echo(Connection):
+    def __init__(self):
+        self.closed = False
+
+    def handle(self, data: bytes) -> bytes:
+        return b"echo:" + data
+
+    def close(self):
+        self.closed = True
+
+
+class TestNetwork:
+    def test_connect_and_request(self):
+        net = Network()
+        net.listen("svc", lambda peer: _Echo())
+        transport = net.connect("svc")
+        assert transport.request(b"hi") == b"echo:hi"
+
+    def test_each_connect_gets_fresh_connection(self):
+        created = []
+
+        def factory(peer):
+            conn = _Echo()
+            created.append(conn)
+            return conn
+
+        net = Network()
+        net.listen("svc", factory)
+        net.connect("svc")
+        net.connect("svc")
+        assert len(created) == 2
+        assert net.connects == 2
+
+    def test_connection_refused(self):
+        with pytest.raises(ConnectionRefusedError):
+            Network().connect("nowhere")
+
+    def test_double_bind_rejected(self):
+        net = Network()
+        net.listen("svc", lambda peer: _Echo())
+        with pytest.raises(ValueError):
+            net.listen("svc", lambda peer: _Echo())
+
+    def test_unlisten(self):
+        net = Network()
+        net.listen("svc", lambda peer: _Echo())
+        net.unlisten("svc")
+        with pytest.raises(ConnectionRefusedError):
+            net.connect("svc")
+
+    def test_close_propagates_and_blocks_use(self):
+        conn = _Echo()
+        net = Network()
+        net.listen("svc", lambda peer: conn)
+        transport = net.connect("svc")
+        transport.close()
+        assert conn.closed
+        with pytest.raises(ConnectionClosed):
+            transport.request(b"hi")
+
+    def test_peer_addresses_distinct(self):
+        peers = []
+        net = Network()
+
+        def factory(peer):
+            peers.append(peer)
+            return _Echo()
+
+        net.listen("svc", factory)
+        net.connect("svc")
+        net.connect("svc", client_address="10.0.0.7")
+        assert len(set(peers)) == 2
+        assert "10.0.0.7" in peers
+
+    def test_server_factory_class_form(self):
+        class Factory(ServerFactory):
+            def open_connection(self, peer):
+                return _Echo()
+
+        net = Network()
+        net.listen("svc", Factory())
+        assert net.connect("svc").request(b"x") == b"echo:x"
+
+    def test_bad_server_rejected(self):
+        with pytest.raises(TypeError):
+            Network().listen("svc", object())

@@ -1,0 +1,178 @@
+"""Unit tests for the ssh-like secure channel."""
+
+import random
+
+import pytest
+
+from repro.core.principals import KeyPrincipal
+from repro.core.statements import Says, SpeaksFor
+from repro.net import Network, SecureChannelClient, SecureChannelServer, TrustEnvironment
+from repro.net.secure import ChannelError, SecureChannelService, _open_record, _seal_record
+from repro.sexp import Atom, SList, parse_canonical, sexp, to_canonical
+from repro.tags import Tag
+
+
+class _EchoService(SecureChannelService):
+    def __init__(self):
+        self.seen = []
+
+    def handle_request(self, request, speaker, connection):
+        self.seen.append((request, speaker))
+        return SList([Atom("echoed"), request])
+
+
+@pytest.fixture()
+def stack(host_kp, rng):
+    net = Network()
+    trust = TrustEnvironment()
+    service = _EchoService()
+    server = SecureChannelServer(host_kp, service, trust)
+    net.listen("svc", server)
+    return net, trust, service
+
+
+def open_channel(stack, alice_kp, host_kp, rng):
+    net, _, _ = stack
+    return SecureChannelClient(
+        net.connect("svc"), alice_kp, host_kp.public, rng=rng
+    )
+
+
+class TestHandshake:
+    def test_establishes_and_exchanges(self, stack, alice_kp, host_kp, rng):
+        channel = open_channel(stack, alice_kp, host_kp, rng)
+        reply = channel.request(sexp(["ping"]))
+        assert reply == sexp(["echoed", ["ping"]])
+
+    def test_server_vouches_channel_speaks_for_client_key(
+        self, stack, alice_kp, host_kp, rng
+    ):
+        net, trust, _ = stack
+        channel = open_channel(stack, alice_kp, host_kp, rng)
+        premise = SpeaksFor(
+            channel.channel_principal, KeyPrincipal(alice_kp.public), Tag.all()
+        )
+        assert trust.vouches_for(premise)
+
+    def test_close_retracts_channel_premise(self, host_kp, alice_kp, rng):
+        net = Network()
+        trust = TrustEnvironment()
+        server = SecureChannelServer(host_kp, _EchoService(), trust)
+        net.listen("svc", server)
+        transport = net.connect("svc")
+        channel = SecureChannelClient(transport, alice_kp, host_kp.public, rng=rng)
+        connection_count = len(trust)
+        assert connection_count >= 1
+        # Closing the server connection retracts the vouching.
+        server_conn_premise = SpeaksFor(
+            channel.channel_principal, KeyPrincipal(alice_kp.public), Tag.all()
+        )
+        # Simulate connection teardown via the factory-created connection:
+        # reach it through a fresh channel's own close path.
+        # (The transport's close() calls Connection.close().)
+        channel.close()
+        assert not trust.vouches_for(server_conn_premise)
+
+    def test_wrong_server_key_detected_by_client(self, stack, alice_kp, bob_kp, rng):
+        net, _, _ = stack
+        # Client believes the server is bob_kp: the handshake must fail —
+        # either the server cannot unseal our secret (garbled) or its ack
+        # signature fails to verify.
+        with pytest.raises((ChannelError, Exception)):
+            SecureChannelClient(
+                net.connect("svc"), alice_kp, bob_kp.public, rng=rng
+            )
+
+    def test_distinct_channels_distinct_principals(self, stack, alice_kp, host_kp, rng):
+        first = open_channel(stack, alice_kp, host_kp, rng)
+        second = open_channel(stack, alice_kp, host_kp, rng)
+        assert first.channel_principal != second.channel_principal
+
+
+class TestRecords:
+    def test_tampered_record_rejected(self, host_kp, alice_kp, rng):
+        secret = b"s" * 32
+        record = _seal_record(secret, 0, b"hello")
+        ct_field = record.find("ct")
+        bad_ct = bytearray(ct_field.items[1].value)
+        bad_ct[0] ^= 1
+        tampered = SList(
+            [
+                Atom("rec"),
+                record.find("seq"),
+                SList([Atom("ct"), Atom(bytes(bad_ct))]),
+                record.find("mac"),
+            ]
+        )
+        with pytest.raises(ChannelError):
+            _open_record(secret, tampered, 0)
+
+    def test_replayed_record_rejected(self, host_kp, alice_kp, rng):
+        secret = b"s" * 32
+        record = _seal_record(secret, 0, b"hello")
+        assert _open_record(secret, record, 0) == b"hello"
+        with pytest.raises(ChannelError):
+            _open_record(secret, record, 1)  # replay at later seq
+
+    def test_roundtrip_binary(self):
+        secret = b"k" * 32
+        payload = bytes(range(256))
+        record = _seal_record(secret, 7, payload)
+        assert _open_record(secret, record, 7) == payload
+
+
+class TestQuoting:
+    def test_speaker_is_channel(self, stack, alice_kp, host_kp, rng):
+        net, _, service = stack
+        channel = open_channel(stack, alice_kp, host_kp, rng)
+        channel.request(sexp(["ping"]))
+        _, speaker = service.seen[-1]
+        assert speaker == channel.channel_principal
+
+    def test_speaker_with_quoting(self, stack, alice_kp, bob_kp, host_kp, rng):
+        net, trust, service = stack
+        channel = open_channel(stack, alice_kp, host_kp, rng)
+        B = KeyPrincipal(bob_kp.public)
+        channel.request(sexp(["ping"]), quoting=B)
+        _, speaker = service.seen[-1]
+        assert speaker == channel.channel_principal.quoting(B)
+        # The utterance premise names the quoting compound.
+        assert trust.vouches_for(Says(speaker, sexp(["ping"])))
+
+    def test_speaker_helper_matches(self, stack, alice_kp, bob_kp, host_kp, rng):
+        channel = open_channel(stack, alice_kp, host_kp, rng)
+        B = KeyPrincipal(bob_kp.public)
+        assert channel.speaker() == channel.channel_principal
+        assert channel.speaker(B) == channel.channel_principal.quoting(B)
+
+
+class TestMetering:
+    def test_handshake_charges_public_key_ops(self, host_kp, alice_kp, rng):
+        from repro.sim import Meter
+
+        net = Network()
+        meter = Meter()
+        trust = TrustEnvironment()
+        net.listen("svc", SecureChannelServer(host_kp, _EchoService(), trust, meter=meter))
+        SecureChannelClient(
+            net.connect("svc"), alice_kp, host_kp.public, rng=rng, meter=meter
+        )
+        counts = meter.counts()
+        assert counts.get("pk_sign", 0) >= 2  # client sign + server unseal/ack
+        assert counts.get("pk_verify", 0) >= 2
+
+    def test_records_charge_per_message(self, host_kp, alice_kp, rng):
+        from repro.sim import Meter
+
+        net = Network()
+        meter = Meter()
+        trust = TrustEnvironment()
+        net.listen("svc", SecureChannelServer(host_kp, _EchoService(), trust, meter=meter))
+        channel = SecureChannelClient(
+            net.connect("svc"), alice_kp, host_kp.public, rng=rng, meter=meter
+        )
+        before = meter.counts().get("rmi_ssh_record", 0)
+        channel.request(sexp(["ping"]))
+        # One record charge per round trip (server side), avoiding
+        # double-counting on the shared single-machine meter.
+        assert meter.counts()["rmi_ssh_record"] == before + 1

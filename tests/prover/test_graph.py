@@ -1,0 +1,77 @@
+"""Unit tests for the delegation graph."""
+
+import pytest
+
+from repro.core.principals import KeyPrincipal
+from repro.core.proofs import PremiseStep
+from repro.core.statements import Says, SpeaksFor
+from repro.prover import DelegationGraph, Edge
+from repro.tags import Tag
+
+
+@pytest.fixture()
+def A(alice_kp):
+    return KeyPrincipal(alice_kp.public)
+
+
+@pytest.fixture()
+def B(bob_kp):
+    return KeyPrincipal(bob_kp.public)
+
+
+@pytest.fixture()
+def C(carol_kp):
+    return KeyPrincipal(carol_kp.public)
+
+
+def edge_proof(subject, issuer, tag=None):
+    return PremiseStep(SpeaksFor(subject, issuer, tag or Tag.all()))
+
+
+class TestDelegationGraph:
+    def test_add_and_query_incoming(self, A, B):
+        graph = DelegationGraph()
+        graph.add(edge_proof(B, A))
+        edges = graph.incoming(A)
+        assert len(edges) == 1
+        assert edges[0].subject == B and edges[0].issuer == A
+
+    def test_duplicate_proofs_deduplicated(self, A, B):
+        graph = DelegationGraph()
+        assert graph.add(edge_proof(B, A))
+        assert not graph.add(edge_proof(B, A))
+        assert len(graph.incoming(A)) == 1
+
+    def test_distinct_tags_are_distinct_edges(self, A, B):
+        from repro.tags import parse_tag
+
+        graph = DelegationGraph()
+        graph.add(edge_proof(B, A, parse_tag("(tag read)")))
+        graph.add(edge_proof(B, A, parse_tag("(tag write)")))
+        assert len(graph.incoming(A)) == 2
+
+    def test_principals_enumerates_both_sides(self, A, B, C):
+        graph = DelegationGraph()
+        graph.add(edge_proof(B, A))
+        graph.add(edge_proof(C, B))
+        assert set(graph.principals()) == {A, B, C}
+        assert len(graph) == 3
+
+    def test_shortcut_flag(self, A, B):
+        graph = DelegationGraph()
+        graph.add(edge_proof(B, A), shortcut=True)
+        assert graph.incoming(A)[0].shortcut
+        assert graph.edge_count(include_shortcuts=False) == 0
+        assert graph.edge_count() == 1
+
+    def test_rejects_says_proofs(self, A):
+        graph = DelegationGraph()
+        with pytest.raises(ValueError):
+            graph.add(PremiseStep(Says(A, "x")))
+
+    def test_incoming_is_a_copy(self, A, B):
+        graph = DelegationGraph()
+        graph.add(edge_proof(B, A))
+        edges = graph.incoming(A)
+        edges.clear()
+        assert len(graph.incoming(A)) == 1

@@ -1,0 +1,124 @@
+"""Property-based tests: the prover against random delegation graphs.
+
+Invariant (DESIGN.md): the Prover finds a proof iff a delegation path
+exists whose intersected tag covers the request — and every proof it
+returns verifies and concludes exactly the requested (subject, issuer).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.principals import NamePrincipal, KeyPrincipal
+from repro.core.proofs import PremiseStep, VerificationContext
+from repro.core.statements import SpeaksFor
+from repro.crypto import generate_keypair
+from repro.prover import Prover
+from repro.sexp import sexp
+from repro.tags import Tag, parse_tag
+
+_BASE_KP = generate_keypair(384, random.Random(0xFEED))
+_BASE = KeyPrincipal(_BASE_KP.public)
+_NODES = [NamePrincipal(_BASE, "p%d" % i) for i in range(6)]
+
+_TAGS = [
+    parse_tag("(tag (*))"),
+    parse_tag("(tag (web))"),
+    parse_tag("(tag (web (method GET)))"),
+    parse_tag("(tag (ftp))"),
+]
+
+_REQUESTS = [
+    sexp(["web", ["method", "GET"]]),
+    sexp(["web", ["method", "POST"]]),
+    sexp(["ftp", "fetch"]),
+]
+
+edges_strategy = st.lists(
+    st.tuples(
+        st.integers(0, len(_NODES) - 1),
+        st.integers(0, len(_NODES) - 1),
+        st.integers(0, len(_TAGS) - 1),
+    ),
+    max_size=12,
+)
+
+
+def _reachable(edges, subject_index, issuer_index, request):
+    """Ground-truth: DFS over edges whose tag matches the request."""
+    usable = [
+        (s, i) for s, i, t in edges
+        if s != i and _TAGS[t].matches(request)
+    ]
+    seen = {issuer_index}
+    frontier = [issuer_index]
+    while frontier:
+        node = frontier.pop()
+        for s, i in usable:
+            if i == node and s not in seen:
+                seen.add(s)
+                frontier.append(s)
+    return subject_index in seen
+
+
+@given(
+    edges_strategy,
+    st.integers(0, len(_NODES) - 1),
+    st.integers(0, len(_NODES) - 1),
+    st.integers(0, len(_REQUESTS) - 1),
+)
+@settings(max_examples=150, deadline=None)
+def test_prover_finds_iff_path_exists(edges, subject_index, issuer_index, request_index):
+    request = _REQUESTS[request_index]
+    prover = Prover(max_visits=len(_NODES) + 1)
+    for s, i, t in edges:
+        if s == i:
+            continue
+        prover.add_proof(
+            PremiseStep(SpeaksFor(_NODES[s], _NODES[i], _TAGS[t]))
+        )
+    subject, issuer = _NODES[subject_index], _NODES[issuer_index]
+    if subject == issuer:
+        return
+    proof = prover.find_proof(subject, issuer, request=request)
+    expected = _reachable(edges, subject_index, issuer_index, request)
+    assert (proof is not None) == expected
+    if proof is not None:
+        conclusion = proof.conclusion
+        assert conclusion.subject == subject
+        assert conclusion.issuer == issuer
+        assert conclusion.tag.matches(request)
+        # Every returned proof verifies when its premises are trusted.
+        context = VerificationContext(
+            trusted_premises=[
+                lemma.conclusion
+                for lemma in proof.lemmas()
+                if not lemma.premises
+            ]
+        )
+        proof.verify(context)
+
+
+@given(edges_strategy, st.integers(0, len(_NODES) - 1), st.integers(0, len(_NODES) - 1))
+@settings(max_examples=100, deadline=None)
+def test_digestion_preserves_provability(edges, subject_index, issuer_index):
+    """Finding a proof, digesting it into a fresh prover, and re-querying
+    must succeed (shortcuts never lose information)."""
+    request = _REQUESTS[0]
+    prover = Prover(max_visits=len(_NODES) + 1)
+    for s, i, t in edges:
+        if s == i:
+            continue
+        prover.add_proof(PremiseStep(SpeaksFor(_NODES[s], _NODES[i], _TAGS[t])))
+    subject, issuer = _NODES[subject_index], _NODES[issuer_index]
+    if subject == issuer:
+        return
+    proof = prover.find_proof(subject, issuer, request=request)
+    if proof is None:
+        return
+    fresh = Prover(max_visits=len(_NODES) + 1)
+    fresh.add_proof(proof)
+    again = fresh.find_proof(subject, issuer, request=request)
+    assert again is not None
+    assert again.conclusion.subject == subject
+    assert again.conclusion.issuer == issuer

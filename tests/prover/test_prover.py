@@ -1,0 +1,268 @@
+"""Unit tests for proof search, digestion, closures, and caching."""
+
+import pytest
+
+from repro.core.principals import KeyPrincipal, QuotingPrincipal
+from repro.core.proofs import (
+    SignedCertificateStep,
+    VerificationContext,
+)
+from repro.core.rules import TransitivityStep
+from repro.core.statements import SpeaksFor, Validity
+from repro.prover import KeyClosure, PremiseClosure, Prover
+from repro.spki import Certificate
+from repro.tags import Tag, parse_tag
+
+
+@pytest.fixture()
+def principals(alice_kp, bob_kp, carol_kp, server_kp):
+    return {
+        "A": KeyPrincipal(alice_kp.public),
+        "B": KeyPrincipal(bob_kp.public),
+        "C": KeyPrincipal(carol_kp.public),
+        "S": KeyPrincipal(server_kp.public),
+    }
+
+
+class TestFindProof:
+    def test_single_edge(self, alice_kp, principals, rng):
+        prover = Prover()
+        prover.add_certificate(
+            Certificate.issue(alice_kp, principals["B"], Tag.all(), rng=rng)
+        )
+        proof = prover.find_proof(principals["B"], principals["A"])
+        assert proof is not None
+        assert proof.conclusion.subject == principals["B"]
+
+    def test_multi_hop_chain(self, alice_kp, bob_kp, principals, rng):
+        prover = Prover()
+        prover.add_certificate(
+            Certificate.issue(alice_kp, principals["B"], parse_tag("(tag (web))"), rng=rng)
+        )
+        prover.add_certificate(
+            Certificate.issue(bob_kp, principals["C"], parse_tag("(tag (web (method GET)))"), rng=rng)
+        )
+        proof = prover.find_proof(
+            principals["C"], principals["A"],
+            request=["web", ["method", "GET"]],
+        )
+        assert proof is not None
+        proof.verify(VerificationContext())
+
+    def test_no_path_returns_none(self, principals):
+        prover = Prover()
+        assert prover.find_proof(principals["B"], principals["A"]) is None
+
+    def test_request_outside_tags_returns_none(self, alice_kp, principals, rng):
+        prover = Prover()
+        prover.add_certificate(
+            Certificate.issue(
+                alice_kp, principals["B"], parse_tag("(tag (web))"), rng=rng
+            )
+        )
+        assert prover.find_proof(
+            principals["B"], principals["A"], request=["ftp", "get"]
+        ) is None
+
+    def test_min_tag_coverage(self, alice_kp, principals, rng):
+        prover = Prover()
+        prover.add_certificate(
+            Certificate.issue(alice_kp, principals["B"], parse_tag("(tag (web))"), rng=rng)
+        )
+        assert prover.find_proof(
+            principals["B"], principals["A"],
+            min_tag=parse_tag("(tag (web (method GET)))"),
+        ) is not None
+        assert prover.find_proof(
+            principals["B"], principals["A"], min_tag=Tag.all()
+        ) is None  # (*) is not provably inside (web)
+
+    def test_expired_edges_pruned(self, alice_kp, principals, rng):
+        prover = Prover()
+        prover.add_certificate(
+            Certificate.issue(
+                alice_kp, principals["B"], Tag.all(),
+                validity=Validity(0, 10), rng=rng,
+            )
+        )
+        assert prover.find_proof(principals["B"], principals["A"], now=5.0)
+        assert prover.find_proof(principals["B"], principals["A"], now=50.0) is None
+
+    def test_alternate_path_when_first_is_restricted(
+        self, alice_kp, bob_kp, carol_kp, principals, rng
+    ):
+        # Two routes B -> A: via narrow tag directly, via C broadly.
+        prover = Prover()
+        prover.add_certificate(
+            Certificate.issue(
+                alice_kp, principals["B"], parse_tag("(tag (ftp))"), rng=rng
+            )
+        )
+        prover.add_certificate(
+            Certificate.issue(alice_kp, principals["C"], parse_tag("(tag (web))"), rng=rng)
+        )
+        prover.add_certificate(
+            Certificate.issue(carol_kp, principals["B"], parse_tag("(tag (web))"), rng=rng)
+        )
+        proof = prover.find_proof(
+            principals["B"], principals["A"], request=["web"]
+        )
+        assert proof is not None
+        assert proof.conclusion.tag.matches(["web"])
+
+
+class TestDigestion:
+    def test_multistep_proof_digested_into_components(
+        self, alice_kp, bob_kp, principals, rng
+    ):
+        first = SignedCertificateStep(
+            Certificate.issue(bob_kp, principals["C"], Tag.all(), rng=rng)
+        )
+        second = SignedCertificateStep(
+            Certificate.issue(alice_kp, principals["B"], Tag.all(), rng=rng)
+        )
+        chain = TransitivityStep(first, second)
+        prover = Prover()
+        prover.add_proof(chain)
+        # Components usable independently:
+        assert prover.find_proof(principals["C"], principals["B"]) is not None
+        assert prover.find_proof(principals["B"], principals["A"]) is not None
+        # And the composed shortcut edge exists:
+        assert any(edge.shortcut for edge in prover.graph.edges())
+
+    def test_shortcut_cache_hit_on_repeat(self, alice_kp, bob_kp, principals, rng):
+        prover = Prover()
+        prover.add_certificate(
+            Certificate.issue(alice_kp, principals["B"], Tag.all(), rng=rng)
+        )
+        prover.add_certificate(
+            Certificate.issue(bob_kp, principals["C"], Tag.all(), rng=rng)
+        )
+        prover.find_proof(principals["C"], principals["A"])
+        before = prover.stats["shortcut_hits"]
+        prover.find_proof(principals["C"], principals["A"])
+        assert prover.stats["shortcut_hits"] > before
+
+
+class TestClosures:
+    def test_key_closure_completes_proof(self, alice_kp, server_kp, principals, rng):
+        """Figure 2's narration: walk back to final node A, then mint."""
+        prover = Prover()
+        prover.add_certificate(
+            Certificate.issue(server_kp, principals["A"], Tag.all(), rng=rng)
+        )
+        prover.control(KeyClosure(alice_kp, rng))
+        proof = prover.prove(
+            principals["B"], principals["S"], request=["web"]
+        )
+        assert proof is not None
+        proof.verify(VerificationContext())
+        assert proof.conclusion.subject == principals["B"]
+        assert proof.conclusion.issuer == principals["S"]
+
+    def test_controlled_issuer_direct_mint(self, alice_kp, principals, rng):
+        prover = Prover()
+        prover.control(KeyClosure(alice_kp, rng))
+        proof = prover.prove(principals["B"], principals["A"], request=["x"])
+        assert proof is not None
+        proof.verify(VerificationContext())
+
+    def test_find_proof_never_mints(self, alice_kp, principals, rng):
+        prover = Prover()
+        prover.control(KeyClosure(alice_kp, rng))
+        assert prover.find_proof(principals["B"], principals["A"]) is None
+
+    def test_minted_delegation_restricted_to_request(
+        self, alice_kp, principals, rng
+    ):
+        prover = Prover()
+        prover.control(KeyClosure(alice_kp, rng))
+        proof = prover.prove(principals["B"], principals["A"], request=["web"])
+        assert proof.conclusion.tag.matches(["web"])
+        assert not proof.conclusion.tag.matches(["ftp"])
+
+    def test_premise_closure_vouches(self, principals):
+        vouched = []
+        closure = PremiseClosure(principals["A"], vouched.append)
+        prover = Prover()
+        prover.control(closure)
+        proof = prover.prove(principals["B"], principals["A"], request=["x"])
+        assert proof is not None
+        assert vouched and vouched[0] == proof.conclusion
+
+    def test_delegation_validity_carried(self, alice_kp, principals, rng):
+        prover = Prover()
+        prover.control(KeyClosure(alice_kp, rng))
+        proof = prover.prove(
+            principals["B"], principals["A"], request=["x"],
+            delegation_validity=Validity(0, 60),
+        )
+        assert proof.conclusion.validity == Validity(0, 60)
+
+
+class TestQuotingFallback:
+    def test_gateway_pattern(self, alice_kp, gateway_kp, server_kp, principals, rng):
+        """Prove KCH|C => S from a delegation to G|C plus control of the
+        channel-to-gateway link."""
+        G = KeyPrincipal(gateway_kp.public)
+        C = principals["C"]
+        S = principals["S"]
+        channel_key = principals["B"]  # stands in for the channel's key
+        prover = Prover()
+        # The client delegated: G|C => KC => S chain, pre-digested.
+        prover.add_certificate(
+            Certificate.issue(server_kp, principals["A"], Tag.all(), rng=rng)
+        )
+        prover.add_certificate(
+            Certificate.issue(
+                alice_kp, QuotingPrincipal(G, C), Tag.all(), rng=rng
+            )
+        )
+        # The gateway controls its own key G.
+        prover.control(KeyClosure(gateway_kp, rng))
+        proof = prover.prove(
+            QuotingPrincipal(channel_key, C), S, request=["read"]
+        )
+        assert proof is not None
+        proof.verify(VerificationContext())
+        assert proof.conclusion.subject == QuotingPrincipal(channel_key, C)
+        assert proof.conclusion.issuer == S
+
+    def test_quoting_fallback_requires_matching_quotee(
+        self, alice_kp, gateway_kp, server_kp, principals, rng
+    ):
+        G = KeyPrincipal(gateway_kp.public)
+        prover = Prover()
+        prover.add_certificate(
+            Certificate.issue(server_kp, principals["A"], Tag.all(), rng=rng)
+        )
+        prover.add_certificate(
+            Certificate.issue(
+                alice_kp, QuotingPrincipal(G, principals["C"]), Tag.all(), rng=rng
+            )
+        )
+        prover.control(KeyClosure(gateway_kp, rng))
+        # Quoting a different client must not be provable.
+        other = QuotingPrincipal(principals["B"], principals["A"])
+        assert prover.prove(other, principals["S"], request=["read"]) is None
+
+
+class TestLimits:
+    def test_max_depth_bounds_search(self, principals, rng):
+        from repro.core.proofs import PremiseStep
+
+        prover = Prover(max_depth=2)
+        # Build a 5-hop premise chain C -> x1 -> x2 -> x3 -> A.
+        from repro.core.principals import NamePrincipal
+
+        A = principals["A"]
+        hops = [principals["C"]] + [
+            NamePrincipal(A, "hop%d" % i) for i in range(3)
+        ] + [A]
+        for subject, issuer in zip(hops, hops[1:]):
+            prover.add_proof(PremiseStep(SpeaksFor(subject, issuer, Tag.all())))
+        assert prover.find_proof(principals["C"], A) is None
+        deep_prover = Prover(max_depth=8)
+        for subject, issuer in zip(hops, hops[1:]):
+            deep_prover.add_proof(PremiseStep(SpeaksFor(subject, issuer, Tag.all())))
+        assert deep_prover.find_proof(principals["C"], A) is not None

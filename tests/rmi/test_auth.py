@@ -1,0 +1,166 @@
+"""Unit tests for the server-side authorization state (checkAuth)."""
+
+import pytest
+
+from repro.core.errors import AuthorizationError, NeedAuthorizationError
+from repro.core.principals import ChannelPrincipal, KeyPrincipal
+from repro.core.proofs import PremiseStep, SignedCertificateStep
+from repro.core.rules import TransitivityStep
+from repro.core.statements import Says, SpeaksFor, Validity
+from repro.net.trust import TrustEnvironment
+from repro.rmi.auth import SfAuthState
+from repro.sexp import sexp, to_canonical
+from repro.sim import SimClock
+from repro.spki import Certificate
+from repro.tags import Tag, parse_tag
+
+
+@pytest.fixture()
+def setup(server_kp, alice_kp, rng):
+    clock = SimClock()
+    trust = TrustEnvironment(clock=clock)
+    auth = SfAuthState(trust)
+    issuer = KeyPrincipal(server_kp.public)
+    channel = ChannelPrincipal.of_secret(b"session")
+    client = KeyPrincipal(alice_kp.public)
+    # Build the standard chain: CH => KC (premise) . KC => KS (cert).
+    premise = SpeaksFor(channel, client, Tag.all())
+    trust.vouch(premise)
+    cert = Certificate.issue(server_kp, client, parse_tag("(tag (invoke))"), rng=rng)
+    chain = TransitivityStep(PremiseStep(premise), SignedCertificateStep(cert))
+    return {
+        "clock": clock,
+        "trust": trust,
+        "auth": auth,
+        "issuer": issuer,
+        "channel": channel,
+        "chain": chain,
+    }
+
+
+REQUEST = ["invoke", ["object", "o"], ["method", "m"], ["args"]]
+
+
+class TestCheckAuth:
+    def test_no_proof_raises_challenge(self, setup):
+        with pytest.raises(NeedAuthorizationError) as excinfo:
+            setup["auth"].check_auth(
+                setup["channel"], setup["issuer"], REQUEST
+            )
+        assert excinfo.value.issuer == setup["issuer"]
+        # The default minimum tag is the singleton request.
+        assert excinfo.value.tag.matches(sexp(REQUEST))
+
+    def test_submitted_proof_authorizes(self, setup):
+        setup["trust"].vouch(Says(setup["channel"], sexp(REQUEST)))
+        setup["auth"].submit_proof(to_canonical(setup["chain"].to_sexp()))
+        derived = setup["auth"].check_auth(
+            setup["channel"], setup["issuer"], REQUEST
+        )
+        assert derived.conclusion == Says(setup["issuer"], sexp(REQUEST))
+
+    def test_cached_proof_reused(self, setup):
+        setup["trust"].vouch(Says(setup["channel"], sexp(REQUEST)))
+        setup["auth"].submit_proof(to_canonical(setup["chain"].to_sexp()))
+        setup["auth"].check_auth(setup["channel"], setup["issuer"], REQUEST)
+        setup["auth"].check_auth(setup["channel"], setup["issuer"], REQUEST)
+        assert len(setup["auth"].audit) == 2
+        assert setup["auth"].cached_proof_count() == 1
+
+    def test_forget_proofs_forces_rechallenge(self, setup):
+        setup["trust"].vouch(Says(setup["channel"], sexp(REQUEST)))
+        setup["auth"].submit_proof(to_canonical(setup["chain"].to_sexp()))
+        setup["auth"].check_auth(setup["channel"], setup["issuer"], REQUEST)
+        setup["auth"].forget_proofs()
+        with pytest.raises(NeedAuthorizationError):
+            setup["auth"].check_auth(setup["channel"], setup["issuer"], REQUEST)
+
+    def test_request_outside_proof_tag_challenged(self, setup):
+        setup["auth"].submit_proof(to_canonical(setup["chain"].to_sexp()))
+        with pytest.raises(NeedAuthorizationError):
+            setup["auth"].check_auth(
+                setup["channel"], setup["issuer"], ["shutdown"]
+            )
+
+    def test_wrong_issuer_challenged(self, setup, carol_kp):
+        setup["auth"].submit_proof(to_canonical(setup["chain"].to_sexp()))
+        other = KeyPrincipal(carol_kp.public)
+        with pytest.raises(NeedAuthorizationError):
+            setup["auth"].check_auth(setup["channel"], other, REQUEST)
+
+    def test_expired_proof_disregarded(self, server_kp, alice_kp, rng):
+        clock = SimClock()
+        trust = TrustEnvironment(clock=clock)
+        auth = SfAuthState(trust)
+        issuer = KeyPrincipal(server_kp.public)
+        channel = ChannelPrincipal.of_secret(b"s2")
+        client = KeyPrincipal(alice_kp.public)
+        premise = SpeaksFor(channel, client, Tag.all())
+        trust.vouch(premise)
+        cert = Certificate.issue(
+            server_kp, client, Tag.all(), validity=Validity(0, 10), rng=rng
+        )
+        chain = TransitivityStep(PremiseStep(premise), SignedCertificateStep(cert))
+        trust.vouch(Says(channel, sexp(REQUEST)))
+        auth.submit_proof(to_canonical(chain.to_sexp()))
+        auth.check_auth(channel, issuer, REQUEST)  # fresh: fine
+        clock.advance(100.0)
+        with pytest.raises(NeedAuthorizationError):
+            auth.check_auth(channel, issuer, REQUEST)  # expired: re-prove
+
+
+class TestSubmitProof:
+    def test_invalid_proof_rejected(self, setup, server_kp, alice_kp, rng):
+        cert = Certificate.issue(
+            server_kp, KeyPrincipal(alice_kp.public), Tag.all(), rng=rng
+        )
+        cert.tag = parse_tag("(tag (everything))")
+        step = SignedCertificateStep.__new__(SignedCertificateStep)
+        # Build the wire form of a tampered proof by hand:
+        from repro.core.proofs import SignedCertificateStep as Step
+
+        good = Certificate.issue(
+            server_kp, KeyPrincipal(alice_kp.public), Tag.all(), rng=rng
+        )
+        wire_node = Step(good).to_sexp()
+        # Corrupt a signature byte inside the wire form.
+        wire = to_canonical(wire_node)
+        corrupted = wire.replace(good.signature, b"\x00" * len(good.signature))
+        from repro.core.errors import VerificationError
+
+        with pytest.raises(VerificationError):
+            setup["auth"].submit_proof(corrupted)
+
+    def test_says_proof_rejected(self, setup):
+        statement = Says(setup["channel"], "x")
+        setup["trust"].vouch(statement)
+        with pytest.raises(AuthorizationError):
+            setup["auth"].submit_proof(
+                to_canonical(PremiseStep(statement).to_sexp())
+            )
+
+
+class TestAudit:
+    def test_records_full_proof_tree(self, setup):
+        setup["trust"].vouch(Says(setup["channel"], sexp(REQUEST)))
+        setup["auth"].submit_proof(to_canonical(setup["chain"].to_sexp()))
+        setup["auth"].check_auth(setup["channel"], setup["issuer"], REQUEST)
+        record = setup["auth"].audit.records[0]
+        involved = record.involved_principals()
+        assert setup["channel"] in involved
+        assert setup["issuer"] in involved
+
+    def test_involving_filter(self, setup, carol_kp):
+        setup["trust"].vouch(Says(setup["channel"], sexp(REQUEST)))
+        setup["auth"].submit_proof(to_canonical(setup["chain"].to_sexp()))
+        setup["auth"].check_auth(setup["channel"], setup["issuer"], REQUEST)
+        assert len(setup["auth"].audit.involving(setup["channel"])) == 1
+        stranger = KeyPrincipal(carol_kp.public)
+        assert setup["auth"].audit.involving(stranger) == []
+
+    def test_render_is_readable(self, setup):
+        setup["trust"].vouch(Says(setup["channel"], sexp(REQUEST)))
+        setup["auth"].submit_proof(to_canonical(setup["chain"].to_sexp()))
+        setup["auth"].check_auth(setup["channel"], setup["issuer"], REQUEST)
+        text = setup["auth"].audit.records[0].render()
+        assert "derived-says" in text and "invoke" in text

@@ -1,0 +1,99 @@
+"""Unit tests for the S-expression AST."""
+
+import pytest
+
+from repro.sexp import Atom, SList, sexp
+
+
+class TestAtom:
+    def test_from_str_encodes_utf8(self):
+        assert Atom("hello").value == b"hello"
+
+    def test_from_bytes(self):
+        assert Atom(b"\x00\xff").value == b"\x00\xff"
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            Atom(3.14)
+
+    def test_equality_includes_hint(self):
+        assert Atom("x") == Atom(b"x")
+        assert Atom("x", hint=b"t") != Atom("x")
+
+    def test_hashable(self):
+        assert len({Atom("a"), Atom("a"), Atom("b")}) == 2
+
+    def test_immutable(self):
+        atom = Atom("a")
+        with pytest.raises(AttributeError):
+            atom.value = b"z"
+
+    def test_text_decodes(self):
+        assert Atom("café").text() == "café"
+
+    def test_is_atom_not_list(self):
+        assert Atom("a").is_atom()
+        assert not Atom("a").is_list()
+
+
+class TestSList:
+    def test_len_iter_index(self):
+        lst = SList([Atom("a"), Atom("b")])
+        assert len(lst) == 2
+        assert [a.value for a in lst] == [b"a", b"b"]
+        assert lst[1] == Atom("b")
+
+    def test_slice_returns_slist(self):
+        lst = SList([Atom("a"), Atom("b"), Atom("c")])
+        assert lst[1:] == SList([Atom("b"), Atom("c")])
+
+    def test_head_and_tail(self):
+        lst = SList([Atom("tag"), Atom("x")])
+        assert lst.head() == "tag"
+        assert lst.tail() == (Atom("x"),)
+
+    def test_head_of_empty_is_none(self):
+        assert SList([]).head() is None
+
+    def test_head_of_nested_list_is_none(self):
+        assert SList([SList([])]).head() is None
+
+    def test_find_locates_sublist_by_head(self):
+        inner = SList([Atom("issuer"), Atom("k")])
+        outer = SList([Atom("cert"), inner])
+        assert outer.find("issuer") is inner
+        assert outer.find("subject") is None
+
+    def test_rejects_non_sexp_items(self):
+        with pytest.raises(TypeError):
+            SList([Atom("a"), "raw string"])
+
+    def test_immutable(self):
+        lst = SList([Atom("a")])
+        with pytest.raises(AttributeError):
+            lst.items = ()
+
+    def test_equality_and_hash(self):
+        assert SList([Atom("a")]) == SList([Atom("a")])
+        assert hash(SList([Atom("a")])) == hash(SList([Atom("a")]))
+        assert SList([Atom("a")]) != Atom("a")
+
+
+class TestSexpCoercion:
+    def test_nested_structure(self):
+        node = sexp(["tag", ["web", ["method", "GET"]]])
+        assert node.to_advanced() == "(tag (web (method GET)))"
+
+    def test_int_becomes_decimal_atom(self):
+        assert sexp(42) == Atom("42")
+
+    def test_bytes_passthrough(self):
+        assert sexp(b"\x01") == Atom(b"\x01")
+
+    def test_existing_sexp_identity(self):
+        atom = Atom("x")
+        assert sexp(atom) is atom
+
+    def test_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            sexp({"a": 1})

@@ -1,0 +1,92 @@
+"""Unit tests for the three encoders."""
+
+import pytest
+
+from repro.sexp import (
+    Atom,
+    SList,
+    from_transport,
+    parse,
+    parse_canonical,
+    sexp,
+    to_advanced,
+    to_canonical,
+    to_transport,
+    SexpParseError,
+)
+
+
+class TestCanonicalEncoding:
+    def test_atom(self):
+        assert to_canonical(Atom("abc")) == b"3:abc"
+
+    def test_list(self):
+        assert to_canonical(sexp(["a", "bc"])) == b"(1:a2:bc)"
+
+    def test_hint(self):
+        assert to_canonical(Atom("x", hint=b"t")) == b"[1:t]1:x"
+
+    def test_binary_safe(self):
+        data = bytes(range(256))
+        assert parse_canonical(to_canonical(Atom(data))) == Atom(data)
+
+    def test_deterministic(self):
+        node = sexp(["cert", ["issuer", "k"], ["subject", "s"]])
+        assert to_canonical(node) == to_canonical(node)
+
+
+class TestTransportEncoding:
+    def test_roundtrip(self):
+        node = sexp(["tag", ["web", ["method", "GET"]]])
+        assert from_transport(to_transport(node)) == node
+
+    def test_wrapped_in_braces(self):
+        wire = to_transport(Atom("a"))
+        assert wire.startswith(b"{") and wire.endswith(b"}")
+
+    def test_accepts_str(self):
+        node = Atom("hello")
+        assert from_transport(to_transport(node).decode("ascii")) == node
+
+    def test_rejects_unwrapped(self):
+        with pytest.raises(SexpParseError):
+            from_transport(b"MTph")
+
+    def test_rejects_bad_base64(self):
+        with pytest.raises(SexpParseError):
+            from_transport(b"{###}")
+
+    def test_header_safe(self):
+        # Transport form must survive an HTTP header (no CR/LF/spaces).
+        node = sexp(["proof", [b"\r\n\x00 binary"]])
+        wire = to_transport(node)
+        assert b"\r" not in wire and b"\n" not in wire and b" " not in wire
+
+
+class TestAdvancedEncoding:
+    def test_token_bare(self):
+        assert to_advanced(Atom("GET")) == "GET"
+
+    def test_printable_quoted(self):
+        assert to_advanced(Atom("hello world")) == '"hello world"'
+
+    def test_binary_base64(self):
+        assert to_advanced(Atom(b"\x00\x01")) == "|AAE=|"
+
+    def test_empty_atom_quoted(self):
+        assert to_advanced(Atom(b"")) == '""'
+        assert parse(to_advanced(Atom(b""))) == Atom(b"")
+
+    def test_leading_digit_not_token(self):
+        # "1abc" must not be emitted bare (would parse as length prefix).
+        rendered = to_advanced(Atom("1abc"))
+        assert parse(rendered) == Atom("1abc")
+
+    def test_list_spacing(self):
+        assert to_advanced(sexp(["a", ["b", "c"]])) == "(a (b c))"
+
+    def test_roundtrips_through_parse(self):
+        node = sexp(
+            ["cert", ["issuer", b"\xde\xad"], ["valid", ["not-after", "100"]]]
+        )
+        assert parse(to_advanced(node)) == node

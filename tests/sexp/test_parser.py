@@ -1,0 +1,118 @@
+"""Unit tests for the advanced- and canonical-form parsers."""
+
+import pytest
+
+from repro.sexp import Atom, SList, parse, parse_canonical, SexpParseError
+
+
+class TestCanonical:
+    def test_atom(self):
+        assert parse_canonical(b"3:abc") == Atom("abc")
+
+    def test_empty_atom(self):
+        assert parse_canonical(b"0:") == Atom("")
+
+    def test_list(self):
+        assert parse_canonical(b"(1:a1:b)") == SList([Atom("a"), Atom("b")])
+
+    def test_nested(self):
+        assert parse_canonical(b"(1:a(1:b))") == SList(
+            [Atom("a"), SList([Atom("b")])]
+        )
+
+    def test_display_hint(self):
+        atom = parse_canonical(b"[4:text]5:hello")
+        assert atom == Atom("hello", hint=b"text")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SexpParseError):
+            parse_canonical(b"1:a1:b")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(SexpParseError):
+            parse_canonical(b"5:ab")
+
+    def test_missing_length_rejected(self):
+        with pytest.raises(SexpParseError):
+            parse_canonical(b"(abc)")
+
+    def test_unterminated_list_rejected(self):
+        with pytest.raises(SexpParseError):
+            parse_canonical(b"(1:a")
+
+
+class TestAdvanced:
+    def test_token(self):
+        assert parse("hello") == Atom("hello")
+
+    def test_token_with_specials(self):
+        assert parse("a-b.c/d_e:f*g+h=i") == Atom("a-b.c/d_e:f*g+h=i")
+
+    def test_list_with_whitespace(self):
+        assert parse("( a  b\n c )") == SList([Atom("a"), Atom("b"), Atom("c")])
+
+    def test_quoted_string(self):
+        assert parse('"hello world"') == Atom("hello world")
+
+    def test_quoted_escapes(self):
+        assert parse(r'"a\nb\t\"c\\"') == Atom(b'a\nb\t"c\\')
+
+    def test_quoted_octal_and_hex_escape(self):
+        assert parse(r'"\101\x42"') == Atom(b"AB")
+
+    def test_hex_atom(self):
+        assert parse("#48 65 6c 6c 6f#") == Atom(b"Hello")
+
+    def test_base64_atom(self):
+        assert parse("|aGVsbG8=|") == Atom(b"hello")
+
+    def test_verbatim_atom(self):
+        assert parse("3:a b") == Atom("a b")
+
+    def test_length_prefixed_quoted(self):
+        assert parse('5"hello"') == Atom("hello")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SexpParseError):
+            parse('3"hello"')
+
+    def test_bare_number(self):
+        assert parse("12345") == Atom("12345")
+
+    def test_date_like_token(self):
+        assert parse("2000-10-01") == Atom("2000-10-01")
+
+    def test_transport_form_embedded(self):
+        # {MTphfQ==} is base64 of "1:a" — a canonical atom.
+        assert parse("{MTph}") == Atom("a")
+
+    def test_figure5_challenge_parses(self):
+        node = parse(
+            '(tag (web (method GET)'
+            ' (service |Sm9uJ3MgUHJvdGVjdGVpY2U=|)'
+            ' (resourcePath "")))'
+        )
+        assert node.head() == "tag"
+        web = node.items[1]
+        assert web.head() == "web"
+        assert web.find("method").items[1] == Atom("GET")
+        assert web.find("resourcePath").items[1] == Atom("")
+
+    def test_bad_base64_rejected(self):
+        with pytest.raises(SexpParseError):
+            parse("|!!!|")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SexpParseError):
+            parse("(a) b")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SexpParseError):
+            parse("   ")
+
+    def test_display_hint(self):
+        assert parse("[text]hello") == Atom("hello", hint=b"text")
+
+    def test_bad_escape_rejected(self):
+        with pytest.raises(SexpParseError):
+            parse(r'"\q"')

@@ -1,0 +1,63 @@
+"""Property-based tests: encode/parse round trips for all three forms."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sexp import (
+    Atom,
+    SList,
+    parse,
+    parse_canonical,
+    to_advanced,
+    to_canonical,
+    to_transport,
+    from_transport,
+)
+
+atoms = st.binary(max_size=32).map(Atom)
+
+
+def sexp_trees():
+    return st.recursive(
+        atoms,
+        lambda children: st.lists(children, max_size=5).map(SList),
+        max_leaves=20,
+    )
+
+
+@given(sexp_trees())
+@settings(max_examples=200)
+def test_canonical_roundtrip(node):
+    assert parse_canonical(to_canonical(node)) == node
+
+
+@given(sexp_trees())
+@settings(max_examples=200)
+def test_transport_roundtrip(node):
+    assert from_transport(to_transport(node)) == node
+
+
+@given(sexp_trees())
+@settings(max_examples=200)
+def test_advanced_roundtrip(node):
+    assert parse(to_advanced(node)) == node
+
+
+@given(sexp_trees())
+def test_advanced_accepted_where_canonical_is(node):
+    # The advanced parser also accepts canonical text (mixed forms).
+    assert parse(to_canonical(node)) == node
+
+
+@given(sexp_trees(), sexp_trees())
+def test_canonical_is_injective(a, b):
+    # Distinct trees must have distinct canonical encodings (hash safety).
+    if a != b:
+        assert to_canonical(a) != to_canonical(b)
+
+
+@given(st.binary(max_size=64))
+def test_binary_atoms_roundtrip_all_forms(data):
+    atom = Atom(data)
+    assert parse_canonical(to_canonical(atom)) == atom
+    assert parse(to_advanced(atom)) == atom
+    assert from_transport(to_transport(atom)) == atom

@@ -1,0 +1,28 @@
+"""Unit tests for the simulation clock."""
+
+import pytest
+
+from repro.sim import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(100.0).now() == 100.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == 2.0
+
+    def test_advance_ms(self):
+        clock = SimClock()
+        clock.advance_ms(250.0)
+        assert clock.now() == 0.25
+
+    def test_no_time_travel(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)

@@ -1,0 +1,114 @@
+"""Unit tests for the cost model and meter."""
+
+import pytest
+
+from repro.sim import CostModel, Meter, PAPER_COSTS, SimClock
+from repro.sim.costmodel import OPTIMIZED_LIBRARY_COSTS, maybe_charge
+
+
+class TestPaperCalibration:
+    """The table must reproduce the paper's own composite numbers."""
+
+    def test_fig6_rmi_composition(self):
+        c = PAPER_COSTS.cost
+        assert c("rmi_base") == pytest.approx(4.8)
+        assert c("rmi_base") + c("rmi_ssh_record") == pytest.approx(13.0)
+        assert (
+            c("rmi_base") + c("rmi_ssh_record") + c("rmi_checkauth")
+        ) == pytest.approx(18.0)
+
+    def test_fig7_http_composition(self):
+        c = PAPER_COSTS.cost
+        assert c("http_c") == pytest.approx(4.6)
+        assert c("http_c") + c("http_java_extra") == pytest.approx(25.0)
+
+    def test_table1_mac_total(self):
+        c = PAPER_COSTS.cost
+        total = (
+            c("http_c")
+            + c("http_java_extra")
+            + c("sexp_parse")
+            + c("spki_unmarshal")
+            + c("sf_overhead")
+            + c("mac_compute")
+        )
+        assert total == pytest.approx(110.0)
+
+    def test_table1_ssl_total(self):
+        c = PAPER_COSTS.cost
+        assert (
+            c("http_c") + c("http_java_extra") + c("ssl_record_java")
+        ) == pytest.approx(47.0)
+
+    def test_fig8_ssl_bars(self):
+        c = PAPER_COSTS.cost
+        apache_request = c("http_c") + c("ssl_record_c")
+        assert apache_request == pytest.approx(14.0)
+        assert apache_request + c("ssl_resume_c") == pytest.approx(140.0)
+        assert apache_request + c("ssl_full_c") == pytest.approx(250.0)
+        jetty_request = c("http_c") + c("http_java_extra") + c("ssl_record_java")
+        assert jetty_request + c("ssl_resume_java") == pytest.approx(290.0)
+        assert jetty_request + c("ssl_full_java") == pytest.approx(420.0)
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(KeyError):
+            PAPER_COSTS.cost("teleport")
+
+
+class TestOverrides:
+    def test_with_overrides_derives_new_model(self):
+        fast = PAPER_COSTS.with_overrides(sexp_parse=1.0)
+        assert fast.cost("sexp_parse") == 1.0
+        assert PAPER_COSTS.cost("sexp_parse") == 20.0  # original untouched
+
+    def test_override_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            PAPER_COSTS.with_overrides(warp_drive=0.0)
+
+    def test_optimized_model_is_cheaper(self):
+        assert OPTIMIZED_LIBRARY_COSTS.cost("sexp_parse") < PAPER_COSTS.cost(
+            "sexp_parse"
+        )
+
+
+class TestMeter:
+    def test_accumulates(self):
+        meter = Meter()
+        meter.charge("rmi_base")
+        meter.charge("rmi_checkauth")
+        assert meter.total_ms() == pytest.approx(9.8)
+
+    def test_breakdown_and_counts(self):
+        meter = Meter()
+        meter.charge("sexp_parse")
+        meter.charge("sexp_parse")
+        assert meter.breakdown()["sexp_parse"] == pytest.approx(40.0)
+        assert meter.counts()["sexp_parse"] == 2
+
+    def test_fractional_times(self):
+        meter = Meter()
+        meter.charge_kb("copy_per_kb", 2.5)
+        assert meter.total_ms() == pytest.approx(2.5)
+
+    def test_advances_clock(self):
+        clock = SimClock()
+        meter = Meter(clock=clock)
+        meter.charge("pk_sign")
+        assert clock.now() == pytest.approx(0.299)
+
+    def test_reset(self):
+        meter = Meter()
+        meter.charge("pk_sign")
+        meter.reset()
+        assert meter.total_ms() == 0.0
+        assert meter.breakdown() == {}
+
+    def test_snapshot_spans(self):
+        meter = Meter()
+        meter.charge("rmi_base")
+        before = meter.snapshot()
+        meter.charge("pk_sign")
+        assert meter.snapshot() - before == pytest.approx(299.0)
+
+    def test_maybe_charge_none_is_noop(self):
+        maybe_charge(None, "pk_sign")  # must not raise

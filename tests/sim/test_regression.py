@@ -1,0 +1,86 @@
+"""Unit tests for the regression-based measurement method of Section 7.1."""
+
+import random
+
+import pytest
+
+from repro.sim.regression import (
+    Experiment,
+    coefficient_of_variation,
+    linear_regression,
+)
+
+
+class TestLinearRegression:
+    def test_perfect_line(self):
+        fit = linear_regression([0, 1, 2, 3], [5, 7, 9, 11])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(5.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_line(self):
+        rng = random.Random(1)
+        xs = list(range(50))
+        ys = [3.0 * x + 10.0 + rng.gauss(0, 0.5) for x in xs]
+        fit = linear_regression(xs, ys)
+        assert fit.slope == pytest.approx(3.0, abs=0.1)
+        assert fit.intercept == pytest.approx(10.0, abs=1.0)
+        assert fit.r_squared > 0.99
+        assert fit.slope_ci95 > 0.0
+
+    def test_separates_setup_from_per_byte(self):
+        # The paper's method: vary file length to split copy cost from
+        # connection setup. setup=470ms, copy=1ms/KB.
+        sizes = [1, 2, 4, 8, 16, 32]
+        costs = [470.0 + 1.0 * size for size in sizes]
+        fit = linear_regression(sizes, costs)
+        assert fit.intercept == pytest.approx(470.0)
+        assert fit.slope == pytest.approx(1.0)
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            linear_regression([1], [2])
+        with pytest.raises(ValueError):
+            linear_regression([3, 3, 3], [1, 2, 3])
+
+
+class TestCov:
+    def test_zero_for_constant(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+
+    def test_known_value(self):
+        assert coefficient_of_variation([9.0, 11.0]) == pytest.approx(0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([])
+
+
+class TestExperiment:
+    def test_discards_first_iteration(self):
+        calls = []
+
+        def run_once(parameter):
+            calls.append(parameter)
+            return 100.0 if len(calls) == 1 else 10.0  # cold first run
+
+        experiment = Experiment(run_once, runs=5)
+        assert experiment.measure(0) == pytest.approx(10.0)
+
+    def test_reruns_on_high_variance(self):
+        state = {"attempt": 0}
+
+        def run_once(parameter):
+            state["attempt"] += 1
+            if state["attempt"] <= 10:
+                return random.Random(state["attempt"]).uniform(1, 100)
+            return 10.0
+
+        experiment = Experiment(run_once, runs=10, cov_limit=0.1)
+        assert experiment.measure(0) == pytest.approx(10.0)
+
+    def test_sweep_and_fit(self):
+        experiment = Experiment(lambda p: 5.0 + 2.0 * p, runs=3)
+        fit = experiment.fit([1, 2, 4, 8])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(5.0)

@@ -1,0 +1,143 @@
+"""Unit tests for SPKI certificates."""
+
+import pytest
+
+from repro.core.principals import HashPrincipal, KeyPrincipal, NamePrincipal
+from repro.core.statements import Validity
+from repro.sexp import parse_canonical, to_canonical
+from repro.spki import Certificate
+from repro.tags import Tag, parse_tag
+
+
+class TestIssuance:
+    def test_signature_verifies(self, alice_kp, bob_kp, rng):
+        cert = Certificate.issue(
+            alice_kp, KeyPrincipal(bob_kp.public), parse_tag("(tag read)"), rng=rng
+        )
+        assert cert.verify_signature()
+
+    def test_statement_fields(self, alice_kp, bob_kp, rng):
+        tag = parse_tag("(tag read)")
+        cert = Certificate.issue(
+            alice_kp, KeyPrincipal(bob_kp.public), tag, Validity(1, 2), rng=rng
+        )
+        statement = cert.statement()
+        assert statement.subject == KeyPrincipal(bob_kp.public)
+        assert statement.issuer == KeyPrincipal(alice_kp.public)
+        assert statement.tag == tag
+        assert statement.validity == Validity(1, 2)
+
+    def test_serials_unique(self, alice_kp, bob_kp, rng):
+        B = KeyPrincipal(bob_kp.public)
+        a = Certificate.issue(alice_kp, B, Tag.all(), rng=rng)
+        b = Certificate.issue(alice_kp, B, Tag.all(), rng=rng)
+        assert a.serial != b.serial
+
+    def test_explicit_serial(self, alice_kp, bob_kp):
+        cert = Certificate.issue(
+            alice_kp, KeyPrincipal(bob_kp.public), Tag.all(), serial=b"\x01\x02"
+        )
+        assert cert.serial == b"\x01\x02"
+
+    def test_propagate_default_true(self, alice_kp, bob_kp, rng):
+        cert = Certificate.issue(
+            alice_kp, KeyPrincipal(bob_kp.public), Tag.all(), rng=rng
+        )
+        assert cert.propagate
+
+    def test_no_propagate(self, alice_kp, bob_kp, rng):
+        cert = Certificate.issue(
+            alice_kp, KeyPrincipal(bob_kp.public), Tag.all(),
+            propagate=False, rng=rng,
+        )
+        assert not cert.propagate
+        assert cert.verify_signature()
+
+
+class TestTampering:
+    def test_any_field_change_breaks_signature(self, alice_kp, bob_kp, carol_kp, rng):
+        cert = Certificate.issue(
+            alice_kp, KeyPrincipal(bob_kp.public), parse_tag("(tag read)"),
+            Validity(0, 10), rng=rng,
+        )
+        cert.tag = parse_tag("(tag (*))")
+        assert not cert.verify_signature()
+
+        cert = Certificate.issue(
+            alice_kp, KeyPrincipal(bob_kp.public), parse_tag("(tag read)"), rng=rng
+        )
+        cert.subject = KeyPrincipal(carol_kp.public)
+        assert not cert.verify_signature()
+
+        cert = Certificate.issue(
+            alice_kp, KeyPrincipal(bob_kp.public), parse_tag("(tag read)"),
+            Validity(0, 10), rng=rng,
+        )
+        cert.validity = Validity(0, 10**9)
+        assert not cert.verify_signature()
+
+    def test_propagate_bit_is_signed(self, alice_kp, bob_kp, rng):
+        cert = Certificate.issue(
+            alice_kp, KeyPrincipal(bob_kp.public), Tag.all(),
+            propagate=False, rng=rng,
+        )
+        cert.propagate = True
+        assert not cert.verify_signature()
+
+
+class TestWireForm:
+    def test_roundtrip(self, alice_kp, bob_kp, rng):
+        cert = Certificate.issue(
+            alice_kp, KeyPrincipal(bob_kp.public), parse_tag("(tag read)"),
+            Validity(0, 99), propagate=False, rng=rng,
+        )
+        restored = Certificate.from_sexp(
+            parse_canonical(to_canonical(cert.to_sexp()))
+        )
+        assert restored == cert
+        assert restored.verify_signature()
+
+    def test_rejects_malformed(self):
+        from repro.sexp import parse
+
+        with pytest.raises(ValueError):
+            Certificate.from_sexp(parse("(signed-cert (cert))"))
+
+
+class TestNameCertificates:
+    def test_issuer_is_compound_name(self, alice_kp, server_kp, rng):
+        cert = Certificate.issue(
+            alice_kp, KeyPrincipal(server_kp.public), Tag.all(),
+            issuer_name="N", rng=rng,
+        )
+        A = KeyPrincipal(alice_kp.public)
+        assert cert.issuer_principal() == NamePrincipal(A, "N")
+        assert cert.verify_signature()
+
+    def test_issuer_via_hash(self, alice_kp, server_kp, rng):
+        cert = Certificate.issue(
+            alice_kp, KeyPrincipal(server_kp.public), Tag.all(),
+            issuer_name="N", issuer_via_hash=True, rng=rng,
+        )
+        HKC = KeyPrincipal(alice_kp.public).hash_principal()
+        assert cert.issuer_principal() == NamePrincipal(HKC, "N")
+
+    def test_name_cert_roundtrip(self, alice_kp, server_kp, rng):
+        cert = Certificate.issue(
+            alice_kp, KeyPrincipal(server_kp.public), Tag.all(),
+            issuer_name="N", issuer_via_hash=True, rng=rng,
+        )
+        restored = Certificate.from_sexp(
+            parse_canonical(to_canonical(cert.to_sexp()))
+        )
+        assert restored == cert
+        assert restored.issuer_principal() == cert.issuer_principal()
+        assert restored.verify_signature()
+
+    def test_name_field_is_signed(self, alice_kp, server_kp, rng):
+        cert = Certificate.issue(
+            alice_kp, KeyPrincipal(server_kp.public), Tag.all(),
+            issuer_name="N", rng=rng,
+        )
+        cert.issuer_name = "M"
+        assert not cert.verify_signature()

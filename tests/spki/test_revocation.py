@@ -1,0 +1,156 @@
+"""Unit tests for CRLs and one-time revalidation."""
+
+import pytest
+
+from repro.core.errors import VerificationError
+from repro.core.principals import KeyPrincipal
+from repro.core.proofs import SignedCertificateStep, VerificationContext
+from repro.core.statements import Validity
+from repro.sexp import parse_canonical, to_canonical
+from repro.spki import Certificate, OneTimeRevalidator, RevocationList
+from repro.spki.revocation import CompositePolicy, NoRevocation
+from repro.tags import Tag
+
+
+@pytest.fixture()
+def cert(alice_kp, bob_kp, rng):
+    return Certificate.issue(
+        alice_kp, KeyPrincipal(bob_kp.public), Tag.all(), serial=b"S1", rng=rng
+    )
+
+
+class TestRevocationList:
+    def test_unlisted_cert_passes(self, alice_kp, cert):
+        crl = RevocationList.issue(alice_kp, [b"OTHER"], Validity(0, 100))
+        crl.check(cert, now=10.0)
+
+    def test_listed_cert_fails(self, alice_kp, cert):
+        crl = RevocationList.issue(alice_kp, [b"S1"], Validity(0, 100))
+        with pytest.raises(VerificationError):
+            crl.check(cert, now=10.0)
+
+    def test_stale_crl_fails_closed(self, alice_kp, cert):
+        # No fresh evidence of non-revocation: refuse even unlisted certs.
+        crl = RevocationList.issue(alice_kp, [], Validity(0, 100))
+        with pytest.raises(VerificationError):
+            crl.check(cert, now=500.0)
+
+    def test_other_issuers_not_covered(self, alice_kp, carol_kp, bob_kp, rng):
+        foreign = Certificate.issue(
+            carol_kp, KeyPrincipal(bob_kp.public), Tag.all(), serial=b"S1", rng=rng
+        )
+        crl = RevocationList.issue(alice_kp, [b"S1"], Validity(0, 100))
+        crl.check(foreign, now=10.0)  # someone else's CRL: no opinion
+
+    def test_forged_crl_rejected(self, alice_kp, cert):
+        crl = RevocationList.issue(alice_kp, [], Validity(0, 100))
+        crl.revoked_serials.add(b"S1")  # tamper after signing
+        with pytest.raises(VerificationError):
+            crl.check(cert, now=10.0)
+
+    def test_wire_roundtrip(self, alice_kp):
+        crl = RevocationList.issue(alice_kp, [b"A", b"B"], Validity(0, 50))
+        restored = RevocationList.from_sexp(
+            parse_canonical(to_canonical(crl.to_sexp()))
+        )
+        assert restored.revoked_serials == {b"A", b"B"}
+        assert restored.verify_signature()
+
+    def test_integrates_with_proof_verification(self, alice_kp, cert):
+        crl = RevocationList.issue(alice_kp, [b"S1"], Validity(0, 100))
+        step = SignedCertificateStep(cert)
+        with pytest.raises(VerificationError):
+            step.verify(VerificationContext(now=10.0, revocation=crl))
+        # Without the CRL the same proof verifies.
+        step.verify(VerificationContext(now=10.0))
+
+    def test_revocation_spares_independent_lemmas(self, alice_kp, bob_kp,
+                                                  carol_kp, cert, rng):
+        """Revoking one certificate kills exactly the proofs that depend on
+        it (the Figure 1 extraction property, revocation flavour)."""
+        from repro.core.rules import TransitivityStep
+
+        C = KeyPrincipal(carol_kp.public)
+        other = Certificate.issue(
+            bob_kp, C, Tag.all(), serial=b"S2", rng=rng
+        )
+        chain = TransitivityStep(
+            SignedCertificateStep(other), SignedCertificateStep(cert)
+        )
+        crl = RevocationList.issue(alice_kp, [b"S1"], Validity(0, 100))
+        context = VerificationContext(now=10.0, revocation=crl)
+        with pytest.raises(VerificationError):
+            chain.verify(context)
+        # The independent lemma (bob -> carol) still verifies.
+        SignedCertificateStep(other).verify(
+            VerificationContext(now=10.0, revocation=crl)
+        )
+
+
+class TestOneTimeRevalidation:
+    def test_live_cert_passes(self, alice_kp, cert, rng):
+        oracle = OneTimeRevalidator.make_oracle(alice_kp, lambda c: True)
+        policy = OneTimeRevalidator(alice_kp.public, oracle, rng)
+        policy.check(cert, now=0.0)
+
+    def test_dead_cert_fails(self, alice_kp, cert, rng):
+        oracle = OneTimeRevalidator.make_oracle(alice_kp, lambda c: False)
+        policy = OneTimeRevalidator(alice_kp.public, oracle, rng)
+        with pytest.raises(VerificationError):
+            policy.check(cert, now=0.0)
+
+    def test_selective_liveness(self, alice_kp, bob_kp, rng):
+        good = Certificate.issue(
+            alice_kp, KeyPrincipal(bob_kp.public), Tag.all(), serial=b"GOOD", rng=rng
+        )
+        bad = Certificate.issue(
+            alice_kp, KeyPrincipal(bob_kp.public), Tag.all(), serial=b"BAD", rng=rng
+        )
+        oracle = OneTimeRevalidator.make_oracle(
+            alice_kp, lambda c: c.serial == b"GOOD"
+        )
+        policy = OneTimeRevalidator(alice_kp.public, oracle, rng)
+        policy.check(good, now=0.0)
+        with pytest.raises(VerificationError):
+            policy.check(bad, now=0.0)
+
+    def test_replayed_answer_rejected(self, alice_kp, cert, rng):
+        # A recorded answer cannot satisfy a later check (fresh nonces).
+        answers = []
+        real_oracle = OneTimeRevalidator.make_oracle(alice_kp, lambda c: True)
+
+        def recording_oracle(certificate, nonce):
+            answer = real_oracle(certificate, nonce)
+            answers.append(answer)
+            return answer
+
+        policy = OneTimeRevalidator(alice_kp.public, recording_oracle, rng)
+        policy.check(cert, now=0.0)
+
+        def replaying_oracle(certificate, nonce):
+            return answers[0]  # stale answer for a different nonce
+
+        replay_policy = OneTimeRevalidator(alice_kp.public, replaying_oracle, rng)
+        with pytest.raises(VerificationError):
+            replay_policy.check(cert, now=0.0)
+
+    def test_foreign_issuer_ignored(self, alice_kp, carol_kp, bob_kp, rng):
+        foreign = Certificate.issue(
+            carol_kp, KeyPrincipal(bob_kp.public), Tag.all(), rng=rng
+        )
+        policy = OneTimeRevalidator(
+            alice_kp.public, lambda c, n: None, rng
+        )
+        policy.check(foreign, now=0.0)  # not ours: no opinion
+
+
+class TestCompositeAndDefault:
+    def test_no_revocation_always_passes(self, cert):
+        NoRevocation().check(cert, now=0.0)
+
+    def test_composite_all_must_pass(self, alice_kp, cert, rng):
+        clean = RevocationList.issue(alice_kp, [], Validity(0, 100))
+        dirty = RevocationList.issue(alice_kp, [b"S1"], Validity(0, 100))
+        CompositePolicy([clean, NoRevocation()]).check(cert, now=1.0)
+        with pytest.raises(VerificationError):
+            CompositePolicy([clean, dirty]).check(cert, now=1.0)

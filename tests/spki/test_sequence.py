@@ -1,0 +1,132 @@
+"""Unit tests for the SPKI sequence stack-machine verifier."""
+
+import pytest
+
+from repro.core.principals import KeyPrincipal
+from repro.core.statements import Validity
+from repro.sexp import parse_canonical, to_canonical
+from repro.spki import Certificate, Sequence, SequenceError, SequenceVerifier
+from repro.spki.sequence import Compose, PushCert
+from repro.tags import Tag, parse_tag
+
+
+@pytest.fixture()
+def chain(alice_kp, bob_kp, carol_kp, rng):
+    """alice -> bob -> carol, narrowing restriction along the way."""
+    B = KeyPrincipal(bob_kp.public)
+    C = KeyPrincipal(carol_kp.public)
+    first = Certificate.issue(alice_kp, B, parse_tag("(tag (web))"), rng=rng)
+    second = Certificate.issue(
+        bob_kp, C, parse_tag("(tag (web (method GET)))"), rng=rng
+    )
+    return first, second
+
+
+class TestRun:
+    def test_single_cert(self, alice_kp, bob_kp, rng):
+        cert = Certificate.issue(
+            alice_kp, KeyPrincipal(bob_kp.public), parse_tag("(tag read)"), rng=rng
+        )
+        result = SequenceVerifier().run(Sequence.from_chain([cert]))
+        assert result == cert.statement()
+
+    def test_two_cert_chain_reduces(self, chain, alice_kp, carol_kp):
+        result = SequenceVerifier().run(Sequence.from_chain(list(chain)))
+        assert result.subject == KeyPrincipal(carol_kp.public)
+        assert result.issuer == KeyPrincipal(alice_kp.public)
+        assert result.tag.matches(["web", ["method", "GET"]])
+        assert not result.tag.matches(["web", ["method", "POST"]])
+
+    def test_chain_break_rejected(self, alice_kp, bob_kp, carol_kp, rng):
+        B = KeyPrincipal(bob_kp.public)
+        first = Certificate.issue(alice_kp, B, Tag.all(), rng=rng)
+        # second issued by carol, not by bob: broken chain
+        second = Certificate.issue(carol_kp, B, Tag.all(), rng=rng)
+        with pytest.raises(SequenceError):
+            SequenceVerifier().run(Sequence.from_chain([first, second]))
+
+    def test_propagate_bit_enforced(self, alice_kp, bob_kp, carol_kp, rng):
+        # SPKI semantics: the upstream cert must permit delegation.
+        B = KeyPrincipal(bob_kp.public)
+        C = KeyPrincipal(carol_kp.public)
+        first = Certificate.issue(
+            alice_kp, B, Tag.all(), propagate=False, rng=rng
+        )
+        second = Certificate.issue(bob_kp, C, Tag.all(), rng=rng)
+        with pytest.raises(SequenceError):
+            SequenceVerifier().run(Sequence.from_chain([first, second]))
+
+    def test_bad_signature_rejected(self, chain):
+        first, second = chain
+        second.tag = Tag.all()
+        with pytest.raises(SequenceError):
+            SequenceVerifier().run(Sequence.from_chain([first, second]))
+
+    def test_compose_underflow(self, chain):
+        with pytest.raises(SequenceError):
+            SequenceVerifier().run(Sequence([PushCert(chain[0]), Compose(), Compose()]))
+
+    def test_leftover_frames_rejected(self, chain):
+        with pytest.raises(SequenceError):
+            SequenceVerifier().run(
+                Sequence([PushCert(chain[0]), PushCert(chain[1])])
+            )
+
+    def test_expired_chain_rejected(self, alice_kp, bob_kp, rng):
+        cert = Certificate.issue(
+            alice_kp, KeyPrincipal(bob_kp.public), Tag.all(),
+            validity=Validity(0, 10), rng=rng,
+        )
+        SequenceVerifier(now=5.0).run(Sequence.from_chain([cert]))
+        with pytest.raises(SequenceError):
+            SequenceVerifier(now=50.0).run(Sequence.from_chain([cert]))
+
+    def test_validity_intersects_along_chain(self, alice_kp, bob_kp, carol_kp, rng):
+        B = KeyPrincipal(bob_kp.public)
+        C = KeyPrincipal(carol_kp.public)
+        first = Certificate.issue(
+            alice_kp, B, Tag.all(), validity=Validity(0, 100), rng=rng
+        )
+        second = Certificate.issue(
+            bob_kp, C, Tag.all(), validity=Validity(50, 200), rng=rng
+        )
+        result = SequenceVerifier(now=75.0).run(Sequence.from_chain([first, second]))
+        assert result.validity == Validity(50, 100)
+        with pytest.raises(SequenceError):
+            SequenceVerifier(now=150.0).run(Sequence.from_chain([first, second]))
+
+
+class TestWireForm:
+    def test_roundtrip(self, chain):
+        sequence = Sequence.from_chain(list(chain))
+        restored = Sequence.from_sexp(
+            parse_canonical(to_canonical(sequence.to_sexp()))
+        )
+        assert len(restored) == len(sequence)
+        assert SequenceVerifier().run(restored) == SequenceVerifier().run(sequence)
+
+    def test_unknown_opcode_rejected(self):
+        from repro.sexp import parse
+
+        with pytest.raises(SequenceError):
+            Sequence.from_sexp(parse("(sequence (jump 3))"))
+
+
+class TestEquivalenceWithStructuredProofs:
+    def test_same_conclusion_as_transitivity(self, chain):
+        """The linear program and the structured proof agree — but only the
+        structured proof exhibits its internal lemmas."""
+        from repro.core.proofs import SignedCertificateStep, VerificationContext
+        from repro.core.rules import TransitivityStep
+
+        structured = TransitivityStep(
+            SignedCertificateStep(chain[1]), SignedCertificateStep(chain[0])
+        )
+        structured.verify(VerificationContext())
+        linear = SequenceVerifier().run(Sequence.from_chain(list(chain)))
+        assert structured.conclusion.subject == linear.subject
+        assert structured.conclusion.issuer == linear.issuer
+        assert structured.conclusion.tag.matches(["web", ["method", "GET"]])
+        assert linear.tag.matches(["web", ["method", "GET"]])
+        # Lemma extraction exists only on the structured side:
+        assert len(list(structured.lemmas())) == 3

@@ -1,0 +1,101 @@
+"""Unit tests for the conservative implication (subset) test."""
+
+from repro.tags import Tag, parse_tag
+
+
+def implies(a: str, b: str) -> bool:
+    return parse_tag(a).implies(parse_tag(b))
+
+
+class TestImplies:
+    def test_everything_implies_star(self):
+        assert implies("(tag read)", "(tag (*))")
+        assert implies("(tag (* prefix x))", "(tag (*))")
+
+    def test_empty_implies_everything(self):
+        assert Tag.none().implies(parse_tag("(tag read)"))
+
+    def test_reflexive(self):
+        assert implies("(tag (web (method GET)))", "(tag (web (method GET)))")
+
+    def test_atom_into_prefix(self):
+        assert implies("(tag readme)", "(tag (* prefix read))")
+        assert not implies("(tag write)", "(tag (* prefix read))")
+
+    def test_atom_into_range(self):
+        assert implies("(tag 5)", "(tag (* range numeric (ge 1) (le 10)))")
+        assert not implies("(tag 50)", "(tag (* range numeric (ge 1) (le 10)))")
+
+    def test_set_implies_when_all_members_do(self):
+        assert implies("(tag (* set a b))", "(tag (* set a b c))")
+        assert not implies("(tag (* set a z))", "(tag (* set a b))")
+
+    def test_into_set_any_member(self):
+        assert implies("(tag (* prefix ab))", "(tag (* set (* prefix a) q))")
+
+    def test_longer_list_implies_shorter(self):
+        assert implies(
+            "(tag (web (method GET) (path /x)))", "(tag (web (method GET)))"
+        )
+        assert not implies(
+            "(tag (web (method GET)))", "(tag (web (method GET) (path /x)))"
+        )
+
+    def test_prefix_extension(self):
+        assert implies("(tag (* prefix /a/b))", "(tag (* prefix /a))")
+        assert not implies("(tag (* prefix /a))", "(tag (* prefix /a/b))")
+
+    def test_range_containment(self):
+        assert implies(
+            "(tag (* range numeric (ge 3) (le 5)))",
+            "(tag (* range numeric (ge 1) (le 10)))",
+        )
+        assert not implies(
+            "(tag (* range numeric (ge 0) (le 5)))",
+            "(tag (* range numeric (ge 1) (le 10)))",
+        )
+
+    def test_range_strictness(self):
+        assert implies(
+            "(tag (* range numeric (g 1)))", "(tag (* range numeric (ge 1)))"
+        )
+        assert not implies(
+            "(tag (* range numeric (ge 1)))", "(tag (* range numeric (g 1)))"
+        )
+
+    def test_unbounded_does_not_imply_bounded(self):
+        assert not implies(
+            "(tag (* range numeric (ge 1)))",
+            "(tag (* range numeric (ge 1) (le 10)))",
+        )
+
+    def test_star_does_not_imply_narrower(self):
+        assert not implies("(tag (*))", "(tag read)")
+
+    def test_and_implies_via_member(self):
+        assert implies(
+            "(tag (* and (* prefix ab) (* range alpha (le az))))",
+            "(tag (* prefix ab))",
+        )
+
+    def test_into_and_needs_all(self):
+        assert implies(
+            "(tag (* prefix abc))",
+            "(tag (* and (* prefix ab) (* prefix a)))",
+        )
+        assert not implies(
+            "(tag (* prefix a))",
+            "(tag (* and (* prefix ab) (* prefix a)))",
+        )
+
+    def test_minimum_tag_against_delegation(self):
+        # The server challenge workflow: the singleton request tag must
+        # imply the client's broader delegation.
+        minimum = parse_tag(
+            '(tag (web (method GET) (service s) (resourcePath "/pub/x")))'
+        )
+        delegation = parse_tag(
+            "(tag (web (method GET) (service s) (resourcePath (* prefix /pub))))"
+        )
+        assert minimum.implies(delegation)
+        assert not delegation.implies(minimum)

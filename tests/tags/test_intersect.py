@@ -1,0 +1,178 @@
+"""Unit tests for tag intersection."""
+
+import pytest
+
+from repro.sexp import sexp
+from repro.tags import (
+    Tag,
+    TagAnd,
+    TagAtom,
+    TagList,
+    TagPrefix,
+    TagRange,
+    TagSet,
+    TagStar,
+    intersect,
+    parse_tag,
+)
+
+
+def isect(a: str, b: str) -> Tag:
+    return parse_tag(a).intersect(parse_tag(b))
+
+
+class TestStarAndSet:
+    def test_star_is_identity(self):
+        tag = parse_tag("(tag (web (method GET)))")
+        assert tag.intersect(Tag.all()) == tag
+        assert Tag.all().intersect(tag) == tag
+
+    def test_empty_set_annihilates(self):
+        tag = parse_tag("(tag (web))")
+        assert tag.intersect(Tag.none()).is_empty()
+
+    def test_set_distributes(self):
+        result = isect("(tag (* set read write))", "(tag read)")
+        assert result == parse_tag("(tag read)")
+
+    def test_set_drops_empty_members(self):
+        result = isect("(tag (* set read write))", "(tag (* set write delete))")
+        assert result == parse_tag("(tag write)")
+
+    def test_disjoint_sets_empty(self):
+        assert isect("(tag (* set a b))", "(tag (* set c d))").is_empty()
+
+
+class TestAtoms:
+    def test_equal_atoms(self):
+        assert isect("(tag read)", "(tag read)") == parse_tag("(tag read)")
+
+    def test_unequal_atoms_empty(self):
+        assert isect("(tag read)", "(tag write)").is_empty()
+
+    def test_atom_with_prefix(self):
+        assert isect("(tag (* prefix re))", "(tag read)") == parse_tag("(tag read)")
+        assert isect("(tag (* prefix wr))", "(tag read)").is_empty()
+
+    def test_atom_with_range(self):
+        assert isect("(tag (* range alpha (ge a) (le m)))", "(tag cat)") == parse_tag(
+            "(tag cat)"
+        )
+        assert isect("(tag (* range alpha (ge a) (le b)))", "(tag cat)").is_empty()
+
+    def test_atom_with_list_empty(self):
+        assert isect("(tag read)", "(tag (read))").is_empty()
+
+
+class TestLists:
+    def test_elementwise(self):
+        result = isect(
+            "(tag (web (method GET)))", "(tag (web (method GET) (path /x)))"
+        )
+        assert result == parse_tag("(tag (web (method GET) (path /x)))")
+
+    def test_longer_pattern_elements_carry_over(self):
+        result = isect(
+            "(tag (web (* set (method GET) (method HEAD))))",
+            "(tag (web (method GET) (path /x)))",
+        )
+        assert result.matches(sexp(["web", ["method", "GET"], ["path", "/x"]]))
+
+    def test_conflicting_elements_empty(self):
+        assert isect(
+            "(tag (web (method GET)))", "(tag (web (method POST)))"
+        ).is_empty()
+
+    def test_list_with_prefix_empty(self):
+        assert isect("(tag (web))", "(tag (* prefix w))").is_empty()
+
+
+class TestPrefixes:
+    def test_one_extends_other(self):
+        assert isect("(tag (* prefix /a))", "(tag (* prefix /a/b))") == parse_tag(
+            "(tag (* prefix /a/b))"
+        )
+
+    def test_divergent_empty(self):
+        assert isect("(tag (* prefix /a))", "(tag (* prefix /b))").is_empty()
+
+    def test_prefix_range_goes_to_and(self):
+        result = isect(
+            "(tag (* prefix ab))", "(tag (* range alpha (ge aa) (le az)))"
+        )
+        assert isinstance(result.expr, TagAnd)
+        assert result.matches("abc")
+        assert not result.matches("b")
+
+
+class TestRanges:
+    def test_same_ordering_merges_bounds(self):
+        result = isect(
+            "(tag (* range numeric (ge 1) (le 10)))",
+            "(tag (* range numeric (ge 5) (le 20)))",
+        )
+        assert isinstance(result.expr, TagRange)
+        assert result.matches("7")
+        assert not result.matches("3") and not result.matches("15")
+
+    def test_disjoint_ranges_empty(self):
+        assert isect(
+            "(tag (* range numeric (le 5)))", "(tag (* range numeric (ge 10)))"
+        ).is_empty()
+
+    def test_touching_ranges_with_strict_bound_empty(self):
+        assert isect(
+            "(tag (* range numeric (l 5)))", "(tag (* range numeric (ge 5)))"
+        ).is_empty()
+
+    def test_touching_ranges_inclusive_singleton(self):
+        result = isect(
+            "(tag (* range numeric (le 5)))", "(tag (* range numeric (ge 5)))"
+        )
+        assert result.matches("5")
+        assert not result.matches("4") and not result.matches("6")
+
+    def test_different_orderings_go_to_and(self):
+        result = isect(
+            "(tag (* range numeric (ge 1)))", "(tag (* range alpha (ge 1)))"
+        )
+        assert isinstance(result.expr, TagAnd)
+
+    def test_unbounded_sides(self):
+        result = isect(
+            "(tag (* range numeric (ge 3)))", "(tag (* range numeric (le 8)))"
+        )
+        assert result.matches("5")
+        assert not result.matches("2") and not result.matches("9")
+
+
+class TestAndFolding:
+    def test_and_with_atom_decides(self):
+        and_tag = isect(
+            "(tag (* prefix ab))", "(tag (* range alpha (ge aa) (le az)))"
+        )
+        assert and_tag.intersect(parse_tag("(tag abc)")) == parse_tag("(tag abc)")
+        assert and_tag.intersect(parse_tag("(tag zzz)")).is_empty()
+
+    def test_and_folds_compatible_members(self):
+        a = isect("(tag (* prefix ab))", "(tag (* range alpha (le az)))")
+        b = parse_tag("(tag (* prefix abc))")
+        result = a.intersect(b)
+        # The two prefixes folded into the tighter one.
+        assert result.matches("abcd")
+        assert not result.matches("abz")
+
+
+class TestFigure5Workload:
+    def test_subtree_delegation_narrows_to_file(self):
+        subtree = parse_tag(
+            "(tag (web (method GET) (resourcePath (* prefix /pub))))"
+        )
+        single = parse_tag('(tag (web (method GET) (resourcePath "/pub/a.txt")))')
+        both = subtree.intersect(single)
+        assert both.matches(
+            sexp(["web", ["method", "GET"], ["resourcePath", "/pub/a.txt"]])
+        )
+        assert not both.matches(
+            sexp(["web", ["method", "GET"], ["resourcePath", "/pub/b.txt"]])
+        )
