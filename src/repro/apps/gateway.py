@@ -81,7 +81,6 @@ class QuotingGateway(Servlet):
         self.gateway_principal = identity.principal
         self._db_issuer: Optional[Principal] = None
         self._stubs: Dict[Principal, RemoteStub] = {}
-        self._known_clients: Dict[Principal, bool] = {}
 
     # -- HTTP side ------------------------------------------------------------
 
@@ -132,10 +131,20 @@ class QuotingGateway(Servlet):
             delegation.verify(self._context())
             # Digest the client's chain (G|C => ... => S) into our Prover.
             self.identity.prover.add_proof(delegation)
-            self._known_clients[client] = True
-        if client not in self._known_clients:
+        if not self._knows_client(client):
             return None
         return client
+
+    def _knows_client(self, client: Principal) -> bool:
+        """A client is known once its digested delegation chain gives the
+        quoting principal ``G|client`` an outgoing edge.  Asking the graph
+        (instead of a side table) means a client whose delegation was
+        retracted (``graph.remove`` / an ``invalidate_expired`` sweep) is
+        automatically re-challenged rather than served from stale gateway
+        state.  Merely-expired edges still count here; the database's own
+        validity check is what refuses them at use time."""
+        quoted = self.gateway_principal.quoting(client)
+        return len(self.identity.prover.graph.outgoing(quoted)) > 0
 
     def _context(self):
         from repro.core.proofs import VerificationContext

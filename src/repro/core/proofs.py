@@ -23,6 +23,7 @@ Design points taken from the paper:
 
 from __future__ import annotations
 
+import hashlib as _hashlib
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import ProofError, VerificationError
@@ -82,6 +83,8 @@ class Proof:
             raise ProofError("conclusion must be a Statement")
         self._conclusion = conclusion
         self._premises = tuple(premises)
+        self._canonical: Optional[bytes] = None
+        self._digest: Optional[bytes] = None
 
     @property
     def conclusion(self) -> Statement:
@@ -138,17 +141,37 @@ class Proof:
     def _payload_sexp(self) -> Optional[List[SExp]]:
         return None
 
+    def canonical(self) -> bytes:
+        """Canonical wire form, memoized.
+
+        Proof trees are immutable after construction, so serializing once
+        and reusing the bytes is safe.  The delegation graph keys every
+        edge by this form; memoizing here turns ``DelegationGraph.add``
+        from a re-serialization per call into a dict lookup.
+        """
+        cached = self._canonical
+        if cached is None:
+            cached = self._canonical = self.to_sexp().to_canonical()
+        return cached
+
+    def digest(self) -> bytes:
+        """A fixed-width collision-resistant key for the canonical form."""
+        cached = self._digest
+        if cached is None:
+            cached = self._digest = _hashlib.sha256(self.canonical()).digest()
+        return cached
+
     def __eq__(self, other) -> bool:
         if not isinstance(other, Proof):
             return NotImplemented
-        return self.to_sexp() == other.to_sexp()
+        return self.canonical() == other.canonical()
 
     def __ne__(self, other) -> bool:
         result = self.__eq__(other)
         return result if result is NotImplemented else not result
 
     def __hash__(self) -> int:
-        return hash(self.to_sexp())
+        return hash(self.digest())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "Proof[%s: %s]" % (self.rule, self._conclusion.display())

@@ -144,7 +144,7 @@ class ProtectedServlet(Servlet):
         maybe_charge(self.meter, "sf_overhead")
         context = self.trust.context()
         proof.verify(context)
-        self.auth._proof_cache.setdefault(speaker, []).append(proof)
+        self.auth.cache_proof(proof, speaker)
         return speaker
 
     def _authorize(

@@ -112,8 +112,14 @@ class MacSessionManager:
         )
 
     def attach_cache(self, auth_state) -> None:
+        from repro.core.statements import SpeaksFor
+
         def sink(principal, proof):
-            auth_state._proof_cache.setdefault(principal, []).append(proof)
+            # A verified non-speaks-for proof is useless but harmless:
+            # ignore it so the client still gets a challenge (not a 403)
+            # on its next request.
+            if isinstance(proof.conclusion, SpeaksFor):
+                auth_state.cache_proof(proof, principal)
 
         self._proof_sink = sink
 

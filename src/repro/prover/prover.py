@@ -6,7 +6,12 @@ channel KCH speaks for a server S, it works backwards from the node S ...
 A is final, meaning that the Prover can make statements as A; therefore,
 Prover simply issues a delegation KCH => A to complete the proof."
 
-The search is deliberately *incomplete* — the paper cites Abadi et al.'s
+The search here is *bidirectional*: a backward wave from the issuer (over
+the incoming index) and a forward wave from the subject (over the outgoing
+index) advance in lock step and meet in the middle, so a cold query over a
+chain of depth ``d`` composes its proof after roughly ``d`` expansions
+instead of exploring the full backward fan-out of every chain node.  The
+search is still deliberately *incomplete* — the paper cites Abadi et al.'s
 result that general access control with conjunction and quoting is
 exponential — but, as in the paper, applications collect delegations in the
 course of naming, so chains are short and the shortcut cache keeps repeat
@@ -16,7 +21,7 @@ queries constant-time.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.principals import Principal, QuotingPrincipal
 from repro.core.proofs import Proof
@@ -29,16 +34,45 @@ from repro.spki.certificate import Certificate
 from repro.tags import Tag
 
 
+class _Wave:
+    """One frontier of the bidirectional search, seeded with the identity
+    half-proof (``None``) at its endpoint."""
+
+    __slots__ = ("queue", "reached", "visits", "backward")
+
+    def __init__(self, seed: Principal, backward: bool):
+        self.queue = deque([(seed, None, 0)])
+        # principal -> [(half proof, edge count)]; None proof = identity
+        self.reached: Dict[Principal, List[Tuple[Optional[Proof], int]]] = {
+            seed: [(None, 0)]
+        }
+        self.visits: Dict[Principal, int] = {seed: 1}
+        self.backward = backward
+
+
 class Prover:
     """Collects delegations, caches proofs, and constructs new delegations."""
 
-    def __init__(self, max_depth: int = 16, max_visits: int = 4):
-        self.graph = DelegationGraph()
+    def __init__(
+        self,
+        max_depth: int = 16,
+        max_visits: int = 4,
+        max_shortcuts: int = 1024,
+    ):
+        self.graph = DelegationGraph(max_shortcuts=max_shortcuts)
         self._closures: Dict[Principal, Closure] = {}
         self.max_depth = max_depth
         self.max_visits = max_visits
         # Search statistics, reported by the prover-scaling benchmark.
-        self.stats = {"searches": 0, "nodes_expanded": 0, "shortcut_hits": 0}
+        self.stats = {
+            "searches": 0,
+            "nodes_expanded": 0,
+            "shortcut_hits": 0,
+            "shortcut_cache_size": 0,
+            "shortcut_evictions": 0,
+            "invalidations": 0,
+            "generation": 0,
+        }
 
     # -- collection -------------------------------------------------------
 
@@ -57,7 +91,11 @@ class Prover:
             for lemma in proof.speaks_for_lemmas():
                 self.graph.add(lemma, shortcut=bool(lemma.premises))
         else:
-            self.graph.add(proof, shortcut=bool(proof.premises))
+            # An undigested proof is *collected*, not derived: store it as
+            # a permanent base edge.  (Marking it an evictable shortcut
+            # would lose its conclusion entirely under cache pressure,
+            # since its component leaves are not in the graph.)
+            self.graph.add(proof)
 
     def add_certificate(self, certificate: Certificate) -> None:
         from repro.core.proofs import SignedCertificateStep
@@ -73,6 +111,21 @@ class Prover:
 
     def closure_for(self, principal: Principal) -> Optional[Closure]:
         return self._closures.get(principal)
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate_expired(self, now: float) -> int:
+        """Retract every delegation whose validity lapsed at ``now``, along
+        with any cached shortcut derived from one.  Returns the number of
+        edges removed.
+
+        This is the only destructive time operation: queries treat their
+        ``now`` as a hypothetical (they skip expired edges but never delete
+        them), so probing a future time cannot destroy still-valid state.
+        Applications with a real clock call this on clock advance."""
+        removed = self.graph.invalidate_expired(now)
+        self._sync_cache_stats()
+        return removed
 
     # -- search -----------------------------------------------------------
 
@@ -106,9 +159,9 @@ class Prover:
     ) -> Optional[Proof]:
         """Find a proof, completing it with a fresh delegation if needed.
 
-        If the backward walk reaches a *final* principal (one we hold a
-        closure for) before reaching ``subject``, the closure delegates the
-        needed restricted authority to ``subject`` and the chain is
+        If the backward wave reaches a *final* principal (one we hold a
+        closure for) before meeting the forward wave, the closure delegates
+        the needed restricted authority to ``subject`` and the chain is
         completed, exactly as in Figure 2's narration.
         """
         found = self._search(
@@ -185,77 +238,161 @@ class Prover:
             request = sexp(request)
         self.stats["searches"] += 1
         needed_tag = self._needed_tag(request, min_tag)
-
-        # Trivial case: we control the issuer itself.
-        if use_closures and subject != issuer:
-            closure = self._closures.get(issuer)
-            if closure is not None:
-                minted = closure.delegate(subject, needed_tag, delegation_validity)
-                self.add_proof(minted)
-                if self._covers(minted.conclusion, request, min_tag, now):
-                    return minted
-
-        # Backward BFS from the issuer. Each queue entry carries a proof
-        # that `principal` speaks for `issuer` (None = identity at start).
-        queue = deque([(issuer, None, 0)])
-        visits: Dict[Principal, int] = {issuer: 1}
-        while queue:
-            principal, proof_to_issuer, depth = queue.popleft()
-            self.stats["nodes_expanded"] += 1
-
-            if proof_to_issuer is not None:
-                if principal == subject and self._covers(
-                    proof_to_issuer.conclusion, request, min_tag, now
-                ):
-                    self._cache(proof_to_issuer)
-                    return proof_to_issuer
-                if use_closures and principal in self._closures:
-                    completed = self._complete(
-                        subject,
-                        principal,
-                        proof_to_issuer,
-                        needed_tag,
-                        delegation_validity,
+        try:
+            # Trivial case: we control the issuer itself.
+            if use_closures and subject != issuer:
+                closure = self._closures.get(issuer)
+                if closure is not None:
+                    minted = closure.delegate(
+                        subject, needed_tag, delegation_validity
                     )
-                    if completed is not None and self._covers(
-                        completed.conclusion, request, min_tag, now
-                    ):
-                        self._cache(completed)
-                        return completed
+                    self.add_proof(minted)
+                    if self._covers(minted.conclusion, request, min_tag, now):
+                        return minted
+            return self._bidirectional(
+                subject,
+                issuer,
+                request,
+                min_tag,
+                now,
+                use_closures,
+                needed_tag,
+                delegation_validity,
+            )
+        finally:
+            self._sync_cache_stats()
 
-            if depth >= self.max_depth:
+    def _bidirectional(
+        self,
+        subject: Principal,
+        issuer: Principal,
+        request: Optional[SExp],
+        min_tag: Optional[Tag],
+        now: Optional[float],
+        use_closures: bool,
+        needed_tag: Tag,
+        delegation_validity: Validity,
+    ) -> Optional[Proof]:
+        """Meet-in-the-middle BFS.
+
+        The backward wave carries proofs of ``principal => issuer``; the
+        forward wave carries proofs of ``subject => principal`` (``None``
+        is the identity at each seed).  Whenever one wave generates a node
+        the other wave has reached, the two half-proofs compose — provided
+        the combined chain stays within ``max_depth`` edges, preserving the
+        seed semantics of a single depth-bounded backward walk.  The
+        backward wave expands first each round so a one-hop shortcut edge
+        still satisfies a warm repeat query after a single expansion.
+        """
+        backward = _Wave(issuer, backward=True)
+        forward = _Wave(subject, backward=False)
+        while backward.queue or forward.queue:
+            for wave, other in ((backward, forward), (forward, backward)):
+                if not wave.queue:
+                    continue
+                found = self._expand_wave(
+                    wave,
+                    other,
+                    subject,
+                    request,
+                    min_tag,
+                    now,
+                    use_closures,
+                    needed_tag,
+                    delegation_validity,
+                )
+                if found is not None:
+                    return found
+        return None
+
+    def _expand_wave(
+        self,
+        wave: "_Wave",
+        other: "_Wave",
+        subject: Principal,
+        request: Optional[SExp],
+        min_tag: Optional[Tag],
+        now: Optional[float],
+        use_closures: bool,
+        needed_tag: Tag,
+        delegation_validity: Validity,
+    ) -> Optional[Proof]:
+        """Expand one node of one wave; return a complete proof on a meet.
+
+        A backward half-proof concludes ``principal => issuer`` (an edge
+        *prepends* to it); a forward half-proof concludes
+        ``subject => principal`` (an edge *appends*).  On a meet the
+        forward half always composes before the backward half.
+        """
+        graph = self.graph
+        stats = self.stats
+        principal, half, depth = wave.queue.popleft()
+        stats["nodes_expanded"] += 1
+
+        # A final principal on the backward wave: mint the last hop.
+        if (
+            wave.backward
+            and half is not None
+            and use_closures
+            and principal in self._closures
+        ):
+            completed = self._complete(
+                subject, principal, half, needed_tag, delegation_validity
+            )
+            if completed is not None and self._covers(
+                completed.conclusion, request, min_tag, now
+            ):
+                self._cache(completed)
+                return completed
+
+        if depth >= self.max_depth:
+            return None
+        for edge in graph.iter_usable(
+            principal, request, min_tag, now, incoming=wave.backward
+        ):
+            nxt = edge.subject if wave.backward else edge.issuer
+            count = wave.visits.get(nxt, 0)
+            if count >= self.max_visits:
                 continue
-            # Shortcut (cached) edges first — newest first, since the most
-            # recently derived proof is the likeliest prefix of the next
-            # query ("shortcuts ... eliminate most deep traversals", §4.4).
-            incoming = self.graph.incoming(principal)
-            edges = [e for e in reversed(incoming) if e.shortcut] + [
-                e for e in incoming if not e.shortcut
-            ]
-            for edge in edges:
-                if not self._edge_usable(edge, request, min_tag, now):
+            wave.visits[nxt] = count + 1
+            if edge.shortcut:
+                stats["shortcut_hits"] += 1
+                graph.touch(edge)
+            if half is None:
+                combined = edge.proof
+            elif wave.backward:
+                combined = TransitivityStep(edge.proof, half)
+            else:
+                combined = TransitivityStep(half, edge.proof)
+            child_depth = depth + 1
+            # Goal test at generation: meet the other wave at `nxt`.  The
+            # combined chain must stay within max_depth edges, preserving
+            # the depth bound of a single backward walk.
+            for other_half, other_depth in other.reached.get(nxt, ()):
+                if other_depth + child_depth > self.max_depth:
                     continue
-                count = visits.get(edge.subject, 0)
-                if count >= self.max_visits:
-                    continue
-                visits[edge.subject] = count + 1
-                if edge.shortcut:
-                    self.stats["shortcut_hits"] += 1
-                if proof_to_issuer is None:
-                    combined = edge.proof
+                if other_half is None:
+                    full = combined
+                elif wave.backward:
+                    full = TransitivityStep(other_half, combined)
                 else:
-                    combined = TransitivityStep(edge.proof, proof_to_issuer)
-                # Goal test at generation: returning here keeps repeat and
-                # incremental queries constant-depth.
-                if edge.subject == subject and self._covers(
-                    combined.conclusion, request, min_tag, now
-                ):
-                    self._cache(combined)
-                    return combined
-                queue.append((edge.subject, combined, depth + 1))
+                    full = TransitivityStep(combined, other_half)
+                if self._covers(full.conclusion, request, min_tag, now):
+                    self._cache(full)
+                    return full
+            wave.reached.setdefault(nxt, []).append((combined, child_depth))
+            wave.queue.append((nxt, combined, child_depth))
         return None
 
     # -- helpers ------------------------------------------------------------
+
+    def _sync_cache_stats(self) -> None:
+        graph = self.graph
+        stats = self.stats
+        stats["shortcut_cache_size"] = graph.shortcut_count
+        stats["shortcut_evictions"] = graph.evictions
+        stats["invalidations"] = graph.invalidations
+        stats["generation"] = graph.generation
 
     @staticmethod
     def _needed_tag(request: Optional[SExp], min_tag: Optional[Tag]) -> Tag:
@@ -279,26 +416,6 @@ class Prover:
         if request is not None and not conclusion.tag.matches(request):
             return False
         if min_tag is not None and not min_tag.implies(conclusion.tag):
-            return False
-        return True
-
-    @staticmethod
-    def _edge_usable(
-        edge,
-        request: Optional[SExp],
-        min_tag: Optional[Tag],
-        now: Optional[float],
-    ) -> bool:
-        # A chain's tag is the intersection of its edges' tags, so any
-        # usable edge must individually cover the requirement; likewise for
-        # validity. This prunes the walk without losing completeness
-        # relative to the coverage check.
-        statement = edge.statement
-        if now is not None and not statement.validity.contains(now):
-            return False
-        if request is not None and not statement.tag.matches(request):
-            return False
-        if min_tag is not None and not min_tag.implies(statement.tag):
             return False
         return True
 

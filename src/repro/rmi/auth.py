@@ -12,6 +12,7 @@ to the resource issuer, including any gateway's quoting involvement.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from repro.core.errors import (
@@ -95,11 +96,50 @@ class SfAuthState:
     cache-hit cost (the paper's 5 ms checkAuth line).
     """
 
-    def __init__(self, trust: TrustEnvironment, meter: Optional[Meter] = None):
+    def __init__(
+        self,
+        trust: TrustEnvironment,
+        meter: Optional[Meter] = None,
+        max_speakers: int = 4096,
+    ):
         self.trust = trust
         self.meter = meter
-        self._proof_cache: Dict[Principal, List[Proof]] = {}
+        # speaker -> {proof digest -> proof}: digest keying makes repeated
+        # submissions of the same proof free instead of growing the
+        # bucket.  Speakers are LRU-bounded by ``max_speakers``: the HTTP
+        # Snowflake path mints a fresh hash-principal speaker per request,
+        # so without a bound the cache grows by one entry per request for
+        # the life of the server.
+        self._proof_cache: "OrderedDict[Principal, Dict[bytes, Proof]]" = (
+            OrderedDict()
+        )
+        self.max_speakers = max_speakers
         self.audit = AuditLog()
+
+    # -- the proof cache ---------------------------------------------------
+
+    def cache_proof(self, proof: Proof, speaker: Optional[Principal] = None) -> bool:
+        """Cache a verified proof for ``speaker`` (defaults to the proof's
+        own subject).  Returns False if an identical proof was already
+        cached — the memoized canonical digest makes the dedup a dict
+        lookup, not a re-serialization."""
+        conclusion = proof.conclusion
+        if not isinstance(conclusion, SpeaksFor):
+            raise AuthorizationError("cached proofs must conclude speaks-for")
+        if speaker is None:
+            speaker = conclusion.subject
+        bucket = self._proof_cache.get(speaker)
+        if bucket is None:
+            bucket = self._proof_cache[speaker] = {}
+            while len(self._proof_cache) > self.max_speakers:
+                self._proof_cache.popitem(last=False)
+        else:
+            self._proof_cache.move_to_end(speaker)
+        key = proof.digest()
+        if key in bucket:
+            return False
+        bucket[key] = proof
+        return True
 
     # -- the checkAuth() prefix ------------------------------------------
 
@@ -120,13 +160,24 @@ class SfAuthState:
         maybe_charge(self.meter, "rmi_checkauth")
         now = self.trust.clock.now()
         context = self.trust.context()
-        for proof in self._proof_cache.get(speaker, ()):
+        bucket = self._proof_cache.get(speaker)
+        if bucket is not None:
+            # Re-queried speakers (RMI channels, MAC sessions) stay hot in
+            # the speaker LRU; one-shot request-hash speakers age out.
+            self._proof_cache.move_to_end(speaker)
+        stale: List[bytes] = []
+        for key, proof in (bucket or {}).items():
+            # cache_proof is the only write path, so every entry concludes
+            # a speaks-for.  The lapsed-window check runs before the issuer
+            # filter so dead entries for *any* issuer are retracted instead
+            # of being re-skipped on every future call.
             conclusion = proof.conclusion
-            if not isinstance(conclusion, SpeaksFor):
+            if not conclusion.validity.contains(now):
+                not_after = conclusion.validity.not_after
+                if not_after is not None and now > not_after:
+                    stale.append(key)
                 continue
             if conclusion.issuer != issuer:
-                continue
-            if not conclusion.validity.contains(now):
                 continue
             if not conclusion.tag.matches(request):
                 continue
@@ -139,10 +190,23 @@ class SfAuthState:
             derived.verify(context)
             record = AuditRecord(request, speaker, issuer, derived, now)
             self.audit.record(record)
+            self._drop_stale(speaker, stale)
             return derived
+        self._drop_stale(speaker, stale)
         raise NeedAuthorizationError(
             issuer, min_tag if min_tag is not None else Tag.exactly(request)
         )
+
+    def _drop_stale(self, speaker: Principal, keys: List[bytes]) -> None:
+        if not keys:
+            return
+        bucket = self._proof_cache.get(speaker)
+        if bucket is None:
+            return
+        for key in keys:
+            bucket.pop(key, None)
+        if not bucket:
+            del self._proof_cache[speaker]
 
     # -- the proofRecipient object ----------------------------------------
 
@@ -159,10 +223,7 @@ class SfAuthState:
         maybe_charge(self.meter, "proof_parse_verify")
         context = self.trust.context()
         proof.verify(context)
-        conclusion = proof.conclusion
-        if not isinstance(conclusion, SpeaksFor):
-            raise AuthorizationError("submitted proof must conclude speaks-for")
-        self._proof_cache.setdefault(conclusion.subject, []).append(proof)
+        self.cache_proof(proof)
         return proof
 
     def forget_proofs(self, speaker: Optional[Principal] = None) -> None:

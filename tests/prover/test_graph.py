@@ -69,9 +69,50 @@ class TestDelegationGraph:
         with pytest.raises(ValueError):
             graph.add(PremiseStep(Says(A, "x")))
 
-    def test_incoming_is_a_copy(self, A, B):
+    def test_incoming_is_a_read_only_view(self, A, B):
         graph = DelegationGraph()
         graph.add(edge_proof(B, A))
         edges = graph.incoming(A)
-        edges.clear()
+        # Views cannot mutate the graph; a caller needing a frozen copy
+        # can list() the view.
+        assert not hasattr(edges, "clear")
+        with pytest.raises((TypeError, AttributeError)):
+            edges[0] = None
+        snapshot = list(edges)
+        snapshot.clear()
         assert len(graph.incoming(A)) == 1
+
+    def test_view_tracks_graph_across_removal_and_readd(self, A, B, C):
+        graph = DelegationGraph()
+        first = edge_proof(B, A)
+        graph.add(first)
+        view = graph.incoming(A)
+        assert len(view) == 1
+        graph.remove(first)
+        assert len(view) == 0
+        graph.add(edge_proof(C, A))
+        # The view stays live even though A's bucket was dropped and
+        # recreated in between.
+        assert len(view) == 1
+        assert view[0].subject == C
+
+    def test_outgoing_index_mirrors_incoming(self, A, B, C):
+        graph = DelegationGraph()
+        graph.add(edge_proof(B, A))
+        graph.add(edge_proof(B, C))
+        outgoing = graph.outgoing(B)
+        assert len(outgoing) == 2
+        assert {edge.issuer for edge in outgoing} == {A, C}
+        assert len(graph.outgoing(A)) == 0
+
+    def test_len_and_edge_count_track_removal(self, A, B, C):
+        graph = DelegationGraph()
+        first = edge_proof(B, A)
+        graph.add(first)
+        graph.add(edge_proof(C, B))
+        assert len(graph) == 3
+        assert graph.edge_count() == 2
+        assert graph.remove(first) == 1
+        assert len(graph) == 2  # A dropped out; B survives via C=>B
+        assert graph.edge_count() == 1
+        assert graph.generation == 1

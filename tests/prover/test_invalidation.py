@@ -1,0 +1,230 @@
+"""Shortcut-cache invalidation: expired or retracted delegations must not
+keep proving through cached derived edges.
+
+The engine tracks, for every shortcut edge, the leaf delegations its proof
+was derived from.  Removing a leaf — explicitly or because its ``Validity``
+lapsed — cascades to exactly the dependent shortcuts, bumps the graph
+generation, and leaves independent still-valid shortcuts in place (the
+Figure 1 lemma-reuse property).
+"""
+
+import random
+
+import pytest
+
+from repro.core.principals import KeyPrincipal, NamePrincipal
+from repro.core.proofs import PremiseStep
+from repro.core.statements import SpeaksFor, Validity
+from repro.crypto import generate_keypair
+from repro.prover import DelegationGraph, Prover
+from repro.tags import Tag
+
+_BASE_KP = generate_keypair(384, random.Random(0xDECAF))
+_BASE = KeyPrincipal(_BASE_KP.public)
+
+
+def _p(name):
+    return NamePrincipal(_BASE, name)
+
+
+def _edge(subject, issuer, validity=Validity.ALWAYS):
+    return PremiseStep(SpeaksFor(subject, issuer, Tag.all(), validity))
+
+
+class TestExpiredDelegations:
+    def test_expired_delegation_stops_proving(self):
+        prover = Prover()
+        prover.add_proof(_edge(_p("b"), _p("a"), Validity(0, 10)))
+        assert prover.find_proof(_p("b"), _p("a"), now=5.0) is not None
+        assert prover.find_proof(_p("b"), _p("a"), now=50.0) is None
+
+    def test_shortcut_derived_from_expired_delegation_dies_with_it(self):
+        """The regression the LRU+generation design exists for: warm the
+        cache over a chain containing a bounded delegation, expire it, and
+        confirm the cached shortcut no longer satisfies queries — even
+        time-oblivious ones once the expiry sweep runs."""
+        prover = Prover()
+        prover.add_proof(_edge(_p("c"), _p("b"), Validity(0, 10)))
+        prover.add_proof(_edge(_p("b"), _p("a")))
+        # Warm query derives and caches the shortcut c => a.
+        assert prover.find_proof(_p("c"), _p("a"), now=5.0) is not None
+        assert prover.stats["shortcut_cache_size"] >= 1
+        # After expiry a time-aware query must refuse the cached shortcut.
+        assert prover.find_proof(_p("c"), _p("a"), now=50.0) is None
+        # The sweep retracts the dead leaf and its dependent shortcut, so
+        # even a time-oblivious query (now=None) cannot ride the stale
+        # cache afterwards.
+        assert prover.invalidate_expired(50.0) >= 2
+        assert prover.find_proof(_p("c"), _p("a")) is None
+        assert prover.stats["invalidations"] >= 2
+        assert prover.stats["generation"] >= 1
+
+    def test_queries_with_future_now_never_destroy_state(self):
+        """A query's ``now`` is a hypothetical: probing a future time (e.g.
+        a renewal check, or one skewed timestamp) must not delete
+        delegations that are still valid at real time."""
+        prover = Prover()
+        prover.add_proof(_edge(_p("b"), _p("a"), Validity(0, 100)))
+        assert prover.find_proof(_p("b"), _p("a"), now=10.0) is not None
+        assert prover.find_proof(_p("b"), _p("a"), now=200.0) is None
+        # Still provable at the real (earlier) time — nothing was swept.
+        assert prover.find_proof(_p("b"), _p("a"), now=10.0) is not None
+        assert prover.stats["invalidations"] == 0
+
+    def test_explicit_invalidate_expired_sweeps_shortcuts(self):
+        prover = Prover()
+        prover.add_proof(_edge(_p("c"), _p("b"), Validity(0, 10)))
+        prover.add_proof(_edge(_p("b"), _p("a")))
+        # Time-oblivious warm-up: the prover never sees a clock.
+        assert prover.find_proof(_p("c"), _p("a")) is not None
+        assert prover.graph.shortcut_count >= 1
+        removed = prover.invalidate_expired(50.0)
+        assert removed >= 2  # the bounded leaf plus its derived shortcut
+        assert prover.find_proof(_p("c"), _p("a")) is None
+
+    def test_independent_shortcut_survives_cascade(self):
+        """Figure 1: retracting one leaf kills only proofs built on it."""
+        prover = Prover()
+        prover.add_proof(_edge(_p("c"), _p("b"), Validity(0, 10)))
+        prover.add_proof(_edge(_p("b"), _p("a")))
+        prover.add_proof(_edge(_p("z"), _p("y")))
+        prover.add_proof(_edge(_p("y"), _p("x")))
+        assert prover.find_proof(_p("c"), _p("a"), now=5.0) is not None
+        assert prover.find_proof(_p("z"), _p("x"), now=5.0) is not None
+        prover.invalidate_expired(50.0)
+        # The all-unbounded chain and its cached shortcut are untouched.
+        before = prover.stats["nodes_expanded"]
+        assert prover.find_proof(_p("z"), _p("x")) is not None
+        assert prover.stats["nodes_expanded"] - before <= 2  # still cached
+
+    def test_validity_bounded_query_never_serves_shortcut_stale(self):
+        """A shortcut derived inside the window is refused outside it even
+        when the underlying edges are still present (no sweep ran)."""
+        prover = Prover()
+        prover.add_proof(_edge(_p("c"), _p("b"), Validity(0, 10)))
+        prover.add_proof(_edge(_p("b"), _p("a")))
+        assert prover.find_proof(_p("c"), _p("a"), now=5.0) is not None
+        # Query an *earlier* time: no sweep (clock high-water only moves
+        # forward past expiry), but coverage still rejects nothing here.
+        assert prover.find_proof(_p("c"), _p("a"), now=6.0) is not None
+
+
+class TestRemovalCascade:
+    def test_remove_cascades_to_derived_shortcuts(self):
+        graph = DelegationGraph()
+        leaf_ab = _edge(_p("b"), _p("a"))
+        leaf_bc = _edge(_p("c"), _p("b"))
+        graph.add(leaf_ab)
+        graph.add(leaf_bc)
+        from repro.core.rules import TransitivityStep
+
+        shortcut = TransitivityStep(leaf_bc, leaf_ab)
+        graph.add(shortcut, shortcut=True)
+        assert graph.shortcut_count == 1
+        removed = graph.remove(leaf_ab)
+        assert removed == 2  # the leaf and the shortcut riding on it
+        assert graph.shortcut_count == 0
+        assert graph.generation == 1
+        assert leaf_bc in graph  # the other leaf is untouched
+
+    def test_remove_composite_cascades_to_embedding_shortcuts(self):
+        """Removing a shortcut must also retract super-shortcuts whose
+        proofs embed it, not just shortcuts built on its leaves."""
+        from repro.core.rules import TransitivityStep
+
+        graph = DelegationGraph()
+        leaf_cb = _edge(_p("c"), _p("b"))
+        leaf_ba = _edge(_p("b"), _p("a"))
+        leaf_dc = _edge(_p("d"), _p("c"))
+        for leaf in (leaf_cb, leaf_ba, leaf_dc):
+            graph.add(leaf)
+        s1 = TransitivityStep(leaf_cb, leaf_ba)          # c => a
+        s2 = TransitivityStep(leaf_dc, s1)               # d => a, embeds s1
+        graph.add(s1, shortcut=True)
+        graph.add(s2, shortcut=True)
+        removed = graph.remove(s1)
+        assert removed == 2  # s1 and the embedding s2
+        assert s2 not in graph
+        assert all(leaf in graph for leaf in (leaf_cb, leaf_ba, leaf_dc))
+
+    def test_remove_unknown_proof_is_noop(self):
+        graph = DelegationGraph()
+        graph.add(_edge(_p("b"), _p("a")))
+        assert graph.remove(_edge(_p("q"), _p("r"))) == 0
+        assert graph.generation == 0
+
+
+class TestShortcutLru:
+    def test_cache_bounded_and_evictions_counted(self):
+        prover = Prover(max_shortcuts=4)
+        hub = _p("hub")
+        for i in range(12):
+            spoke = _p("s%d" % i)
+            mid = _p("m%d" % i)
+            prover.add_proof(_edge(spoke, mid))
+            prover.add_proof(_edge(mid, hub))
+            assert prover.find_proof(spoke, hub) is not None
+        assert prover.graph.shortcut_count <= 4
+        assert prover.stats["shortcut_cache_size"] <= 4
+        assert prover.stats["shortcut_evictions"] >= 8
+        # Eviction is cache pressure, not invalidation.
+        assert prover.stats["generation"] == 0
+        # Collected delegations are permanent: only shortcuts were evicted.
+        assert prover.graph.edge_count(include_shortcuts=False) == 24
+
+    def test_collected_delegation_promoted_out_of_the_lru(self):
+        """If the search derives a proof first and the application later
+        collects the identical proof, it becomes permanent: cache pressure
+        must never evict a collected delegation."""
+        from repro.core.rules import TransitivityStep
+
+        graph = DelegationGraph(max_shortcuts=1)
+        leaf_cb = _edge(_p("c"), _p("b"))
+        leaf_ba = _edge(_p("b"), _p("a"))
+        graph.add(leaf_cb)
+        graph.add(leaf_ba)
+        derived = TransitivityStep(leaf_cb, leaf_ba)
+        graph.add(derived, shortcut=True)
+        assert graph.shortcut_count == 1
+        # The application now *collects* the same proof.
+        assert not graph.add(derived)  # still a duplicate...
+        assert graph.shortcut_count == 0  # ...but promoted to permanent
+        assert graph.edge_count(include_shortcuts=False) == 3
+        # Pressure from another derivation cannot evict it.
+        graph.add(TransitivityStep(_edge(_p("z"), _p("y")), _edge(_p("y"), _p("x"))),
+                  shortcut=True)
+        graph.add(TransitivityStep(_edge(_p("q"), _p("p")), _edge(_p("p"), _p("o"))),
+                  shortcut=True)
+        assert derived in graph
+
+    def test_evicted_shortcut_still_provable_from_base_edges(self):
+        prover = Prover(max_shortcuts=1)
+        prover.add_proof(_edge(_p("c"), _p("b")))
+        prover.add_proof(_edge(_p("b"), _p("a")))
+        prover.add_proof(_edge(_p("z"), _p("y")))
+        prover.add_proof(_edge(_p("y"), _p("x")))
+        assert prover.find_proof(_p("c"), _p("a")) is not None
+        # The second derivation evicts the first chain's shortcut...
+        assert prover.find_proof(_p("z"), _p("x")) is not None
+        assert prover.graph.shortcut_count == 1
+        # ...but the first chain re-proves from its permanent base edges.
+        assert prover.find_proof(_p("c"), _p("a")) is not None
+
+
+class TestStats:
+    def test_stats_report_cache_metrics(self):
+        prover = Prover()
+        for key in (
+            "searches",
+            "nodes_expanded",
+            "shortcut_hits",
+            "shortcut_cache_size",
+            "shortcut_evictions",
+            "invalidations",
+            "generation",
+        ):
+            assert key in prover.stats
+        prover.add_proof(_edge(_p("c"), _p("b")))
+        prover.add_proof(_edge(_p("b"), _p("a")))
+        prover.find_proof(_p("c"), _p("a"))
+        assert prover.stats["shortcut_cache_size"] == prover.graph.shortcut_count

@@ -107,6 +107,30 @@ class TestCheckAuth:
         clock.advance(100.0)
         with pytest.raises(NeedAuthorizationError):
             auth.check_auth(channel, issuer, REQUEST)  # expired: re-prove
+        # The lapsed proof is retracted from the cache, not just skipped.
+        assert auth.cached_proof_count() == 0
+
+    def test_duplicate_submissions_cached_once(self, setup):
+        wire = to_canonical(setup["chain"].to_sexp())
+        setup["auth"].submit_proof(wire)
+        setup["auth"].submit_proof(wire)
+        setup["auth"].submit_proof(wire)
+        assert setup["auth"].cached_proof_count() == 1
+
+    def test_speaker_cache_is_bounded(self, setup):
+        """One-shot speakers (the HTTP per-request hash principals) age
+        out of the LRU instead of growing the cache forever."""
+        from repro.core.principals import ChannelPrincipal
+        from repro.core.proofs import PremiseStep
+
+        auth = SfAuthState(setup["trust"], max_speakers=8)
+        for i in range(32):
+            speaker = ChannelPrincipal.of_secret(b"one-shot-%d" % i)
+            statement = SpeaksFor(speaker, setup["issuer"], Tag.all())
+            setup["trust"].vouch(statement)
+            auth.cache_proof(PremiseStep(statement))
+        assert len(auth._proof_cache) == 8
+        assert auth.cached_proof_count() == 8
 
 
 class TestSubmitProof:
