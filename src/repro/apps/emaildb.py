@@ -32,6 +32,7 @@ class EmailDatabaseServer:
     """The server side: DB engine + remote object, mounted on RMI."""
 
     def __init__(self, rmi_server: RmiServer, db_keypair: RsaKeyPair):
+        self.rmi_server = rmi_server
         self.db_keypair = db_keypair
         self.issuer = KeyPrincipal(db_keypair.public)
         self.db = Database("email")
@@ -99,6 +100,26 @@ class EmailDatabaseServer:
         return self.messages.delete(
             And(Eq("mailbox", mailbox.text()), Eq("rowid", int(rowid.text())))
         )
+
+    @property
+    def guard(self):
+        """The RMI server's shared authorization guard — every access
+        decision for this database runs through its pipeline."""
+        return self.rmi_server.auth
+
+    @property
+    def audit(self):
+        return self.guard.audit
+
+    def mailbox_audit(self, mailbox: str):
+        """Audit records whose invocation targeted ``mailbox`` (the
+        args-prefix convention of the remote methods)."""
+        records = []
+        for record in self.audit.records:
+            args = record.request.find("args") if hasattr(record.request, "find") else None
+            if args is not None and len(args) > 1 and args.items[1].text() == mailbox:
+                records.append(record)
+        return records
 
     def mailbox_tag(self, mailbox: str) -> Tag:
         """Authority over one mailbox: any method whose first argument is

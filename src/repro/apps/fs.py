@@ -3,6 +3,11 @@
 The substrate behind the protected web file server: directories, files,
 and the usual tree operations.  Paths are ``/``-separated absolute
 strings; the root is ``/``.
+
+:class:`GuardedFileSystem` wraps the tree with per-operation
+authorization through the shared guard pipeline — the same delegation
+chains that authorize HTTP or RMI requests authorize direct file access,
+and every grant leaves the same audit record.
 """
 
 from __future__ import annotations
@@ -137,3 +142,81 @@ class InMemoryFileSystem:
         start = self._walk(_split(path))
         visit(path.rstrip("/"), start)
         return result
+
+
+def fs_request_sexp(operation: str, path: str):
+    """The logical form of a file-system operation:
+    ``(fs (op read) (path "/x"))`` — the guard's canonical request."""
+    from repro.sexp import Atom, SList
+
+    return SList(
+        [
+            Atom("fs"),
+            SList([Atom("op"), Atom(operation)]),
+            SList([Atom("path"), Atom(path)]),
+        ]
+    )
+
+
+def fs_subtree_tag(operation: str, prefix: str):
+    """Authority over one operation on a whole subtree:
+    ``(tag (fs (op read) (path (* prefix "/shared"))))``."""
+    from repro.tags import Tag, TagList, TagPrefix
+    from repro.tags.tag import TagAtom
+
+    return Tag(
+        TagList(
+            [
+                TagAtom("fs"),
+                TagList([TagAtom("op"), TagAtom(operation)]),
+                TagList([TagAtom("path"), TagPrefix(prefix)]),
+            ]
+        )
+    )
+
+
+class GuardedFileSystem:
+    """Per-operation authorization over an :class:`InMemoryFileSystem`.
+
+    Every call names the principal performing it (vouched for by
+    whatever brought the request into the process — a channel, a local
+    pipe); the operation becomes a :class:`~repro.guard.GuardRequest`
+    and rides the shared pipeline, so delegation, caching, challenge,
+    and audit behave exactly as on the network transports.
+    """
+
+    def __init__(self, fs: "InMemoryFileSystem", issuer, guard,
+                 transport: str = "fs"):
+        self.fs = fs
+        self.issuer = issuer
+        self.guard = guard
+        self.transport = transport
+
+    def _check(self, operation: str, path: str, speaker) -> None:
+        from repro.guard import ChannelCredential, GuardRequest
+
+        self.guard.check(
+            GuardRequest(
+                fs_request_sexp(operation, path),
+                issuer=self.issuer,
+                credential=ChannelCredential(speaker),
+                transport=self.transport,
+                channel={"op": operation, "path": path},
+            )
+        )
+
+    def read(self, path: str, speaker) -> bytes:
+        self._check("read", path, speaker)
+        return self.fs.read(path)
+
+    def listdir(self, path: str, speaker) -> List[str]:
+        self._check("read", path, speaker)
+        return self.fs.listdir(path)
+
+    def write(self, path: str, content, speaker, parents: bool = False) -> None:
+        self._check("write", path, speaker)
+        self.fs.write(path, content, parents=parents)
+
+    def remove(self, path: str, speaker) -> None:
+        self._check("write", path, speaker)
+        self.fs.remove(path)

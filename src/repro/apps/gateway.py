@@ -36,10 +36,11 @@ from repro.core.principals import (
     Principal,
 )
 from repro.core.proofs import proof_from_sexp
-from repro.core.statements import SpeaksFor
-from repro.http.auth import SNOWFLAKE_SCHEME
+from repro.guard import Guard, GuardRequest, ProofCredential
+from repro.http.auth import SNOWFLAKE_SCHEME, web_request_sexp
 from repro.http.message import HttpRequest, HttpResponse
 from repro.http.server import Servlet
+from repro.net.trust import TrustEnvironment
 from repro.rmi.invoker import ClientIdentity, RemoteStub
 from repro.sexp import from_transport, to_transport
 from repro.sim.costmodel import Meter, maybe_charge
@@ -67,11 +68,14 @@ def mailbox_tag(mailbox: str) -> Tag:
 class QuotingGateway(Servlet):
     """The HTTP servlet half of the gateway."""
 
+    service_id = b"quoting-gateway"
+
     def __init__(
         self,
         channel,
         identity: ClientIdentity,
         meter: Optional[Meter] = None,
+        guard: Optional[Guard] = None,
     ):
         # One RMI channel to the database, shared by per-client stubs that
         # differ only in whom they quote.
@@ -79,6 +83,19 @@ class QuotingGateway(Servlet):
         self.identity = identity
         self.meter = meter
         self.gateway_principal = identity.principal
+        # The gateway authenticates clients and digests their delegation
+        # chains through the shared guard; the *access* decision stays at
+        # the database, quoting intact.
+        if guard is None:
+            guard = Guard(
+                TrustEnvironment(), meter=meter, prover=identity.prover,
+                check_charge=None,
+            )
+        elif guard.prover is None:
+            # A gateway cannot work without a delegation graph to digest
+            # into; an injected shared guard adopts this identity's.
+            guard.prover = identity.prover
+        self.guard = guard
         self._db_issuer: Optional[Principal] = None
         self._stubs: Dict[Principal, RemoteStub] = {}
 
@@ -110,29 +127,32 @@ class QuotingGateway(Servlet):
         authorization = request.headers.get("Authorization")
         if authorization is None or not authorization.startswith(SNOWFLAKE_SCHEME):
             return None
-        maybe_charge(self.meter, "sexp_parse")
-        proof = proof_from_sexp(
-            from_transport(authorization[len(SNOWFLAKE_SCHEME):].strip())
+        logical = web_request_sexp(request, self.service_id)
+        # The signed request is a subject-bound proof credential, exactly
+        # as at a protected servlet; the guard verifies possession.
+        speaker, proof = self.guard.authenticate(
+            GuardRequest(
+                logical,
+                credential=ProofCredential(
+                    HashPrincipal(request.hash()),
+                    wire=authorization[len(SNOWFLAKE_SCHEME):].strip(),
+                ),
+                transport="http",
+                channel={"method": request.method, "path": request.path},
+            )
         )
-        maybe_charge(self.meter, "spki_unmarshal")
-        maybe_charge(self.meter, "sf_overhead")
-        conclusion = proof.conclusion
-        if not isinstance(conclusion, SpeaksFor):
-            raise AuthorizationError("request authorization must be speaks-for")
-        if conclusion.subject != HashPrincipal(request.hash()):
-            raise AuthorizationError("signature does not cover this request")
-        proof.verify(self._context())
-        client = conclusion.issuer
+        client = proof.conclusion.issuer
         delegation_header = request.headers.get(DELEGATION_HEADER)
         if delegation_header is not None:
             maybe_charge(self.meter, "sexp_parse")
             delegation = proof_from_sexp(from_transport(delegation_header))
             maybe_charge(self.meter, "spki_unmarshal")
-            delegation.verify(self._context())
+            delegation.verify(self.guard.context())
             # Digest the client's chain (G|C => ... => S) into our Prover.
-            self.identity.prover.add_proof(delegation)
+            self.guard.digest_delegation(delegation)
         if not self._knows_client(client):
             return None
+        self.guard.audit_authentication(logical, proof, transport="http")
         return client
 
     def _knows_client(self, client: Principal) -> bool:
@@ -144,12 +164,7 @@ class QuotingGateway(Servlet):
         state.  Merely-expired edges still count here; the database's own
         validity check is what refuses them at use time."""
         quoted = self.gateway_principal.quoting(client)
-        return len(self.identity.prover.graph.outgoing(quoted)) > 0
-
-    def _context(self):
-        from repro.core.proofs import VerificationContext
-
-        return VerificationContext()
+        return len(self.guard.prover.graph.outgoing(quoted)) > 0
 
     def _challenge(self, request: HttpRequest, mailbox: str) -> HttpResponse:
         issuer = self._discover_issuer(mailbox)

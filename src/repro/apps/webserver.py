@@ -12,7 +12,6 @@ a ``(* prefix ...)`` tag over the resource path.
 
 from __future__ import annotations
 
-import random
 from typing import Optional
 
 from repro.apps.fs import FileSystemError, InMemoryFileSystem
@@ -78,7 +77,7 @@ class ProtectedWebServer:
         service_id: bytes = b"protected-web",
         clock=None,
         meter: Optional[Meter] = None,
-        rng: Optional[random.Random] = None,
+        rng=None,
         mac_sessions=None,
         sign_documents: bool = False,
     ):
@@ -99,11 +98,19 @@ class ProtectedWebServer:
             self.owner_hash, self.fs, service_id, self.trust,
             meter=meter, mac_sessions=mac_sessions, doc_signer=doc_signer,
         )
+        # The servlet's guard is the application's authorization state:
+        # audit records and stats live there, uniform with the other apps.
+        self.guard = self.servlet.guard
         self.http = HttpServer(meter=meter)
         self.http.mount("/", self.servlet)
 
     def listen(self, network, address: str) -> None:
         network.listen(address, self.http)
+
+    @property
+    def audit(self):
+        """The end-to-end audit log of every granted request."""
+        return self.guard.audit
 
     # -- delegation helpers --------------------------------------------------
 

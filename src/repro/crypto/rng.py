@@ -1,0 +1,40 @@
+"""Injectable randomness with a cryptographically strong default.
+
+Protocol code that mints nonces, MAC secrets, or channel secrets takes an
+optional ``rng`` parameter.  Deterministic tests inject a seeded
+``random.Random``; production code that omits the parameter gets the
+operating system's CSPRNG through the ``secrets`` module, so secrets are
+unpredictable even though the test surface stays reproducible.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+
+class SecretsRng:
+    """The slice of the ``random.Random`` surface protocol code draws on,
+    backed by :mod:`secrets` instead of the seedable Mersenne twister."""
+
+    def getrandbits(self, bits: int) -> int:
+        return secrets.randbits(bits)
+
+    def randbytes(self, count: int) -> bytes:
+        return secrets.token_bytes(count)
+
+
+DEFAULT_RNG = SecretsRng()
+
+
+def default_rng(rng=None):
+    """``rng`` if one was injected, else the process-wide secrets-backed
+    generator."""
+    return DEFAULT_RNG if rng is None else rng
+
+
+def random_bytes(rng, count: int) -> bytes:
+    """Draw ``count`` bytes from any Random-like object."""
+    randbytes = getattr(rng, "randbytes", None)
+    if randbytes is not None:
+        return randbytes(count)
+    return bytes(rng.getrandbits(8) for _ in range(count))

@@ -1,0 +1,104 @@
+"""End-to-end audit records, shared by every transport.
+
+Because proofs are structured, every granted request leaves an
+*end-to-end audit record*: the complete proof tree connecting the
+requesting channel to the resource issuer, including any gateway's
+quoting involvement.  The guard pipeline emits one record per grant
+regardless of which transport carried the request, so an HTTP GET, an
+RMI invocation, and an SMTP delivery justified by the same delegation
+chain leave structurally identical trails.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.principals import Principal
+from repro.core.proofs import Proof
+from repro.core.statements import Says, SpeaksFor
+from repro.sexp import SExp
+
+
+def proof_skeleton(proof: Proof) -> Tuple:
+    """The rule-name tree of a proof — its transport-independent shape."""
+    return (proof.rule,) + tuple(
+        proof_skeleton(premise) for premise in proof.premises
+    )
+
+
+class AuditRecord:
+    """One granted request and the proof that justified it."""
+
+    __slots__ = ("request", "speaker", "issuer", "proof", "when", "transport")
+
+    def __init__(
+        self,
+        request: SExp,
+        speaker,
+        issuer,
+        proof: Proof,
+        when: float,
+        transport: Optional[str] = None,
+    ):
+        self.request = request
+        self.speaker = speaker
+        self.issuer = issuer
+        self.proof = proof
+        self.when = when
+        self.transport = transport
+
+    def involved_principals(self):
+        """Every principal that appears in the justifying proof — the
+        end-to-end audit trail (e.g. both Alice and the gateway)."""
+        seen = []
+        for lemma in self.proof.lemmas():
+            conclusion = lemma.conclusion
+            principals = []
+            if isinstance(conclusion, SpeaksFor):
+                principals = [conclusion.subject, conclusion.issuer]
+            elif isinstance(conclusion, Says):
+                principals = [conclusion.speaker]
+            for principal in principals:
+                if principal not in seen:
+                    seen.append(principal)
+        return seen
+
+    def skeleton(self) -> Tuple:
+        """The shape of the justifying proof, for cross-transport
+        comparison."""
+        return proof_skeleton(self.proof)
+
+    def render(self) -> str:
+        label = " [%s]" % self.transport if self.transport else ""
+        return "%.3f%s %s by %s:\n%s" % (
+            self.when,
+            label,
+            self.request.to_advanced(),
+            self.speaker.display(),
+            self.proof.display_tree(1),
+        )
+
+
+class AuditLog:
+    """Append-only log of authorization decisions."""
+
+    def __init__(self):
+        self.records: List[AuditRecord] = []
+
+    def record(self, record: AuditRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def involving(self, principal: Principal) -> List[AuditRecord]:
+        return [
+            record
+            for record in self.records
+            if principal in record.involved_principals()
+        ]
+
+    def by_transport(self, transport: str) -> List[AuditRecord]:
+        return [
+            record for record in self.records if record.transport == transport
+        ]

@@ -1,0 +1,129 @@
+"""The digest-deduped, speaker-LRU proof cache — one policy for every
+transport.
+
+Before the guard existed the repo grew three separate caches (the RMI
+``SfAuthState`` proof cache, the HTTP servlet's private copy of it, and
+the MAC session table).  They are unified here: verified speaks-for
+proofs keyed by the speaker principal, each speaker holding a bucket
+keyed by the proof's canonical digest, with the speaker set LRU-bounded.
+
+The digest keying makes repeated submissions of the same proof free
+instead of growing the bucket; the LRU bound matters because the HTTP
+Snowflake path mints a fresh hash-principal speaker per request, so an
+unbounded cache would grow by one entry per request for the life of the
+server.
+
+Each entry memoizes the proof's premise leaves so a cache hit can
+re-validate cheaply (Section 7.2's "sees that the proof has already been
+verified"): signatures are immutable once verified, so only the
+environment-dependent parts — premise vouching and validity windows —
+need re-checking per hit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Tuple
+
+from repro.core.errors import AuthorizationError
+from repro.core.proofs import PremiseStep, Proof
+from repro.core.statements import SpeaksFor, Statement
+
+
+class CachedProof:
+    """A verified proof plus the premise statements it leans on."""
+
+    __slots__ = ("proof", "premises")
+
+    def __init__(self, proof: Proof):
+        self.proof = proof
+        self.premises: Tuple[Statement, ...] = tuple(
+            lemma.conclusion
+            for lemma in proof.lemmas()
+            if isinstance(lemma, PremiseStep)
+        )
+
+
+class ProofCache:
+    """speaker -> {proof digest -> cached proof}, speaker-LRU-bounded."""
+
+    def __init__(self, max_speakers: int = 4096):
+        self._buckets: "OrderedDict[object, Dict[bytes, CachedProof]]" = (
+            OrderedDict()
+        )
+        self.max_speakers = max_speakers
+        self.stats = {
+            "insertions": 0,
+            "dedup_hits": 0,
+            "evictions": 0,
+            "retractions": 0,
+        }
+
+    def add(self, proof: Proof, speaker=None) -> bool:
+        """Cache a verified proof for ``speaker`` (defaults to the proof's
+        own subject).  Returns False if an identical proof was already
+        cached — the memoized canonical digest makes the dedup a dict
+        lookup, not a re-serialization."""
+        conclusion = proof.conclusion
+        if not isinstance(conclusion, SpeaksFor):
+            raise AuthorizationError("cached proofs must conclude speaks-for")
+        if speaker is None:
+            speaker = conclusion.subject
+        bucket = self._buckets.get(speaker)
+        if bucket is None:
+            bucket = self._buckets[speaker] = {}
+            while len(self._buckets) > self.max_speakers:
+                self._buckets.popitem(last=False)
+                self.stats["evictions"] += 1
+        else:
+            self._buckets.move_to_end(speaker)
+        key = proof.digest()
+        if key in bucket:
+            self.stats["dedup_hits"] += 1
+            return False
+        bucket[key] = CachedProof(proof)
+        self.stats["insertions"] += 1
+        return True
+
+    def bucket(self, speaker) -> Dict[bytes, CachedProof]:
+        """The speaker's proofs (touching the LRU), or an empty dict.
+
+        Re-queried speakers (RMI channels, MAC sessions) stay hot in the
+        speaker LRU; one-shot request-hash speakers age out.
+        """
+        bucket = self._buckets.get(speaker)
+        if bucket is None:
+            return {}
+        self._buckets.move_to_end(speaker)
+        return bucket
+
+    def drop(self, speaker, keys: Iterable[bytes]) -> None:
+        """Retract lapsed entries discovered during a lookup."""
+        keys = list(keys)
+        if not keys:
+            return
+        bucket = self._buckets.get(speaker)
+        if bucket is None:
+            return
+        for key in keys:
+            if bucket.pop(key, None) is not None:
+                self.stats["retractions"] += 1
+        if not bucket:
+            del self._buckets[speaker]
+
+    def forget(self, speaker=None) -> None:
+        if speaker is None:
+            self._buckets.clear()
+        else:
+            self._buckets.pop(speaker, None)
+
+    def count(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    @property
+    def buckets(self) -> "OrderedDict[object, Dict[bytes, CachedProof]]":
+        """The raw speaker map (introspection and tests)."""
+        return self._buckets

@@ -1,0 +1,520 @@
+"""The transport-agnostic authorization guard pipeline.
+
+One authorization logic spans every transport end-to-end (the paper's
+core claim); this module is where it lives.  A :class:`Guard` takes
+:class:`~repro.guard.request.GuardRequest` objects from HTTP servlets,
+the RMI skeleton, the SMTP server, and secure-channel listeners, and runs
+them through the same staged pipeline:
+
+1. **admission** (session/MAC fast path): resolve the credential to the
+   uttering principal — free for channel-vouched speakers, one HMAC for
+   MAC sessions, one parse+verify for subject-bound proofs;
+2. **proof cache**: find a cached, digest-deduped, already-verified proof
+   connecting the speaker to the resource issuer (the paper's 5 ms
+   ``checkAuth`` steady state) — signatures are immutable, so a hit
+   re-checks only premise vouching and validity windows;
+3. **full verification**: consult the server-side :class:`Prover` (if one
+   is attached) for a proof assembled from digested delegations —
+   Section 7.2's 190 ms path runs here or at proof submission;
+4. **audit**: every grant appends an end-to-end :class:`AuditRecord`
+   naming the transport, so trails are uniform across applications.
+
+``check_many`` verifies independent requests in one pass: one admission
+sweep, one trusted-premise snapshot shared across the batch (and the
+prover's read-only graph views underneath it), and one metered
+``checkAuth`` charge.
+
+The class also exposes the legacy ``SfAuthState`` surface (``check_auth``,
+``submit_proof``, ``cache_proof``, ...) so existing callers keep working;
+``repro.rmi.auth`` simply re-exports it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.errors import (
+    AuthorizationError,
+    NeedAuthorizationError,
+    ProofError,
+    VerificationError,
+)
+from repro.core.principals import MacPrincipal, Principal
+from repro.core.proofs import PremiseStep, Proof, proof_from_sexp
+from repro.core.rules import DerivedSaysStep
+from repro.core.statements import Says, SpeaksFor
+from repro.guard.audit import AuditLog, AuditRecord
+from repro.guard.cache import CachedProof, ProofCache
+from repro.guard.request import (
+    ChannelCredential,
+    GuardRequest,
+    ProofCredential,
+    SessionCredential,
+)
+from repro.guard.sessions import SessionRegistry
+from repro.sexp import from_transport, parse_canonical, sexp
+from repro.sim.costmodel import Meter, maybe_charge
+from repro.tags import Tag
+
+
+class GuardDecision:
+    """The outcome of one pipeline run."""
+
+    __slots__ = ("granted", "via", "stage", "speaker", "proof", "record",
+                 "error")
+
+    def __init__(self, granted, via=None, stage=None, speaker=None,
+                 proof=None, record=None, error=None):
+        self.granted = granted
+        self.via = via        # admission path: channel | session | proof
+        self.stage = stage    # granting stage: cache | prover
+        self.speaker = speaker
+        self.proof = proof    # the derived ``issuer says request`` proof
+        self.record = record
+        self.error = error
+
+
+class _Admitted:
+    """A request past stage 1: speaker resolved, credential verified."""
+
+    __slots__ = ("request", "speaker", "credential_proof", "via")
+
+    def __init__(self, request, speaker, credential_proof, via):
+        self.request = request
+        self.speaker = speaker
+        self.credential_proof = credential_proof
+        self.via = via
+
+
+class Guard:
+    """The shared authorization state: sessions + proof cache + audit log.
+
+    One instance typically guards one server process (whatever mix of
+    transports it listens on).  ``check_charge`` names the meter operation
+    charged per authorization decision — ``"rmi_checkauth"`` for the RMI
+    stack, ``None`` for transports that meter themselves.
+    """
+
+    def __init__(
+        self,
+        trust,
+        meter: Optional[Meter] = None,
+        prover=None,
+        max_speakers: int = 4096,
+        max_sessions: int = 4096,
+        cache: Optional[ProofCache] = None,
+        sessions: Optional[SessionRegistry] = None,
+        audit: Optional[AuditLog] = None,
+        check_charge: Optional[str] = "rmi_checkauth",
+    ):
+        self.trust = trust
+        self.meter = meter
+        self.prover = prover
+        self.cache = cache if cache is not None else ProofCache(max_speakers)
+        self.sessions = (
+            sessions if sessions is not None else SessionRegistry(max_sessions)
+        )
+        self.audit = audit if audit is not None else AuditLog()
+        self.check_charge = check_charge
+        self.stats = {
+            "checks": 0,
+            "grants": 0,
+            "denials": 0,
+            "challenges": 0,
+            "admission_channel": 0,
+            "admission_session": 0,
+            "admission_proof": 0,
+            "cache_hits": 0,
+            "prover_hits": 0,
+            "credential_verifications": 0,
+            "batches": 0,
+            "batched_requests": 0,
+            "deliveries": 0,
+            "channels_opened": 0,
+            "channels_closed": 0,
+            "delegations_digested": 0,
+        }
+
+    # -- stage 1: admission (session/MAC fast path) ----------------------
+
+    def authenticate(self, request: GuardRequest) -> Tuple[Principal, Optional[Proof]]:
+        """Resolve the request's credential to its uttering principal.
+
+        Returns ``(speaker, credential_proof)`` where the proof is the
+        verified subject-binding for proof credentials (``None`` for
+        channel and steady-state session credentials).  Raises
+        :class:`AuthorizationError` if the credential does not hold.
+        """
+        admitted = self._admit(request)
+        return admitted.speaker, admitted.credential_proof
+
+    def _admit(self, request: GuardRequest) -> _Admitted:
+        credential = request.credential
+        if credential is None:
+            raise AuthorizationError("request carries no credential")
+        if isinstance(credential, ChannelCredential):
+            self.stats["admission_channel"] += 1
+            return _Admitted(request, credential.speaker, None, "channel")
+        try:
+            if isinstance(credential, SessionCredential):
+                return self._admit_session(request, credential)
+            if isinstance(credential, ProofCredential):
+                return self._admit_proof(request, credential)
+        except (VerificationError, ProofError) as exc:
+            # A credential that fails to parse or verify is a denial, not
+            # a server fault: transports map AuthorizationError to their
+            # 403/554, and a batch keeps going.
+            raise AuthorizationError("credential rejected: %s" % exc)
+        raise AuthorizationError(
+            "unsupported credential kind %r" % credential.kind
+        )
+
+    def _admit_session(
+        self, request: GuardRequest, credential: SessionCredential
+    ) -> _Admitted:
+        """The MAC fast path: one symmetric operation authenticates the
+        session principal; the first request of a session also digests
+        its delegation chain into the proof cache."""
+        maybe_charge(self.meter, "mac_compute")
+        mac_key = self.sessions.verify_tag(
+            credential.session_id, credential.message, credential.tag
+        )
+        principal = MacPrincipal(mac_key.fingerprint())
+        proof: Optional[Proof] = None
+        if credential.proof_wire is not None:
+            # First request of the session: digest the delegation chain.
+            maybe_charge(self.meter, "sexp_parse")
+            proof = proof_from_sexp(from_transport(credential.proof_wire))
+            maybe_charge(self.meter, "spki_unmarshal")
+            maybe_charge(self.meter, "sf_overhead")
+            proof.verify(self.trust.context())
+            self.stats["credential_verifications"] += 1
+            # A verified non-speaks-for proof is useless but harmless:
+            # ignore it so the client still gets a challenge (not a 403)
+            # on its next request.
+            if isinstance(proof.conclusion, SpeaksFor):
+                self.cache.add(proof, principal)
+        else:
+            # Steady state still pays SPKI handling for the request's
+            # logical form and the cached proof's tag match (Table 1).
+            maybe_charge(self.meter, "sexp_parse")
+            maybe_charge(self.meter, "spki_unmarshal")
+            maybe_charge(self.meter, "sf_overhead")
+        self.stats["admission_session"] += 1
+        return _Admitted(request, principal, proof, "session")
+
+    def _admit_proof(
+        self, request: GuardRequest, credential: ProofCredential
+    ) -> _Admitted:
+        """A subject-bound proof: verify possession (the hash binding),
+        then cache the chain so the authorization stage finds it."""
+        maybe_charge(self.meter, "sexp_parse")
+        node = credential.node
+        if node is None:
+            node = from_transport(credential.wire)
+        maybe_charge(self.meter, "spki_unmarshal")
+        proof = proof_from_sexp(node)
+        conclusion = proof.conclusion
+        if not isinstance(conclusion, SpeaksFor):
+            raise AuthorizationError("proof must conclude speaks-for")
+        speaker = credential.expected_subject
+        if speaker is None:
+            speaker = conclusion.subject
+        elif conclusion.subject != speaker:
+            raise AuthorizationError(
+                "proof subject is not the hash of this request"
+            )
+        maybe_charge(self.meter, "sf_overhead")
+        proof.verify(self.trust.context())
+        self.stats["credential_verifications"] += 1
+        # Fresh subject every request: cache, then the authorization
+        # stage finds it (and the speaker LRU ages one-shots out).
+        self.cache.add(proof, speaker)
+        self.stats["admission_proof"] += 1
+        return _Admitted(request, speaker, proof, "proof")
+
+    # -- stages 2-4: authorize against the issuer -------------------------
+
+    def check(self, request: GuardRequest) -> GuardDecision:
+        """Run the full pipeline for one request.
+
+        Returns a granted :class:`GuardDecision` or raises
+        :class:`NeedAuthorizationError` (carrying the issuer and minimum
+        restriction set for the client's invoker) /
+        :class:`AuthorizationError`.
+        """
+        self.stats["checks"] += 1
+        try:
+            admitted = self._admit(request)
+            if self.check_charge:
+                maybe_charge(self.meter, self.check_charge)
+            # The transport (or the request's own bytes) vouches the
+            # utterance — into this decision's context snapshot, not the
+            # durable premise set, so per-request utterances do not
+            # accumulate for the life of the server.
+            context = self.trust.context()
+            context.trust(Says(admitted.speaker, request.logical))
+            return self._authorize(admitted, context)
+        except NeedAuthorizationError:
+            self.stats["challenges"] += 1
+            raise
+        except AuthorizationError:
+            self.stats["denials"] += 1
+            raise
+
+    def check_many(self, requests: Iterable[GuardRequest]) -> List[GuardDecision]:
+        """Verify independent requests in one pass.
+
+        One admission sweep, one trusted-premise snapshot shared by the
+        whole batch, one ``checkAuth`` meter charge.  Failures do not
+        interrupt the batch: each failed request yields an ungranted
+        decision carrying its error.
+        """
+        requests = list(requests)
+        self.stats["batches"] += 1
+        self.stats["batched_requests"] += len(requests)
+        if self.check_charge:
+            maybe_charge(self.meter, self.check_charge)
+        admitted_batch: List[Tuple[Optional[_Admitted], Optional[Exception]]] = []
+        for request in requests:
+            try:
+                admitted = self._admit(request)
+            except (AuthorizationError, NeedAuthorizationError, ValueError) as exc:
+                admitted_batch.append((None, exc))
+                continue
+            admitted_batch.append((admitted, None))
+        # One context snapshot shared by the whole batch (and the
+        # prover's graph views beneath it); all the batch's utterances
+        # are vouched on the snapshot, not the durable premise set.
+        context = self.trust.context()
+        for admitted, _ in admitted_batch:
+            if admitted is not None:
+                context.trust(Says(admitted.speaker, admitted.request.logical))
+        decisions: List[GuardDecision] = []
+        for admitted, error in admitted_batch:
+            if admitted is None:
+                self.stats["denials"] += 1
+                decisions.append(GuardDecision(False, error=error))
+                continue
+            try:
+                decisions.append(self._authorize(admitted, context))
+            except (AuthorizationError, NeedAuthorizationError) as exc:
+                key = (
+                    "challenges"
+                    if isinstance(exc, NeedAuthorizationError)
+                    else "denials"
+                )
+                self.stats[key] += 1
+                decisions.append(
+                    GuardDecision(False, via=admitted.via,
+                                  speaker=admitted.speaker, error=exc)
+                )
+        return decisions
+
+    def _authorize(self, admitted: _Admitted, context) -> GuardDecision:
+        request = admitted.request
+        speaker = admitted.speaker
+        issuer = request.issuer
+        if issuer is None:
+            raise AuthorizationError("request names no resource issuer")
+        logical = request.logical
+        now = context.now
+        bucket = self.cache.bucket(speaker)
+        stale: List[bytes] = []
+        for key, entry in bucket.items():
+            # The cache's only write path requires speaks-for conclusions.
+            conclusion = entry.proof.conclusion
+            # The lapsed-window check runs before the issuer filter so
+            # dead entries for *any* issuer are retracted instead of
+            # being re-skipped on every future call.
+            if not conclusion.validity.contains(now):
+                not_after = conclusion.validity.not_after
+                if not_after is not None and now > not_after:
+                    stale.append(key)
+                continue
+            if conclusion.issuer != issuer:
+                continue
+            if not conclusion.tag.matches(logical):
+                continue
+            if not self._revalidate(entry, context):
+                continue
+            decision = self._grant(admitted, entry.proof, context, "cache")
+            self.cache.drop(speaker, stale)
+            self.stats["cache_hits"] += 1
+            return decision
+        self.cache.drop(speaker, stale)
+        # Stage 3: full Prover verification over digested delegations.
+        if self.prover is not None:
+            found = self.prover.find_proof(
+                speaker, issuer, request=logical,
+                min_tag=request.min_tag, now=now,
+            )
+            if found is not None:
+                try:
+                    found.verify(context)
+                except VerificationError:
+                    found = None
+            if found is not None:
+                self.cache.add(found, speaker)
+                decision = self._grant(admitted, found, context, "prover")
+                self.stats["prover_hits"] += 1
+                return decision
+        raise NeedAuthorizationError(issuer, request.effective_min_tag())
+
+    def _revalidate(self, entry: CachedProof, context) -> bool:
+        """A cached proof was fully verified when it entered the cache;
+        signatures cannot change, so a hit re-checks only what the
+        environment controls: premise vouching (a closed channel retracts
+        its binding) and, when a revocation policy is live, the whole
+        tree."""
+        if self.trust.revocation is not None:
+            try:
+                entry.proof.verify(context)
+            except VerificationError:
+                return False
+            return True
+        for statement in entry.premises:
+            if statement not in context.trusted_premises:
+                return False
+        context.mark_verified(entry.proof)
+        return True
+
+    def _grant(self, admitted: _Admitted, proof: Proof, context,
+               stage: str) -> GuardDecision:
+        request = admitted.request
+        utterance = PremiseStep(Says(admitted.speaker, request.logical))
+        derived = DerivedSaysStep(utterance, proof)
+        derived.verify(context)
+        record = AuditRecord(
+            request.logical, admitted.speaker, request.issuer, derived,
+            context.now, transport=request.transport,
+        )
+        self.audit.record(record)
+        self.stats["grants"] += 1
+        return GuardDecision(
+            True, via=admitted.via, stage=stage, speaker=admitted.speaker,
+            proof=derived, record=record,
+        )
+
+    # -- transport delivery (secure channels, local pipes) ----------------
+
+    def open_channel(self, channel_principal: Principal,
+                     bound_principal: Principal) -> SpeaksFor:
+        """A completed key exchange convinced the transport that
+        ``channel => bound``; vouch it and hand back the premise so the
+        connection can retract it on close."""
+        premise = SpeaksFor(channel_principal, bound_principal, Tag.all())
+        self.trust.vouch(premise)
+        self.stats["channels_opened"] += 1
+        return premise
+
+    def close_channel(self, premise: SpeaksFor) -> None:
+        """Withdraw a channel binding (cached proofs leaning on it stop
+        re-validating immediately)."""
+        self.trust.retract(premise)
+        self.stats["channels_closed"] += 1
+
+    def deliver(self, request: GuardRequest) -> Principal:
+        """Post-handshake delivery: the transport hands a decrypted
+        request to the pipeline, which vouches the utterance and returns
+        the speaker for the service layer's authorization check."""
+        admitted = self._admit(request)
+        self.trust.vouch(Says(admitted.speaker, request.logical))
+        self.stats["deliveries"] += 1
+        return admitted.speaker
+
+    def retract_delivery(self, speaker: Principal, logical) -> None:
+        """Withdraw a delivered utterance — connections retract what they
+        vouched at teardown, so the premise set stays bounded by live
+        traffic instead of growing for the life of the server."""
+        self.trust.retract(Says(speaker, sexp(logical)))
+
+    # -- server-side prover feeding ---------------------------------------
+
+    def digest_delegation(self, proof: Proof) -> None:
+        """Digest a client-supplied delegation chain into the attached
+        prover (the gateway's Section 6.3 move)."""
+        if self.prover is None:
+            raise AuthorizationError("guard has no prover attached")
+        self.prover.add_proof(proof)
+        self.stats["delegations_digested"] += 1
+
+    # -- audit helpers ------------------------------------------------------
+
+    def audit_authentication(self, logical, proof: Proof,
+                             transport: str = "unknown") -> AuditRecord:
+        """Record a verified authentication (a subject-bound ``R => C``
+        proof) so front ends that authorize elsewhere — the quoting
+        gateway — still leave uniform audit trails."""
+        conclusion = proof.conclusion
+        if not isinstance(conclusion, SpeaksFor):
+            raise AuthorizationError("authentication proofs conclude speaks-for")
+        record = AuditRecord(
+            sexp(logical), conclusion.subject, conclusion.issuer, proof,
+            self.trust.clock.now(), transport=transport,
+        )
+        self.audit.record(record)
+        return record
+
+    # -- the legacy SfAuthState surface ------------------------------------
+
+    def check_auth(
+        self,
+        speaker: Principal,
+        issuer: Principal,
+        request,
+        min_tag: Optional[Tag] = None,
+    ) -> Proof:
+        """Authorize ``request`` uttered by ``speaker`` against ``issuer``
+        (the paper's ``checkAuth()`` prefix).
+
+        Returns the derived ``issuer says request`` proof (recorded in
+        the audit log) or raises :class:`NeedAuthorizationError` carrying
+        the issuer and minimum restriction set for the client's invoker.
+        """
+        decision = self.check(
+            GuardRequest(
+                request, issuer=issuer, min_tag=min_tag,
+                credential=ChannelCredential(speaker), transport="rmi",
+            )
+        )
+        return decision.proof
+
+    def submit_proof(self, proof_wire: bytes) -> Proof:
+        """Receive, parse, verify, and cache a proof from a client (the
+        proofRecipient object).
+
+        This is the 190 ms path of Section 7.2: "the server spends 190 ms
+        parsing and verifying the proof from the client" — the single
+        charge below covers parse, unmarshal, and verification together,
+        as the paper's figure does.
+        """
+        node = parse_canonical(proof_wire)
+        proof = proof_from_sexp(node)
+        maybe_charge(self.meter, "proof_parse_verify")
+        context = self.trust.context()
+        proof.verify(context)
+        self.stats["credential_verifications"] += 1
+        self.cache.add(proof)
+        return proof
+
+    def cache_proof(self, proof: Proof, speaker: Optional[Principal] = None) -> bool:
+        """Cache a verified proof for ``speaker`` (defaults to the proof's
+        own subject); returns False on digest-level duplicates."""
+        return self.cache.add(proof, speaker)
+
+    def forget_proofs(self, speaker: Optional[Principal] = None) -> None:
+        """Drop cached proofs (the paper's 'make the server forget its
+        copy after each use' experiment)."""
+        self.cache.forget(speaker)
+
+    def cached_proof_count(self) -> int:
+        return self.cache.count()
+
+    @property
+    def _proof_cache(self):
+        """Legacy introspection handle (the pre-guard SfAuthState attribute)."""
+        return self.cache.buckets
+
+    def context(self, now: Optional[float] = None):
+        return self.trust.context(now)

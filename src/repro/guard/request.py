@@ -1,0 +1,133 @@
+"""The canonical, transport-agnostic form of an authorization question.
+
+Every transport asks the same question — "may *speaker* do *logical
+request* controlled by *issuer*?" — but the repo used to ask it four
+different ways.  A :class:`GuardRequest` is the one shape: the canonical
+s-expression of the request, the resource issuer, the minimum restriction
+set for the challenge, a credential establishing who uttered it, and
+channel metadata for the audit trail.
+
+Credentials are how the speaker is established, and mirror the paper's
+three utterance mechanisms (Section 5):
+
+- :class:`ChannelCredential` — the transport vouches for the speaker (a
+  secure channel or trusted-host local pipe already authenticated it);
+- :class:`ProofCredential` — the request's own bytes vouch for it: a
+  proof whose subject is the hash of the request (HTTP Snowflake, the
+  SMTP ``X-Sf-Proof`` trailer);
+- :class:`SessionCredential` — a symmetric MAC-session tag over the
+  request bytes (Section 5.3.1's fast path).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.core.principals import Principal
+from repro.sexp import Atom, SExp, SList, sexp
+from repro.tags import Tag
+
+
+class Credential:
+    """How a request establishes the principal that uttered it."""
+
+    __slots__ = ()
+    kind = "abstract"
+
+
+class ChannelCredential(Credential):
+    """The transport already authenticated ``speaker`` (channel or pipe)."""
+
+    __slots__ = ("speaker",)
+    kind = "channel"
+
+    def __init__(self, speaker: Principal):
+        self.speaker = speaker
+
+
+class ProofCredential(Credential):
+    """A subject-bound proof carried with the request.
+
+    ``expected_subject`` is the hash principal the request's bytes
+    determine (request hash, message hash); the proof must conclude
+    ``expected_subject => someone`` or it does not cover this request.
+    Exactly one of ``wire`` (unparsed transport form) or ``node`` (an
+    already-parsed s-expression) carries the proof.
+    """
+
+    __slots__ = ("expected_subject", "wire", "node")
+    kind = "proof"
+
+    def __init__(
+        self,
+        expected_subject: Optional[Principal],
+        wire: Optional[Union[str, bytes]] = None,
+        node: Optional[SExp] = None,
+    ):
+        if (wire is None) == (node is None):
+            raise ValueError("provide exactly one of wire or node")
+        self.expected_subject = expected_subject
+        self.wire = wire
+        self.node = node
+
+
+class SessionCredential(Credential):
+    """``Authorization: SnowflakeMac <id> <tag>`` — HMAC over the request
+    wire form, at pure symmetric-crypto cost.  ``proof_wire`` optionally
+    carries the first-request delegation chain (``Sf-Proof``)."""
+
+    __slots__ = ("session_id", "tag", "message", "proof_wire")
+    kind = "session"
+
+    def __init__(
+        self,
+        session_id: str,
+        tag: bytes,
+        message: bytes,
+        proof_wire: Optional[Union[str, bytes]] = None,
+    ):
+        self.session_id = session_id
+        self.tag = tag
+        self.message = message
+        self.proof_wire = proof_wire
+
+
+class GuardRequest:
+    """One request, ready for the guard pipeline."""
+
+    __slots__ = ("logical", "issuer", "min_tag", "credential", "transport",
+                 "channel")
+
+    def __init__(
+        self,
+        logical,
+        issuer: Optional[Principal] = None,
+        min_tag: Optional[Tag] = None,
+        credential: Optional[Credential] = None,
+        transport: str = "unknown",
+        channel: Optional[Dict[str, object]] = None,
+    ):
+        self.logical = sexp(logical)
+        self.issuer = issuer
+        self.min_tag = min_tag
+        self.credential = credential
+        self.transport = transport
+        self.channel = dict(channel) if channel else {}
+
+    def effective_min_tag(self) -> Tag:
+        """The minimum restriction set a challenge should name: the given
+        one, else the singleton request (Section 5.1.1's footnote)."""
+        if self.min_tag is not None:
+            return self.min_tag
+        return Tag.exactly(self.logical)
+
+    def to_sexp(self) -> SExp:
+        """A display form for logs: ``(guard-request (transport t) <req>)``."""
+        items = [
+            Atom("guard-request"),
+            SList([Atom("transport"), Atom(self.transport)]),
+        ]
+        if self.issuer is not None:
+            items.append(SList([Atom("issuer"), self.issuer.to_sexp()]))
+        items.append(self.logical)
+        return SList(items)

@@ -1,0 +1,80 @@
+"""Symmetric-session bookkeeping: the MAC fast path's server-side state.
+
+Section 5.3.1's optimization amortizes the public-key operation by
+having the server send an encrypted, secret message authentication code
+to the client; the client then authorizes messages by sending a hash of
+<message, MAC>.  The session table lives here — one registry per guard,
+shared by however many servlets or listeners front it — rather than in
+any single transport module, so HTTP today and any future transport can
+ride the same fast path and the same LRU bound.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.core.errors import AuthorizationError
+from repro.crypto.mac import MacKey
+from repro.crypto.rng import default_rng
+
+
+class SessionRegistry:
+    """MAC-session table: mac-id (hex fingerprint) -> shared secret."""
+
+    def __init__(self, max_sessions: int = 4096):
+        self._sessions: "OrderedDict[str, MacKey]" = OrderedDict()
+        self.max_sessions = max_sessions
+        self.stats = {
+            "minted": 0,
+            "evictions": 0,
+            "verified": 0,
+            "failures": 0,
+        }
+
+    def mint(self, rng=None) -> Tuple[str, MacKey]:
+        """Create and register a fresh MAC session."""
+        mac_key = MacKey.generate(default_rng(rng))
+        mac_id = mac_key.fingerprint().digest.hex()
+        self._sessions[mac_id] = mac_key
+        self._sessions.move_to_end(mac_id)
+        self.stats["minted"] += 1
+        while len(self._sessions) > self.max_sessions:
+            self._sessions.popitem(last=False)
+            self.stats["evictions"] += 1
+        return mac_id, mac_key
+
+    def get(self, mac_id: str) -> Optional[MacKey]:
+        mac_key = self._sessions.get(mac_id)
+        if mac_key is not None:
+            self._sessions.move_to_end(mac_id)
+        return mac_key
+
+    def verify_tag(self, mac_id: str, message: bytes, tag: bytes) -> MacKey:
+        """Check an HMAC tag against a registered session; raises
+        :class:`AuthorizationError` on unknown session or bad tag."""
+        mac_key = self.get(mac_id)
+        if mac_key is None:
+            self.stats["failures"] += 1
+            raise AuthorizationError("unknown MAC session %s" % mac_id)
+        if not mac_key.verify(message, tag):
+            self.stats["failures"] += 1
+            raise AuthorizationError("MAC tag does not match the request")
+        self.stats["verified"] += 1
+        return mac_key
+
+    def adopt(self, other: "SessionRegistry") -> None:
+        """Merge another registry's live sessions into this one (used
+        when a front that minted sessions is re-pointed at a shared
+        guard's registry: outstanding grants keep verifying)."""
+        if other is self:
+            return
+        for mac_id, mac_key in other._sessions.items():
+            self._sessions[mac_id] = mac_key
+            self._sessions.move_to_end(mac_id)
+        while len(self._sessions) > self.max_sessions:
+            self._sessions.popitem(last=False)
+            self.stats["evictions"] += 1
+
+    def count(self) -> int:
+        return len(self._sessions)

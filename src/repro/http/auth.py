@@ -12,24 +12,27 @@ Section 5.3: HTTP's challenge-response frame ("401 Unauthorized" +
 The :class:`ProtectedServlet` also accepts the MAC-session authorization
 of Section 5.3.1 (see :mod:`repro.http.mac`), which amortizes the
 per-request public-key operation.
+
+HTTP does no authorization of its own: the servlet turns each request
+into a :class:`repro.guard.GuardRequest` (the Figure 5 logical form plus
+a credential parsed from the ``Authorization`` header) and delegates to
+the shared, transport-agnostic guard pipeline.
 """
 
 from __future__ import annotations
 
 import hashlib
-import random
 from typing import Dict, Optional
 
 from repro.core.errors import AuthorizationError, NeedAuthorizationError
 from repro.core.principals import HashPrincipal, Principal
-from repro.core.proofs import proof_from_sexp
-from repro.core.statements import Says, SpeaksFor
+from repro.crypto.rng import default_rng
+from repro.guard import Guard, GuardRequest, ProofCredential
 from repro.http.message import HttpRequest, HttpResponse
 from repro.http.server import Servlet
 from repro.net.trust import TrustEnvironment
-from repro.rmi.auth import SfAuthState
-from repro.sexp import Atom, SExp, SList, from_transport, sexp, to_transport
-from repro.sim.costmodel import Meter, maybe_charge
+from repro.sexp import Atom, SExp, SList, to_transport
+from repro.sim.costmodel import Meter
 from repro.tags import Tag
 
 SNOWFLAKE_SCHEME = "SnowflakeProof"
@@ -66,14 +69,31 @@ class ProtectedServlet(Servlet):
         trust: TrustEnvironment,
         meter: Optional[Meter] = None,
         mac_sessions=None,
+        guard: Optional[Guard] = None,
     ):
         self.service_id = service_id
         self.trust = trust
         self.meter = meter
-        self.auth = SfAuthState(trust, meter=None)  # HTTP meters itself
         self.mac_sessions = mac_sessions
-        if mac_sessions is not None:
-            mac_sessions.attach_cache(self.auth)
+        if guard is None:
+            # HTTP meters its own SPKI handling; no per-check RMI charge.
+            guard = Guard(
+                trust,
+                meter=meter,
+                check_charge=None,
+                sessions=(
+                    mac_sessions.registry if mac_sessions is not None else None
+                ),
+            )
+        elif mac_sessions is not None and mac_sessions.registry is not guard.sessions:
+            # One session table: an injected (shared) guard's registry is
+            # the truth.  Adopt any sessions the manager already minted so
+            # outstanding grants keep verifying, then re-point it.
+            guard.sessions.adopt(mac_sessions.registry)
+            mac_sessions.registry = guard.sessions
+        self.guard = guard
+        # Legacy name: the guard subsumes the per-servlet SfAuthState.
+        self.auth = guard
 
     # -- the mapping concrete servlets supply ----------------------------
 
@@ -94,13 +114,41 @@ class ProtectedServlet(Servlet):
         if authorization is None:
             return self.challenge(request, issuer)
         try:
-            speaker = self._authenticate(request, authorization)
-            self._authorize(request, speaker, issuer)
+            self.guard.check(self.guard_request(request, issuer, authorization))
         except NeedAuthorizationError:
             return self.challenge(request, issuer)
         except (AuthorizationError, ValueError) as exc:
             return HttpResponse(403, body=str(exc).encode("utf-8"))
         return self.serve(request)
+
+    def guard_request(
+        self, request: HttpRequest, issuer: Principal, authorization: str
+    ) -> GuardRequest:
+        """Map the HTTP request + Authorization header onto the canonical
+        guard form (credential included)."""
+        scheme, _, payload = authorization.partition(" ")
+        if scheme == SNOWFLAKE_SCHEME:
+            # The proof's subject must be the hash of the request, less
+            # the Authorization header — possession is the binding.
+            credential = ProofCredential(
+                HashPrincipal(request.hash()), wire=payload.strip()
+            )
+        elif scheme == MAC_SCHEME:
+            if self.mac_sessions is None:
+                raise AuthorizationError("MAC sessions not enabled")
+            credential = self.mac_sessions.credential(request, payload)
+        else:
+            raise AuthorizationError(
+                "unsupported authorization scheme %r" % scheme
+            )
+        return GuardRequest(
+            web_request_sexp(request, self.service_id),
+            issuer=issuer,
+            min_tag=self.min_tag_for(request),
+            credential=credential,
+            transport="http",
+            channel={"method": request.method, "path": request.path},
+        )
 
     def challenge(self, request: HttpRequest, issuer: Principal) -> HttpResponse:
         """The 401 of Figure 5: issuer + minimum restriction set."""
@@ -116,46 +164,6 @@ class ProtectedServlet(Servlet):
         if self.mac_sessions is not None:
             self.mac_sessions.offer(request, response)
         return response
-
-    def _authenticate(self, request: HttpRequest, authorization: str) -> Principal:
-        """Map the Authorization header to the principal uttering the
-        request, verifying possession (hash binding or MAC tag)."""
-        scheme, _, payload = authorization.partition(" ")
-        if scheme == SNOWFLAKE_SCHEME:
-            return self._snowflake_speaker(request, payload)
-        if scheme == MAC_SCHEME:
-            if self.mac_sessions is None:
-                raise AuthorizationError("MAC sessions not enabled")
-            return self.mac_sessions.verify(request, payload, self.meter)
-        raise AuthorizationError("unsupported authorization scheme %r" % scheme)
-
-    def _snowflake_speaker(self, request: HttpRequest, payload: str) -> Principal:
-        speaker = HashPrincipal(request.hash())
-        maybe_charge(self.meter, "sexp_parse")
-        proof_node = from_transport(payload.strip())
-        maybe_charge(self.meter, "spki_unmarshal")
-        proof = proof_from_sexp(proof_node)
-        conclusion = proof.conclusion
-        if not isinstance(conclusion, SpeaksFor) or conclusion.subject != speaker:
-            raise AuthorizationError(
-                "proof subject is not the hash of this request"
-            )
-        # Fresh subject every request: cache, then check_auth finds it.
-        maybe_charge(self.meter, "sf_overhead")
-        context = self.trust.context()
-        proof.verify(context)
-        self.auth.cache_proof(proof, speaker)
-        return speaker
-
-    def _authorize(
-        self, request: HttpRequest, speaker: Principal, issuer: Principal
-    ) -> None:
-        logical = web_request_sexp(request, self.service_id)
-        # The transport (or the request's own bytes) vouches the utterance.
-        self.trust.vouch(Says(speaker, logical))
-        self.auth.check_auth(
-            speaker, issuer, logical, min_tag=self.min_tag_for(request)
-        )
 
 
 class BasicAuthServlet(Servlet):
@@ -214,12 +222,14 @@ class DigestAuthServlet(Servlet):
         realm: str,
         passwords: Dict[str, str],
         acl: Dict[str, set],
-        rng: Optional[random.Random] = None,
+        rng=None,
     ):
         self.realm = realm
         self.passwords = dict(passwords)
         self.acl = {path: set(users) for path, users in acl.items()}
-        self._rng = rng or random.SystemRandom()
+        # Deterministic under test, secrets-backed in production: nonces
+        # must be unpredictable or the challenge is replayable.
+        self._rng = default_rng(rng)
         self._nonces: set = set()
 
     def serve(self, request: HttpRequest, user: str) -> HttpResponse:

@@ -18,22 +18,25 @@ Flow:
 3. Every subsequent request authorizes with
    ``Authorization: SnowflakeMac <mac-id-hex> <hmac-hex>`` — HMAC over the
    request wire form — at pure symmetric-crypto cost.
+
+This module is only the HTTP *framing* of the protocol.  The session
+table, tag verification, and first-request proof digestion live in the
+transport-agnostic guard (:class:`repro.guard.SessionRegistry` and the
+session stage of :class:`repro.guard.Guard`); the manager here turns
+headers into a :class:`repro.guard.SessionCredential` and back.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.core.errors import AuthorizationError
-from repro.core.principals import MacPrincipal, Principal
-from repro.core.proofs import proof_from_sexp
 from repro.crypto.mac import MacKey
-from repro.crypto.numtheory import int_to_bytes
+from repro.crypto.rng import default_rng
 from repro.crypto.rsa import RsaPublicKey
+from repro.guard import SessionCredential, SessionRegistry
 from repro.http.message import HttpRequest, HttpResponse
 from repro.sexp import from_transport
-from repro.sim.costmodel import Meter, maybe_charge
 
 MAC_REQUEST_HEADER = "Sf-Mac-Request"
 MAC_GRANT_HEADER = "Sf-Mac-Grant"
@@ -41,12 +44,17 @@ PROOF_HEADER = "Sf-Proof"
 
 
 class MacSessionManager:
-    """Server-side MAC session state, shared by a server's servlets."""
+    """The HTTP face of MAC sessions: grant headers in, credentials out.
 
-    def __init__(self, trust, rng: Optional[random.Random] = None):
+    The actual session state is the guard's :class:`SessionRegistry`, so
+    a server's servlets (and any other transport riding the same guard)
+    share one session table and one LRU policy.
+    """
+
+    def __init__(self, trust, rng=None, registry: Optional[SessionRegistry] = None):
         self.trust = trust
-        self._rng = rng or random.SystemRandom()
-        self._sessions: Dict[str, MacKey] = {}
+        self._rng = default_rng(rng)
+        self.registry = registry if registry is not None else SessionRegistry()
 
     # -- session establishment -------------------------------------------
 
@@ -58,73 +66,30 @@ class MacSessionManager:
         if encoded_key is None:
             return
         client_key = RsaPublicKey.from_sexp(from_transport(encoded_key))
-        mac_key = MacKey.generate(self._rng)
+        mac_id, mac_key = self.registry.mint(self._rng)
         sealed = mac_key.sealed_for(client_key)
-        mac_id = mac_key.fingerprint().digest.hex()
-        self._sessions[mac_id] = mac_key
-        response.headers.set(
-            MAC_GRANT_HEADER, "%s %x" % (mac_id, sealed)
-        )
+        response.headers.set(MAC_GRANT_HEADER, "%s %x" % (mac_id, sealed))
 
-    # -- per-request verification ------------------------------------------
+    # -- per-request credential extraction ---------------------------------
 
-    def verify(
-        self, request: HttpRequest, payload: str, meter: Optional[Meter]
-    ) -> Principal:
-        """Check ``SnowflakeMac <mac-id> <tag>`` and return the MAC
-        principal that uttered the request."""
+    def credential(self, request: HttpRequest, payload: str) -> SessionCredential:
+        """Turn ``SnowflakeMac <mac-id> <tag>`` plus the request bytes
+        into the guard's session credential."""
         parts = payload.split()
         if len(parts) != 2:
             raise AuthorizationError("malformed MAC authorization")
         mac_id, tag_hex = parts
-        mac_key = self._sessions.get(mac_id)
-        if mac_key is None:
-            raise AuthorizationError("unknown MAC session %s" % mac_id)
-        maybe_charge(meter, "mac_compute")
+        try:
+            tag = bytes.fromhex(tag_hex)
+        except ValueError:
+            raise AuthorizationError("malformed MAC tag")
         message = request.to_wire(exclude_headers=("Authorization", PROOF_HEADER))
-        if not mac_key.verify(message, bytes.fromhex(tag_hex)):
-            raise AuthorizationError("MAC tag does not match the request")
-        principal = MacPrincipal(mac_key.fingerprint())
-        proof_header = request.headers.get(PROOF_HEADER)
-        if proof_header is not None:
-            # First request of the session: digest the delegation chain.
-            maybe_charge(meter, "sexp_parse")
-            proof = proof_from_sexp(from_transport(proof_header))
-            maybe_charge(meter, "spki_unmarshal")
-            maybe_charge(meter, "sf_overhead")
-            proof.verify(self.trust.context())
-            self._store_proof(principal, proof)
-        else:
-            # Steady state still pays SPKI handling for the request's
-            # logical form and the cached proof's tag match (Table 1).
-            maybe_charge(meter, "sexp_parse")
-            maybe_charge(meter, "spki_unmarshal")
-            maybe_charge(meter, "sf_overhead")
-        return principal
-
-    def _store_proof(self, principal: Principal, proof) -> None:
-        self._proof_sink(principal, proof)
-
-    # ProtectedServlet wires this to its SfAuthState cache.
-    def _proof_sink(self, principal: Principal, proof) -> None:
-        raise AuthorizationError(
-            "MAC session manager is not attached to a proof cache"
+        return SessionCredential(
+            mac_id, tag, message, proof_wire=request.headers.get(PROOF_HEADER)
         )
 
-    def attach_cache(self, auth_state) -> None:
-        from repro.core.statements import SpeaksFor
-
-        def sink(principal, proof):
-            # A verified non-speaks-for proof is useless but harmless:
-            # ignore it so the client still gets a challenge (not a 403)
-            # on its next request.
-            if isinstance(proof.conclusion, SpeaksFor):
-                auth_state.cache_proof(proof, principal)
-
-        self._proof_sink = sink
-
     def session_count(self) -> int:
-        return len(self._sessions)
+        return self.registry.count()
 
 
 def unseal_grant(header_value: str, private_key) -> MacKey:

@@ -43,15 +43,16 @@ from repro.core.principals import (
     Principal,
     principal_from_sexp,
 )
-from repro.core.statements import Says, SpeaksFor
+from repro.core.statements import SpeaksFor
 from repro.crypto.hashes import HashValue
 from repro.crypto.numtheory import bytes_to_int, int_to_bytes
+from repro.crypto.rng import default_rng, random_bytes
 from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
+from repro.guard import ChannelCredential, Guard, GuardRequest
 from repro.net.network import Connection, ServerFactory, Transport
 from repro.net.trust import TrustEnvironment
 from repro.sexp import Atom, SExp, SList, parse_canonical, to_canonical
 from repro.sim.costmodel import Meter, maybe_charge
-from repro.tags import Tag
 
 _SECRET_BYTES = 32
 
@@ -164,12 +165,19 @@ class SecureChannelServer(ServerFactory):
         trust: TrustEnvironment,
         meter: Optional[Meter] = None,
         record_charge: str = "rmi_ssh_record",
+        guard: Optional[Guard] = None,
     ):
         self.host_keypair = host_keypair
         self.service = service
         self.trust = trust
         self.meter = meter
         self.record_charge = record_charge
+        # Channel bindings and post-handshake delivery route through the
+        # shared guard pipeline (servers that also authorize — the RMI
+        # stack — pass their authorization guard so state is one object).
+        self.guard = guard if guard is not None else Guard(
+            trust, meter=None, check_charge=None
+        )
 
     def open_connection(self, peer_address: str) -> "_ServerConnection":
         return _ServerConnection(self, peer_address)
@@ -185,6 +193,9 @@ class _ServerConnection(Connection):
         self._recv_seq = 0
         self._send_seq = 0
         self._channel_premise: Optional[SpeaksFor] = None
+        # (speaker, request) pairs this connection vouched; retracted at
+        # close so the premise set is bounded by live connections.
+        self._delivered = []
 
     def handle(self, data: bytes) -> bytes:
         node = parse_canonical(data)
@@ -219,11 +230,11 @@ class _ServerConnection(Connection):
         self.secret = secret
         self.client_key = client_key
         self.channel_principal = ChannelPrincipal.of_secret(secret)
-        # The exchange convinced the server that KCH => K2.
-        self._channel_premise = SpeaksFor(
-            self.channel_principal, KeyPrincipal(client_key), Tag.all()
+        # The exchange convinced the server that KCH => K2: register the
+        # channel session with the guard (which vouches the premise).
+        self._channel_premise = self.server.guard.open_channel(
+            self.channel_principal, KeyPrincipal(client_key)
         )
-        self.server.trust.vouch(self._channel_premise)
         maybe_charge(meter, "pk_sign")  # server signs the ack
         ack_signature = self.server.host_keypair.sign(
             _kex_ack_bind(secret, client_key)
@@ -243,9 +254,17 @@ class _ServerConnection(Connection):
         speaker: Principal = self.channel_principal
         if quote_field is not None:
             speaker = speaker.quoting(principal_from_sexp(quote_field.items[1]))
-        # The transport vouches that the speaker uttered this request.
-        utterance = Says(speaker, request)
-        self.server.trust.vouch(utterance)
+        # Post-handshake delivery rides the guard pipeline: the transport
+        # vouches that the speaker uttered this request.
+        speaker = self.server.guard.deliver(
+            GuardRequest(
+                request,
+                credential=ChannelCredential(speaker),
+                transport="secure-channel",
+                channel={"peer": self.peer_address, "seq": self._recv_seq - 1},
+            )
+        )
+        self._delivered.append((speaker, request))
         response = self.server.service.handle_request(request, speaker, self)
         reply = _seal_record(
             self.secret, self._send_seq, to_canonical(SList([Atom("msg"), response]))
@@ -255,7 +274,11 @@ class _ServerConnection(Connection):
 
     def close(self) -> None:
         if self._channel_premise is not None:
-            self.server.trust.retract(self._channel_premise)
+            self.server.guard.close_channel(self._channel_premise)
+            self._channel_premise = None
+        for speaker, request in self._delivered:
+            self.server.guard.retract_delivery(speaker, request)
+        self._delivered = []
 
 
 class SecureChannelClient:
@@ -278,8 +301,8 @@ class SecureChannelClient:
         self.server_key = server_key
         self.meter = meter
         self.record_charge = record_charge
-        rng = rng or random.SystemRandom()
-        self.secret = bytes(rng.getrandbits(8) for _ in range(_SECRET_BYTES))
+        rng = default_rng(rng)
+        self.secret = random_bytes(rng, _SECRET_BYTES)
         self._send_seq = 0
         self._recv_seq = 0
         self._handshake()

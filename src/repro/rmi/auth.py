@@ -5,234 +5,15 @@ retrieves the caller's public key, finds a cached proof for that subject,
 and sees that the proof has already been verified."  A fresh proof instead
 costs a parse and full verification (190 ms in the paper).
 
-Because proofs are structured, every granted request leaves an *end-to-end
-audit record*: the complete proof tree connecting the requesting channel
-to the resource issuer, including any gateway's quoting involvement.
+The machinery itself lives in :mod:`repro.guard` now — the same staged
+pipeline serves HTTP, RMI, SMTP, and secure channels, so this module is
+only the RMI-flavoured name for it.  ``SfAuthState`` *is* the guard: the
+legacy surface (``check_auth``, ``submit_proof``, ``cache_proof``,
+``forget_proofs``, the audit log) is part of :class:`repro.guard.Guard`.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Dict, List, Optional
+from repro.guard import AuditLog, AuditRecord, Guard as SfAuthState
 
-from repro.core.errors import (
-    AuthorizationError,
-    NeedAuthorizationError,
-    VerificationError,
-)
-from repro.core.principals import Principal
-from repro.core.proofs import PremiseStep, Proof, proof_from_sexp
-from repro.core.rules import DerivedSaysStep
-from repro.core.statements import Says, SpeaksFor
-from repro.net.trust import TrustEnvironment
-from repro.sexp import SExp, parse_canonical, sexp, to_canonical
-from repro.sim.costmodel import Meter, maybe_charge
-from repro.tags import Tag
-
-
-class AuditRecord:
-    """One granted request and the proof that justified it."""
-
-    __slots__ = ("request", "speaker", "issuer", "proof", "when")
-
-    def __init__(self, request: SExp, speaker, issuer, proof: Proof, when: float):
-        self.request = request
-        self.speaker = speaker
-        self.issuer = issuer
-        self.proof = proof
-        self.when = when
-
-    def involved_principals(self):
-        """Every principal that appears in the justifying proof — the
-        end-to-end audit trail (e.g. both Alice and the gateway)."""
-        seen = []
-        for lemma in self.proof.lemmas():
-            conclusion = lemma.conclusion
-            principals = []
-            if isinstance(conclusion, SpeaksFor):
-                principals = [conclusion.subject, conclusion.issuer]
-            elif isinstance(conclusion, Says):
-                principals = [conclusion.speaker]
-            for principal in principals:
-                if principal not in seen:
-                    seen.append(principal)
-        return seen
-
-    def render(self) -> str:
-        return "%.3f %s by %s:\n%s" % (
-            self.when,
-            self.request.to_advanced(),
-            self.speaker.display(),
-            self.proof.display_tree(1),
-        )
-
-
-class AuditLog:
-    """Append-only log of authorization decisions."""
-
-    def __init__(self):
-        self.records: List[AuditRecord] = []
-
-    def record(self, record: AuditRecord) -> None:
-        self.records.append(record)
-
-    def __len__(self) -> int:
-        return len(self.records)
-
-    def involving(self, principal: Principal) -> List[AuditRecord]:
-        return [
-            record
-            for record in self.records
-            if principal in record.involved_principals()
-        ]
-
-
-class SfAuthState:
-    """The server's authorization state: proof cache + audit log.
-
-    One instance typically guards one server process; the proof cache is
-    keyed by the subject principal of each verified proof, so a channel
-    that proved itself once passes subsequent ``check_auth`` calls at
-    cache-hit cost (the paper's 5 ms checkAuth line).
-    """
-
-    def __init__(
-        self,
-        trust: TrustEnvironment,
-        meter: Optional[Meter] = None,
-        max_speakers: int = 4096,
-    ):
-        self.trust = trust
-        self.meter = meter
-        # speaker -> {proof digest -> proof}: digest keying makes repeated
-        # submissions of the same proof free instead of growing the
-        # bucket.  Speakers are LRU-bounded by ``max_speakers``: the HTTP
-        # Snowflake path mints a fresh hash-principal speaker per request,
-        # so without a bound the cache grows by one entry per request for
-        # the life of the server.
-        self._proof_cache: "OrderedDict[Principal, Dict[bytes, Proof]]" = (
-            OrderedDict()
-        )
-        self.max_speakers = max_speakers
-        self.audit = AuditLog()
-
-    # -- the proof cache ---------------------------------------------------
-
-    def cache_proof(self, proof: Proof, speaker: Optional[Principal] = None) -> bool:
-        """Cache a verified proof for ``speaker`` (defaults to the proof's
-        own subject).  Returns False if an identical proof was already
-        cached — the memoized canonical digest makes the dedup a dict
-        lookup, not a re-serialization."""
-        conclusion = proof.conclusion
-        if not isinstance(conclusion, SpeaksFor):
-            raise AuthorizationError("cached proofs must conclude speaks-for")
-        if speaker is None:
-            speaker = conclusion.subject
-        bucket = self._proof_cache.get(speaker)
-        if bucket is None:
-            bucket = self._proof_cache[speaker] = {}
-            while len(self._proof_cache) > self.max_speakers:
-                self._proof_cache.popitem(last=False)
-        else:
-            self._proof_cache.move_to_end(speaker)
-        key = proof.digest()
-        if key in bucket:
-            return False
-        bucket[key] = proof
-        return True
-
-    # -- the checkAuth() prefix ------------------------------------------
-
-    def check_auth(
-        self,
-        speaker: Principal,
-        issuer: Principal,
-        request,
-        min_tag: Optional[Tag] = None,
-    ) -> Proof:
-        """Authorize ``request`` uttered by ``speaker`` against ``issuer``.
-
-        Returns the derived ``issuer says request`` proof (recorded in the
-        audit log) or raises :class:`NeedAuthorizationError` carrying the
-        issuer and minimum restriction set for the client's invoker.
-        """
-        request = sexp(request)
-        maybe_charge(self.meter, "rmi_checkauth")
-        now = self.trust.clock.now()
-        context = self.trust.context()
-        bucket = self._proof_cache.get(speaker)
-        if bucket is not None:
-            # Re-queried speakers (RMI channels, MAC sessions) stay hot in
-            # the speaker LRU; one-shot request-hash speakers age out.
-            self._proof_cache.move_to_end(speaker)
-        stale: List[bytes] = []
-        for key, proof in (bucket or {}).items():
-            # cache_proof is the only write path, so every entry concludes
-            # a speaks-for.  The lapsed-window check runs before the issuer
-            # filter so dead entries for *any* issuer are retracted instead
-            # of being re-skipped on every future call.
-            conclusion = proof.conclusion
-            if not conclusion.validity.contains(now):
-                not_after = conclusion.validity.not_after
-                if not_after is not None and now > not_after:
-                    stale.append(key)
-                continue
-            if conclusion.issuer != issuer:
-                continue
-            if not conclusion.tag.matches(request):
-                continue
-            try:
-                proof.verify(context)
-            except VerificationError:
-                continue
-            utterance = PremiseStep(Says(speaker, request))
-            derived = DerivedSaysStep(utterance, proof)
-            derived.verify(context)
-            record = AuditRecord(request, speaker, issuer, derived, now)
-            self.audit.record(record)
-            self._drop_stale(speaker, stale)
-            return derived
-        self._drop_stale(speaker, stale)
-        raise NeedAuthorizationError(
-            issuer, min_tag if min_tag is not None else Tag.exactly(request)
-        )
-
-    def _drop_stale(self, speaker: Principal, keys: List[bytes]) -> None:
-        if not keys:
-            return
-        bucket = self._proof_cache.get(speaker)
-        if bucket is None:
-            return
-        for key in keys:
-            bucket.pop(key, None)
-        if not bucket:
-            del self._proof_cache[speaker]
-
-    # -- the proofRecipient object ----------------------------------------
-
-    def submit_proof(self, proof_wire: bytes) -> Proof:
-        """Receive, parse, verify, and cache a proof from a client.
-
-        This is the 190 ms path of Section 7.2: "the server spends 190 ms
-        parsing and verifying the proof from the client" — the single
-        charge below covers parse, unmarshal, and verification together,
-        as the paper's figure does.
-        """
-        node = parse_canonical(proof_wire)
-        proof = proof_from_sexp(node)
-        maybe_charge(self.meter, "proof_parse_verify")
-        context = self.trust.context()
-        proof.verify(context)
-        self.cache_proof(proof)
-        return proof
-
-    def forget_proofs(self, speaker: Optional[Principal] = None) -> None:
-        """Drop cached proofs (the paper's 'make the server forget its copy
-        after each use' experiment)."""
-        if speaker is None:
-            self._proof_cache.clear()
-        else:
-            self._proof_cache.pop(speaker, None)
-
-    def cached_proof_count(self) -> int:
-        return sum(len(proofs) for proofs in self._proof_cache.values())
+__all__ = ["AuditLog", "AuditRecord", "SfAuthState"]

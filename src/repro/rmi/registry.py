@@ -93,15 +93,23 @@ class RmiServer:
         self.address = address
         self.host_keypair = host_keypair
         self.trust = TrustEnvironment(clock=clock, revocation=revocation)
+        # One guard per server process: the skeleton's checkAuth, the
+        # listener's channel sessions, and the audit log share it.
         self.auth = SfAuthState(self.trust, meter=meter)
         self.skeleton = RmiSkeleton(self.auth, meter=meter)
         self.listener = SecureChannelServer(
-            host_keypair, self.skeleton, self.trust, meter=meter
+            host_keypair, self.skeleton, self.trust, meter=meter,
+            guard=self.auth,
         )
         network.listen(address, self.listener)
 
     def export(self, obj: RemoteObject) -> None:
         self.skeleton.export(obj)
+
+    @property
+    def guard(self):
+        """The shared authorization guard (``auth`` is its legacy name)."""
+        return self.auth
 
     @property
     def host_principal(self) -> KeyPrincipal:

@@ -17,8 +17,8 @@ from repro.core.errors import (
     NeedAuthorizationError,
 )
 from repro.core.principals import Principal
+from repro.guard import ChannelCredential, Guard, GuardRequest
 from repro.net.secure import SecureChannelService
-from repro.rmi.auth import SfAuthState
 from repro.sexp import Atom, SExp, SList, sexp
 from repro.sim.costmodel import Meter, maybe_charge
 from repro.tags import Tag
@@ -81,7 +81,7 @@ class RmiSkeleton(SecureChannelService):
     - any other failure → ``(error denied <message>)``.
     """
 
-    def __init__(self, auth: SfAuthState, meter: Optional[Meter] = None):
+    def __init__(self, auth: Guard, meter: Optional[Meter] = None):
         self.auth = auth
         self.meter = meter
         self._objects: Dict[str, RemoteObject] = {}
@@ -130,9 +130,18 @@ class RmiSkeleton(SecureChannelService):
         obj = self._objects.get(name)
         if obj is None:
             return _error("denied", "no such object %r" % name)
-        # The checkAuth() prefix on every remote method (Figure 4, step l).
-        self.auth.check_auth(
-            speaker, obj.issuer, request, min_tag=obj.restriction(method, args)
+        # The checkAuth() prefix on every remote method (Figure 4, step l):
+        # the invocation becomes a GuardRequest and rides the shared
+        # pipeline, like every other transport.
+        self.auth.check(
+            GuardRequest(
+                request,
+                issuer=obj.issuer,
+                min_tag=obj.restriction(method, args),
+                credential=ChannelCredential(speaker),
+                transport="rmi",
+                channel={"object": name, "method": method},
+            )
         )
         result = obj.dispatch(method, args)
         wire_kb = len(result.to_canonical()) / 1024.0

@@ -11,15 +11,18 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.errors import AuthorizationError, VerificationError
+from repro.core.errors import (
+    AuthorizationError,
+    NeedAuthorizationError,
+    VerificationError,
+)
 from repro.core.principals import HashPrincipal, Principal
-from repro.core.proofs import proof_from_sexp
-from repro.core.statements import SpeaksFor
 from repro.crypto.hashes import HashValue
+from repro.guard import Guard, GuardRequest, ProofCredential
 from repro.net.network import Connection, ServerFactory
 from repro.net.trust import TrustEnvironment
 from repro.sexp import Atom, SExp, SList, from_transport, to_transport
-from repro.sim.costmodel import Meter, maybe_charge
+from repro.sim.costmodel import Meter
 from repro.tags import Tag
 
 
@@ -49,6 +52,7 @@ class SnowflakeSmtpServer(ServerFactory):
         deliver: Optional[Callable[[str, str, bytes], None]] = None,
         receiver_proof=None,
         meter: Optional[Meter] = None,
+        guard: Optional[Guard] = None,
     ):
         self.hostname = hostname
         self.issuer_for = issuer_for
@@ -59,6 +63,11 @@ class SnowflakeSmtpServer(ServerFactory):
         # Optional proof that this host may receive for its mailboxes —
         # shown in the greeting (the paper's server-authorization question).
         self.receiver_proof = receiver_proof
+        # Authorization rides the shared guard pipeline; SMTP meters its
+        # SPKI handling itself, like HTTP.
+        self.guard = guard if guard is not None else Guard(
+            trust, meter=meter, check_charge=None
+        )
 
     def _default_deliver(self, mailbox: str, sender: str, message: bytes) -> None:
         self.mailboxes.setdefault(mailbox, []).append((sender, message))
@@ -138,23 +147,27 @@ class _SmtpConnection(Connection):
         logical = smtp_request_sexp(self.recipient, self.sender)
         if proof_node is None:
             return self._challenge(issuer, logical)
-        maybe_charge(self.server.meter, "sexp_parse")
-        proof = proof_from_sexp(proof_node)
-        maybe_charge(self.server.meter, "spki_unmarshal")
-        maybe_charge(self.server.meter, "sf_overhead")
-        conclusion = proof.conclusion
-        if not isinstance(conclusion, SpeaksFor):
-            raise AuthorizationError("proof must conclude speaks-for")
-        if conclusion.subject != HashPrincipal(HashValue.of_bytes(message)):
-            raise AuthorizationError("proof subject is not this message's hash")
-        if conclusion.issuer != issuer:
-            raise AuthorizationError("proof names the wrong issuer")
-        if not conclusion.tag.matches(logical):
-            raise AuthorizationError("delivery is outside the proven restriction")
-        context = self.server.trust.context()
-        proof.verify(context)
-        if not conclusion.validity.contains(context.now):
-            raise AuthorizationError("proof has expired")
+        # The trailer proof must show the *message hash* speaks for the
+        # mailbox's issuer regarding this delivery: a GuardRequest with a
+        # subject-bound proof credential, like HTTP's Snowflake method.
+        guard_request = GuardRequest(
+            logical,
+            issuer=issuer,
+            min_tag=Tag.exactly(logical),
+            credential=ProofCredential(
+                HashPrincipal(HashValue.of_bytes(message)), node=proof_node
+            ),
+            transport="smtp",
+            channel={"mailbox": self.recipient, "sender": self.sender},
+        )
+        try:
+            self.server.guard.check(guard_request)
+        except NeedAuthorizationError:
+            # A proof was presented but does not cover this delivery:
+            # that is a refusal (554), not a re-challenge.
+            raise AuthorizationError(
+                "proof does not authorize delivery to %s" % self.recipient
+            )
         self.server._deliver(self.recipient, self.sender, message)
         return b"250 delivered\r\n"
 

@@ -85,3 +85,47 @@ class TestErrors:
     def test_remove_root_rejected(self, fs):
         with pytest.raises(FileSystemError):
             fs.remove("/")
+
+
+class TestGuardedFileSystem:
+    @pytest.fixture()
+    def guarded(self, fs, server_kp, alice_kp, rng):
+        from repro.apps.fs import GuardedFileSystem, fs_subtree_tag
+        from repro.core.principals import KeyPrincipal
+        from repro.core.proofs import SignedCertificateStep
+        from repro.guard import Guard
+        from repro.net.trust import TrustEnvironment
+        from repro.spki import Certificate
+
+        owner = KeyPrincipal(server_kp.public)
+        alice = KeyPrincipal(alice_kp.public)
+        guard = Guard(TrustEnvironment(), check_charge=None)
+        # The owner grants Alice read access under /pub only.
+        guard.cache_proof(
+            SignedCertificateStep(
+                Certificate.issue(
+                    server_kp, alice, fs_subtree_tag("read", "/pub"), rng=rng
+                )
+            )
+        )
+        return GuardedFileSystem(fs, owner, guard), alice
+
+    def test_delegated_read_granted_and_audited(self, guarded):
+        gfs, alice = guarded
+        assert gfs.read("/pub/readme.txt", alice) == b"hello"
+        assert gfs.listdir("/pub", alice) == ["data.bin", "readme.txt"]
+        assert len(gfs.guard.audit.by_transport("fs")) == 2
+
+    def test_outside_subtree_challenged(self, guarded):
+        from repro.core.errors import NeedAuthorizationError
+
+        gfs, alice = guarded
+        with pytest.raises(NeedAuthorizationError):
+            gfs.read("/private/secret.txt", alice)
+
+    def test_write_needs_write_authority(self, guarded):
+        from repro.core.errors import NeedAuthorizationError
+
+        gfs, alice = guarded
+        with pytest.raises(NeedAuthorizationError):
+            gfs.write("/pub/new.txt", b"x", alice)

@@ -1,0 +1,230 @@
+"""End-to-end audit uniformity across transports.
+
+The same delegation chain — Alice holds one certificate from the resource
+controller — exercised via HTTP, RMI, and SMTP must leave structurally
+identical :class:`AuditRecord` proof trees: the same rule shape, the same
+certificate lemma, differing only in the transport-specific leaf that
+binds the uttering principal (a request hash, a channel, a message hash).
+The gateway case checks the quoting involvement shows up too.
+"""
+
+import pytest
+
+from repro.core.principals import HashPrincipal, KeyPrincipal
+from repro.core.statements import SpeaksFor
+from repro.guard import proof_skeleton
+from repro.http.auth import ProtectedServlet, web_request_sexp
+from repro.http.message import HttpRequest, HttpResponse
+from repro.net import Network, TrustEnvironment
+from repro.prover import KeyClosure, Prover
+from repro.rmi import ClientIdentity, Registry, RemoteObject, RmiServer
+from repro.sexp import to_transport
+from repro.smtp import SnowflakeSmtpClient, SnowflakeSmtpServer
+from repro.spki import Certificate
+from repro.tags import Tag
+
+
+def normalized_skeleton(record):
+    """The proof-tree shape with the transport-specific speaker-binding
+    leaf collapsed to one token: what "structurally identical" means
+    across transports."""
+
+    def walk(proof):
+        conclusion = proof.conclusion
+        if (
+            not proof.premises
+            and isinstance(conclusion, SpeaksFor)
+            and conclusion.subject == record.speaker
+        ):
+            return ("speaker-binding",)
+        return (proof.rule,) + tuple(walk(p) for p in proof.premises)
+
+    return walk(record.proof)
+
+
+def shared_cert_digests(record, client, issuer):
+    """Digests of the delegation lemmas connecting the client to the
+    issuer — the transport-independent part of the chain."""
+    return {
+        lemma.digest()
+        for lemma in record.proof.lemmas()
+        if isinstance(lemma.conclusion, SpeaksFor)
+        and lemma.conclusion.subject == client
+        and lemma.conclusion.issuer == issuer
+    }
+
+
+@pytest.fixture()
+def delegation(server_kp, alice_kp, rng):
+    """One grant: Alice speaks for the controller regarding anything."""
+    return Certificate.issue(
+        server_kp, KeyPrincipal(alice_kp.public), Tag.all(), rng=rng
+    )
+
+
+def alice_prover(delegation, alice_kp, rng):
+    prover = Prover()
+    prover.control(KeyClosure(alice_kp, rng))
+    prover.add_certificate(delegation)
+    return prover
+
+
+class _DocServlet(ProtectedServlet):
+    def __init__(self, issuer, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._issuer = issuer
+
+    def issuer_for(self, request):
+        return self._issuer
+
+    def serve(self, request):
+        return HttpResponse(200, body=b"doc")
+
+
+def http_record(delegation, server_kp, alice_kp, rng):
+    issuer = KeyPrincipal(server_kp.public)
+    servlet = _DocServlet(issuer, b"svc", TrustEnvironment())
+    prover = alice_prover(delegation, alice_kp, rng)
+    request = HttpRequest("GET", "/doc")
+    subject = HashPrincipal(request.hash())
+    min_tag = Tag.exactly(web_request_sexp(request, b"svc"))
+    proof = prover.prove(subject, issuer, min_tag=min_tag)
+    request.headers.set(
+        "Authorization",
+        "SnowflakeProof %s" % to_transport(proof.to_sexp()).decode("ascii"),
+    )
+    assert servlet.service(request).status == 200
+    return servlet.guard.audit.records[-1]
+
+
+def rmi_record(delegation, server_kp, alice_kp, host_kp, rng):
+    net = Network()
+    server = RmiServer(net, "svc.addr", host_kp)
+    issuer = KeyPrincipal(server_kp.public)
+    server.export(RemoteObject("obj", issuer, {"ping": lambda: "pong"}))
+    prover = alice_prover(delegation, alice_kp, rng)
+    identity = ClientIdentity(prover, alice_kp)
+    registry = Registry()
+    registry.bind("obj", "svc.addr", "obj", host_kp.public)
+    stub = registry.connect(net, "obj", alice_kp, identity=identity, rng=rng)
+    assert stub.invoke("ping").text() == "pong"
+    return server.audit.records[-1]
+
+
+def smtp_record(delegation, server_kp, alice_kp, rng):
+    net = Network()
+    issuer = KeyPrincipal(server_kp.public)
+    server = SnowflakeSmtpServer(
+        "mail.example",
+        lambda mailbox: issuer if mailbox == "bob" else None,
+        TrustEnvironment(),
+    )
+    net.listen("mail.example", server)
+    client = SnowflakeSmtpClient(
+        net, "mail.example", alice_prover(delegation, alice_kp, rng)
+    )
+    client.helo()
+    assert client.send("alice@a.example", "bob", b"Subject: hi\r\n\r\nx").startswith("250")
+    return server.guard.audit.records[-1]
+
+
+class TestCrossTransportAudit:
+    def test_same_chain_same_shape_everywhere(
+        self, delegation, server_kp, alice_kp, host_kp, rng
+    ):
+        records = {
+            "http": http_record(delegation, server_kp, alice_kp, rng),
+            "rmi": rmi_record(delegation, server_kp, alice_kp, host_kp, rng),
+            "smtp": smtp_record(delegation, server_kp, alice_kp, rng),
+        }
+        issuer = KeyPrincipal(server_kp.public)
+        client = KeyPrincipal(alice_kp.public)
+        shapes = {
+            name: normalized_skeleton(record)
+            for name, record in records.items()
+        }
+        assert shapes["http"] == shapes["rmi"] == shapes["smtp"], shapes
+        # The delegation lemma (Alice's certificate) is byte-identical in
+        # all three trails.
+        digest_sets = [
+            shared_cert_digests(record, client, issuer)
+            for record in records.values()
+        ]
+        assert digest_sets[0] and digest_sets[0] == digest_sets[1] == digest_sets[2]
+        # Every record names its transport and the shared principals.
+        for name, record in records.items():
+            assert record.transport == name
+            involved = record.involved_principals()
+            assert client in involved and issuer in involved
+
+    def test_all_transports_audit_via_derived_says(
+        self, delegation, server_kp, alice_kp, host_kp, rng
+    ):
+        for record in (
+            http_record(delegation, server_kp, alice_kp, rng),
+            rmi_record(delegation, server_kp, alice_kp, host_kp, rng),
+            smtp_record(delegation, server_kp, alice_kp, rng),
+        ):
+            skeleton = proof_skeleton(record.proof)
+            assert skeleton[0] == "derived-says"
+
+
+class TestGatewayQuotingAudit:
+    def test_quoting_involvement_in_db_audit(
+        self, host_kp, server_kp, gateway_kp, alice_kp, rng
+    ):
+        """The gateway-mediated access leaves the quoting chain in the
+        database's audit record and an authentication record at the
+        gateway's own guard — uniform trails at both hops."""
+        from repro.apps.emaildb import EmailDatabaseServer
+        from repro.apps.gateway import QuotingGateway
+        from repro.core.principals import QuotingPrincipal
+        from repro.http import HttpServer
+        from repro.http.proxy import SnowflakeProxy
+        from repro.net.secure import SecureChannelClient
+
+        net = Network()
+        rmi = RmiServer(net, "db.addr", host_kp)
+        email = EmailDatabaseServer(rmi, server_kp)
+        email.messages.insert(
+            {"mailbox": "alice", "sender": "c", "subject": "s",
+             "body": "b", "unread": True}
+        )
+        gw_prover = Prover()
+        gw_prover.control(KeyClosure(gateway_kp, rng))
+        gw_identity = ClientIdentity(gw_prover, gateway_kp)
+        gw_channel = SecureChannelClient(
+            net.connect("db.addr"), gateway_kp, host_kp.public, rng=rng
+        )
+        gateway = QuotingGateway(gw_channel, gw_identity)
+        http = HttpServer()
+        http.mount("/", gateway)
+        net.listen("gw.addr", http)
+
+        prover = Prover()
+        prover.add_certificate(
+            Certificate.issue(
+                server_kp, KeyPrincipal(alice_kp.public),
+                email.mailbox_tag("alice"), rng=rng,
+            )
+        )
+        proxy = SnowflakeProxy(net, prover, alice_kp, rng=rng)
+        assert proxy.get("gw.addr", "/mail/alice").status == 200
+
+        G = KeyPrincipal(gateway_kp.public)
+        A = KeyPrincipal(alice_kp.public)
+        db_record = rmi.audit.records[-1]
+        assert db_record.transport == "rmi"
+        assert QuotingPrincipal(G, A) in db_record.involved_principals()
+        # The quoting lift appears in the tree itself.
+        assert "quoting-left" in _flatten_rules(db_record.skeleton())
+        # The gateway's guard holds the matching authentication record.
+        gw_records = gateway.guard.audit.involving(A)
+        assert gw_records and gw_records[-1].transport == "http"
+
+
+def _flatten_rules(skeleton):
+    rules = [skeleton[0]]
+    for child in skeleton[1:]:
+        rules.extend(_flatten_rules(child))
+    return rules

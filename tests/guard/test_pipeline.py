@@ -1,0 +1,361 @@
+"""Unit tests for the transport-agnostic guard pipeline."""
+
+import pytest
+
+from repro.core.errors import AuthorizationError, NeedAuthorizationError
+from repro.core.principals import (
+    ChannelPrincipal,
+    HashPrincipal,
+    KeyPrincipal,
+    MacPrincipal,
+)
+from repro.core.proofs import PremiseStep, SignedCertificateStep
+from repro.core.rules import TransitivityStep
+from repro.core.statements import SpeaksFor
+from repro.crypto.hashes import HashValue
+from repro.guard import (
+    ChannelCredential,
+    Guard,
+    GuardRequest,
+    ProofCredential,
+    SessionCredential,
+    SessionRegistry,
+)
+from repro.net.trust import TrustEnvironment
+from repro.prover import Prover
+from repro.sexp import sexp, to_canonical, to_transport
+from repro.sim import Meter, SimClock
+from repro.spki import Certificate
+from repro.tags import Tag
+
+REQUEST = ["invoke", ["object", "o"], ["method", "m"], ["args"]]
+
+
+@pytest.fixture()
+def world(server_kp, alice_kp, rng):
+    clock = SimClock()
+    trust = TrustEnvironment(clock=clock)
+    meter = Meter()
+    guard = Guard(trust, meter=meter)
+    issuer = KeyPrincipal(server_kp.public)
+    channel = ChannelPrincipal.of_secret(b"session")
+    client = KeyPrincipal(alice_kp.public)
+    premise = SpeaksFor(channel, client, Tag.all())
+    trust.vouch(premise)
+    chain = TransitivityStep(
+        PremiseStep(premise),
+        SignedCertificateStep(
+            Certificate.issue(server_kp, client, Tag.all(), rng=rng)
+        ),
+    )
+    return {
+        "clock": clock,
+        "trust": trust,
+        "meter": meter,
+        "guard": guard,
+        "issuer": issuer,
+        "channel": channel,
+        "client": client,
+        "premise": premise,
+        "chain": chain,
+    }
+
+
+def channel_request(world, logical=REQUEST):
+    return GuardRequest(
+        logical,
+        issuer=world["issuer"],
+        credential=ChannelCredential(world["channel"]),
+        transport="rmi",
+    )
+
+
+class TestStages:
+    def test_no_credential_denied(self, world):
+        with pytest.raises(AuthorizationError):
+            world["guard"].check(GuardRequest(REQUEST, issuer=world["issuer"]))
+
+    def test_unproven_speaker_challenged_with_min_tag(self, world):
+        with pytest.raises(NeedAuthorizationError) as excinfo:
+            world["guard"].check(channel_request(world))
+        assert excinfo.value.issuer == world["issuer"]
+        assert excinfo.value.tag.matches(sexp(REQUEST))
+        assert world["guard"].stats["challenges"] == 1
+
+    def test_cache_stage_grants_after_submission(self, world):
+        guard = world["guard"]
+        guard.submit_proof(to_canonical(world["chain"].to_sexp()))
+        decision = guard.check(channel_request(world))
+        assert decision.granted and decision.stage == "cache"
+        assert decision.via == "channel"
+        assert decision.record.transport == "rmi"
+        assert guard.stats["cache_hits"] == 1
+
+    def test_prover_stage_composes_from_digested_delegations(self, world):
+        guard = Guard(
+            world["trust"], prover=Prover(), check_charge=None
+        )
+        guard.prover.add_proof(world["chain"])  # digested into the graph
+        decision = guard.check(channel_request(world))
+        assert decision.granted and decision.stage == "prover"
+        # The composed proof was cached: next time is a cache hit.
+        decision = guard.check(channel_request(world))
+        assert decision.stage == "cache"
+
+    def test_closed_channel_stops_revalidating(self, world):
+        guard = world["guard"]
+        guard.submit_proof(to_canonical(world["chain"].to_sexp()))
+        assert guard.check(channel_request(world)).granted
+        # The channel closes: its binding premise is retracted, and the
+        # cached chain leaning on it must stop authorizing immediately.
+        guard.close_channel(world["premise"])
+        with pytest.raises(NeedAuthorizationError):
+            guard.check(channel_request(world))
+
+    def test_expired_conclusion_retracted_from_cache(self, world, server_kp,
+                                                     alice_kp, rng):
+        from repro.core.statements import Validity
+
+        guard = world["guard"]
+        chain = TransitivityStep(
+            PremiseStep(world["premise"]),
+            SignedCertificateStep(
+                Certificate.issue(
+                    server_kp, world["client"], Tag.all(),
+                    validity=Validity(0, 10), rng=rng,
+                )
+            ),
+        )
+        guard.submit_proof(to_canonical(chain.to_sexp()))
+        assert guard.check(channel_request(world)).granted
+        world["clock"].advance(100.0)
+        with pytest.raises(NeedAuthorizationError):
+            guard.check(channel_request(world))
+        assert guard.cached_proof_count() == 0
+
+
+class TestProofCredential:
+    def test_subject_binding_enforced(self, world, server_kp, rng):
+        subject = HashPrincipal(HashValue.of_bytes(b"message"))
+        cert = Certificate.issue(server_kp, subject, Tag.all(), rng=rng)
+        proof = SignedCertificateStep(cert)
+        wrong = HashPrincipal(HashValue.of_bytes(b"other message"))
+        with pytest.raises(AuthorizationError):
+            world["guard"].check(
+                GuardRequest(
+                    REQUEST,
+                    issuer=world["issuer"],
+                    credential=ProofCredential(wrong, node=proof.to_sexp()),
+                    transport="smtp",
+                )
+            )
+
+    def test_bound_proof_grants_and_dedups(self, world, server_kp, rng):
+        guard = world["guard"]
+        subject = HashPrincipal(HashValue.of_bytes(b"message"))
+        cert = Certificate.issue(server_kp, subject, Tag.all(), rng=rng)
+        node = SignedCertificateStep(cert).to_sexp()
+
+        def request():
+            return GuardRequest(
+                REQUEST,
+                issuer=world["issuer"],
+                credential=ProofCredential(subject, node=node),
+                transport="smtp",
+            )
+
+        assert guard.check(request()).granted
+        assert guard.check(request()).granted
+        # Digest-level dedup: the same proof wire lands in one cache slot.
+        assert guard.cached_proof_count() == 1
+        assert guard.cache.stats["dedup_hits"] >= 1
+
+
+class TestSessionCredential:
+    def test_fast_path_steady_state(self, world, server_kp, rng):
+        guard = world["guard"]
+        mac_id, mac_key = guard.sessions.mint(rng)
+        principal = MacPrincipal(mac_key.fingerprint())
+        chain = SignedCertificateStep(
+            Certificate.issue(server_kp, principal, Tag.all(), rng=rng)
+        )
+        message = b"GET /doc"
+
+        def request(proof_wire=None):
+            return GuardRequest(
+                REQUEST,
+                issuer=world["issuer"],
+                credential=SessionCredential(
+                    mac_id, mac_key.tag(message), message,
+                    proof_wire=proof_wire,
+                ),
+                transport="http",
+            )
+
+        first = guard.check(
+            request(to_transport(chain.to_sexp()).decode("ascii"))
+        )
+        assert first.granted and first.via == "session"
+        steady = guard.check(request())
+        assert steady.granted and steady.stage == "cache"
+        assert guard.stats["admission_session"] == 2
+
+    def test_bad_tag_denied(self, world, rng):
+        guard = world["guard"]
+        mac_id, mac_key = guard.sessions.mint(rng)
+        with pytest.raises(AuthorizationError):
+            guard.check(
+                GuardRequest(
+                    REQUEST,
+                    issuer=world["issuer"],
+                    credential=SessionCredential(
+                        mac_id, b"\x00" * 16, b"message"
+                    ),
+                    transport="http",
+                )
+            )
+
+    def test_registry_is_lru_bounded(self, rng):
+        registry = SessionRegistry(max_sessions=4)
+        for _ in range(10):
+            registry.mint(rng)
+        assert registry.count() == 4
+        assert registry.stats["evictions"] == 6
+
+
+class TestCheckMany:
+    def test_batch_charges_checkauth_once(self, world):
+        guard = world["guard"]
+        guard.submit_proof(to_canonical(world["chain"].to_sexp()))
+        before = world["meter"].counts().get("rmi_checkauth", 0)
+        decisions = guard.check_many([channel_request(world) for _ in range(16)])
+        assert all(decision.granted for decision in decisions)
+        assert world["meter"].counts()["rmi_checkauth"] == before + 1
+
+    def test_failures_do_not_interrupt_the_batch(self, world):
+        guard = world["guard"]
+        guard.submit_proof(to_canonical(world["chain"].to_sexp()))
+        stranger = ChannelPrincipal.of_secret(b"unproven")
+        batch = [
+            channel_request(world),
+            GuardRequest(
+                REQUEST,
+                issuer=world["issuer"],
+                credential=ChannelCredential(stranger),
+                transport="rmi",
+            ),
+            channel_request(world),
+        ]
+        granted, denied, granted_too = guard.check_many(batch)
+        assert granted.granted and granted_too.granted
+        assert not denied.granted
+        assert isinstance(denied.error, NeedAuthorizationError)
+
+    def test_unverifiable_credential_does_not_abort_the_batch(
+        self, world, server_kp, alice_kp, rng
+    ):
+        """A proof credential that fails verification (unvouched premise)
+        yields a denied decision, not an escaped exception."""
+        guard = world["guard"]
+        guard.submit_proof(to_canonical(world["chain"].to_sexp()))
+        unvouched = PremiseStep(
+            SpeaksFor(
+                HashPrincipal(HashValue.of_bytes(b"m")),
+                world["issuer"],
+                Tag.all(),
+            )
+        )
+        bad = GuardRequest(
+            REQUEST,
+            issuer=world["issuer"],
+            credential=ProofCredential(
+                HashPrincipal(HashValue.of_bytes(b"m")),
+                node=unvouched.to_sexp(),
+            ),
+            transport="smtp",
+        )
+        granted, denied = guard.check_many([channel_request(world), bad])
+        assert granted.granted
+        assert not denied.granted
+        assert isinstance(denied.error, AuthorizationError)
+
+    def test_batch_audits_each_grant(self, world):
+        guard = world["guard"]
+        guard.submit_proof(to_canonical(world["chain"].to_sexp()))
+        guard.check_many([channel_request(world) for _ in range(4)])
+        assert len(guard.audit) == 4
+        assert len(guard.audit.by_transport("rmi")) == 4
+
+
+class TestCredentialFailureMapping:
+    def test_unverifiable_proof_is_a_denial_not_a_fault(self, world):
+        """check() maps verification failures of client-supplied proofs
+        to AuthorizationError, which HTTP/SMTP frame as 403/554 instead
+        of a 500."""
+        subject = HashPrincipal(HashValue.of_bytes(b"m"))
+        unvouched = PremiseStep(
+            SpeaksFor(subject, world["issuer"], Tag.all())
+        )
+        with pytest.raises(AuthorizationError):
+            world["guard"].check(
+                GuardRequest(
+                    REQUEST,
+                    issuer=world["issuer"],
+                    credential=ProofCredential(subject, node=unvouched.to_sexp()),
+                    transport="http",
+                )
+            )
+        assert world["guard"].stats["denials"] == 1
+
+    def test_utterances_do_not_grow_the_premise_set(self, world):
+        """Per-request Says statements live on the decision's context
+        snapshot; the durable TrustEnvironment stays bounded."""
+        guard = world["guard"]
+        guard.submit_proof(to_canonical(world["chain"].to_sexp()))
+        before = len(world["trust"])
+        for index in range(8):
+            assert guard.check(
+                channel_request(world, ["invoke", ["object", "o-%d" % index]])
+            ).granted
+        assert len(world["trust"]) == before
+
+
+class TestLegacySurface:
+    def test_check_auth_returns_derived_proof(self, world):
+        from repro.core.statements import Says
+
+        guard = world["guard"]
+        guard.submit_proof(to_canonical(world["chain"].to_sexp()))
+        derived = guard.check_auth(world["channel"], world["issuer"], REQUEST)
+        assert derived.conclusion == Says(world["issuer"], sexp(REQUEST))
+
+    def test_forget_and_count(self, world):
+        guard = world["guard"]
+        guard.submit_proof(to_canonical(world["chain"].to_sexp()))
+        assert guard.cached_proof_count() == 1
+        guard.forget_proofs()
+        assert guard.cached_proof_count() == 0
+
+
+class TestSharedGuardAdoption:
+    def test_gateway_adopts_identity_prover(self, world, alice_kp, rng):
+        """An injected shared guard without a prover gets the gateway
+        identity's delegation graph instead of crashing later."""
+        from repro.apps.gateway import QuotingGateway
+        from repro.prover import KeyClosure
+        from repro.rmi.invoker import ClientIdentity
+
+        prover = Prover()
+        prover.control(KeyClosure(alice_kp, rng))
+        identity = ClientIdentity(prover, alice_kp)
+        shared = Guard(world["trust"], check_charge=None)
+        gateway = QuotingGateway(object(), identity, guard=shared)
+        assert gateway.guard.prover is prover
+
+    def test_session_adoption_preserves_minted_grants(self, rng):
+        """Re-pointing a front at a shared registry keeps its sessions."""
+        ours = SessionRegistry()
+        mac_id, _ = ours.mint(rng)
+        shared = SessionRegistry()
+        shared.adopt(ours)
+        assert shared.get(mac_id) is not None

@@ -144,3 +144,29 @@ class TestMacRequests:
         request = HttpRequest("GET", "/doc")
         request.headers.set("Authorization", "SnowflakeMac onlyonepart")
         assert servlet.service(request).status == 403
+
+
+class TestSharedGuardWiring:
+    def test_explicit_guard_adopts_one_session_table(self, server_kp, alice_kp,
+                                                     rng):
+        """Passing both an explicit (shared) guard and a MAC manager must
+        leave exactly one session registry: grants minted through the
+        manager verify at the guard."""
+        from repro.guard import Guard
+
+        trust = TrustEnvironment()
+        shared = Guard(trust, check_charge=None)
+        manager = MacSessionManager(trust, rng)
+        issuer = KeyPrincipal(server_kp.public)
+        servlet = _DocServlet(
+            issuer, b"svc", trust, mac_sessions=manager, guard=shared
+        )
+        assert manager.registry is shared.sessions
+        request = HttpRequest("GET", "/doc")
+        request.headers.set(
+            "Sf-Mac-Request",
+            to_transport(alice_kp.public.to_sexp()).decode("ascii"),
+        )
+        grant = servlet.service(request).headers.get("Sf-Mac-Grant")
+        mac_key = unseal_grant(grant, alice_kp.private)
+        assert shared.sessions.get(mac_key.fingerprint().digest.hex()) is not None

@@ -176,3 +176,22 @@ class TestMetering:
         # One record charge per round trip (server side), avoiding
         # double-counting on the shared single-machine meter.
         assert meter.counts()["rmi_ssh_record"] == before + 1
+
+
+class TestPremiseHygiene:
+    def test_close_retracts_delivered_utterances(self, stack, alice_kp,
+                                                 host_kp, rng):
+        """A connection's per-request utterance premises are withdrawn at
+        teardown, so the trust environment is bounded by live traffic."""
+        net, trust, _ = stack
+        channel = open_channel(stack, alice_kp, host_kp, rng)
+        channel.request(sexp(["ping"]))
+        channel.request(sexp(["pong"]))
+        assert trust.vouches_for(Says(channel.channel_principal, sexp(["ping"])))
+        channel.close()
+        assert not trust.vouches_for(
+            Says(channel.channel_principal, sexp(["ping"]))
+        )
+        assert not trust.vouches_for(
+            Says(channel.channel_principal, sexp(["pong"]))
+        )
