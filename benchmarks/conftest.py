@@ -1,11 +1,22 @@
 """Shared benchmark fixtures: a deterministic key pool (keygen is the one
-slow primitive and is not what any figure measures)."""
+slow primitive and is not what any figure measures).
+
+Everything under ``benchmarks/`` carries the ``benchmark`` marker:
+tier-1 already excludes the directory via ``testpaths``, and the marker
+lets CI (or a developer) select exactly the benchmark harnesses with
+``-m benchmark`` when running them deliberately.
+"""
 
 import random
 
 import pytest
 
 from repro.crypto import generate_keypair
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.benchmark)
 
 
 @pytest.fixture(scope="session")

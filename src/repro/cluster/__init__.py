@@ -1,0 +1,53 @@
+"""A sharded, replicated authorization cluster.
+
+The paper's end-to-end model puts one guard in front of one resource;
+this package scales that guard horizontally for the ROADMAP's
+millions-of-users target.  Requests shard by *speaker fingerprint* on a
+consistent-hash ring (:mod:`repro.cluster.ring`), each shard served by a
+:class:`GuardNode` wrapping its own :class:`~repro.guard.Guard`, session
+registry, prover, and meter.  Membership — join, leave, fail, heartbeat
+sweep — is explicit and clock-injected (:mod:`repro.cluster.membership`);
+an invalidation bus (:mod:`repro.cluster.bus`) broadcasts delegation
+retractions, channel closes, and revocations so no replica's caches
+outlive a justification; and a batch dispatcher
+(:mod:`repro.cluster.dispatch`) rides ``Guard.check_many`` so each shard
+pays one premise snapshot and one meter charge per batch.
+
+The speaks-for model is what makes all of this safe: a proof is valid
+wherever the premise set is held, so any node can verify any request
+its shard receives — see ``docs/cluster.md``.
+"""
+
+from repro.cluster.bus import InvalidationBus, InvalidationEvent
+from repro.cluster.dispatch import AuthCluster, BatchDispatcher
+from repro.cluster.membership import (
+    FAILED,
+    LEFT,
+    UP,
+    ClusterMembership,
+    MembershipEvent,
+)
+from repro.cluster.ring import (
+    GuardNode,
+    HashRing,
+    principal_fingerprint,
+    routing_key,
+    session_routing_key,
+)
+
+__all__ = [
+    "AuthCluster",
+    "BatchDispatcher",
+    "ClusterMembership",
+    "MembershipEvent",
+    "UP",
+    "LEFT",
+    "FAILED",
+    "InvalidationBus",
+    "InvalidationEvent",
+    "GuardNode",
+    "HashRing",
+    "principal_fingerprint",
+    "routing_key",
+    "session_routing_key",
+]

@@ -1,0 +1,359 @@
+"""Shard-aware dispatch: one mixed request stream, one batch per shard.
+
+``BatchDispatcher`` is the data plane: it groups a heterogeneous stream
+of :class:`GuardRequest`\\ s by owning node and rides
+``Guard.check_many()``, so each shard pays one trusted-premise snapshot
+and one metered ``checkAuth`` charge per batch instead of one per
+request — the cluster-scale version of the batching the guard already
+does for a single process.
+
+``AuthCluster`` is the control plane and the subsystem's facade: it owns
+the shared clock, the membership table, the invalidation bus, the
+replicated delegation set, and the session directory used to re-mint a
+failed node's sessions onto their new owners on first miss.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.bus import InvalidationBus
+from repro.cluster.membership import ClusterMembership
+from repro.cluster.ring import (
+    GuardNode,
+    HashRing,
+    principal_fingerprint,
+    routing_key,
+    session_routing_key,
+)
+from repro.core.principals import Principal
+from repro.core.proofs import Proof, proof_cites_serial
+from repro.core.statements import SpeaksFor
+from repro.crypto.mac import MacKey
+from repro.crypto.rng import default_rng
+from repro.guard.pipeline import GuardDecision
+from repro.guard.request import GuardRequest, SessionCredential
+from repro.sim.clock import SimClock
+
+
+class BatchDispatcher:
+    """Group a request stream per shard and batch-verify each group.
+
+    Decisions come back in the original stream order, and a failed
+    request never interrupts its batch (``check_many`` semantics), so a
+    caller cannot tell how the stream was partitioned — only the meters
+    can.
+    """
+
+    def __init__(self, membership: ClusterMembership):
+        self.membership = membership
+        self.stats = {"dispatches": 0, "requests": 0, "shard_batches": 0}
+
+    def dispatch(self, requests, prepare=None) -> List[GuardDecision]:
+        """``prepare``, if given, runs as ``prepare(request, node)`` once
+        per request while the shard is being resolved (the cluster hangs
+        session re-minting here so routing happens exactly once)."""
+        requests = list(requests)
+        groups: "OrderedDict[str, Tuple[GuardNode, List[int]]]" = OrderedDict()
+        for index, request in enumerate(requests):
+            node = self.membership.node_for(routing_key(request))
+            if prepare is not None:
+                prepare(request, node)
+            entry = groups.get(node.node_id)
+            if entry is None:
+                groups[node.node_id] = (node, [index])
+            else:
+                entry[1].append(index)
+        decisions: List[Optional[GuardDecision]] = [None] * len(requests)
+        for node, indices in groups.values():
+            batch = node.check_many([requests[i] for i in indices])
+            for i, decision in zip(indices, batch):
+                decisions[i] = decision
+        self.stats["dispatches"] += 1
+        self.stats["requests"] += len(requests)
+        self.stats["shard_batches"] += len(groups)
+        return decisions  # type: ignore[return-value]
+
+
+class AuthCluster:
+    """A sharded, replicated authorization cluster.
+
+    - **sharding**: requests route by speaker fingerprint on a
+      consistent-hash ring; each node's guard keeps local caches exactly
+      as a single-process guard would;
+    - **replication**: delegations added through the cluster are digested
+      into *every* node's prover (the speaks-for model makes any replica
+      able to verify any proof), and new nodes receive the current set at
+      join;
+    - **invalidation**: retractions, channel closes, and revocations are
+      applied locally, then broadcast on the bus; one ``deliver()`` round
+      purges every other node's dependent cache entries and shortcuts;
+    - **failure**: a failed node's shards reassign by ring arithmetic;
+      its MAC sessions re-mint onto the new owners from the cluster
+      directory on first miss, carrying their original mint stamp so
+      the absolute TTL never restarts.
+    """
+
+    def __init__(
+        self,
+        node_count: int = 1,
+        clock: Optional[SimClock] = None,
+        vnodes: int = 64,
+        heartbeat_timeout: float = 30.0,
+        session_ttl: Optional[float] = None,
+        directory_cap: int = 4096,
+        check_charge: Optional[str] = "rmi_checkauth",
+    ):
+        self.clock = clock if clock is not None else SimClock()
+        self.bus = InvalidationBus()
+        self.membership = ClusterMembership(
+            clock=self.clock,
+            ring=HashRing(vnodes=vnodes),
+            heartbeat_timeout=heartbeat_timeout,
+        )
+        self.dispatcher = BatchDispatcher(self.membership)
+        self.session_ttl = session_ttl
+        self.directory_cap = directory_cap
+        self.check_charge = check_charge
+        self._next_node = 0
+        self._delegations: Dict[bytes, Proof] = {}
+        # mac_id -> (secret, mint stamp); LRU-bounded by directory_cap.
+        # The directory is the failover escrow, not an authority grant:
+        # entries expire on the cluster TTL exactly as registry entries
+        # do, so a re-mint can never outlive the original session.
+        self._session_directory: "OrderedDict[str, Tuple[MacKey, float]]" = (
+            OrderedDict()
+        )
+        self.stats = {
+            "checks": 0,
+            "batches": 0,
+            "sessions_minted": 0,
+            "sessions_reminted": 0,
+            "sessions_unescrowed": 0,
+            "delegations_added": 0,
+            "delegations_retracted": 0,
+            "serials_revoked": 0,
+            "channels_opened": 0,
+            "channels_closed": 0,
+        }
+        for _ in range(node_count):
+            self.add_node()
+
+    # -- membership --------------------------------------------------------
+
+    def add_node(self, node_id: Optional[str] = None) -> GuardNode:
+        """Join a fresh node: wire it to the bus, replay the replicated
+        delegation set into its prover, and take its ring points.  This
+        is the whole "adding a node" recipe — shards move to it by ring
+        arithmetic on the next request."""
+        if node_id is None:
+            node_id = "node-%d" % self._next_node
+            self._next_node += 1
+        node = GuardNode(
+            node_id,
+            clock=self.clock,
+            session_ttl=self.session_ttl,
+            check_charge=self.check_charge,
+        )
+        node.guard.invalidation_hooks.append(
+            lambda kind, payload, _origin=node_id: self.bus.publish(
+                kind, payload, origin=_origin
+            )
+        )
+        self.bus.subscribe(node)
+        for proof in self._delegations.values():
+            node.guard.digest_delegation(proof)
+        self.membership.join(node)
+        return node
+
+    def remove_node(self, node_id: str) -> GuardNode:
+        """Graceful leave: shards reassign; the departing node stops
+        receiving bus traffic."""
+        node = self.membership.leave(node_id)
+        self.bus.unsubscribe(node_id)
+        return node
+
+    def fail_node(self, node_id: str) -> GuardNode:
+        """Declare a node dead (operator-driven; the heartbeat sweep is
+        the detector-driven path)."""
+        node = self.membership.fail(node_id)
+        self.bus.unsubscribe(node_id)
+        return node
+
+    def sweep_failures(self) -> List[str]:
+        """Run the heartbeat failure detector; unsubscribe the lapsed."""
+        lapsed = self.membership.sweep()
+        for node_id in lapsed:
+            self.bus.unsubscribe(node_id)
+        return lapsed
+
+    def nodes(self) -> List[GuardNode]:
+        return self.membership.alive()
+
+    def node_for_speaker(self, principal: Principal) -> GuardNode:
+        return self.membership.node_for(principal_fingerprint(principal))
+
+    def _via(self, node_id: Optional[str]) -> GuardNode:
+        if node_id is None:
+            nodes = self.membership.alive()
+            if not nodes:
+                raise LookupError("the cluster has no live nodes")
+            return nodes[0]
+        node = self.membership.get(node_id)
+        if node is None:
+            raise LookupError("unknown node %r" % node_id)
+        return node
+
+    # -- replicated delegations and invalidation ---------------------------
+
+    def add_delegation(self, proof: Proof) -> None:
+        """Digest a delegation into every live node's prover.  Any replica
+        can then complete proofs over it — the property that makes
+        speaker-sharding safe."""
+        self._delegations[proof.digest()] = proof
+        for node in self.membership.alive():
+            node.guard.digest_delegation(proof)
+        self.stats["delegations_added"] += 1
+
+    def retract_delegation(self, proof_or_digest, via: Optional[str] = None) -> int:
+        """Retract a delegation *on one node*; the node's invalidation
+        hook broadcasts it, and the next bus round purges the rest of the
+        cluster.  Returns entries dropped on the originating node."""
+        digest = (
+            proof_or_digest
+            if isinstance(proof_or_digest, bytes)
+            else proof_or_digest.digest()
+        )
+        # Resolve the originating node before touching the replicated
+        # set: a bad `via` must fail with the cluster state unchanged.
+        origin = self._via(via)
+        self._delegations.pop(digest, None)
+        removed = origin.guard.retract_delegation(digest)
+        self.stats["delegations_retracted"] += 1
+        return removed
+
+    def revoke_serial(self, serial: bytes, via: Optional[str] = None) -> int:
+        """Feed a revocation event in at one node; the bus spreads it.
+
+        The revoked authority also leaves the replicated delegation set,
+        so a node joining after the revocation is not handed it back at
+        replay.
+        """
+        origin = self._via(via)
+        self._delegations = {
+            digest: proof
+            for digest, proof in self._delegations.items()
+            if not proof_cites_serial(proof, serial)
+        }
+        removed = origin.guard.revoke_serial(serial)
+        self.stats["serials_revoked"] += 1
+        return removed
+
+    def deliver(self) -> int:
+        """Pump one invalidation-bus round."""
+        return self.bus.deliver()
+
+    # -- channels and sessions ---------------------------------------------
+
+    def open_channel(
+        self, channel_principal: Principal, bound_principal: Principal
+    ) -> SpeaksFor:
+        """Vouch a completed key exchange on the channel's owning node
+        (connections terminate at exactly one node, so the premise lives
+        only there)."""
+        owner = self.node_for_speaker(channel_principal)
+        premise = owner.guard.open_channel(channel_principal, bound_principal)
+        self.stats["channels_opened"] += 1
+        return premise
+
+    def close_channel(self, premise: SpeaksFor) -> None:
+        """Close on the current owner; the broadcast reaches any node
+        that held dependent state under an older ring layout."""
+        owner = self.node_for_speaker(premise.subject)
+        owner.guard.close_channel(premise)
+        self.stats["channels_closed"] += 1
+
+    def mint_session(self, rng=None) -> Tuple[str, MacKey]:
+        """Mint a MAC session on its owning node and escrow the secret in
+        the cluster directory (the failover source of truth)."""
+        mac_key = MacKey.generate(default_rng(rng))
+        mac_id = mac_key.fingerprint().digest.hex()
+        minted_at = self.clock.now()
+        owner = self.membership.node_for(session_routing_key(mac_id))
+        owner.guard.sessions.install(mac_id, mac_key, minted_at=minted_at)
+        self._session_directory[mac_id] = (mac_key, minted_at)
+        self._session_directory.move_to_end(mac_id)
+        while len(self._session_directory) > self.directory_cap:
+            # A capped-out escrow entry may cover a still-valid session:
+            # that session keeps working on its owner but can no longer
+            # fail over.  The counter makes an undersized cap visible.
+            self._session_directory.popitem(last=False)
+            self.stats["sessions_unescrowed"] += 1
+        self.stats["sessions_minted"] += 1
+        return mac_id, mac_key
+
+    def _ensure_session(self, request: GuardRequest, owner: GuardNode) -> None:
+        """Re-mint a directory session onto its current owner on first
+        miss — the lazy half of failure rebalancing.  The re-mint carries
+        the original mint stamp, so the session's absolute TTL holds
+        across any number of owner changes."""
+        credential = request.credential
+        if not isinstance(credential, SessionCredential):
+            return
+        # Steady state short-circuits on the owner's registry alone; the
+        # escrow directory is only consulted on a miss (mint, failover,
+        # rebalance, or a genuinely unknown id).
+        if owner.guard.sessions.get(credential.session_id) is not None:
+            return
+        entry = self._session_directory.get(credential.session_id)
+        if entry is None:
+            return
+        mac_key, minted_at = entry
+        if (
+            self.session_ttl is not None
+            and self.clock.now() - minted_at > self.session_ttl
+        ):
+            del self._session_directory[credential.session_id]
+            return
+        self._session_directory.move_to_end(credential.session_id)
+        owner.guard.sessions.install(
+            credential.session_id, mac_key, minted_at=minted_at
+        )
+        self.stats["sessions_reminted"] += 1
+
+    # -- the data plane ----------------------------------------------------
+
+    def check(self, request: GuardRequest) -> GuardDecision:
+        """Route one request to its shard and run the guard pipeline
+        there (raising exactly as ``Guard.check`` does)."""
+        self.stats["checks"] += 1
+        owner = self.membership.node_for(routing_key(request))
+        self._ensure_session(request, owner)
+        return owner.check(request)
+
+    def check_many(self, requests) -> List[GuardDecision]:
+        """Batch-dispatch a mixed stream: one ``check_many`` call — one
+        premise snapshot, one checkAuth charge — per shard touched."""
+        self.stats["batches"] += 1
+        return self.dispatcher.dispatch(requests, prepare=self._ensure_session)
+
+    # -- introspection -----------------------------------------------------
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """Every counter in the subsystem, one JSON-friendly tree (the
+        ``repro.tools stats`` command dumps this)."""
+        return {
+            "cluster": dict(self.stats),
+            "membership": dict(self.membership.stats),
+            "dispatch": dict(self.dispatcher.stats),
+            "bus": dict(self.bus.stats),
+            "ring": {
+                "nodes": self.membership.ring.nodes(),
+                "vnodes": self.membership.ring.vnodes,
+            },
+            "nodes": {
+                node.node_id: node.stats()
+                for node in self.membership.alive()
+            },
+        }

@@ -1,0 +1,167 @@
+"""Cluster membership: who is on the ring, and what happens when that
+changes.
+
+Membership is explicit, as the cluster-computing literature prescribes:
+nodes *join* (and take their ring points), *leave* gracefully, or are
+declared *failed* — either by the operator or by the heartbeat sweep.
+All timing runs on an injected :class:`~repro.sim.clock.SimClock`; the
+wall clock never appears, so failure detection is deterministic in tests
+and benchmarks.
+
+Rebalancing is a property of the consistent-hash ring, not a procedure:
+removing a node's points reassigns exactly its shards to the surviving
+successors, and no state is copied at failure time.  What a failed
+node's shards lose is re-established lazily on first miss by the
+dispatch layer: MAC sessions re-mint from the cluster directory and
+cached proofs re-derive from the replicated delegation graph.  Channel
+premises are the deliberate exception — a connection terminates at
+exactly one node, so its premise dies with that node and the client
+reconnects and re-vouches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.ring import GuardNode, HashRing
+from repro.sim.clock import SimClock
+
+#: Node lifecycle states.
+UP = "up"
+LEFT = "left"
+FAILED = "failed"
+
+
+class MembershipEvent:
+    """One membership transition, stamped with the cluster clock."""
+
+    __slots__ = ("when", "action", "node_id")
+
+    def __init__(self, when: float, action: str, node_id: str):
+        self.when = when
+        self.action = action  # "join" | "leave" | "fail"
+        self.node_id = node_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "MembershipEvent(%.3f %s %s)" % (
+            self.when, self.action, self.node_id,
+        )
+
+
+class ClusterMembership:
+    """The node table, the ring, and the failure detector.
+
+    ``heartbeat_timeout`` is the liveness bound: a node whose last
+    heartbeat is older than this (on the injected clock) is declared
+    failed by :meth:`sweep` and its shards reassign to the survivors.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        ring: Optional[HashRing] = None,
+        heartbeat_timeout: float = 30.0,
+    ):
+        self.clock = clock if clock is not None else SimClock()
+        self.ring = ring if ring is not None else HashRing()
+        self.heartbeat_timeout = heartbeat_timeout
+        self._nodes: Dict[str, GuardNode] = {}
+        self._state: Dict[str, str] = {}
+        self._last_heartbeat: Dict[str, float] = {}
+        self.events: List[MembershipEvent] = []
+        self.stats = {
+            "joins": 0,
+            "leaves": 0,
+            "failures": 0,
+            "sweeps": 0,
+            "heartbeats": 0,
+        }
+
+    # -- transitions -------------------------------------------------------
+
+    def join(self, node: GuardNode) -> None:
+        """Admit a node: it takes its ring points and starts heartbeating.
+        A previously left or failed id may rejoin (fresh caches)."""
+        if self._state.get(node.node_id) == UP:
+            raise ValueError("node %r is already up" % node.node_id)
+        self.ring.add(node.node_id)
+        self._nodes[node.node_id] = node
+        self._state[node.node_id] = UP
+        self._last_heartbeat[node.node_id] = self.clock.now()
+        self._record("join", node.node_id)
+        self.stats["joins"] += 1
+
+    def leave(self, node_id: str) -> GuardNode:
+        """Graceful departure: the node's shards reassign deterministically
+        to the ring successors; its state is returned to the caller (a
+        draining deployment could hand sessions over; we re-mint lazily)."""
+        node = self._checked_up(node_id)
+        self.ring.remove(node_id)
+        self._state[node_id] = LEFT
+        self._record("leave", node_id)
+        self.stats["leaves"] += 1
+        return node
+
+    def fail(self, node_id: str) -> GuardNode:
+        """Declare a node dead.  Identical ring effect to a leave — the
+        difference is bookkeeping (and that nothing could be handed over:
+        the dead node's sessions re-mint on first miss)."""
+        node = self._checked_up(node_id)
+        self.ring.remove(node_id)
+        self._state[node_id] = FAILED
+        self._record("fail", node_id)
+        self.stats["failures"] += 1
+        return node
+
+    def _checked_up(self, node_id: str) -> GuardNode:
+        if self._state.get(node_id) != UP:
+            raise ValueError("node %r is not up" % node_id)
+        return self._nodes[node_id]
+
+    def _record(self, action: str, node_id: str) -> None:
+        self.events.append(
+            MembershipEvent(self.clock.now(), action, node_id)
+        )
+
+    # -- failure detection -------------------------------------------------
+
+    def heartbeat(self, node_id: str) -> None:
+        self._checked_up(node_id)
+        self._last_heartbeat[node_id] = self.clock.now()
+        self.stats["heartbeats"] += 1
+
+    def sweep(self) -> List[str]:
+        """Fail every up node whose heartbeat lapsed; returns their ids."""
+        now = self.clock.now()
+        lapsed = [
+            node_id
+            for node_id, state in self._state.items()
+            if state == UP
+            and now - self._last_heartbeat[node_id] > self.heartbeat_timeout
+        ]
+        for node_id in lapsed:
+            self.fail(node_id)
+        self.stats["sweeps"] += 1
+        return lapsed
+
+    # -- lookups -----------------------------------------------------------
+
+    def node_for(self, key: bytes) -> GuardNode:
+        """The live owner of ``key`` (ring lookup + dereference)."""
+        return self._nodes[self.ring.node_for(key)]
+
+    def get(self, node_id: str) -> Optional[GuardNode]:
+        return self._nodes.get(node_id)
+
+    def state_of(self, node_id: str) -> Optional[str]:
+        return self._state.get(node_id)
+
+    def alive(self) -> List[GuardNode]:
+        return [
+            self._nodes[node_id]
+            for node_id, state in self._state.items()
+            if state == UP
+        ]
+
+    def __len__(self) -> int:
+        return len(self.alive())

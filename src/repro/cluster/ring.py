@@ -1,0 +1,186 @@
+"""Consistent-hash sharding of authorization work across guard nodes.
+
+The speaks-for model makes horizontal partitioning safe: any node holding
+the premise set can verify any proof, so the ring is free to place a
+speaker wherever its fingerprint lands — correctness never depends on
+which node answers, only performance does.  Sharding by *speaker* (rather
+than by resource) keeps each speaker's hot state — MAC session, proof
+cache bucket, channel premise — on exactly one node, so the per-speaker
+caches behave exactly as they do in a single-guard deployment.
+
+The ring is the classic consistent-hash construction: each node projects
+``vnodes`` points onto a 2^64 circle, and a key is owned by the first
+node point clockwise from the key's hash.  Adding or removing one node
+therefore moves only ~1/N of the keyspace — the "deterministic
+rebalancing" the membership layer leans on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple
+
+from repro.guard import Guard
+from repro.guard.request import (
+    ChannelCredential,
+    GuardRequest,
+    ProofCredential,
+    SessionCredential,
+)
+from repro.net.trust import TrustEnvironment
+from repro.prover import Prover
+from repro.sexp import to_canonical
+from repro.sim.costmodel import Meter
+
+
+def principal_fingerprint(principal) -> bytes:
+    """The sharding key of a principal: the SHA-256 of its canonical
+    s-expression (stable across processes and restarts)."""
+    return hashlib.sha256(to_canonical(principal.to_sexp())).digest()
+
+
+def session_routing_key(mac_id: str) -> bytes:
+    """The ring key of a MAC session id (used at mint and per request,
+    so a session and its traffic agree on an owner)."""
+    return hashlib.sha256(mac_id.encode("ascii")).digest()
+
+
+def routing_key(request: GuardRequest) -> bytes:
+    """The ring key of a request: derived from whoever utters it.
+
+    - channel credentials route by the channel principal's fingerprint;
+    - session credentials route by the MAC session id (so a session's
+      every request — including the first, which carries the delegation
+      chain — lands on the node holding its secret);
+    - subject-bound proof credentials route by the expected subject;
+    - anything else falls back to the request's own canonical bytes.
+    """
+    credential = request.credential
+    if isinstance(credential, ChannelCredential):
+        return principal_fingerprint(credential.speaker)
+    if isinstance(credential, SessionCredential):
+        return session_routing_key(credential.session_id)
+    if isinstance(credential, ProofCredential):
+        if credential.expected_subject is not None:
+            return principal_fingerprint(credential.expected_subject)
+    return hashlib.sha256(to_canonical(request.logical)).digest()
+
+
+def _point(data: bytes) -> int:
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring mapping byte keys onto node ids."""
+
+    def __init__(self, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("a node needs at least one ring point")
+        self.vnodes = vnodes
+        self._points: List[Tuple[int, str]] = []  # sorted (point, node_id)
+        self._point_keys: List[int] = []          # the points alone, for bisect
+        self._node_ids: List[str] = []
+
+    def _reindex(self) -> None:
+        self._points.sort()
+        self._point_keys = [point for point, _ in self._points]
+
+    def add(self, node_id: str) -> None:
+        if node_id in self._node_ids:
+            raise ValueError("node %r is already on the ring" % node_id)
+        self._node_ids.append(node_id)
+        for replica in range(self.vnodes):
+            point = _point(("%s#%d" % (node_id, replica)).encode("ascii"))
+            self._points.append((point, node_id))
+        self._reindex()
+
+    def remove(self, node_id: str) -> None:
+        if node_id not in self._node_ids:
+            raise ValueError("node %r is not on the ring" % node_id)
+        self._node_ids.remove(node_id)
+        self._points = [
+            entry for entry in self._points if entry[1] != node_id
+        ]
+        self._reindex()
+
+    def node_for(self, key: bytes) -> str:
+        """The node owning ``key``: first ring point clockwise from the
+        key's hash (wrapping at the top of the circle)."""
+        if not self._points:
+            raise LookupError("the ring has no nodes")
+        index = bisect_right(self._point_keys, _point(key))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def nodes(self) -> List[str]:
+        return list(self._node_ids)
+
+    def __len__(self) -> int:
+        return len(self._node_ids)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._node_ids
+
+
+class GuardNode:
+    """One cluster member: a :class:`Guard` plus its own session registry,
+    prover, and meter.
+
+    The node's meter is its simulated CPU: cluster benchmarks read the
+    makespan (the busiest node's total) as the parallel wall-clock.  A
+    shared cluster clock is injected so certificate validity and session
+    TTLs agree across nodes — the one thing replicas must not disagree on.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        clock=None,
+        meter: Optional[Meter] = None,
+        prover: Optional[Prover] = None,
+        trust: Optional[TrustEnvironment] = None,
+        session_ttl: Optional[float] = None,
+        check_charge: Optional[str] = "rmi_checkauth",
+        max_speakers: int = 4096,
+        max_sessions: int = 4096,
+    ):
+        self.node_id = node_id
+        self.trust = trust if trust is not None else TrustEnvironment(clock=clock)
+        self.meter = meter if meter is not None else Meter()
+        self.prover = prover if prover is not None else Prover()
+        self.guard = Guard(
+            self.trust,
+            meter=self.meter,
+            prover=self.prover,
+            max_speakers=max_speakers,
+            max_sessions=max_sessions,
+            session_ttl=session_ttl,
+            check_charge=check_charge,
+        )
+
+    # The node surface is the guard surface; dispatchers call these.
+
+    def check(self, request: GuardRequest):
+        return self.guard.check(request)
+
+    def check_many(self, requests):
+        return self.guard.check_many(requests)
+
+    def apply_event(self, event) -> int:
+        """Bus delivery: apply a remote invalidation to local caches."""
+        return self.guard.apply_invalidation(event.kind, event.payload)
+
+    def stats(self) -> Dict[str, object]:
+        """The counters the ``stats`` CLI and benchmarks aggregate."""
+        return {
+            "guard": dict(self.guard.stats),
+            "cache": dict(self.guard.cache.stats),
+            "sessions": dict(self.guard.sessions.stats),
+            "prover": dict(self.prover.stats),
+            "meter_ms": self.meter.total_ms(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "GuardNode(%s)" % self.node_id

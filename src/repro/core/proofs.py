@@ -295,6 +295,18 @@ class SignedCertificateStep(Proof):
         return cls(Certificate.from_sexp(payload[0]))
 
 
+def proof_cites_serial(proof: Proof, serial: bytes) -> bool:
+    """True when any lemma of ``proof`` is a signed-certificate step over
+    the certificate with ``serial`` — the one predicate revocation uses,
+    shared by the prover's edge purge and the cluster's replicated-
+    delegation filter so the two can never diverge."""
+    return any(
+        isinstance(lemma, SignedCertificateStep)
+        and lemma.certificate.serial == serial
+        for lemma in proof.lemmas()
+    )
+
+
 def authorizes(
     proof: Proof,
     speaker,

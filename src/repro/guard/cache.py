@@ -23,25 +23,38 @@ need re-checking per hit.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterable, Tuple
+from typing import Dict, FrozenSet, Iterable, Tuple
 
 from repro.core.errors import AuthorizationError
-from repro.core.proofs import PremiseStep, Proof
+from repro.core.proofs import PremiseStep, Proof, SignedCertificateStep
 from repro.core.statements import SpeaksFor, Statement
 
 
 class CachedProof:
-    """A verified proof plus the premise statements it leans on."""
+    """A verified proof plus the facts it leans on.
 
-    __slots__ = ("proof", "premises")
+    Besides the premise statements (re-checked per hit), each entry
+    memoizes its constituent lemma digests and certificate serials so
+    invalidation events — a retracted delegation, a revoked certificate —
+    can find every dependent entry without re-walking proof trees.
+    """
+
+    __slots__ = ("proof", "premises", "lemma_keys", "serials")
 
     def __init__(self, proof: Proof):
         self.proof = proof
-        self.premises: Tuple[Statement, ...] = tuple(
-            lemma.conclusion
-            for lemma in proof.lemmas()
-            if isinstance(lemma, PremiseStep)
-        )
+        premises = []
+        lemma_keys = []
+        serials = []
+        for lemma in proof.lemmas():
+            lemma_keys.append(lemma.digest())
+            if isinstance(lemma, PremiseStep):
+                premises.append(lemma.conclusion)
+            elif isinstance(lemma, SignedCertificateStep):
+                serials.append(lemma.certificate.serial)
+        self.premises: Tuple[Statement, ...] = tuple(premises)
+        self.lemma_keys: FrozenSet[bytes] = frozenset(lemma_keys)
+        self.serials: FrozenSet[bytes] = frozenset(serials)
 
 
 class ProofCache:
@@ -57,6 +70,7 @@ class ProofCache:
             "dedup_hits": 0,
             "evictions": 0,
             "retractions": 0,
+            "invalidations": 0,
         }
 
     def add(self, proof: Proof, speaker=None) -> bool:
@@ -110,6 +124,51 @@ class ProofCache:
                 self.stats["retractions"] += 1
         if not bucket:
             del self._buckets[speaker]
+
+    # -- invalidation-event hooks ------------------------------------------
+    #
+    # Each hook retracts every entry matching a predicate and returns the
+    # number removed.  Invalidation is rare relative to lookups, so a full
+    # sweep over the buckets is the right trade against indexing every
+    # entry three more ways.
+
+    def _retract_matching(self, predicate) -> int:
+        removed = 0
+        empty_speakers = []
+        for speaker, bucket in self._buckets.items():
+            dead = [
+                key for key, entry in bucket.items() if predicate(entry)
+            ]
+            for key in dead:
+                del bucket[key]
+            removed += len(dead)
+            if not bucket:
+                empty_speakers.append(speaker)
+        for speaker in empty_speakers:
+            del self._buckets[speaker]
+        self.stats["invalidations"] += removed
+        return removed
+
+    def retract_dependents(self, digest: bytes) -> int:
+        """Drop every cached proof embedding the lemma with ``digest``
+        (a retracted delegation kills each chain built on it)."""
+        return self._retract_matching(
+            lambda entry: digest in entry.lemma_keys
+        )
+
+    def retract_premise(self, statement: Statement) -> int:
+        """Drop every cached proof leaning on ``statement`` (a closed
+        channel kills each chain its binding vouched for)."""
+        return self._retract_matching(
+            lambda entry: statement in entry.premises
+        )
+
+    def retract_serial(self, serial: bytes) -> int:
+        """Drop every cached proof citing the certificate with ``serial``
+        (a revocation kills each chain that certificate justified)."""
+        return self._retract_matching(
+            lambda entry: serial in entry.serials
+        )
 
     def forget(self, speaker=None) -> None:
         if speaker is None:

@@ -102,6 +102,7 @@ class Guard:
         prover=None,
         max_speakers: int = 4096,
         max_sessions: int = 4096,
+        session_ttl: Optional[float] = None,
         cache: Optional[ProofCache] = None,
         sessions: Optional[SessionRegistry] = None,
         audit: Optional[AuditLog] = None,
@@ -111,11 +112,23 @@ class Guard:
         self.meter = meter
         self.prover = prover
         self.cache = cache if cache is not None else ProofCache(max_speakers)
-        self.sessions = (
-            sessions if sessions is not None else SessionRegistry(max_sessions)
-        )
+        if sessions is not None:
+            if session_ttl is not None:
+                raise ValueError(
+                    "session_ttl only applies to a guard-built registry; "
+                    "set ttl on the injected SessionRegistry instead"
+                )
+            self.sessions = sessions
+        else:
+            self.sessions = SessionRegistry(
+                max_sessions, ttl=session_ttl, clock=trust.clock
+            )
         self.audit = audit if audit is not None else AuditLog()
         self.check_charge = check_charge
+        # Invalidation-event hooks: callables invoked as ``hook(kind,
+        # payload)`` after this guard retracts state that other caches may
+        # also hold (a cluster node forwards them onto its bus).
+        self.invalidation_hooks: List = []
         self.stats = {
             "checks": 0,
             "grants": 0,
@@ -133,6 +146,9 @@ class Guard:
             "channels_opened": 0,
             "channels_closed": 0,
             "delegations_digested": 0,
+            "delegations_retracted": 0,
+            "serials_revoked": 0,
+            "invalidations_applied": 0,
         }
 
     # -- stage 1: admission (session/MAC fast path) ----------------------
@@ -409,10 +425,13 @@ class Guard:
         return premise
 
     def close_channel(self, premise: SpeaksFor) -> None:
-        """Withdraw a channel binding (cached proofs leaning on it stop
-        re-validating immediately)."""
+        """Withdraw a channel binding: retract the premise, eagerly drop
+        cached proofs leaning on it, and notify invalidation hooks so
+        peers holding copies drop theirs too."""
         self.trust.retract(premise)
+        self.cache.retract_premise(premise)
         self.stats["channels_closed"] += 1
+        self._notify("channel_closed", premise)
 
     def deliver(self, request: GuardRequest) -> Principal:
         """Post-handshake delivery: the transport hands a decrypted
@@ -438,6 +457,69 @@ class Guard:
             raise AuthorizationError("guard has no prover attached")
         self.prover.add_proof(proof)
         self.stats["delegations_digested"] += 1
+
+    # -- invalidation events ------------------------------------------------
+
+    def _notify(self, kind: str, payload) -> None:
+        for hook in list(self.invalidation_hooks):
+            hook(kind, payload)
+
+    def retract_delegation(self, proof_or_digest) -> int:
+        """Withdraw a previously digested delegation by proof or digest.
+
+        Drops the prover edge (cascading into every shortcut derived from
+        it), every cached proof embedding it, and notifies invalidation
+        hooks; returns the number of entries removed locally.
+        """
+        digest = (
+            proof_or_digest
+            if isinstance(proof_or_digest, bytes)
+            else proof_or_digest.digest()
+        )
+        removed = self._retract_delegation(digest)
+        self.stats["delegations_retracted"] += 1
+        self._notify("delegation_retracted", digest)
+        return removed
+
+    def revoke_serial(self, serial: bytes) -> int:
+        """A certificate landed on a revocation list: drop every cached
+        proof and prover edge citing its serial, and notify hooks.
+
+        This is the event-driven complement to ``trust.revocation``:
+        a live policy re-checks the tree per cache hit, while the event
+        purges derived state even on guards running without one.
+        """
+        removed = self._revoke_serial(serial)
+        self.stats["serials_revoked"] += 1
+        self._notify("serial_revoked", serial)
+        return removed
+
+    def apply_invalidation(self, kind: str, payload) -> int:
+        """Consume a remote invalidation event (no hook re-notification,
+        so bus deliveries cannot echo).  Returns entries removed."""
+        if kind == "delegation_retracted":
+            removed = self._retract_delegation(payload)
+        elif kind == "channel_closed":
+            self.trust.retract(payload)
+            removed = self.cache.retract_premise(payload)
+        elif kind == "serial_revoked":
+            removed = self._revoke_serial(payload)
+        else:
+            raise ValueError("unknown invalidation kind %r" % kind)
+        self.stats["invalidations_applied"] += 1
+        return removed
+
+    def _retract_delegation(self, digest: bytes) -> int:
+        removed = self.cache.retract_dependents(digest)
+        if self.prover is not None:
+            removed += self.prover.invalidate_proof(digest)
+        return removed
+
+    def _revoke_serial(self, serial: bytes) -> int:
+        removed = self.cache.retract_serial(serial)
+        if self.prover is not None:
+            removed += self.prover.invalidate_serial(serial)
+        return removed
 
     # -- audit helpers ------------------------------------------------------
 

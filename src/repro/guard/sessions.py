@@ -7,52 +7,121 @@ to the client; the client then authorizes messages by sending a hash of
 shared by however many servlets or listeners front it — rather than in
 any single transport module, so HTTP today and any future transport can
 ride the same fast path and the same LRU bound.
+
+Sessions are bounded two ways: the LRU cap (``max_sessions``) protects
+memory, and an optional clock-based TTL protects *authority* — a leaked
+MAC secret is only good until the session's absolute lifetime lapses.
+The TTL is measured from mint time on the injected clock (``repro.sim``
+style, never the wall clock), so expiry is deterministic in tests and
+benchmarks.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.errors import AuthorizationError
 from repro.crypto.mac import MacKey
 from repro.crypto.rng import default_rng
 
 
-class SessionRegistry:
-    """MAC-session table: mac-id (hex fingerprint) -> shared secret."""
+class _Session:
+    """One registered MAC session: the shared secret and its mint time."""
 
-    def __init__(self, max_sessions: int = 4096):
-        self._sessions: "OrderedDict[str, MacKey]" = OrderedDict()
+    __slots__ = ("mac_key", "minted_at")
+
+    def __init__(self, mac_key: MacKey, minted_at: float):
+        self.mac_key = mac_key
+        self.minted_at = minted_at
+
+
+class SessionRegistry:
+    """MAC-session table: mac-id (hex fingerprint) -> shared secret.
+
+    ``ttl`` (seconds on ``clock``) bounds each session's absolute
+    lifetime from mint; ``None`` (the default) never expires, matching
+    the pre-TTL behavior.  Expired sessions are dropped lazily on lookup
+    and eagerly by :meth:`sweep`.
+    """
+
+    def __init__(
+        self,
+        max_sessions: int = 4096,
+        ttl: Optional[float] = None,
+        clock=None,
+    ):
+        self._sessions: "OrderedDict[str, _Session]" = OrderedDict()
         self.max_sessions = max_sessions
+        self.ttl = ttl
+        self.clock = clock
         self.stats = {
             "minted": 0,
+            "installed": 0,
             "evictions": 0,
+            "expired": 0,
             "verified": 0,
             "failures": 0,
         }
+
+    def _now(self) -> float:
+        return self.clock.now() if self.clock is not None else 0.0
+
+    def _expired(self, session: _Session) -> bool:
+        if self.ttl is None or self.clock is None:
+            return False
+        return self.clock.now() - session.minted_at > self.ttl
+
+    def _bound(self) -> None:
+        while len(self._sessions) > self.max_sessions:
+            self._sessions.popitem(last=False)
+            self.stats["evictions"] += 1
+
+    def _register(
+        self, mac_id: str, mac_key: MacKey, minted_at: Optional[float] = None
+    ) -> None:
+        self._sessions[mac_id] = _Session(
+            mac_key, self._now() if minted_at is None else minted_at
+        )
+        self._sessions.move_to_end(mac_id)
+        self._bound()
 
     def mint(self, rng=None) -> Tuple[str, MacKey]:
         """Create and register a fresh MAC session."""
         mac_key = MacKey.generate(default_rng(rng))
         mac_id = mac_key.fingerprint().digest.hex()
-        self._sessions[mac_id] = mac_key
-        self._sessions.move_to_end(mac_id)
+        self._register(mac_id, mac_key)
         self.stats["minted"] += 1
-        while len(self._sessions) > self.max_sessions:
-            self._sessions.popitem(last=False)
-            self.stats["evictions"] += 1
         return mac_id, mac_key
 
+    def install(
+        self,
+        mac_id: str,
+        mac_key: MacKey,
+        minted_at: Optional[float] = None,
+    ) -> None:
+        """Register an externally minted session under ``mac_id`` (cluster
+        failover re-mints a session onto its new owner through this).
+        ``minted_at`` preserves the original mint stamp so re-homing a
+        session never extends its absolute lifetime."""
+        self._register(mac_id, mac_key, minted_at)
+        self.stats["installed"] += 1
+
     def get(self, mac_id: str) -> Optional[MacKey]:
-        mac_key = self._sessions.get(mac_id)
-        if mac_key is not None:
-            self._sessions.move_to_end(mac_id)
-        return mac_key
+        session = self._sessions.get(mac_id)
+        if session is None:
+            return None
+        if self._expired(session):
+            del self._sessions[mac_id]
+            self.stats["expired"] += 1
+            return None
+        self._sessions.move_to_end(mac_id)
+        return session.mac_key
 
     def verify_tag(self, mac_id: str, message: bytes, tag: bytes) -> MacKey:
         """Check an HMAC tag against a registered session; raises
-        :class:`AuthorizationError` on unknown session or bad tag."""
+        :class:`AuthorizationError` on unknown (or expired) session or
+        bad tag."""
         mac_key = self.get(mac_id)
         if mac_key is None:
             self.stats["failures"] += 1
@@ -63,18 +132,49 @@ class SessionRegistry:
         self.stats["verified"] += 1
         return mac_key
 
+    def sweep(self) -> int:
+        """Eagerly drop every expired session; returns the count removed.
+
+        Lazy expiry only reclaims sessions that are looked up again; a
+        periodic sweep (e.g. on clock advance) keeps abandoned sessions
+        from squatting in the LRU until eviction pressure finds them.
+        """
+        if self.ttl is None or self.clock is None:
+            return 0
+        dead: List[str] = [
+            mac_id
+            for mac_id, session in self._sessions.items()
+            if self._expired(session)
+        ]
+        for mac_id in dead:
+            del self._sessions[mac_id]
+        self.stats["expired"] += len(dead)
+        return len(dead)
+
     def adopt(self, other: "SessionRegistry") -> None:
         """Merge another registry's live sessions into this one (used
         when a front that minted sessions is re-pointed at a shared
-        guard's registry: outstanding grants keep verifying)."""
+        guard's registry: outstanding grants keep verifying).
+
+        When the source registry keeps time, the mint stamp travels with
+        each session — adoption re-homes it without extending its
+        absolute lifetime (registries sharing a guard must share the
+        clock).  A clockless source stamps 0.0 at mint, which is
+        meaningless on the adopter's timeline, so those sessions are
+        stamped at the adopter's now instead of being instantly expired.
+        """
         if other is self:
             return
-        for mac_id, mac_key in other._sessions.items():
-            self._sessions[mac_id] = mac_key
+        preserve_stamps = other.clock is not None
+        for mac_id, session in other._sessions.items():
+            if other._expired(session):
+                continue
+            self._sessions[mac_id] = _Session(
+                session.mac_key,
+                session.minted_at if preserve_stamps else self._now(),
+            )
             self._sessions.move_to_end(mac_id)
-        while len(self._sessions) > self.max_sessions:
-            self._sessions.popitem(last=False)
-            self.stats["evictions"] += 1
+        self._bound()
 
     def count(self) -> int:
         return len(self._sessions)

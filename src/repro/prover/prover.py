@@ -24,7 +24,7 @@ from collections import deque
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.principals import Principal, QuotingPrincipal
-from repro.core.proofs import Proof
+from repro.core.proofs import Proof, proof_cites_serial
 from repro.core.rules import TransitivityStep
 from repro.core.statements import SpeaksFor, Validity
 from repro.prover.closures import Closure
@@ -113,6 +113,33 @@ class Prover:
         return self._closures.get(principal)
 
     # -- invalidation ------------------------------------------------------
+
+    def invalidate_proof(self, proof_or_key) -> int:
+        """Retract one delegation (by proof or digest) and every cached
+        shortcut derived from it; returns the number of edges removed.
+
+        This is the invalidation-bus listener: a retraction broadcast
+        names the delegation's digest, and digests are canonical, so the
+        same event invalidates the same edge on every replica holding it.
+        """
+        removed = self.graph.remove(proof_or_key)
+        self._sync_cache_stats()
+        return removed
+
+    def invalidate_serial(self, serial: bytes) -> int:
+        """Retract every edge whose proof cites the certificate with
+        ``serial`` (revocation event), cascading into derived shortcuts.
+        Returns the number of edges removed."""
+        dead = [
+            edge.key
+            for edge in self.graph.edges()
+            if proof_cites_serial(edge.proof, serial)
+        ]
+        removed = 0
+        for key in dead:
+            removed += self.graph.remove(key)
+        self._sync_cache_stats()
+        return removed
 
     def invalidate_expired(self, now: float) -> int:
         """Retract every delegation whose validity lapsed at ``now``, along

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from typing import List, Optional
@@ -178,6 +179,62 @@ def cmd_tag(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    """Run a deterministic demo workload on an authorization cluster and
+    dump every guard/prover/session/cluster counter as JSON — the quick
+    way to eyeball what the cluster benchmarks measure."""
+    from repro.cluster import AuthCluster
+    from repro.core.principals import KeyPrincipal, MacPrincipal
+    from repro.core.proofs import SignedCertificateStep
+    from repro.guard import GuardRequest, SessionCredential
+    from repro.sexp import sexp
+    from repro.sim.metrics import ClusterAggregate
+
+    rng = random.Random(args.seed)
+    server = generate_keypair(512, rng)
+    issuer = KeyPrincipal(server.public)
+    cluster = AuthCluster(node_count=args.nodes)
+    sessions = []
+    for _ in range(args.sessions):
+        mac_id, mac_key = cluster.mint_session(rng)
+        certificate = Certificate.issue(
+            server, MacPrincipal(mac_key.fingerprint()), Tag.all(), rng=rng
+        )
+        cluster.add_delegation(SignedCertificateStep(certificate))
+        sessions.append((mac_id, mac_key))
+
+    def request(index: int) -> GuardRequest:
+        mac_id, mac_key = sessions[index % len(sessions)]
+        logical = sexp(["web", ["method", "GET"], ["path", "/doc-%d" % index]])
+        message = to_canonical(logical)
+        return GuardRequest(
+            logical,
+            issuer=issuer,
+            credential=SessionCredential(mac_id, mac_key.tag(message), message),
+            transport="http",
+        )
+
+    all_nodes = list(cluster.nodes())
+    half = args.requests // 2
+    cluster.check_many([request(i) for i in range(half)])
+    if args.fail_one and len(cluster.nodes()) > 1:
+        cluster.fail_node(cluster.nodes()[0].node_id)
+    cluster.check_many([request(i) for i in range(half, args.requests)])
+
+    snapshot = cluster.stats_snapshot()
+    # Aggregate over every node that did work, including any failed one:
+    # dropping its meter would overstate throughput.
+    aggregate = ClusterAggregate.of_nodes(all_nodes)
+    snapshot["aggregate"] = {
+        "makespan_ms": aggregate.makespan_ms(),
+        "sum_ms": aggregate.sum_ms(),
+        "imbalance": aggregate.imbalance(),
+        "throughput_rps": aggregate.throughput(args.requests),
+    }
+    print(json.dumps(snapshot, indent=args.indent, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools", description=__doc__
@@ -221,6 +278,20 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("object")
     verify.add_argument("--now", type=float, default=0.0)
     verify.set_defaults(func=cmd_verify)
+
+    stats = commands.add_parser(
+        "stats",
+        help="run a demo cluster workload and dump all counters as JSON",
+    )
+    stats.add_argument("--nodes", type=int, default=4)
+    stats.add_argument("--sessions", type=int, default=16)
+    stats.add_argument("--requests", type=int, default=64)
+    stats.add_argument("--seed", type=int, default=7)
+    stats.add_argument("--fail-one", action="store_true",
+                       help="fail one node mid-run to exercise failover "
+                            "session re-minting")
+    stats.add_argument("--indent", type=int, default=2)
+    stats.set_defaults(func=cmd_stats)
 
     tag = commands.add_parser("tag", help="authorization-tag algebra")
     tag.add_argument("first", help="a tag, e.g. '(tag (web))'")

@@ -1,0 +1,124 @@
+"""The invalidation bus: one round makes local retractions global.
+
+The acceptance property: a delegation retracted on ONE node is denied on
+EVERY node after one bus round — and, just as important, the other nodes
+still grant *before* the round, proving it is the bus (not shared state)
+that propagates the retraction.
+"""
+
+import pytest
+
+from repro.core.errors import NeedAuthorizationError
+from repro.core.proofs import PremiseStep, SignedCertificateStep
+from repro.core.rules import TransitivityStep
+from repro.core.principals import ChannelPrincipal, KeyPrincipal
+from repro.core.statements import SpeaksFor
+from repro.sexp import to_canonical
+from repro.spki import Certificate
+from repro.tags import Tag
+
+
+def _warm_all_nodes(world):
+    """Every node grants once, so every node holds derived state."""
+    for node in world.cluster.nodes():
+        decision = node.check(world.request())
+        assert decision.granted
+    return world.cluster.nodes()
+
+
+class TestDelegationRetraction:
+    def test_retraction_on_one_node_denies_on_all_after_one_round(self, world):
+        nodes = _warm_all_nodes(world)
+        origin = nodes[0]
+
+        world.cluster.retract_delegation(
+            world.delegation, via=origin.node_id
+        )
+        # The origin denies immediately...
+        with pytest.raises(NeedAuthorizationError):
+            origin.check(world.request())
+        # ...but the replicas still grant: their caches are untouched
+        # until the bus round runs.
+        for node in nodes[1:]:
+            assert node.check(world.request()).granted
+
+        assert world.cluster.deliver() > 0
+        for node in nodes:
+            with pytest.raises(NeedAuthorizationError):
+                node.check(world.request())
+
+    def test_retraction_purges_caches_shortcuts_and_counts(self, world):
+        nodes = _warm_all_nodes(world)
+        world.cluster.retract_delegation(world.delegation)
+        world.cluster.deliver()
+        for node in nodes:
+            assert node.guard.cached_proof_count() == 0
+            assert world.delegation not in node.prover.graph
+        bus = world.cluster.bus.stats
+        assert bus["published_delegation_retracted"] == 1
+        assert bus["delivered"] == len(nodes) - 1  # origin excluded
+        assert bus["dropped_entries"] > 0
+
+    def test_origin_does_not_reapply_its_own_event(self, world):
+        nodes = _warm_all_nodes(world)
+        origin = nodes[0]
+        before = origin.guard.stats["invalidations_applied"]
+        world.cluster.retract_delegation(world.delegation, via=origin.node_id)
+        world.cluster.deliver()
+        assert origin.guard.stats["invalidations_applied"] == before
+
+
+class TestChannelClose:
+    def test_close_retracts_dependent_proofs_cluster_wide(self, world):
+        channel = ChannelPrincipal.of_secret(b"conn-1")
+        premise = SpeaksFor(channel, world.client, Tag.all())
+        chain = TransitivityStep(
+            PremiseStep(premise), world.delegation
+        )
+        wire = to_canonical(chain.to_sexp())
+        nodes = world.cluster.nodes()
+        # Two replicas hold the binding and a cached chain over it (the
+        # shard moved mid-connection, say).
+        for node in nodes[:2]:
+            node.trust.vouch(premise)
+            node.guard.submit_proof(wire)
+            assert node.check(world.request(speaker=channel)).granted
+
+        world.cluster.close_channel(premise)
+        world.cluster.deliver()
+        for node in nodes[:2]:
+            assert not node.trust.vouches_for(premise)
+            with pytest.raises(NeedAuthorizationError):
+                node.check(world.request(speaker=channel))
+
+
+class TestRevocation:
+    def test_revocation_event_purges_every_replica(self, world):
+        """No node runs a revocation *policy*; the event alone must purge
+        the serial's derived state everywhere."""
+        nodes = _warm_all_nodes(world)
+        world.cluster.revoke_serial(world.certificate.serial)
+        world.cluster.deliver()
+        for node in nodes:
+            assert node.guard.cached_proof_count() == 0
+            with pytest.raises(NeedAuthorizationError):
+                node.check(world.request())
+        assert world.cluster.bus.stats["published_serial_revoked"] == 1
+
+    def test_late_joiner_is_not_handed_revoked_authority(self, world):
+        """The delegation-replay at join must not resurrect authority a
+        revocation already killed cluster-wide."""
+        _warm_all_nodes(world)
+        world.cluster.revoke_serial(world.certificate.serial)
+        world.cluster.deliver()
+        late = world.cluster.add_node()
+        assert world.delegation not in late.prover.graph
+        with pytest.raises(NeedAuthorizationError):
+            late.check(world.request())
+
+    def test_unrelated_serial_revocation_is_a_noop(self, world):
+        nodes = _warm_all_nodes(world)
+        world.cluster.revoke_serial(b"\x00" * 8)
+        world.cluster.deliver()
+        for node in nodes:
+            assert node.check(world.request()).granted

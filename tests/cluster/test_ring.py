@@ -1,0 +1,96 @@
+"""The consistent-hash ring: determinism, balance, minimal movement."""
+
+import hashlib
+
+import pytest
+
+from repro.cluster import HashRing, principal_fingerprint, routing_key
+from repro.core.principals import ChannelPrincipal, KeyPrincipal
+from repro.guard import (
+    ChannelCredential,
+    GuardRequest,
+    ProofCredential,
+    SessionCredential,
+)
+
+KEYS = [hashlib.sha256(b"key-%d" % i).digest() for i in range(512)]
+
+
+def _ring(node_ids=("a", "b", "c", "d"), vnodes=64):
+    ring = HashRing(vnodes=vnodes)
+    for node_id in node_ids:
+        ring.add(node_id)
+    return ring
+
+
+class TestRing:
+    def test_lookup_is_deterministic(self):
+        first = {key: _ring().node_for(key) for key in KEYS}
+        second = {key: _ring().node_for(key) for key in KEYS}
+        assert first == second
+
+    def test_every_node_owns_some_keyspace(self):
+        ring = _ring()
+        owners = {ring.node_for(key) for key in KEYS}
+        assert owners == {"a", "b", "c", "d"}
+
+    def test_join_moves_only_a_minority_and_only_to_the_joiner(self):
+        ring = _ring()
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.add("e")
+        moved = {
+            key for key in KEYS if ring.node_for(key) != before[key]
+        }
+        # Consistent hashing: ~1/5 of the keyspace moves, all of it to
+        # the joining node.
+        assert 0 < len(moved) < len(KEYS) // 2
+        assert all(ring.node_for(key) == "e" for key in moved)
+
+    def test_leave_restores_the_prior_mapping_exactly(self):
+        ring = _ring()
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.add("e")
+        ring.remove("e")
+        assert {key: ring.node_for(key) for key in KEYS} == before
+
+    def test_duplicate_join_and_unknown_leave_are_errors(self):
+        ring = _ring()
+        with pytest.raises(ValueError):
+            ring.add("a")
+        with pytest.raises(ValueError):
+            ring.remove("zz")
+
+    def test_empty_ring_has_no_owner(self):
+        with pytest.raises(LookupError):
+            HashRing().node_for(KEYS[0])
+
+
+class TestRoutingKey:
+    def test_channel_requests_route_by_speaker(self):
+        speaker = ChannelPrincipal.of_secret(b"chan")
+        request = GuardRequest(
+            ["web"], credential=ChannelCredential(speaker)
+        )
+        assert routing_key(request) == principal_fingerprint(speaker)
+
+    def test_session_requests_route_by_session_id(self):
+        first = GuardRequest(
+            ["web"], credential=SessionCredential("aa00", b"t", b"m")
+        )
+        second = GuardRequest(
+            ["other"], credential=SessionCredential("aa00", b"u", b"n")
+        )
+        assert routing_key(first) == routing_key(second)
+
+    def test_proof_requests_route_by_expected_subject(self, alice_kp):
+        subject = KeyPrincipal(alice_kp.public)
+        request = GuardRequest(
+            ["web"],
+            credential=ProofCredential(subject, wire=b"(proof)"),
+        )
+        assert routing_key(request) == principal_fingerprint(subject)
+
+    def test_credentialless_requests_route_by_their_bytes(self):
+        assert routing_key(GuardRequest(["web", "a"])) != routing_key(
+            GuardRequest(["web", "b"])
+        )

@@ -92,6 +92,42 @@ class TestIssueShowVerify:
         assert "assistant" in capsys.readouterr().out
 
 
+class TestStatsCommand:
+    def _snapshot(self, capsys, extra=()):
+        assert main(
+            [
+                "stats",
+                "--nodes", "3",
+                "--sessions", "6",
+                "--requests", "24",
+                "--seed", "11",
+                *extra,
+            ]
+        ) == 0
+        import json
+
+        return json.loads(capsys.readouterr().out)
+
+    def test_dumps_every_counter_family_as_json(self, capsys):
+        snapshot = self._snapshot(capsys)
+        assert set(snapshot) >= {
+            "cluster", "membership", "dispatch", "bus", "ring", "nodes",
+            "aggregate",
+        }
+        assert snapshot["cluster"]["sessions_minted"] == 6
+        assert snapshot["dispatch"]["requests"] == 24
+        assert len(snapshot["nodes"]) == 3
+        node = next(iter(snapshot["nodes"].values()))
+        assert set(node) == {"guard", "cache", "sessions", "prover", "meter_ms"}
+        assert snapshot["aggregate"]["throughput_rps"] > 0
+
+    def test_fail_one_exercises_session_reminting(self, capsys):
+        snapshot = self._snapshot(capsys, ["--fail-one"])
+        assert snapshot["membership"]["failures"] == 1
+        assert len(snapshot["nodes"]) == 2
+        assert snapshot["cluster"]["sessions_reminted"] > 0
+
+
 class TestTagCommand:
     def test_match(self, capsys):
         assert main(["tag", "(tag (web))", "--match", "(web (method GET))"]) == 0
