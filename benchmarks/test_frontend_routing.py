@@ -1,0 +1,183 @@
+"""Frontend routing: a listener fleet over a cluster vs one pinned guard.
+
+Before the AuthBackend refactor every listener hard-constructed its own
+single ``Guard`` — a fleet of fronts funneled every decision through one
+simulated CPU.  This harness drives the same MAC-session steady state
+(Table 1 pricing: one MAC verify + SPKI handling + one checkAuth per
+request) through a 4-listener fleet twice:
+
+- **pinned**: all four listeners share one ``Guard`` with one meter —
+  the pre-refactor shape; modeled wall-clock is that single meter;
+- **routed**: the same four listeners hold ``ClusterFrontend`` handles
+  on an 8-node ``AuthCluster``; modeled wall-clock is the busiest
+  node's meter (the makespan).
+
+Asserted: work is conserved exactly (routing moves charges, it never
+adds any) and the routed fleet clears ≥ 3× the pinned fleet's modeled
+throughput.
+
+The second harness prices **replica reads**: one *hot* speaker, whose
+single shard caps it at one node's throughput at R=1, exceeds that cap
+at R≥2 as its checks spread over the shard's ring successors — with
+work still conserved, and a revocation still denied on every replica
+after one invalidation-bus round.
+"""
+
+from repro.cluster import AuthCluster, fleet
+from repro.core.errors import NeedAuthorizationError
+from repro.core.principals import KeyPrincipal, MacPrincipal
+from repro.core.proofs import SignedCertificateStep
+from repro.guard import GuardRequest, SessionCredential, default_backend
+from repro.net.trust import TrustEnvironment
+from repro.prover import Prover
+from repro.sexp import sexp, to_canonical
+from repro.sim import ClusterAggregate, SimClock
+from repro.sim.costmodel import Meter
+from repro.sim.metrics import BarChart
+from repro.spki import Certificate
+from repro.tags import Tag
+
+LISTENERS = 4
+SESSIONS = 96
+REQUESTS = 384
+NODES = 8
+
+HOT_REQUESTS = 384
+REPLICAS = (1, 2, 4)
+
+
+def _certify(server_kp, mac_key, rng):
+    return SignedCertificateStep(
+        Certificate.issue(
+            server_kp, MacPrincipal(mac_key.fingerprint()), Tag.all(), rng=rng
+        )
+    )
+
+
+def _request(issuer, sessions, index):
+    mac_id, mac_key = sessions[index % len(sessions)]
+    logical = sexp(["web", ["method", "GET"], ["path", "/doc-%d" % index]])
+    message = to_canonical(logical)
+    return GuardRequest(
+        logical,
+        issuer=issuer,
+        credential=SessionCredential(mac_id, mac_key.tag(message), message),
+        transport="http",
+    )
+
+
+def test_fleet_over_cluster_beats_fleet_pinned_to_one_guard(keypool, rng):
+    server_kp = keypool[0]
+    issuer = KeyPrincipal(server_kp.public)
+
+    # -- pinned: four listeners, one guard, one simulated CPU ------------
+    meter = Meter()
+    pinned = default_backend(
+        TrustEnvironment(clock=SimClock()), meter=meter, prover=Prover()
+    )
+    pinned_sessions = []
+    for _ in range(SESSIONS):
+        mac_id, mac_key = pinned.mint_session(rng)
+        pinned.digest_delegation(_certify(server_kp, mac_key, rng))
+        pinned_sessions.append((mac_id, mac_key))
+    for listener in range(LISTENERS):
+        for index in range(listener, REQUESTS, LISTENERS):
+            decision = pinned.check(_request(issuer, pinned_sessions, index))
+            assert decision.granted
+    pinned_ms = meter.total_ms()
+    pinned_rps = REQUESTS / (pinned_ms / 1000.0)
+
+    # -- routed: the same four listeners as frontends on one ring --------
+    cluster = AuthCluster(node_count=NODES)
+    fronts = fleet(cluster, ["listener-%d" % i for i in range(LISTENERS)])
+    routed_sessions = []
+    for _ in range(SESSIONS):
+        mac_id, mac_key = cluster.mint_session(rng)
+        cluster.add_delegation(_certify(server_kp, mac_key, rng))
+        routed_sessions.append((mac_id, mac_key))
+    for listener, front in enumerate(fronts):
+        for index in range(listener, REQUESTS, LISTENERS):
+            decision = front.check(_request(issuer, routed_sessions, index))
+            assert decision.granted
+    aggregate = ClusterAggregate.of_nodes(cluster.nodes())
+    routed_rps = aggregate.throughput(REQUESTS)
+
+    chart = BarChart("listener fleet (modeled req/s)", unit="rps")
+    chart.add("pinned to one guard", pinned_rps)
+    chart.add("routed over %d nodes" % NODES, routed_rps)
+    print("\n" + chart.render())
+    print(
+        "  speedup %.2fx | imbalance %.2f | per-frontend grants: %s"
+        % (
+            routed_rps / pinned_rps,
+            aggregate.imbalance(),
+            ", ".join(str(front.stats["grants"]) for front in fronts),
+        )
+    )
+
+    # Routing moves work between CPUs; it must not create or lose any.
+    assert abs(aggregate.sum_ms() - pinned_ms) < 1e-6
+    # Every frontend did its slice; every decision was tallied.
+    assert all(front.stats["grants"] == REQUESTS // LISTENERS for front in fronts)
+    # The acceptance bar: ≥ 3× one guard's modeled throughput.
+    assert routed_rps >= 3 * pinned_rps
+
+
+def test_replica_reads_lift_a_hot_speaker_past_one_node(keypool, rng):
+    server_kp = keypool[0]
+    issuer = KeyPrincipal(server_kp.public)
+    chart = BarChart("hot speaker (modeled req/s)", unit="rps")
+    throughput = {}
+    sums = {}
+    clusters = {}
+    sessions = {}
+    for replicas in REPLICAS:
+        cluster = AuthCluster(node_count=NODES, replica_reads=replicas)
+        mac_id, mac_key = cluster.mint_session(rng)
+        certificate = Certificate.issue(
+            server_kp, MacPrincipal(mac_key.fingerprint()), Tag.all(), rng=rng
+        )
+        cluster.add_delegation(SignedCertificateStep(certificate))
+        hot = [(mac_id, mac_key)]
+        for index in range(HOT_REQUESTS):
+            assert cluster.check(_request(issuer, hot, index)).granted
+        aggregate = ClusterAggregate.of_nodes(cluster.nodes())
+        throughput[replicas] = aggregate.throughput(HOT_REQUESTS)
+        sums[replicas] = aggregate.sum_ms()
+        clusters[replicas] = cluster
+        sessions[replicas] = (mac_id, mac_key, certificate)
+        served = len(aggregate.loaded_nodes())
+        chart.add("R=%d (%d node%s)" % (replicas, served,
+                                        "s" if served > 1 else ""),
+                  throughput[replicas])
+    print("\n" + chart.render())
+    print(
+        "  speedups vs R=1: "
+        + ", ".join(
+            "R=%d -> %.2fx" % (r, throughput[r] / throughput[1])
+            for r in REPLICAS
+        )
+    )
+
+    # Work conserved at every replication factor.
+    for replicas in REPLICAS[1:]:
+        assert abs(sums[replicas] - sums[1]) < 1e-6
+    # R=1 *is* one node's modeled throughput (the cap replica reads
+    # exist to lift); R≥2 must exceed it, and more replicas more so.
+    for smaller, larger in zip(REPLICAS, REPLICAS[1:]):
+        assert throughput[larger] > throughput[smaller]
+    assert throughput[2] > throughput[1]
+
+    # Safety at R=4: revoke the hot speaker's certificate, pump ONE bus
+    # round, and every node — every replica included — must deny.
+    cluster = clusters[REPLICAS[-1]]
+    mac_id, mac_key, certificate = sessions[REPLICAS[-1]]
+    cluster.revoke_serial(certificate.serial)
+    cluster.deliver_invalidations()
+    hot = [(mac_id, mac_key)]
+    for index in range(4 * cluster.hot_threshold):
+        try:
+            cluster.check(_request(issuer, hot, index))
+        except NeedAuthorizationError:
+            continue
+        raise AssertionError("a replica granted after revocation + one round")

@@ -103,8 +103,10 @@ class EmailDatabaseServer:
 
     @property
     def guard(self):
-        """The RMI server's shared authorization guard — every access
-        decision for this database runs through its pipeline."""
+        """The RMI server's shared authorization backend — every access
+        decision for this database runs through its pipeline (a single
+        guard by default; a cluster when the server was built with an
+        injected ``backend``)."""
         return self.rmi_server.auth
 
     @property

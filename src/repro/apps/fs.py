@@ -182,7 +182,9 @@ class GuardedFileSystem:
     whatever brought the request into the process — a channel, a local
     pipe); the operation becomes a :class:`~repro.guard.GuardRequest`
     and rides the shared pipeline, so delegation, caching, challenge,
-    and audit behave exactly as on the network transports.
+    and audit behave exactly as on the network transports.  ``guard``
+    is any :class:`~repro.guard.AuthBackend` — a local guard or a
+    cluster — this wrapper never constructs one itself.
     """
 
     def __init__(self, fs: "InMemoryFileSystem", issuer, guard,

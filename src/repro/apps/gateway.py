@@ -36,7 +36,7 @@ from repro.core.principals import (
     Principal,
 )
 from repro.core.proofs import proof_from_sexp
-from repro.guard import Guard, GuardRequest, ProofCredential
+from repro.guard import AuthBackend, GuardRequest, ProofCredential, default_backend
 from repro.http.auth import SNOWFLAKE_SCHEME, web_request_sexp
 from repro.http.message import HttpRequest, HttpResponse
 from repro.http.server import Servlet
@@ -75,7 +75,7 @@ class QuotingGateway(Servlet):
         channel,
         identity: ClientIdentity,
         meter: Optional[Meter] = None,
-        guard: Optional[Guard] = None,
+        guard: Optional[AuthBackend] = None,
     ):
         # One RMI channel to the database, shared by per-client stubs that
         # differ only in whom they quote.
@@ -84,16 +84,18 @@ class QuotingGateway(Servlet):
         self.meter = meter
         self.gateway_principal = identity.principal
         # The gateway authenticates clients and digests their delegation
-        # chains through the shared guard; the *access* decision stays at
-        # the database, quoting intact.
+        # chains through the shared backend; the *access* decision stays
+        # at the database, quoting intact.
         if guard is None:
-            guard = Guard(
+            guard = default_backend(
                 TrustEnvironment(), meter=meter, prover=identity.prover,
                 check_charge=None,
             )
-        elif guard.prover is None:
-            # A gateway cannot work without a delegation graph to digest
-            # into; an injected shared guard adopts this identity's.
+        elif getattr(guard, "prover", False) is None:
+            # A single-process gateway cannot work without a delegation
+            # graph to digest into; an injected shared guard adopts this
+            # identity's.  (A cluster backend has no ``prover`` attribute
+            # — its delegation set is replicated to every node's prover.)
             guard.prover = identity.prover
         self.guard = guard
         self._db_issuer: Optional[Principal] = None
@@ -164,7 +166,7 @@ class QuotingGateway(Servlet):
         state.  Merely-expired edges still count here; the database's own
         validity check is what refuses them at use time."""
         quoted = self.gateway_principal.quoting(client)
-        return len(self.guard.prover.graph.outgoing(quoted)) > 0
+        return self.guard.outgoing_delegations(quoted) > 0
 
     def _challenge(self, request: HttpRequest, mailbox: str) -> HttpResponse:
         issuer = self._discover_issuer(mailbox)

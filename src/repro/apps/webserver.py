@@ -36,8 +36,9 @@ class _FileServlet(ProtectedServlet):
     def __init__(self, owner_hash: HashPrincipal, fs: InMemoryFileSystem,
                  service_id: bytes, trust: TrustEnvironment,
                  meter: Optional[Meter] = None, mac_sessions=None,
-                 doc_signer: Optional[DocumentSigner] = None):
-        super().__init__(service_id, trust, meter=meter, mac_sessions=mac_sessions)
+                 doc_signer: Optional[DocumentSigner] = None, guard=None):
+        super().__init__(service_id, trust, meter=meter,
+                         mac_sessions=mac_sessions, guard=guard)
         self.owner_hash = owner_hash
         self.fs = fs
         self.doc_signer = doc_signer
@@ -80,6 +81,7 @@ class ProtectedWebServer:
         rng=None,
         mac_sessions=None,
         sign_documents: bool = False,
+        guard=None,
     ):
         self.owner_keypair = owner_keypair
         self.owner_principal = KeyPrincipal(owner_keypair.public)
@@ -97,9 +99,11 @@ class ProtectedWebServer:
         self.servlet = _FileServlet(
             self.owner_hash, self.fs, service_id, self.trust,
             meter=meter, mac_sessions=mac_sessions, doc_signer=doc_signer,
+            guard=guard,
         )
-        # The servlet's guard is the application's authorization state:
-        # audit records and stats live there, uniform with the other apps.
+        # The servlet's backend is the application's authorization state:
+        # audit records and stats live there, uniform with the other apps
+        # (and, for a cluster backend, merged across its nodes).
         self.guard = self.servlet.guard
         self.http = HttpServer(meter=meter)
         self.http.mount("/", self.servlet)

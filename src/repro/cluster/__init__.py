@@ -16,10 +16,19 @@ pays one premise snapshot and one meter charge per batch.
 The speaks-for model is what makes all of this safe: a proof is valid
 wherever the premise set is held, so any node can verify any request
 its shard receives — see ``docs/cluster.md``.
+
+The cluster implements the full :class:`~repro.guard.backend.AuthBackend`
+protocol, so transports front it exactly as they front a single guard;
+:mod:`repro.cluster.frontend` gives each listener in a fleet its own
+counted handle on the shared ring, :mod:`repro.cluster.audit` merges the
+per-node audit logs into one time-ordered trail, and ``replica_reads``
+spreads a hot speaker's checks over its shard's ring successors.
 """
 
+from repro.cluster.audit import ClusterAuditView
 from repro.cluster.bus import InvalidationBus, InvalidationEvent
 from repro.cluster.dispatch import AuthCluster, BatchDispatcher
+from repro.cluster.frontend import ClusterFrontend, fleet
 from repro.cluster.membership import (
     FAILED,
     LEFT,
@@ -38,6 +47,9 @@ from repro.cluster.ring import (
 __all__ = [
     "AuthCluster",
     "BatchDispatcher",
+    "ClusterAuditView",
+    "ClusterFrontend",
+    "fleet",
     "ClusterMembership",
     "MembershipEvent",
     "UP",

@@ -1,7 +1,7 @@
 """Shard-aware dispatch: one mixed request stream, one batch per shard.
 
 ``BatchDispatcher`` is the data plane: it groups a heterogeneous stream
-of :class:`GuardRequest`\\ s by owning node and rides
+of :class:`GuardRequest`\\ s by serving node and rides
 ``Guard.check_many()``, so each shard pays one trusted-premise snapshot
 and one metered ``checkAuth`` charge per batch instead of one per
 request — the cluster-scale version of the batching the guard already
@@ -10,14 +10,22 @@ does for a single process.
 ``AuthCluster`` is the control plane and the subsystem's facade: it owns
 the shared clock, the membership table, the invalidation bus, the
 replicated delegation set, and the session directory used to re-mint a
-failed node's sessions onto their new owners on first miss.
+failed node's sessions onto their new owners on first miss.  It
+implements the full :class:`~repro.guard.backend.AuthBackend` protocol,
+so every transport that can front a single :class:`Guard` can front a
+cluster unchanged — and with ``replica_reads > 1`` a *hot* speaker's
+read-only checks spread over the ring successors of its shard, lifting
+the one-speaker-one-node throughput cap (premises are replicated, so any
+replica can verify; the invalidation bus reaches the whole replica set,
+so a retraction still denies everywhere after one round).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.cluster.audit import ClusterAuditView
 from repro.cluster.bus import InvalidationBus
 from repro.cluster.membership import ClusterMembership
 from repro.cluster.ring import (
@@ -27,37 +35,55 @@ from repro.cluster.ring import (
     routing_key,
     session_routing_key,
 )
-from repro.core.principals import Principal
-from repro.core.proofs import Proof, proof_cites_serial
+from repro.core.errors import AuthorizationError
+from repro.core.principals import Principal, QuotingPrincipal
+from repro.core.proofs import Proof, proof_cites_serial, proof_from_sexp
 from repro.core.statements import SpeaksFor
 from repro.crypto.mac import MacKey
 from repro.crypto.rng import default_rng
 from repro.guard.pipeline import GuardDecision
-from repro.guard.request import GuardRequest, SessionCredential
+from repro.guard.request import (
+    ChannelCredential,
+    GuardRequest,
+    SessionCredential,
+)
+from repro.sexp import parse_canonical
 from repro.sim.clock import SimClock
 
 
 class BatchDispatcher:
-    """Group a request stream per shard and batch-verify each group.
+    """Group a request stream per serving node and batch-verify each group.
 
     Decisions come back in the original stream order, and a failed
     request never interrupts its batch (``check_many`` semantics), so a
     caller cannot tell how the stream was partitioned — only the meters
-    can.
+    can.  ``router`` resolves a request to its serving node; the default
+    is plain ring ownership, and the cluster injects its replica-aware
+    router so batches spread hot speakers exactly as single checks do.
     """
 
-    def __init__(self, membership: ClusterMembership):
+    def __init__(
+        self,
+        membership: ClusterMembership,
+        router: Optional[Callable[[GuardRequest], GuardNode]] = None,
+    ):
         self.membership = membership
+        self.router = router
         self.stats = {"dispatches": 0, "requests": 0, "shard_batches": 0}
+
+    def _resolve(self, request: GuardRequest) -> GuardNode:
+        if self.router is not None:
+            return self.router(request)
+        return self.membership.node_for(routing_key(request))
 
     def dispatch(self, requests, prepare=None) -> List[GuardDecision]:
         """``prepare``, if given, runs as ``prepare(request, node)`` once
-        per request while the shard is being resolved (the cluster hangs
-        session re-minting here so routing happens exactly once)."""
+        per request while the serving node is being resolved (the cluster
+        hangs session re-minting here so routing happens exactly once)."""
         requests = list(requests)
         groups: "OrderedDict[str, Tuple[GuardNode, List[int]]]" = OrderedDict()
         for index, request in enumerate(requests):
-            node = self.membership.node_for(routing_key(request))
+            node = self._resolve(request)
             if prepare is not None:
                 prepare(request, node)
             entry = groups.get(node.node_id)
@@ -77,18 +103,25 @@ class BatchDispatcher:
 
 
 class AuthCluster:
-    """A sharded, replicated authorization cluster.
+    """A sharded, replicated authorization cluster (an ``AuthBackend``).
 
     - **sharding**: requests route by speaker fingerprint on a
       consistent-hash ring; each node's guard keeps local caches exactly
       as a single-process guard would;
+    - **replica reads**: with ``replica_reads = R > 1``, a speaker whose
+      request count passes ``hot_threshold`` has its checks spread
+      round-robin over the R ring successors of its shard — delegations
+      are replicated and session secrets re-mint from the escrow
+      directory, so any replica verifies correctly and a single hot
+      speaker is no longer capped at one node's throughput;
     - **replication**: delegations added through the cluster are digested
       into *every* node's prover (the speaks-for model makes any replica
       able to verify any proof), and new nodes receive the current set at
       join;
     - **invalidation**: retractions, channel closes, and revocations are
-      applied locally, then broadcast on the bus; one ``deliver()`` round
-      purges every other node's dependent cache entries and shortcuts;
+      applied locally, then broadcast on the bus; one
+      ``deliver_invalidations()`` round purges every other node's
+      dependent cache entries and shortcuts — replica sets included;
     - **failure**: a failed node's shards reassign by ring arithmetic;
       its MAC sessions re-mint onto the new owners from the cluster
       directory on first miss, carrying their original mint stamp so
@@ -104,7 +137,15 @@ class AuthCluster:
         session_ttl: Optional[float] = None,
         directory_cap: int = 4096,
         check_charge: Optional[str] = "rmi_checkauth",
+        replica_reads: int = 1,
+        hot_threshold: int = 16,
+        hot_window: Optional[float] = 300.0,
+        hot_speaker_cap: int = 4096,
+        audit_retain: Optional[int] = None,
+        rng=None,
     ):
+        if replica_reads < 1:
+            raise ValueError("replica_reads must be at least 1")
         self.clock = clock if clock is not None else SimClock()
         self.bus = InvalidationBus()
         self.membership = ClusterMembership(
@@ -112,12 +153,30 @@ class AuthCluster:
             ring=HashRing(vnodes=vnodes),
             heartbeat_timeout=heartbeat_timeout,
         )
-        self.dispatcher = BatchDispatcher(self.membership)
+        self.dispatcher = BatchDispatcher(self.membership, router=self._route)
         self.session_ttl = session_ttl
         self.directory_cap = directory_cap
         self.check_charge = check_charge
+        self.replica_reads = replica_reads
+        self.hot_threshold = hot_threshold
+        self.hot_window = hot_window
+        self.hot_speaker_cap = hot_speaker_cap
+        self.rng = rng
+        self.audit = ClusterAuditView(self.membership, retain=audit_retain)
         self._next_node = 0
         self._delegations: Dict[bytes, Proof] = {}
+        # routing-key -> (request count, last seen); LRU-bounded.
+        # Hotness decays on idleness, not lifetime: a counter whose
+        # speaker has been quiet past ``hot_window`` restarts, so
+        # trickle speakers cool back to owner-pinned routing while a
+        # continuously hot speaker stays spread.
+        self._traffic: "OrderedDict[bytes, Tuple[int, float]]" = OrderedDict()
+        # channel fingerprint -> vouched premise, for live channels only
+        # (entries die at close).  The replica-read analogue of the
+        # session escrow: whichever node serves a spread channel speaker
+        # can be handed the binding on first miss, even if the ring
+        # changed since open_channel vouched the original replica set.
+        self._channel_directory: Dict[bytes, SpeaksFor] = {}
         # mac_id -> (secret, mint stamp); LRU-bounded by directory_cap.
         # The directory is the failover escrow, not an authority grant:
         # entries expire on the cluster TTL exactly as registry entries
@@ -128,14 +187,20 @@ class AuthCluster:
         self.stats = {
             "checks": 0,
             "batches": 0,
+            "replica_reads": 0,
+            "deliveries": 0,
+            "proofs_submitted": 0,
             "sessions_minted": 0,
             "sessions_reminted": 0,
             "sessions_unescrowed": 0,
+            "sessions_swept": 0,
+            "directory_expired": 0,
             "delegations_added": 0,
             "delegations_retracted": 0,
             "serials_revoked": 0,
             "channels_opened": 0,
             "channels_closed": 0,
+            "channels_revouched": 0,
         }
         for _ in range(node_count):
             self.add_node()
@@ -181,12 +246,59 @@ class AuthCluster:
         self.bus.unsubscribe(node_id)
         return node
 
+    def heartbeat(self, node_id: Optional[str] = None) -> int:
+        """Record heartbeats (every live node when ``node_id`` is None)
+        and pump the session sweep on the beat: the heartbeat is the
+        cluster's clock-advance signal, so expired MAC sessions — and
+        lapsed escrow-directory entries — are reaped *now*, not on their
+        next unlucky toucher.  Returns the number of sessions reaped."""
+        if node_id is None:
+            for node in self.membership.alive():
+                self.membership.heartbeat(node.node_id)
+            return self.sweep_sessions()
+        node = self.membership.get(node_id)
+        if node is None:
+            raise LookupError("unknown node %r" % node_id)
+        self.membership.heartbeat(node.node_id)
+        return self._reap([node])
+
     def sweep_failures(self) -> List[str]:
-        """Run the heartbeat failure detector; unsubscribe the lapsed."""
+        """Run the heartbeat failure detector; unsubscribe the lapsed.
+        The sweep is also a clock-advance signal, so survivor session
+        registries and the escrow directory are reaped in the same
+        pass."""
         lapsed = self.membership.sweep()
         for node_id in lapsed:
             self.bus.unsubscribe(node_id)
+        self.sweep_sessions()
         return lapsed
+
+    def sweep_sessions(self) -> int:
+        """The backend-protocol sweep: reap expired sessions on every
+        live node and in the escrow directory."""
+        return self._reap(self.membership.alive())
+
+    def _reap(self, nodes: List[GuardNode]) -> int:
+        """The one sweep-accounting block: reap the given registries,
+        lapse the escrow directory, count what fell."""
+        reaped = sum(node.guard.sweep_sessions() for node in nodes)
+        self._sweep_directory()
+        self.stats["sessions_swept"] += reaped
+        return reaped
+
+    def _sweep_directory(self) -> int:
+        if self.session_ttl is None:
+            return 0
+        now = self.clock.now()
+        dead = [
+            mac_id
+            for mac_id, (_, minted_at) in self._session_directory.items()
+            if now - minted_at > self.session_ttl
+        ]
+        for mac_id in dead:
+            del self._session_directory[mac_id]
+        self.stats["directory_expired"] += len(dead)
+        return len(dead)
 
     def nodes(self) -> List[GuardNode]:
         return self.membership.alive()
@@ -205,16 +317,63 @@ class AuthCluster:
             raise LookupError("unknown node %r" % node_id)
         return node
 
+    # -- replica-read routing ----------------------------------------------
+
+    def _note_traffic(self, key: bytes) -> int:
+        now = self.clock.now()
+        entry = self._traffic.get(key)
+        count = 0
+        if entry is not None and (
+            self.hot_window is None or now - entry[1] <= self.hot_window
+        ):
+            count = entry[0]
+        self._traffic[key] = (count + 1, now)
+        self._traffic.move_to_end(key)
+        while len(self._traffic) > self.hot_speaker_cap:
+            self._traffic.popitem(last=False)
+        return count + 1
+
+    def _route(self, request: GuardRequest) -> GuardNode:
+        """The serving node of a check: the shard owner, or — once the
+        speaker runs hot and ``replica_reads > 1`` — a round-robin pick
+        from the shard's replica set.  Only *decisions* spread; state
+        mutations (delivery vouching, channel opens pinned elsewhere)
+        stay with the owner."""
+        key = routing_key(request)
+        if self.replica_reads <= 1 or len(self.membership) <= 1:
+            return self.membership.node_for(key)
+        count = self._note_traffic(key)
+        if count <= self.hot_threshold:
+            return self.membership.node_for(key)
+        replicas = self.membership.nodes_for(key, self.replica_reads)
+        node = replicas[count % len(replicas)]
+        if node is not replicas[0]:
+            self.stats["replica_reads"] += 1
+        return node
+
     # -- replicated delegations and invalidation ---------------------------
 
     def add_delegation(self, proof: Proof) -> None:
         """Digest a delegation into every live node's prover.  Any replica
         can then complete proofs over it — the property that makes
-        speaker-sharding safe."""
+        speaker-sharding (and replica reads) safe."""
         self._delegations[proof.digest()] = proof
         for node in self.membership.alive():
             node.guard.digest_delegation(proof)
         self.stats["delegations_added"] += 1
+
+    def digest_delegation(self, proof: Proof) -> None:
+        """The backend-protocol name for :meth:`add_delegation`: a
+        delegation digested into the cluster is replicated, full stop."""
+        self.add_delegation(proof)
+
+    def outgoing_delegations(self, principal: Principal) -> int:
+        """Delegation edges leaving ``principal`` — answered by any live
+        node, since the delegation set is replicated to all of them."""
+        nodes = self.membership.alive()
+        if not nodes:
+            raise LookupError("the cluster has no live nodes")
+        return nodes[0].guard.outgoing_delegations(principal)
 
     def retract_delegation(self, proof_or_digest, via: Optional[str] = None) -> int:
         """Retract a delegation *on one node*; the node's invalidation
@@ -250,8 +409,10 @@ class AuthCluster:
         self.stats["serials_revoked"] += 1
         return removed
 
-    def deliver(self) -> int:
-        """Pump one invalidation-bus round."""
+    def deliver_invalidations(self) -> int:
+        """Pump one invalidation-bus round.  (The ``AuthBackend`` protocol
+        claims the plain ``deliver`` name for transport delivery, matching
+        ``Guard.deliver``.)"""
         return self.bus.deliver()
 
     # -- channels and sessions ---------------------------------------------
@@ -259,17 +420,31 @@ class AuthCluster:
     def open_channel(
         self, channel_principal: Principal, bound_principal: Principal
     ) -> SpeaksFor:
-        """Vouch a completed key exchange on the channel's owning node
-        (connections terminate at exactly one node, so the premise lives
-        only there)."""
-        owner = self.node_for_speaker(channel_principal)
-        premise = owner.guard.open_channel(channel_principal, bound_principal)
+        """Vouch a completed key exchange on the channel's owning node —
+        and, when replica reads are on, on the ring successors too, so a
+        hot channel speaker can be verified anywhere its checks land.
+        Close retracts on the owner and the bus round clears the rest."""
+        fingerprint = principal_fingerprint(channel_principal)
+        replicas = self.membership.nodes_for(fingerprint, self.replica_reads)
+        premise = replicas[0].guard.open_channel(
+            channel_principal, bound_principal
+        )
+        for node in replicas[1:]:
+            node.trust.vouch(premise)
+        # Remember the binding for the channel's lifetime: if the ring
+        # changes while the speaker is hot, the new serving nodes are
+        # handed the premise on first miss (see ``_ensure_channel``).
+        self._channel_directory[fingerprint] = premise
         self.stats["channels_opened"] += 1
         return premise
 
     def close_channel(self, premise: SpeaksFor) -> None:
         """Close on the current owner; the broadcast reaches any node
-        that held dependent state under an older ring layout."""
+        that held dependent state under an older ring layout — including
+        the replica set a hot channel was spread over."""
+        self._channel_directory.pop(
+            principal_fingerprint(premise.subject), None
+        )
         owner = self.node_for_speaker(premise.subject)
         owner.guard.close_channel(premise)
         self.stats["channels_closed"] += 1
@@ -277,11 +452,29 @@ class AuthCluster:
     def mint_session(self, rng=None) -> Tuple[str, MacKey]:
         """Mint a MAC session on its owning node and escrow the secret in
         the cluster directory (the failover source of truth)."""
-        mac_key = MacKey.generate(default_rng(rng))
+        mac_key = MacKey.generate(
+            default_rng(rng if rng is not None else self.rng)
+        )
         mac_id = mac_key.fingerprint().digest.hex()
         minted_at = self.clock.now()
         owner = self.membership.node_for(session_routing_key(mac_id))
         owner.guard.sessions.install(mac_id, mac_key, minted_at=minted_at)
+        self._escrow(mac_id, mac_key, minted_at)
+        self.stats["sessions_minted"] += 1
+        return mac_id, mac_key
+
+    def install_session(
+        self, mac_id: str, mac_key: MacKey, minted_at: Optional[float] = None
+    ) -> None:
+        """Adopt an externally minted session: install it on its ring
+        owner and escrow it for failover.  ``minted_at`` preserves the
+        original stamp so a handover never extends the absolute TTL."""
+        minted_at = self.clock.now() if minted_at is None else minted_at
+        owner = self.membership.node_for(session_routing_key(mac_id))
+        owner.guard.sessions.install(mac_id, mac_key, minted_at=minted_at)
+        self._escrow(mac_id, mac_key, minted_at)
+
+    def _escrow(self, mac_id: str, mac_key: MacKey, minted_at: float) -> None:
         self._session_directory[mac_id] = (mac_key, minted_at)
         self._session_directory.move_to_end(mac_id)
         while len(self._session_directory) > self.directory_cap:
@@ -290,21 +483,52 @@ class AuthCluster:
             # fail over.  The counter makes an undersized cap visible.
             self._session_directory.popitem(last=False)
             self.stats["sessions_unescrowed"] += 1
-        self.stats["sessions_minted"] += 1
-        return mac_id, mac_key
 
-    def _ensure_session(self, request: GuardRequest, owner: GuardNode) -> None:
-        """Re-mint a directory session onto its current owner on first
-        miss — the lazy half of failure rebalancing.  The re-mint carries
-        the original mint stamp, so the session's absolute TTL holds
-        across any number of owner changes."""
+    def _prepare(self, request: GuardRequest, node: GuardNode) -> None:
+        """Everything a serving node may be missing before a decision:
+        a session secret (from the escrow directory) or a live channel
+        binding (from the channel directory)."""
+        self._ensure_session(request, node)
+        self._ensure_channel(request, node)
+
+    def _ensure_channel(self, request: GuardRequest, node: GuardNode) -> None:
+        """Hand a live channel's binding to the node about to serve it.
+
+        ``open_channel`` vouches onto the replica set of the moment, but
+        the ring can change under a live connection (a join, a failure)
+        and a quoting speaker (``KCH|C``) routes by the *compound*
+        fingerprint, not the channel's — either way the serving node may
+        lack the premise every chain over the channel needs.  The
+        directory keeps one entry per live channel, so the premise
+        follows the traffic exactly as session secrets do."""
+        credential = request.credential
+        if not isinstance(credential, ChannelCredential):
+            return
+        self._ensure_channel_premise(credential.speaker, node)
+
+    def _ensure_channel_premise(self, speaker, node: GuardNode) -> None:
+        while isinstance(speaker, QuotingPrincipal):
+            speaker = speaker.quoter
+        premise = self._channel_directory.get(principal_fingerprint(speaker))
+        if premise is None or node.trust.vouches_for(premise):
+            return
+        node.trust.vouch(premise)
+        self.stats["channels_revouched"] += 1
+
+    def _ensure_session(self, request: GuardRequest, node: GuardNode) -> None:
+        """Re-mint a directory session onto the node about to serve it on
+        first miss — the lazy half of failure rebalancing, and of replica
+        reads (a replica learns a hot session's secret the first time a
+        spread check lands on it).  The re-mint carries the original mint
+        stamp, so the session's absolute TTL holds across any number of
+        serving nodes."""
         credential = request.credential
         if not isinstance(credential, SessionCredential):
             return
-        # Steady state short-circuits on the owner's registry alone; the
-        # escrow directory is only consulted on a miss (mint, failover,
-        # rebalance, or a genuinely unknown id).
-        if owner.guard.sessions.get(credential.session_id) is not None:
+        # Steady state short-circuits on the serving node's registry
+        # alone; the escrow directory is only consulted on a miss (mint,
+        # failover, rebalance, replica spread, or a genuinely unknown id).
+        if node.guard.sessions.get(credential.session_id) is not None:
             return
         entry = self._session_directory.get(credential.session_id)
         if entry is None:
@@ -317,7 +541,7 @@ class AuthCluster:
             del self._session_directory[credential.session_id]
             return
         self._session_directory.move_to_end(credential.session_id)
-        owner.guard.sessions.install(
+        node.guard.sessions.install(
             credential.session_id, mac_key, minted_at=minted_at
         )
         self.stats["sessions_reminted"] += 1
@@ -325,20 +549,100 @@ class AuthCluster:
     # -- the data plane ----------------------------------------------------
 
     def check(self, request: GuardRequest) -> GuardDecision:
-        """Route one request to its shard and run the guard pipeline
+        """Route one request to its serving node (shard owner, or a
+        replica once the speaker runs hot) and run the guard pipeline
         there (raising exactly as ``Guard.check`` does)."""
         self.stats["checks"] += 1
-        owner = self.membership.node_for(routing_key(request))
-        self._ensure_session(request, owner)
-        return owner.check(request)
+        node = self._route(request)
+        self._prepare(request, node)
+        return node.check(request)
 
     def check_many(self, requests) -> List[GuardDecision]:
         """Batch-dispatch a mixed stream: one ``check_many`` call — one
-        premise snapshot, one checkAuth charge — per shard touched."""
+        premise snapshot, one checkAuth charge — per serving node
+        touched."""
         self.stats["batches"] += 1
-        return self.dispatcher.dispatch(requests, prepare=self._ensure_session)
+        return self.dispatcher.dispatch(requests, prepare=self._prepare)
+
+    def authenticate(self, request: GuardRequest):
+        """Resolve a request's credential to its speaker on the node that
+        would serve it (so a session credential's chain is digested where
+        its checks will land)."""
+        node = self._route(request)
+        self._prepare(request, node)
+        return node.guard.authenticate(request)
+
+    def deliver(self, request: GuardRequest) -> Principal:
+        """Post-handshake transport delivery, pinned to the shard owner:
+        delivery *vouches* the utterance (mutable premise state), and
+        premises live on the owner.  The decision itself — ``check`` —
+        is what spreads under replica reads."""
+        owner = self.membership.node_for(routing_key(request))
+        self._prepare(request, owner)
+        speaker = owner.guard.deliver(request)
+        self.stats["deliveries"] += 1
+        return speaker
+
+    def retract_delivery(self, speaker: Principal, logical) -> None:
+        """Withdraw a delivered utterance wherever it was vouched.
+
+        The vouching node was the speaker's owner *at delivery time*; a
+        ring change since then means today's owner lookup would miss it
+        and strand the premise.  Retraction is a discard — a no-op on
+        nodes that never held the utterance — so sweeping every live
+        node is both correct and cheap, mirroring how the bus handles
+        channel closes under older ring layouts."""
+        for node in self.membership.alive():
+            node.guard.retract_delivery(speaker, logical)
+
+    def submit_proof(self, proof_wire: bytes) -> Proof:
+        """The proofRecipient path, cluster-wide: the subject's shard
+        owner pays the one parse+verify charge; with replica reads on,
+        the already-verified proof is memoized into the rest of the
+        replica set for free (one trust domain — verification is not
+        repeated, exactly as a cache hit does not re-verify)."""
+        # Parse once, here: routing needs the conclusion, and the
+        # verifying guard accepts the built proof so nothing is parsed
+        # (or priced) twice.
+        proof = proof_from_sexp(parse_canonical(proof_wire))
+        conclusion = proof.conclusion
+        if isinstance(conclusion, SpeaksFor):
+            replicas = self.membership.nodes_for(
+                principal_fingerprint(conclusion.subject), self.replica_reads
+            )
+            # A chain over a live channel needs the binding premise
+            # wherever it verifies — hand it over exactly as checks do.
+            for node in replicas:
+                self._ensure_channel_premise(conclusion.subject, node)
+        else:
+            replicas = [self._via(None)]
+        proof = replicas[0].guard.submit_proof(proof_wire, proof=proof)
+        for node in replicas[1:]:
+            node.guard.cache_proof(proof)
+        self.stats["proofs_submitted"] += 1
+        return proof
 
     # -- introspection -----------------------------------------------------
+
+    def context(self, now: Optional[float] = None):
+        """A verification context on the cluster clock.  Suitable for
+        checking standalone delegation chains (signatures + validity);
+        per-node premise sets are deliberately not merged here."""
+        return self._via(None).guard.context(now)
+
+    def audit_authentication(self, logical, proof, transport: str = "unknown"):
+        """Record a verified authentication on the authenticated
+        client's shard (the proof's issuer), keeping a client's trail
+        colocated with its decisions."""
+        conclusion = proof.conclusion
+        if not isinstance(conclusion, SpeaksFor):
+            raise AuthorizationError(
+                "authentication proofs conclude speaks-for"
+            )
+        owner = self.node_for_speaker(conclusion.issuer)
+        return owner.guard.audit_authentication(
+            logical, proof, transport=transport
+        )
 
     def stats_snapshot(self) -> Dict[str, object]:
         """Every counter in the subsystem, one JSON-friendly tree (the
@@ -351,6 +655,7 @@ class AuthCluster:
             "ring": {
                 "nodes": self.membership.ring.nodes(),
                 "vnodes": self.membership.ring.vnodes,
+                "replica_reads": self.replica_reads,
             },
             "nodes": {
                 node.node_id: node.stats()

@@ -1,0 +1,169 @@
+"""Cluster frontends: a fleet of listeners sharing one ring.
+
+A deployment has many *listeners* — HTTP servlets, SMTP receivers, RMI
+skeletons, secure-channel acceptors — and, before this layer, each one
+bound its own single :class:`~repro.guard.Guard`: the classic
+single-front bottleneck a shared-nothing fleet must avoid.  A
+:class:`ClusterFrontend` is one listener's handle on a shared
+:class:`~repro.cluster.dispatch.AuthCluster`: it implements the
+:class:`~repro.guard.backend.AuthBackend` protocol by routing every
+authorization decision onto the ring, while the transport keeps exactly
+what it owned before — wire framing and exception mapping.
+
+Hand a frontend to any transport where a guard used to go::
+
+    cluster = AuthCluster(node_count=8, replica_reads=2)
+    http_fe, smtp_fe = fleet(cluster, ["http-1", "smtp-1"], rng=rng)
+    servlet = ProtectedServlet(service_id, trust, guard=http_fe)
+    smtp = SnowflakeSmtpServer(host, issuer_for, trust, guard=smtp_fe)
+
+Every decision made through a frontend is tallied per listener (the
+``stats`` dict), so an operator can see which front is hot even though
+the work lands wherever the ring says.  The frontend adds no policy of
+its own: grants, denials, challenges, sessions, and audit records are
+the cluster's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.cluster.dispatch import AuthCluster
+from repro.core.errors import AuthorizationError, NeedAuthorizationError
+
+
+class ClusterFrontend:
+    """One listener's :class:`AuthBackend` view of a shared cluster."""
+
+    def __init__(self, cluster: AuthCluster, name: str, rng=None):
+        self.cluster = cluster
+        self.name = name
+        # Frontend-local RNG (e.g. one per listener process) used for
+        # session minting unless the caller supplies one per mint.
+        self.rng = rng
+        self.stats = {
+            "checks": 0,
+            "grants": 0,
+            "denials": 0,
+            "challenges": 0,
+            "batches": 0,
+            "batched_requests": 0,
+            "deliveries": 0,
+            "sessions_minted": 0,
+            "proofs_submitted": 0,
+        }
+
+    # -- decisions --------------------------------------------------------
+
+    def check(self, request):
+        self.stats["checks"] += 1
+        try:
+            decision = self.cluster.check(request)
+        except NeedAuthorizationError:
+            self.stats["challenges"] += 1
+            raise
+        except AuthorizationError:
+            self.stats["denials"] += 1
+            raise
+        self.stats["grants"] += 1
+        return decision
+
+    def check_many(self, requests):
+        requests = list(requests)
+        self.stats["batches"] += 1
+        self.stats["batched_requests"] += len(requests)
+        decisions = self.cluster.check_many(requests)
+        for decision in decisions:
+            if decision.granted:
+                self.stats["grants"] += 1
+            elif isinstance(decision.error, NeedAuthorizationError):
+                self.stats["challenges"] += 1
+            else:
+                self.stats["denials"] += 1
+        return decisions
+
+    def authenticate(self, request):
+        return self.cluster.authenticate(request)
+
+    # -- channel delivery -------------------------------------------------
+
+    def open_channel(self, channel_principal, bound_principal):
+        return self.cluster.open_channel(channel_principal, bound_principal)
+
+    def close_channel(self, premise):
+        self.cluster.close_channel(premise)
+
+    def deliver(self, request):
+        speaker = self.cluster.deliver(request)
+        self.stats["deliveries"] += 1
+        return speaker
+
+    def retract_delivery(self, speaker, logical):
+        self.cluster.retract_delivery(speaker, logical)
+
+    # -- sessions ---------------------------------------------------------
+
+    def mint_session(self, rng=None):
+        minted = self.cluster.mint_session(rng if rng is not None else self.rng)
+        self.stats["sessions_minted"] += 1
+        return minted
+
+    def install_session(self, mac_id, mac_key, minted_at=None):
+        self.cluster.install_session(mac_id, mac_key, minted_at=minted_at)
+
+    def sweep_sessions(self):
+        return self.cluster.sweep_sessions()
+
+    # -- proof intake and invalidation ------------------------------------
+
+    def submit_proof(self, proof_wire):
+        proof = self.cluster.submit_proof(proof_wire)
+        self.stats["proofs_submitted"] += 1
+        return proof
+
+    def digest_delegation(self, proof):
+        self.cluster.digest_delegation(proof)
+
+    def outgoing_delegations(self, principal):
+        return self.cluster.outgoing_delegations(principal)
+
+    def retract_delegation(self, proof_or_digest):
+        return self.cluster.retract_delegation(proof_or_digest)
+
+    def revoke_serial(self, serial):
+        return self.cluster.revoke_serial(serial)
+
+    # -- introspection ----------------------------------------------------
+
+    def context(self, now=None):
+        return self.cluster.context(now)
+
+    def audit_authentication(self, logical, proof, transport="unknown"):
+        return self.cluster.audit_authentication(
+            logical, proof, transport=transport
+        )
+
+    @property
+    def audit(self):
+        """The cluster's merged, time-ordered audit view — a frontend
+        adds no trail of its own."""
+        return self.cluster.audit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ClusterFrontend(%s)" % self.name
+
+
+def fleet(
+    cluster: AuthCluster,
+    names: Union[int, Sequence[str]],
+    rng=None,
+) -> List[ClusterFrontend]:
+    """Build a listener fleet over one cluster.
+
+    ``names`` is a list of frontend names, or a count (yielding
+    ``fe-0 .. fe-N-1``).  All frontends share ``rng`` — inject per-
+    frontend RNGs by constructing :class:`ClusterFrontend` directly.
+    """
+    if isinstance(names, int):
+        names = ["fe-%d" % index for index in range(names)]
+    return [ClusterFrontend(cluster, name, rng=rng) for name in names]

@@ -150,6 +150,19 @@ class ClusterMembership:
         """The live owner of ``key`` (ring lookup + dereference)."""
         return self._nodes[self.ring.node_for(key)]
 
+    def nodes_for(self, key: bytes, count: int = 1) -> List[GuardNode]:
+        """The live replica set of ``key``: the owner followed by up to
+        ``count - 1`` distinct ring successors."""
+        return [
+            self._nodes[node_id]
+            for node_id in self.ring.successors(key, count)
+        ]
+
+    def known(self) -> List[GuardNode]:
+        """Every node ever admitted, in join order — including the left
+        and the failed, whose audit trails must outlive their shards."""
+        return list(self._nodes.values())
+
     def get(self, node_id: str) -> Optional[GuardNode]:
         return self._nodes.get(node_id)
 

@@ -21,7 +21,7 @@ import hashlib
 from bisect import bisect_right
 from typing import Dict, List, Optional, Tuple
 
-from repro.guard import Guard
+from repro.guard import default_backend
 from repro.guard.request import (
     ChannelCredential,
     GuardRequest,
@@ -114,6 +114,27 @@ class HashRing:
             index = 0
         return self._points[index][1]
 
+    def successors(self, key: bytes, count: int = 1) -> List[str]:
+        """The replica set of ``key``: up to ``count`` *distinct* node
+        ids walking clockwise from the key's hash.  The first entry is
+        the owner (``node_for``); the rest are the ring successors that
+        replica reads spread a hot speaker over.  Fewer than ``count``
+        nodes on the ring yields them all."""
+        if count < 1:
+            raise ValueError("a replica set needs at least one node")
+        if not self._points:
+            raise LookupError("the ring has no nodes")
+        index = bisect_right(self._point_keys, _point(key))
+        result: List[str] = []
+        total = len(self._points)
+        for step in range(total):
+            node_id = self._points[(index + step) % total][1]
+            if node_id not in result:
+                result.append(node_id)
+                if len(result) == count:
+                    break
+        return result
+
     def nodes(self) -> List[str]:
         return list(self._node_ids)
 
@@ -150,7 +171,9 @@ class GuardNode:
         self.trust = trust if trust is not None else TrustEnvironment(clock=clock)
         self.meter = meter if meter is not None else Meter()
         self.prover = prover if prover is not None else Prover()
-        self.guard = Guard(
+        # Even the cluster's own nodes go through the shared factory:
+        # nothing in the tree constructs the default backend any other way.
+        self.guard = default_backend(
             self.trust,
             meter=self.meter,
             prover=self.prover,

@@ -52,6 +52,7 @@ from repro.guard.request import (
     SessionCredential,
 )
 from repro.guard.sessions import SessionRegistry
+from repro.crypto.rng import default_rng
 from repro.sexp import from_transport, parse_canonical, sexp
 from repro.sim.costmodel import Meter, maybe_charge
 from repro.tags import Tag
@@ -107,10 +108,15 @@ class Guard:
         sessions: Optional[SessionRegistry] = None,
         audit: Optional[AuditLog] = None,
         check_charge: Optional[str] = "rmi_checkauth",
+        rng=None,
     ):
         self.trust = trust
         self.meter = meter
         self.prover = prover
+        # Default RNG for session minting; ``None`` falls back to the
+        # secrets-backed default at mint time.  Injected for determinism
+        # the same way the clock rides in on ``trust``.
+        self.rng = rng
         self.cache = cache if cache is not None else ProofCache(max_speakers)
         if sessions is not None:
             if session_ttl is not None:
@@ -448,6 +454,22 @@ class Guard:
         traffic instead of growing for the life of the server."""
         self.trust.retract(Says(speaker, sexp(logical)))
 
+    # -- MAC sessions (the backend surface over the registry) --------------
+
+    def mint_session(self, rng=None) -> Tuple[str, "object"]:
+        """Mint a MAC session in this guard's registry.  ``rng`` defaults
+        to the guard's injected RNG (secrets-backed when none was)."""
+        return self.sessions.mint(default_rng(rng if rng is not None else self.rng))
+
+    def install_session(self, mac_id: str, mac_key, minted_at=None) -> None:
+        """Register an externally minted session (a front that minted
+        before binding to this backend hands its table over here)."""
+        self.sessions.install(mac_id, mac_key, minted_at=minted_at)
+
+    def sweep_sessions(self) -> int:
+        """Eagerly reap expired sessions; returns the count removed."""
+        return self.sessions.sweep()
+
     # -- server-side prover feeding ---------------------------------------
 
     def digest_delegation(self, proof: Proof) -> None:
@@ -457,6 +479,14 @@ class Guard:
             raise AuthorizationError("guard has no prover attached")
         self.prover.add_proof(proof)
         self.stats["delegations_digested"] += 1
+
+    def outgoing_delegations(self, principal: Principal) -> int:
+        """How many delegation edges leave ``principal`` in the attached
+        prover's graph (0 without a prover) — the quoting gateway's
+        known-client question, asked of any backend uniformly."""
+        if self.prover is None:
+            return 0
+        return len(self.prover.graph.outgoing(principal))
 
     # -- invalidation events ------------------------------------------------
 
@@ -562,17 +592,19 @@ class Guard:
         )
         return decision.proof
 
-    def submit_proof(self, proof_wire: bytes) -> Proof:
+    def submit_proof(self, proof_wire: bytes, proof: Optional[Proof] = None) -> Proof:
         """Receive, parse, verify, and cache a proof from a client (the
         proofRecipient object).
 
         This is the 190 ms path of Section 7.2: "the server spends 190 ms
         parsing and verifying the proof from the client" — the single
         charge below covers parse, unmarshal, and verification together,
-        as the paper's figure does.
+        as the paper's figure does.  A caller that already parsed the
+        wire (the cluster routes on the conclusion) passes ``proof`` so
+        the work — and the charge — happens exactly once.
         """
-        node = parse_canonical(proof_wire)
-        proof = proof_from_sexp(node)
+        if proof is None:
+            proof = proof_from_sexp(parse_canonical(proof_wire))
         maybe_charge(self.meter, "proof_parse_verify")
         context = self.trust.context()
         proof.verify(context)

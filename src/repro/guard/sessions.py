@@ -176,5 +176,15 @@ class SessionRegistry:
             self._sessions.move_to_end(mac_id)
         self._bound()
 
+    def live_sessions(self) -> List[Tuple[str, MacKey, float]]:
+        """Snapshot of the non-expired sessions as ``(mac_id, key,
+        minted_at)`` triples — what a front hands over when it re-binds
+        to a different backend."""
+        return [
+            (mac_id, session.mac_key, session.minted_at)
+            for mac_id, session in self._sessions.items()
+            if not self._expired(session)
+        ]
+
     def count(self) -> int:
         return len(self._sessions)

@@ -27,7 +27,7 @@ from typing import Dict, Optional
 from repro.core.errors import AuthorizationError, NeedAuthorizationError
 from repro.core.principals import HashPrincipal, Principal
 from repro.crypto.rng import default_rng
-from repro.guard import Guard, GuardRequest, ProofCredential
+from repro.guard import AuthBackend, GuardRequest, ProofCredential, default_backend
 from repro.http.message import HttpRequest, HttpResponse
 from repro.http.server import Servlet
 from repro.net.trust import TrustEnvironment
@@ -69,7 +69,7 @@ class ProtectedServlet(Servlet):
         trust: TrustEnvironment,
         meter: Optional[Meter] = None,
         mac_sessions=None,
-        guard: Optional[Guard] = None,
+        guard: Optional[AuthBackend] = None,
     ):
         self.service_id = service_id
         self.trust = trust
@@ -77,7 +77,10 @@ class ProtectedServlet(Servlet):
         self.mac_sessions = mac_sessions
         if guard is None:
             # HTTP meters its own SPKI handling; no per-check RMI charge.
-            guard = Guard(
+            # The only sanctioned default construction: the shared
+            # backend factory (any AuthBackend may be injected instead —
+            # a shared Guard, an AuthCluster, a ClusterFrontend).
+            guard = default_backend(
                 trust,
                 meter=meter,
                 check_charge=None,
@@ -85,12 +88,10 @@ class ProtectedServlet(Servlet):
                     mac_sessions.registry if mac_sessions is not None else None
                 ),
             )
-        elif mac_sessions is not None and mac_sessions.registry is not guard.sessions:
-            # One session table: an injected (shared) guard's registry is
-            # the truth.  Adopt any sessions the manager already minted so
-            # outstanding grants keep verifying, then re-point it.
-            guard.sessions.adopt(mac_sessions.registry)
-            mac_sessions.registry = guard.sessions
+        if mac_sessions is not None:
+            # One session authority: the manager mints through (and, for
+            # a local guard, shares its table with) the backend.
+            mac_sessions.bind(guard)
         self.guard = guard
         # Legacy name: the guard subsumes the per-servlet SfAuthState.
         self.auth = guard

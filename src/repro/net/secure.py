@@ -48,7 +48,7 @@ from repro.crypto.hashes import HashValue
 from repro.crypto.numtheory import bytes_to_int, int_to_bytes
 from repro.crypto.rng import default_rng, random_bytes
 from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
-from repro.guard import ChannelCredential, Guard, GuardRequest
+from repro.guard import AuthBackend, ChannelCredential, GuardRequest, resolve_backend
 from repro.net.network import Connection, ServerFactory, Transport
 from repro.net.trust import TrustEnvironment
 from repro.sexp import Atom, SExp, SList, parse_canonical, to_canonical
@@ -165,7 +165,8 @@ class SecureChannelServer(ServerFactory):
         trust: TrustEnvironment,
         meter: Optional[Meter] = None,
         record_charge: str = "rmi_ssh_record",
-        guard: Optional[Guard] = None,
+        guard: Optional[AuthBackend] = None,
+        rng=None,
     ):
         self.host_keypair = host_keypair
         self.service = service
@@ -173,10 +174,13 @@ class SecureChannelServer(ServerFactory):
         self.meter = meter
         self.record_charge = record_charge
         # Channel bindings and post-handshake delivery route through the
-        # shared guard pipeline (servers that also authorize — the RMI
-        # stack — pass their authorization guard so state is one object).
-        self.guard = guard if guard is not None else Guard(
-            trust, meter=None, check_charge=None
+        # shared backend pipeline (servers that also authorize — the RMI
+        # stack — pass their authorization backend so state is one
+        # object; a cluster backend pins each connection's premise to the
+        # channel's shard).  The default honors the injected meter, RNG,
+        # and the trust environment's clock the same way HTTP does.
+        self.guard = resolve_backend(
+            guard, trust, meter=meter, check_charge=None, rng=rng
         )
 
     def open_connection(self, peer_address: str) -> "_ServerConnection":

@@ -14,6 +14,6 @@ legacy surface (``check_auth``, ``submit_proof``, ``cache_proof``,
 
 from __future__ import annotations
 
-from repro.guard import AuditLog, AuditRecord, Guard as SfAuthState
+from repro.guard import AuditLog, AuditRecord, AuthBackend, Guard as SfAuthState
 
-__all__ = ["AuditLog", "AuditRecord", "SfAuthState"]
+__all__ = ["AuditLog", "AuditRecord", "AuthBackend", "SfAuthState"]

@@ -21,7 +21,8 @@ from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
 from repro.net.network import Network
 from repro.net.secure import SecureChannelClient, SecureChannelServer
 from repro.net.trust import TrustEnvironment
-from repro.rmi.auth import SfAuthState
+from repro.guard import resolve_backend
+from repro.rmi.auth import SfAuthState  # noqa: F401 — legacy re-export
 from repro.rmi.invoker import ClientIdentity, RemoteStub
 from repro.rmi.remote import RemoteObject, RmiSkeleton
 from repro.sim.clock import SimClock
@@ -78,7 +79,13 @@ class Registry:
 
 
 class RmiServer:
-    """The assembled server stack: trust + auth + skeleton + listener."""
+    """The assembled server stack: trust + auth + skeleton + listener.
+
+    ``backend`` injects any :class:`~repro.guard.AuthBackend` — a shared
+    guard or an :class:`~repro.cluster.AuthCluster` frontend — as the
+    server's authorization state; the default is one guard per server
+    process via the shared backend factory.
+    """
 
     def __init__(
         self,
@@ -88,14 +95,15 @@ class RmiServer:
         clock: Optional[SimClock] = None,
         meter: Optional[Meter] = None,
         revocation=None,
+        backend=None,
     ):
         self.network = network
         self.address = address
         self.host_keypair = host_keypair
         self.trust = TrustEnvironment(clock=clock, revocation=revocation)
-        # One guard per server process: the skeleton's checkAuth, the
+        # One backend per server process: the skeleton's checkAuth, the
         # listener's channel sessions, and the audit log share it.
-        self.auth = SfAuthState(self.trust, meter=meter)
+        self.auth = resolve_backend(backend, self.trust, meter=meter)
         self.skeleton = RmiSkeleton(self.auth, meter=meter)
         self.listener = SecureChannelServer(
             host_keypair, self.skeleton, self.trust, meter=meter,

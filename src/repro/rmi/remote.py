@@ -17,7 +17,7 @@ from repro.core.errors import (
     NeedAuthorizationError,
 )
 from repro.core.principals import Principal
-from repro.guard import ChannelCredential, Guard, GuardRequest
+from repro.guard import AuthBackend, ChannelCredential, GuardRequest
 from repro.net.secure import SecureChannelService
 from repro.sexp import Atom, SExp, SList, sexp
 from repro.sim.costmodel import Meter, maybe_charge
@@ -81,7 +81,9 @@ class RmiSkeleton(SecureChannelService):
     - any other failure → ``(error denied <message>)``.
     """
 
-    def __init__(self, auth: Guard, meter: Optional[Meter] = None):
+    def __init__(self, auth: AuthBackend, meter: Optional[Meter] = None):
+        # ``auth`` is any AuthBackend: the skeleton only needs ``check``
+        # and ``submit_proof``, so a cluster serves it as well as a guard.
         self.auth = auth
         self.meter = meter
         self._objects: Dict[str, RemoteObject] = {}

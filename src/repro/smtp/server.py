@@ -18,7 +18,7 @@ from repro.core.errors import (
 )
 from repro.core.principals import HashPrincipal, Principal
 from repro.crypto.hashes import HashValue
-from repro.guard import Guard, GuardRequest, ProofCredential
+from repro.guard import AuthBackend, GuardRequest, ProofCredential, resolve_backend
 from repro.net.network import Connection, ServerFactory
 from repro.net.trust import TrustEnvironment
 from repro.sexp import Atom, SExp, SList, from_transport, to_transport
@@ -52,7 +52,8 @@ class SnowflakeSmtpServer(ServerFactory):
         deliver: Optional[Callable[[str, str, bytes], None]] = None,
         receiver_proof=None,
         meter: Optional[Meter] = None,
-        guard: Optional[Guard] = None,
+        guard: Optional[AuthBackend] = None,
+        rng=None,
     ):
         self.hostname = hostname
         self.issuer_for = issuer_for
@@ -63,10 +64,12 @@ class SnowflakeSmtpServer(ServerFactory):
         # Optional proof that this host may receive for its mailboxes —
         # shown in the greeting (the paper's server-authorization question).
         self.receiver_proof = receiver_proof
-        # Authorization rides the shared guard pipeline; SMTP meters its
-        # SPKI handling itself, like HTTP.
-        self.guard = guard if guard is not None else Guard(
-            trust, meter=meter, check_charge=None
+        # Authorization rides the shared backend pipeline (a Guard by
+        # default, any AuthBackend by injection); SMTP meters its SPKI
+        # handling itself, like HTTP.  The default honors an injected
+        # RNG and the trust environment's clock exactly as HTTP does.
+        self.guard = resolve_backend(
+            guard, trust, meter=meter, check_charge=None, rng=rng
         )
 
     def _default_deliver(self, mailbox: str, sender: str, message: bytes) -> None:

@@ -179,21 +179,26 @@ def cmd_tag(args) -> int:
     return 0
 
 
-def cmd_stats(args) -> int:
-    """Run a deterministic demo workload on an authorization cluster and
-    dump every guard/prover/session/cluster counter as JSON — the quick
-    way to eyeball what the cluster benchmarks measure."""
+def _demo_cluster(args):
+    """Drive the deterministic demo workload the ``stats`` and ``audit``
+    subcommands share: an :class:`AuthCluster` serving a MAC-session
+    request stream, optionally failing one node mid-run.  Returns
+    ``(cluster, all_nodes)`` — ``all_nodes`` includes any failed node so
+    aggregation never understates the work done."""
     from repro.cluster import AuthCluster
     from repro.core.principals import KeyPrincipal, MacPrincipal
     from repro.core.proofs import SignedCertificateStep
     from repro.guard import GuardRequest, SessionCredential
     from repro.sexp import sexp
-    from repro.sim.metrics import ClusterAggregate
 
     rng = random.Random(args.seed)
     server = generate_keypair(512, rng)
     issuer = KeyPrincipal(server.public)
-    cluster = AuthCluster(node_count=args.nodes)
+    cluster = AuthCluster(
+        node_count=args.nodes,
+        replica_reads=getattr(args, "replica_reads", 1),
+        audit_retain=getattr(args, "retain", None),
+    )
     sessions = []
     for _ in range(args.sessions):
         mac_id, mac_key = cluster.mint_session(rng)
@@ -220,7 +225,16 @@ def cmd_stats(args) -> int:
     if args.fail_one and len(cluster.nodes()) > 1:
         cluster.fail_node(cluster.nodes()[0].node_id)
     cluster.check_many([request(i) for i in range(half, args.requests)])
+    return cluster, all_nodes
 
+
+def cmd_stats(args) -> int:
+    """Run a deterministic demo workload on an authorization cluster and
+    dump every guard/prover/session/cluster counter as JSON — the quick
+    way to eyeball what the cluster benchmarks measure."""
+    from repro.sim.metrics import ClusterAggregate
+
+    cluster, all_nodes = _demo_cluster(args)
     snapshot = cluster.stats_snapshot()
     # Aggregate over every node that did work, including any failed one:
     # dropping its meter would overstate throughput.
@@ -232,6 +246,39 @@ def cmd_stats(args) -> int:
         "throughput_rps": aggregate.throughput(args.requests),
     }
     print(json.dumps(snapshot, indent=args.indent, sort_keys=True))
+    return 0
+
+
+def cmd_audit(args) -> int:
+    """Run the demo cluster workload and print its audit trail.
+
+    ``--merge`` prints the cluster-wide, time-ordered merged view (the
+    per-node logs interleaved on the shared clock, capped by
+    ``--retain``); without it, each node's local log prints under its
+    own heading — the disjoint trails the merge exists to fix.
+    """
+    cluster, all_nodes = _demo_cluster(args)
+    if args.merge:
+        # The cluster's own merged view — built with ``--retain`` as its
+        # retention cap by ``_demo_cluster``.
+        records = cluster.audit.records
+        print(
+            "# merged cluster audit: %d record%s across %d node%s"
+            % (
+                len(records), "" if len(records) == 1 else "s",
+                len(all_nodes), "" if len(all_nodes) == 1 else "s",
+            )
+        )
+        for record in records:
+            print(record.render())
+        return 0
+    for node in all_nodes:
+        records = node.guard.audit.records
+        if args.retain is not None:
+            records = records[max(0, len(records) - args.retain):]
+        print("# %s: %d record(s)" % (node.node_id, len(records)))
+        for record in records:
+            print(record.render())
     return 0
 
 
@@ -291,7 +338,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail one node mid-run to exercise failover "
                             "session re-minting")
     stats.add_argument("--indent", type=int, default=2)
+    stats.add_argument("--replica-reads", type=int, default=1,
+                       help="spread hot speakers over this many ring "
+                            "successors (R=1 pins each shard to its owner)")
     stats.set_defaults(func=cmd_stats)
+
+    audit = commands.add_parser(
+        "audit",
+        help="run the demo cluster workload and print its audit trail",
+    )
+    audit.add_argument("--nodes", type=int, default=4)
+    audit.add_argument("--sessions", type=int, default=16)
+    audit.add_argument("--requests", type=int, default=64)
+    audit.add_argument("--seed", type=int, default=7)
+    audit.add_argument("--fail-one", action="store_true",
+                       help="fail one node mid-run (its trail still merges)")
+    audit.add_argument("--replica-reads", type=int, default=1)
+    audit.add_argument("--merge", action="store_true",
+                       help="one time-ordered cluster-wide trail instead "
+                            "of per-node sections")
+    audit.add_argument("--retain", type=int, default=None,
+                       help="keep only the most recent N records")
+    audit.set_defaults(func=cmd_audit)
 
     tag = commands.add_parser("tag", help="authorization-tag algebra")
     tag.add_argument("first", help="a tag, e.g. '(tag (web))'")

@@ -42,7 +42,7 @@ class TestDelegationRetraction:
         for node in nodes[1:]:
             assert node.check(world.request()).granted
 
-        assert world.cluster.deliver() > 0
+        assert world.cluster.deliver_invalidations() > 0
         for node in nodes:
             with pytest.raises(NeedAuthorizationError):
                 node.check(world.request())
@@ -50,7 +50,7 @@ class TestDelegationRetraction:
     def test_retraction_purges_caches_shortcuts_and_counts(self, world):
         nodes = _warm_all_nodes(world)
         world.cluster.retract_delegation(world.delegation)
-        world.cluster.deliver()
+        world.cluster.deliver_invalidations()
         for node in nodes:
             assert node.guard.cached_proof_count() == 0
             assert world.delegation not in node.prover.graph
@@ -64,7 +64,7 @@ class TestDelegationRetraction:
         origin = nodes[0]
         before = origin.guard.stats["invalidations_applied"]
         world.cluster.retract_delegation(world.delegation, via=origin.node_id)
-        world.cluster.deliver()
+        world.cluster.deliver_invalidations()
         assert origin.guard.stats["invalidations_applied"] == before
 
 
@@ -85,7 +85,7 @@ class TestChannelClose:
             assert node.check(world.request(speaker=channel)).granted
 
         world.cluster.close_channel(premise)
-        world.cluster.deliver()
+        world.cluster.deliver_invalidations()
         for node in nodes[:2]:
             assert not node.trust.vouches_for(premise)
             with pytest.raises(NeedAuthorizationError):
@@ -98,7 +98,7 @@ class TestRevocation:
         the serial's derived state everywhere."""
         nodes = _warm_all_nodes(world)
         world.cluster.revoke_serial(world.certificate.serial)
-        world.cluster.deliver()
+        world.cluster.deliver_invalidations()
         for node in nodes:
             assert node.guard.cached_proof_count() == 0
             with pytest.raises(NeedAuthorizationError):
@@ -110,7 +110,7 @@ class TestRevocation:
         revocation already killed cluster-wide."""
         _warm_all_nodes(world)
         world.cluster.revoke_serial(world.certificate.serial)
-        world.cluster.deliver()
+        world.cluster.deliver_invalidations()
         late = world.cluster.add_node()
         assert world.delegation not in late.prover.graph
         with pytest.raises(NeedAuthorizationError):
@@ -119,6 +119,6 @@ class TestRevocation:
     def test_unrelated_serial_revocation_is_a_noop(self, world):
         nodes = _warm_all_nodes(world)
         world.cluster.revoke_serial(b"\x00" * 8)
-        world.cluster.deliver()
+        world.cluster.deliver_invalidations()
         for node in nodes:
             assert node.check(world.request()).granted

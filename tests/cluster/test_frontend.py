@@ -1,0 +1,207 @@
+"""The frontend layer: a fleet of listeners over one shared ring.
+
+Plus the control-plane satellites that make a fleet operable: the
+membership heartbeat pumping ``SessionRegistry.sweep()`` cluster-wide,
+and the merged, time-ordered cluster audit view with its retention cap.
+"""
+
+import pytest
+
+from repro.cluster import ClusterAuditView, fleet
+from repro.cluster.ring import session_routing_key
+from repro.core.errors import NeedAuthorizationError
+from repro.core.principals import KeyPrincipal
+
+from tests.cluster.conftest import ClusterWorld
+
+
+@pytest.fixture()
+def world(server_kp, alice_kp, rng):
+    return ClusterWorld(server_kp, alice_kp, rng, nodes=4)
+
+
+class TestFleet:
+    def test_fleet_shares_one_ring(self, world):
+        """Decisions made through different frontends land on the same
+        shard state: a fleet is N listeners, not N authorization
+        domains."""
+        fronts = fleet(world.cluster, ["http-1", "smtp-1", "rmi-1"])
+        for front in fronts:
+            assert front.check(world.request()).granted
+        # One speaker, one owner node — all three frontends routed there.
+        served = [
+            node
+            for node in world.cluster.nodes()
+            if node.guard.stats["checks"] > 0
+        ]
+        assert len(served) == 1
+        assert served[0].guard.stats["grants"] == len(fronts)
+
+    def test_per_frontend_stats_tally_locally(self, world, carol_kp):
+        front_a, front_b = fleet(world.cluster, 2)
+        assert front_a.check(world.request()).granted
+        assert front_a.check(world.request()).granted
+        stranger = KeyPrincipal(carol_kp.public)
+        with pytest.raises(NeedAuthorizationError):
+            front_b.check(world.request(speaker=stranger))
+        assert front_a.stats["grants"] == 2
+        assert front_a.stats["challenges"] == 0
+        assert front_b.stats["challenges"] == 1
+        assert front_b.stats["grants"] == 0
+
+    def test_frontend_batches_count_decisions(self, world, carol_kp):
+        (front,) = fleet(world.cluster, 1)
+        stranger = KeyPrincipal(carol_kp.public)
+        decisions = front.check_many(
+            [world.request(), world.request(speaker=stranger), world.request()]
+        )
+        assert [d.granted for d in decisions] == [True, False, True]
+        assert front.stats["batches"] == 1
+        assert front.stats["batched_requests"] == 3
+        assert front.stats["grants"] == 2
+        assert front.stats["challenges"] == 1
+
+    def test_fleet_sessions_mint_into_the_shared_escrow(self, world, rng):
+        front_a, front_b = fleet(world.cluster, 2, rng=rng)
+        mac_id, _ = front_a.mint_session()
+        # Any other frontend's traffic can reach the session: the escrow
+        # and the owning node's registry are cluster state, not frontend
+        # state.
+        assert mac_id in world.cluster._session_directory
+        assert front_b.cluster is front_a.cluster
+
+    def test_frontend_audit_is_the_merged_cluster_view(self, world):
+        (front,) = fleet(world.cluster, 1)
+        assert front.check(world.request()).granted
+        assert front.audit is world.cluster.audit
+        assert len(front.audit.records) == 1
+
+
+class TestHeartbeatSweep:
+    def _world(self, server_kp, alice_kp, rng):
+        return ClusterWorld(
+            server_kp, alice_kp, rng, nodes=3, session_ttl=60.0
+        )
+
+    def test_heartbeat_reaps_expired_sessions_without_a_touch(
+        self, server_kp, alice_kp, rng
+    ):
+        world = self._world(server_kp, alice_kp, rng)
+        cluster = world.cluster
+        for _ in range(6):
+            cluster.mint_session(rng)
+        populated = sum(
+            node.guard.sessions.count() for node in cluster.nodes()
+        )
+        assert populated == 6
+        world.clock.advance(61.0)
+        # Nothing touched the sessions; the heartbeat alone reaps them.
+        reaped = cluster.heartbeat()
+        assert reaped == 6
+        assert all(
+            node.guard.sessions.count() == 0 for node in cluster.nodes()
+        )
+        # The escrow directory lapsed with them: no failover resurrection.
+        assert len(cluster._session_directory) == 0
+        assert cluster.stats["directory_expired"] == 6
+        assert cluster.membership.stats["heartbeats"] >= 3
+
+    def test_single_node_heartbeat_sweeps_that_node(
+        self, server_kp, alice_kp, rng
+    ):
+        world = self._world(server_kp, alice_kp, rng)
+        cluster = world.cluster
+        mac_id, _ = cluster.mint_session(rng)
+        owner = cluster.membership.node_for(session_routing_key(mac_id))
+        world.clock.advance(61.0)
+        assert cluster.heartbeat(owner.node_id) == 1
+        assert owner.guard.sessions.count() == 0
+
+    def test_failure_sweep_also_pumps_session_sweep(
+        self, server_kp, alice_kp, rng
+    ):
+        world = ClusterWorld(
+            server_kp, alice_kp, rng, nodes=3,
+            session_ttl=60.0, heartbeat_timeout=1000.0,
+        )
+        cluster = world.cluster
+        for _ in range(4):
+            cluster.mint_session(rng)
+        world.clock.advance(61.0)
+        lapsed = cluster.sweep_failures()
+        assert lapsed == []  # heartbeat bound is generous; nobody failed
+        # ...but the clock advance still reaped every expired session.
+        assert cluster.stats["sessions_swept"] == 4
+        assert all(
+            node.guard.sessions.count() == 0 for node in cluster.nodes()
+        )
+
+
+class TestMergedAudit:
+    def test_records_merge_time_ordered_across_nodes(self, world):
+        cluster = world.cluster
+        # Grants at strictly increasing timestamps.
+        for index in range(6):
+            world.clock.advance(1.0)
+            logical = ["web", ["path", "/t-%d" % index]]
+            assert cluster.check(world.request(logical=logical)).granted
+        merged = cluster.audit.records
+        assert len(merged) == 6
+        stamps = [record.when for record in merged]
+        assert stamps == sorted(stamps)
+
+    def test_merge_spans_multiple_nodes(self, world, bob_kp, carol_kp,
+                                        server_kp, rng):
+        from repro.core.proofs import SignedCertificateStep
+        from repro.spki import Certificate
+        from repro.tags import Tag
+
+        cluster = world.cluster
+        others = []
+        for keypair in (bob_kp, carol_kp):
+            principal = KeyPrincipal(keypair.public)
+            certificate = Certificate.issue(
+                server_kp, principal, Tag.all(), rng=rng
+            )
+            cluster.add_delegation(SignedCertificateStep(certificate))
+            others.append(principal)
+        all_speakers = [world.client] + others
+        for speaker in all_speakers * 2:
+            world.clock.advance(1.0)
+            assert cluster.check(world.request(speaker=speaker)).granted
+        contributing = [
+            node
+            for node in cluster.nodes()
+            if len(node.guard.audit.records) > 0
+        ]
+        assert len(contributing) >= 2  # the merge had real work to do
+        merged = cluster.audit.records
+        assert len(merged) == 2 * len(all_speakers)
+        stamps = [record.when for record in merged]
+        assert stamps == sorted(stamps)
+
+    def test_retention_cap_keeps_most_recent(self, world):
+        cluster = world.cluster
+        for index in range(8):
+            world.clock.advance(1.0)
+            assert cluster.check(world.request()).granted
+        view = ClusterAuditView(cluster.membership, retain=3)
+        records = view.records
+        assert len(records) == 3
+        assert records[-1].when == max(
+            record.when for record in cluster.audit.records
+        )
+        assert len(view) == 3
+
+    def test_failed_nodes_history_survives_in_the_merge(self, world):
+        cluster = world.cluster
+        assert cluster.check(world.request()).granted
+        owner = [
+            node for node in cluster.nodes() if node.guard.stats["grants"]
+        ][0]
+        cluster.fail_node(owner.node_id)
+        assert len(cluster.audit.records) == 1
+
+    def test_view_is_read_only(self, world):
+        with pytest.raises(TypeError):
+            world.cluster.audit.record(object())

@@ -1,0 +1,136 @@
+"""The AuthBackend protocol: one surface, three implementations.
+
+``Guard`` (one process), ``AuthCluster`` (a ring of guards), and
+``ClusterFrontend`` (one listener's handle on a shared ring) must all
+satisfy the protocol every transport programs against — conformance is
+what lets the http/rmi/smtp/secure integration tests run unchanged
+against any of them.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import AuthCluster, ClusterFrontend
+from repro.core.principals import KeyPrincipal
+from repro.core.proofs import SignedCertificateStep
+from repro.guard import (
+    AuthBackend,
+    Guard,
+    default_backend,
+    resolve_backend,
+)
+from repro.net.trust import TrustEnvironment
+from repro.sim import SimClock
+from repro.spki import Certificate
+from repro.tags import Tag
+
+PROTOCOL_METHODS = [
+    "check",
+    "check_many",
+    "authenticate",
+    "open_channel",
+    "close_channel",
+    "deliver",
+    "retract_delivery",
+    "mint_session",
+    "install_session",
+    "sweep_sessions",
+    "submit_proof",
+    "digest_delegation",
+    "outgoing_delegations",
+    "retract_delegation",
+    "revoke_serial",
+    "context",
+    "audit_authentication",
+]
+
+
+def _backends():
+    trust = TrustEnvironment()
+    cluster = AuthCluster(node_count=2)
+    return [
+        Guard(trust),
+        cluster,
+        ClusterFrontend(cluster, "fe-0"),
+    ]
+
+
+class TestConformance:
+    @pytest.mark.parametrize("index", [0, 1, 2], ids=["guard", "cluster", "frontend"])
+    def test_every_protocol_method_present(self, index):
+        backend = _backends()[index]
+        for name in PROTOCOL_METHODS:
+            assert callable(getattr(backend, name)), (
+                "%s lacks %s" % (type(backend).__name__, name)
+            )
+        # The two data members every consumer reads.
+        assert hasattr(backend, "audit")
+        assert hasattr(backend, "stats")
+
+    @pytest.mark.parametrize("index", [0, 1, 2], ids=["guard", "cluster", "frontend"])
+    def test_runtime_isinstance(self, index):
+        assert isinstance(_backends()[index], AuthBackend)
+
+    def test_audit_views_share_the_log_surface(self):
+        for backend in _backends():
+            audit = backend.audit
+            assert hasattr(audit, "records")
+            assert callable(audit.involving)
+            assert callable(audit.by_transport)
+
+
+class TestFactory:
+    def test_default_backend_is_a_guard_on_the_given_trust(self):
+        trust = TrustEnvironment(clock=SimClock())
+        backend = default_backend(trust, check_charge=None)
+        assert isinstance(backend, Guard)
+        assert backend.trust is trust
+        # The clock rides in on trust: sessions expire on the same
+        # timeline the transports' validity checks use.
+        assert backend.sessions.clock is trust.clock
+
+    def test_resolve_returns_injected_backend_unchanged(self):
+        trust = TrustEnvironment()
+        cluster = AuthCluster(node_count=1)
+        assert resolve_backend(cluster, trust) is cluster
+        built = resolve_backend(None, trust, check_charge=None)
+        assert isinstance(built, Guard)
+
+    def test_injected_rng_drives_session_minting(self):
+        """Two backends seeded identically mint identical sessions — the
+        determinism every transport default must honor (the http/smtp/
+        secure consistency fix)."""
+        ids = []
+        for _ in range(2):
+            guard = default_backend(TrustEnvironment(), rng=random.Random(99))
+            mac_id, _ = guard.mint_session()
+            ids.append(mac_id)
+        assert ids[0] == ids[1]
+        # A per-call rng overrides the injected default.
+        guard = default_backend(TrustEnvironment(), rng=random.Random(99))
+        mac_id, _ = guard.mint_session(random.Random(7))
+        assert mac_id != ids[0]
+
+    def test_install_session_hands_a_table_over(self):
+        donor = default_backend(TrustEnvironment(), rng=random.Random(1))
+        receiver = default_backend(TrustEnvironment())
+        mac_id, mac_key = donor.mint_session()
+        receiver.install_session(mac_id, mac_key)
+        assert receiver.sessions.get(mac_id) is not None
+
+
+class TestGuardSurface:
+    def test_outgoing_delegations_without_prover_is_zero(self, alice_kp):
+        guard = default_backend(TrustEnvironment())
+        assert guard.outgoing_delegations(KeyPrincipal(alice_kp.public)) == 0
+
+    def test_cluster_outgoing_delegations_sees_replicated_set(
+        self, server_kp, alice_kp, rng
+    ):
+        cluster = AuthCluster(node_count=3)
+        alice = KeyPrincipal(alice_kp.public)
+        assert cluster.outgoing_delegations(alice) == 0
+        certificate = Certificate.issue(server_kp, alice, Tag.all(), rng=rng)
+        cluster.digest_delegation(SignedCertificateStep(certificate))
+        assert cluster.outgoing_delegations(alice) == 1

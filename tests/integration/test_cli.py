@@ -128,6 +128,37 @@ class TestStatsCommand:
         assert snapshot["cluster"]["sessions_reminted"] > 0
 
 
+class TestAuditCommand:
+    ARGS = ["--nodes", "3", "--sessions", "4", "--requests", "12", "--seed", "11"]
+
+    def test_merged_trail_is_time_ordered(self, capsys):
+        assert main(["audit", "--merge", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# merged cluster audit: 12 records across 3 nodes")
+        stamps = [
+            float(line.split()[0])
+            for line in out.splitlines()
+            if line and line[0].isdigit()
+        ]
+        assert len(stamps) == 12
+        assert stamps == sorted(stamps)
+
+    def test_retention_cap(self, capsys):
+        assert main(["audit", "--merge", "--retain", "5", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "5 records" in out.splitlines()[0]
+
+    def test_per_node_sections_without_merge(self, capsys):
+        assert main(["audit", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert out.count("# node-") == 3
+
+    def test_failed_node_still_in_merge(self, capsys):
+        assert main(["audit", "--merge", "--fail-one", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "12 records across 3 nodes" in out.splitlines()[0]
+
+
 class TestTagCommand:
     def test_match(self, capsys):
         assert main(["tag", "(tag (web))", "--match", "(web (method GET))"]) == 0
