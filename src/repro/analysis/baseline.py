@@ -1,0 +1,101 @@
+"""The committed baseline: grandfathered findings that do not fail the run.
+
+A baseline entry matches a finding by ``(rule, path, stripped source
+line)`` — no line numbers, so entries survive edits elsewhere in the
+file.  Each fingerprint carries a count: two identical offending lines in
+one file need (and consume) two entries.  Entries that match nothing are
+reported as *stale* so the baseline only ever shrinks.
+
+The file is JSON, sorted, and written by ``--write-baseline``; each entry
+has a free-form ``note`` field for the justification reviewers should
+demand.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+
+FORMAT_VERSION = 1
+
+
+class Baseline:
+    """An in-memory multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: Optional[List[dict]] = None,
+                 path: Optional[str] = None):
+        self.path = path
+        self.entries: List[dict] = list(entries or [])
+
+    @classmethod
+    def load(cls, path: Optional[str]) -> "Baseline":
+        """Read a baseline file; a missing or ``None`` path is an empty
+        baseline (the healthy steady state)."""
+        if path is None:
+            return cls()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            return cls(path=path)
+        if not isinstance(data, dict) or "findings" not in data:
+            raise ValueError("%s: not a baseline file" % path)
+        entries = data["findings"]
+        for entry in entries:
+            for key in ("rule", "path", "snippet"):
+                if key not in entry:
+                    raise ValueError(
+                        "%s: baseline entry missing %r: %r" % (path, key, entry)
+                    )
+        return cls(entries, path=path)
+
+    def _budget(self) -> Dict[Tuple[str, str, str], int]:
+        budget: Dict[Tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            key = (entry["rule"], entry["path"], entry["snippet"])
+            budget[key] = budget.get(key, 0) + int(entry.get("count", 1))
+        return budget
+
+    def apply(self, findings: List[Finding]):
+        """Partition findings into (kept, baselined) and report the
+        stale part of the baseline as a list of unmatched entries."""
+        budget = self._budget()
+        kept: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            key = finding.fingerprint()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined.append(finding)
+            else:
+                kept.append(finding)
+        stale = [
+            {"rule": rule, "path": path, "snippet": snippet, "count": count}
+            for (rule, path, snippet), count in sorted(budget.items())
+            if count > 0
+        ]
+        return kept, baselined, stale
+
+    @staticmethod
+    def write(path: str, findings: List[Finding]) -> int:
+        """Grandfather the given findings: write them as the new
+        baseline (collapsing duplicates into counts).  Returns the entry
+        count."""
+        budget: Dict[Tuple[str, str, str], int] = {}
+        for finding in findings:
+            key = finding.fingerprint()
+            budget[key] = budget.get(key, 0) + 1
+        entries = []
+        for (rule, fpath, snippet), count in sorted(budget.items()):
+            entry = {"rule": rule, "path": fpath, "snippet": snippet,
+                     "note": "TODO: justify or fix"}
+            if count > 1:
+                entry["count"] = count
+            entries.append(entry)
+        payload = {"version": FORMAT_VERSION, "findings": entries}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return len(entries)

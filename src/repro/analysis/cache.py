@@ -1,0 +1,80 @@
+"""A content-hash findings cache so repeated runs stay under a second.
+
+Parsing ~150 files and walking six rules over them is cheap but not
+free; CI runs the pass on every push and developers run it pre-commit.
+The cache keys each file's *content hash* plus a signature of the active
+rule set (ids + engine version), so it can never serve stale results:
+touch the file or change any rule and the entry misses.  Entries store
+post-suppression findings — the whole per-file pass is skipped on a hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+
+DEFAULT_CACHE_NAME = ".archlint-cache.json"
+
+
+def rules_signature(rules, version: str) -> str:
+    """Fingerprint of the active rule set; any change flushes the cache."""
+    material = version + "|" + ",".join(
+        sorted("%s:%s" % (rule.rule_id, type(rule).__name__) for rule in rules)
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+def content_key(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class FindingsCache:
+    """Load-mutate-save JSON cache: file content hash -> findings."""
+
+    def __init__(self, path: Optional[str], signature: str):
+        self.path = path
+        self.signature = signature
+        self._entries: Dict[str, dict] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        if path is not None and os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    data = json.load(handle)
+                if data.get("signature") == signature:
+                    self._entries = data.get("entries", {})
+                else:
+                    self._dirty = True  # rule set changed: start over
+            except (ValueError, OSError):
+                self._dirty = True
+
+    def get(self, key: str) -> Optional[Tuple[List[Finding], int]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        findings = [Finding.from_dict(item) for item in entry["findings"]]
+        return findings, entry.get("suppressed", 0)
+
+    def put(self, key: str, findings: List[Finding], suppressed: int) -> None:
+        self._entries[key] = {
+            "findings": [finding.to_dict() for finding in findings],
+            "suppressed": suppressed,
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        payload = {"signature": self.signature, "entries": self._entries}
+        try:
+            with open(self.path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+        except OSError:
+            pass  # a read-only checkout still lints, just uncached

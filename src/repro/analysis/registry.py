@@ -1,0 +1,71 @@
+"""Rule base class and the registry the engine and CLI enumerate."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Type
+
+from repro.analysis.findings import Finding
+
+
+class Rule:
+    """One architecture invariant, checked over a parsed source file.
+
+    Subclasses set ``rule_id`` / ``title`` / ``rationale`` and implement
+    :meth:`check`; :meth:`applies_to` scopes the rule to part of the tree
+    so out-of-scope files never pay the visit.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def applies_to(self, rel: str) -> bool:
+        """Whether this rule runs over the file at package-relative
+        posix path ``rel`` (e.g. ``repro/http/proxy.py``)."""
+        return True
+
+    def check(self, source) -> Iterator[Finding]:
+        """Yield findings for one :class:`~repro.analysis.engine.SourceFile`."""
+        raise NotImplementedError
+
+    def finding(self, source, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            self.rule_id,
+            source.rel,
+            line,
+            getattr(node, "col_offset", 0) + 1,
+            message,
+            snippet=source.line(line),
+            end_line=getattr(node, "end_lineno", None) or line,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (last write wins,
+    so a project can shadow a built-in)."""
+    if not cls.rule_id:
+        raise ValueError("rule %r has no rule_id" % cls.__name__)
+    _REGISTRY[cls.rule_id] = cls()
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError("unknown rule %r (known: %s)"
+                       % (rule_id, ", ".join(sorted(_REGISTRY))))
+
+
+def select_rules(rule_ids: Iterable[str]) -> List[Rule]:
+    return [get_rule(rule_id) for rule_id in rule_ids]

@@ -1,0 +1,15 @@
+"""Built-in architecture rules.  Importing this package registers them.
+
+One module per rule: a rule is self-contained (scope, detection, message,
+rationale), and adding a new one is adding a file plus an import line
+here — see "Adding a rule" in ``docs/analysis.md``.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effects)
+    arch001_guard_factory,
+    arch002_backend_boundary,
+    arch003_injected_entropy,
+    arch004_audit_complete,
+    arch005_async_ready,
+    arch006_exception_discipline,
+)

@@ -1,0 +1,79 @@
+"""ARCH003: no naked wall-clock or entropy — clock and rng are injected."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.registry import Rule, register
+from repro.analysis.symbols import qualified
+
+# Where ambient time/entropy is the point: the rng seam itself, and the
+# simulation package that owns the clock.
+_ALLOWED = ("repro/crypto/rng.py", "repro/sim/")
+
+# Ambient wall-clock reads.  (time.sleep is ARCH005's: it is a blocking
+# call, not a clock read.)
+_CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.localtime",
+    "time.gmtime", "time.ctime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+# Ambient entropy: the OS CSPRNG grabbed inline, or the process-global
+# Mersenne twister.  A *seeded* random.Random(...) stays legal — that is
+# the deterministic object tests inject.
+_ENTROPY_CALLS = {
+    "random.SystemRandom",
+    "random.random", "random.randint", "random.randrange",
+    "random.getrandbits", "random.randbytes", "random.choice",
+    "random.choices", "random.shuffle", "random.sample", "random.uniform",
+}
+_ENTROPY_PREFIXES = ("secrets.",)
+
+
+@register
+class InjectedEntropyRule(Rule):
+    """Flag ambient clock/entropy reads outside ``crypto/rng.py``/``sim/``.
+
+    Determinism is load-bearing: benchmarks replay on a simulated clock
+    and tests seed every generator.  One ``time.time()`` or
+    ``random.SystemRandom()`` default buried in a constructor breaks
+    replay for the whole stack, so wall clocks ride in on ``trust.clock``
+    and entropy on an injected ``rng`` resolved through
+    ``crypto.rng.default_rng()``.
+    """
+
+    rule_id = "ARCH003"
+    title = "naked wall-clock or entropy"
+    rationale = (
+        "Clock and rng are injected everywhere (sim-clock replay, seeded "
+        "tests); ambient reads belong only in crypto/rng.py and repro.sim."
+    )
+
+    def applies_to(self, rel: str) -> bool:
+        return not (rel in _ALLOWED or rel.startswith(_ALLOWED[1]))
+
+    def check(self, source):
+        imports = source.imports
+        for node in ast.walk(source.parse()):
+            if not isinstance(node, ast.Call):
+                continue
+            target = qualified(node.func, imports)
+            if target is None:
+                continue
+            if target in _CLOCK_CALLS:
+                yield self.finding(
+                    source, node,
+                    "ambient clock read %s() — take the injected clock "
+                    "(trust.clock / SimClock) instead" % target,
+                )
+            elif target in _ENTROPY_CALLS or target.startswith(
+                _ENTROPY_PREFIXES
+            ):
+                yield self.finding(
+                    source, node,
+                    "ambient entropy %s() — accept an rng parameter and "
+                    "resolve it with crypto.rng.default_rng()" % target,
+                )

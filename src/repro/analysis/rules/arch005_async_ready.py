@@ -1,0 +1,78 @@
+"""ARCH005: no blocking calls on the guard/cluster dispatch hot paths."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.registry import Rule, register
+from repro.analysis.symbols import qualified
+
+# The packages the coming asyncio listener fleet (ROADMAP: repro.serve)
+# will call from connection handlers.  One time.sleep() here stalls every
+# connection sharing the event loop.
+_SCOPE_PREFIXES = ("repro/guard/", "repro/cluster/")
+
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "os.system", "os.popen", "os.wait", "os.waitpid",
+    "select.select", "select.poll", "select.epoll",
+}
+_BLOCKING_PREFIXES = (
+    "socket.",
+    "subprocess.",
+    "requests.",
+    "urllib.request.",
+    "http.client.",
+)
+# Builtins that suspend the thread on the filesystem or the terminal.
+_BLOCKING_BUILTINS = {"open", "input"}
+
+
+@register
+class AsyncReadyRule(Rule):
+    """Flag blocking calls inside ``repro.guard`` / ``repro.cluster``.
+
+    These packages are the dispatch hot path a future ``async def``
+    connection handler awaits through; a synchronous sleep, socket
+    operation, subprocess, or file read there blocks the whole event
+    loop.  Real I/O belongs in the serving layer (where it can be
+    ``await``-ed or pushed to a thread), not in authorization logic.
+    """
+
+    rule_id = "ARCH005"
+    title = "blocking call in guard/cluster hot path"
+    rationale = (
+        "The ROADMAP's asyncio listener fleet dispatches into guard/cluster "
+        "from connection handlers; blocking calls there stall every "
+        "connection on the loop."
+    )
+
+    def applies_to(self, rel: str) -> bool:
+        return rel.startswith(_SCOPE_PREFIXES)
+
+    def check(self, source):
+        imports = source.imports
+        for node in ast.walk(source.parse()):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _BLOCKING_BUILTINS:
+                yield self.finding(
+                    source, node,
+                    "blocking builtin %s() on the dispatch hot path — do "
+                    "I/O in the serving layer, not in authorization logic"
+                    % func.id,
+                )
+                continue
+            target = qualified(func, imports)
+            if target is None:
+                continue
+            if target in _BLOCKING_CALLS or target.startswith(
+                _BLOCKING_PREFIXES
+            ):
+                yield self.finding(
+                    source, node,
+                    "blocking call %s() on the dispatch hot path — an "
+                    "asyncio handler awaiting this stalls the event loop"
+                    % target,
+                )

@@ -1,0 +1,71 @@
+"""ARCH006: transports never swallow exceptions wholesale."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.registry import Rule, register
+
+_TRANSPORT_PREFIXES = (
+    "repro/http/",
+    "repro/rmi/",
+    "repro/smtp/",
+    "repro/net/",
+)
+
+_OVERBROAD = {"Exception", "BaseException"}
+
+
+def _overbroad_name(node: ast.AST) -> bool:
+    return isinstance(node, ast.Name) and node.id in _OVERBROAD
+
+
+@register
+class ExceptionDisciplineRule(Rule):
+    """Flag bare/overbroad ``except`` clauses in transport packages.
+
+    A transport's credential parse/verify path must fail *as a denial*:
+    catch the specific parse error and raise ``AuthorizationError`` so
+    the wire answers 403/554/need-auth.  A bare ``except:`` (or ``except
+    Exception``) there also eats programming errors, turning guard bugs
+    into silent denials — or worse, silent grants.  The one legitimate
+    shape, a top-level fault boundary that converts *already-authorized*
+    servlet crashes into 500s, is rare enough to suppress inline with a
+    reason.
+    """
+
+    rule_id = "ARCH006"
+    title = "bare or overbroad except in a transport"
+    rationale = (
+        "Credential failures map to AuthorizationError (the transport's "
+        "403/554); except Exception in a transport hides guard bugs inside "
+        "denials."
+    )
+
+    def applies_to(self, rel: str) -> bool:
+        return rel.startswith(_TRANSPORT_PREFIXES)
+
+    def check(self, source):
+        for node in ast.walk(source.parse()):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    source, node,
+                    "bare except: in a transport — catch the specific "
+                    "failure and raise AuthorizationError",
+                )
+            elif _overbroad_name(node.type):
+                yield self.finding(
+                    source, node,
+                    "except %s in a transport — catch the specific "
+                    "failure and raise AuthorizationError" % node.type.id,
+                )
+            elif isinstance(node.type, ast.Tuple) and any(
+                _overbroad_name(element) for element in node.type.elts
+            ):
+                yield self.finding(
+                    source, node,
+                    "overbroad except tuple in a transport — drop "
+                    "Exception/BaseException from it",
+                )

@@ -1,0 +1,62 @@
+"""Qualified-name resolution: map AST call targets to dotted names.
+
+Rules match call sites against dotted names like ``time.time`` or
+``random.SystemRandom``.  Matching on attribute spelling alone would
+misfire on ``self._rng.randrange`` (an *injected* generator — exactly the
+pattern the rules exist to encourage), so resolution starts from the
+file's import statements: a name resolves only if its base was imported,
+and aliases resolve to what they alias.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+
+def import_map(tree: ast.AST) -> Dict[str, str]:
+    """Local name -> dotted origin, from every import in the tree.
+
+    ``import random``                -> ``{"random": "random"}``
+    ``import urllib.request``        -> ``{"urllib": "urllib"}``
+    ``import numpy as np``           -> ``{"np": "numpy"}``
+    ``from datetime import datetime``-> ``{"datetime": "datetime.datetime"}``
+    ``from time import time as now`` -> ``{"now": "time.time"}``
+
+    Function-local imports count too: the invariants do not care where
+    the import statement hides.
+    """
+    names: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    names[alias.asname] = alias.name
+                else:
+                    # ``import a.b.c`` binds only ``a``.
+                    root = alias.name.split(".", 1)[0]
+                    names[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports never name the stdlib
+            for alias in node.names:
+                local = alias.asname or alias.name
+                names[local] = "%s.%s" % (node.module, alias.name)
+    return names
+
+
+def qualified(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Resolve a Name/Attribute chain to its dotted import origin.
+
+    Returns ``None`` when the base is not an imported name — a local
+    variable, a parameter, ``self`` — which is precisely the injected
+    case the rules must not flag.
+    """
+    if isinstance(node, ast.Name):
+        return imports.get(node.id)
+    if isinstance(node, ast.Attribute):
+        base = qualified(node.value, imports)
+        if base is None:
+            return None
+        return "%s.%s" % (base, node.attr)
+    return None

@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.crypto.hashes import HashValue
 from repro.crypto.numtheory import bytes_to_int, int_to_bytes
+from repro.crypto.rng import default_rng
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
 
 DEFAULT_MAC_BYTES = 20
@@ -37,7 +38,7 @@ class MacKey:
 
     @classmethod
     def generate(cls, rng: Optional[random.Random] = None) -> "MacKey":
-        rng = rng or random.SystemRandom()
+        rng = default_rng(rng)
         return cls(bytes(rng.getrandbits(8) for _ in range(DEFAULT_MAC_BYTES)))
 
     def tag(self, message: bytes) -> bytes:

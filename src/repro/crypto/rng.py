@@ -22,6 +22,17 @@ class SecretsRng:
     def randbytes(self, count: int) -> bytes:
         return secrets.token_bytes(count)
 
+    def randrange(self, start: int, stop=None) -> int:
+        """Uniform draw from ``range(start, stop)`` (or ``range(start)``)
+        — the surface RSA prime generation needs for Miller–Rabin
+        witnesses."""
+        if stop is None:
+            start, stop = 0, start
+        width = stop - start
+        if width <= 0:
+            raise ValueError("empty range for randrange(%d, %d)" % (start, stop))
+        return start + secrets.randbelow(width)
+
 
 DEFAULT_RNG = SecretsRng()
 

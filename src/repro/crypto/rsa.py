@@ -13,6 +13,7 @@ import random
 from typing import Optional
 
 from repro.crypto import numtheory
+from repro.crypto.rng import default_rng
 from repro.crypto.hashes import HashValue, _ALGORITHMS
 from repro.sexp import Atom, SExp, SList
 
@@ -162,7 +163,7 @@ def generate_keypair(
     Pass a seeded ``random.Random`` for reproducible keys in tests; the
     default uses system entropy.
     """
-    rng = rng or random.SystemRandom()
+    rng = default_rng(rng)
     half = bits // 2
     while True:
         p = numtheory.generate_prime(half, rng)

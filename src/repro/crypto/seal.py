@@ -20,6 +20,7 @@ import random
 from typing import Optional
 
 from repro.crypto.numtheory import bytes_to_int, int_to_bytes
+from repro.crypto.rng import default_rng
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
 from repro.sexp import Atom, SExp, SList
 
@@ -48,7 +49,7 @@ def seal(
 ) -> SExp:
     """Seal plaintext so only the holder of ``recipient``'s private key
     can read it.  Returns the ``(sealed ...)`` envelope S-expression."""
-    rng = rng or random.SystemRandom()
+    rng = default_rng(rng)
     secret = bytes(rng.getrandbits(8) for _ in range(_SECRET_BYTES))
     ciphertext = bytes(
         a ^ b for a, b in zip(plaintext, _keystream(secret, len(plaintext)))

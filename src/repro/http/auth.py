@@ -167,6 +167,20 @@ class ProtectedServlet(Servlet):
         return response
 
 
+def _decode_basic_credentials(authorization: str):
+    """Parse a ``Basic`` authorization header into ``(user, password)``;
+    a credential that fails to decode is a denial, not a server fault."""
+    import base64
+    import binascii
+
+    try:
+        decoded = base64.b64decode(authorization[6:]).decode("utf-8")
+    except (binascii.Error, ValueError, UnicodeDecodeError) as exc:
+        raise AuthorizationError("undecodable Basic credentials: %s" % exc)
+    user, _, password = decoded.partition(":")
+    return user, password
+
+
 class BasicAuthServlet(Servlet):
     """RFC 2617 Basic Authentication: the hop-by-hop baseline.
 
@@ -185,8 +199,6 @@ class BasicAuthServlet(Servlet):
         raise NotImplementedError
 
     def service(self, request: HttpRequest) -> HttpResponse:
-        import base64
-
         authorization = request.headers.get("Authorization")
         if authorization is None or not authorization.startswith("Basic "):
             response = HttpResponse(401, body=b"authorization required")
@@ -195,9 +207,8 @@ class BasicAuthServlet(Servlet):
             )
             return response
         try:
-            decoded = base64.b64decode(authorization[6:]).decode("utf-8")
-            user, _, password = decoded.partition(":")
-        except Exception:
+            user, password = _decode_basic_credentials(authorization)
+        except AuthorizationError:
             return HttpResponse(400, body=b"bad credentials encoding")
         if self.passwords.get(user) != password:
             return HttpResponse(403, body=b"bad password")

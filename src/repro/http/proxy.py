@@ -26,6 +26,7 @@ from repro.core.principals import (
 )
 from repro.core.proofs import Proof, proof_from_sexp
 from repro.core.statements import Validity
+from repro.crypto.rng import default_rng
 from repro.crypto.rsa import RsaKeyPair
 from repro.http.mac import (
     MAC_GRANT_HEADER,
@@ -37,7 +38,7 @@ from repro.http.auth import MAC_SCHEME, SNOWFLAKE_SCHEME
 from repro.http.docauth import verify_document
 from repro.http.message import HttpRequest, HttpResponse
 from repro.net.network import Network
-from repro.prover import KeyClosure, Prover
+from repro.prover import KeyClosure, Prover  # archlint: ignore[ARCH002] client-side proof assembly, not a serving path
 from repro.sexp import Atom, SExp, SList, from_transport, to_transport
 from repro.sim.costmodel import Meter, maybe_charge
 from repro.tags import Tag, TagList, TagStar
@@ -84,7 +85,7 @@ class SnowflakeProxy:
         self.prover = prover
         self.keypair = keypair
         self.principal = KeyPrincipal(keypair.public)
-        self._rng = rng or random.SystemRandom()
+        self._rng = default_rng(rng)
         self.meter = meter
         self.use_mac = use_mac
         self.verify_documents = verify_documents

@@ -52,7 +52,7 @@ class HttpServer(ServerFactory):
             return HttpResponse(404, body=b"not found")
         try:
             return servlet.service(request)
-        except Exception as exc:
+        except Exception as exc:  # archlint: ignore[ARCH006] servlet fault boundary: crashes become 500s, never unwind the transport
             return HttpResponse(
                 500, body=("%s: %s" % (type(exc).__name__, exc)).encode("utf-8")
             )

@@ -20,6 +20,7 @@ from typing import Dict, Optional
 
 from repro.core.principals import ChannelPrincipal, Principal, principal_from_sexp
 from repro.core.statements import Says, SpeaksFor
+from repro.crypto.rng import default_rng
 from repro.net.secure import SecureChannelService
 from repro.sexp import Atom, SExp, SList, parse_canonical, to_canonical
 from repro.sim.costmodel import Meter, maybe_charge
@@ -30,7 +31,7 @@ class TrustedHost:
     """The trusted authority within one (virtual) machine."""
 
     def __init__(self, rng: Optional[random.Random] = None):
-        self._rng = rng or random.SystemRandom()
+        self._rng = default_rng(rng)
         self._services: Dict[str, tuple] = {}
 
     def register_service(

@@ -27,7 +27,7 @@ from repro.core.proofs import PremiseStep, Proof
 from repro.core.rules import QuotingLeftMonotonicityStep, TransitivityStep
 from repro.core.statements import SpeaksFor
 from repro.crypto.rsa import RsaKeyPair
-from repro.prover import KeyClosure, Prover
+from repro.prover import KeyClosure, Prover  # archlint: ignore[ARCH002] client-side proof assembly, not a serving path
 from repro.rmi.remote import invocation_sexp
 from repro.sexp import Atom, SExp, SList
 from repro.tags import Tag

@@ -117,7 +117,7 @@ class RmiSkeleton(SecureChannelService):
             )
         except AuthorizationError as exc:
             return _error("denied", str(exc))
-        except Exception as exc:  # the wire must answer, not unwind
+        except Exception as exc:  # archlint: ignore[ARCH006] invocation fault boundary: the wire must answer, not unwind
             return _error("fault", "%s: %s" % (type(exc).__name__, exc))
 
     def _invoke(self, request: SList, speaker: Principal) -> SExp:

@@ -17,7 +17,7 @@ from repro.core.proofs import proof_from_sexp
 from repro.core.statements import SpeaksFor
 from repro.crypto.hashes import HashValue
 from repro.net.network import Network
-from repro.prover import Prover
+from repro.prover import Prover  # archlint: ignore[ARCH002] client-side proof assembly, not a serving path
 from repro.sexp import from_transport, to_transport
 from repro.sim.costmodel import Meter, maybe_charge
 from repro.tags import Tag

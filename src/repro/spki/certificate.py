@@ -18,6 +18,7 @@ from typing import Optional
 
 from repro.core.principals import KeyPrincipal, Principal, principal_from_sexp
 from repro.core.statements import SpeaksFor, Validity
+from repro.crypto.rng import default_rng
 from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
 from repro.sexp import Atom, SExp, SList, to_canonical
 from repro.tags import Tag
@@ -81,7 +82,7 @@ class Certificate:
     ) -> "Certificate":
         """Sign a new delegation with the issuer's private key."""
         if serial is None:
-            rng = rng or random.SystemRandom()
+            rng = default_rng(rng)
             serial = bytes(rng.getrandbits(8) for _ in range(8))
         body = cls._body_sexp(
             issuer.public, subject, tag, validity, serial, propagate,

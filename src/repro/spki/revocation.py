@@ -19,6 +19,7 @@ from typing import Callable, Dict, Iterable, Optional, Set
 
 from repro.core.errors import VerificationError
 from repro.core.statements import Validity
+from repro.crypto.rng import default_rng
 from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
 from repro.sexp import Atom, SExp, SList, to_canonical
 
@@ -156,7 +157,7 @@ class OneTimeRevalidator(RevocationPolicy):
     ):
         self.issuer_key = issuer_key
         self.oracle = oracle
-        self._rng = rng or random.SystemRandom()
+        self._rng = default_rng(rng)
         self._used_nonces: Set[bytes] = set()
 
     @staticmethod

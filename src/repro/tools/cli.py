@@ -367,7 +367,23 @@ def build_parser() -> argparse.ArgumentParser:
     tag.add_argument("--match", default=None, help="a ground request")
     tag.set_defaults(func=cmd_tag)
 
+    lint = commands.add_parser(
+        "lint",
+        help="archlint: check the architecture invariants "
+             "(same engine as python -m repro.analysis)",
+    )
+    from repro.analysis.cli import add_arguments as add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
+
     return parser
+
+
+def cmd_lint(args) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -1,0 +1,94 @@
+"""The self-hosting gate: ``src/repro`` stays archlint-clean.
+
+This is the tier-1 enforcement of the invariants — the same check CI
+runs.  The injection tests then prove the gate has teeth: dropping any
+one of the six violations into a scratch module turns the run red with
+the right rule id.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+
+import pytest
+
+from repro.analysis import Baseline, all_rules, run
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "archlint-baseline.json"
+
+
+def test_src_repro_is_archlint_clean():
+    result = run([str(SRC_REPRO)], baseline=Baseline.load(str(BASELINE)))
+    assert result.ok, "non-baselined findings:\n%s" % "\n".join(
+        finding.render() for finding in result.findings
+    )
+    assert result.stale_baseline == [], (
+        "baseline entries matching nothing: %r" % result.stale_baseline
+    )
+
+
+def test_committed_baseline_is_empty():
+    # The healthy steady state: every invariant holds outright (or is
+    # suppressed inline with a reason).  Grandfathering new debt must be
+    # a deliberate, reviewed act.
+    assert Baseline.load(str(BASELINE)).entries == []
+
+
+def test_all_six_rules_are_registered():
+    ids = [rule.rule_id for rule in all_rules()]
+    assert ids == [
+        "ARCH001", "ARCH002", "ARCH003", "ARCH004", "ARCH005", "ARCH006",
+    ]
+
+
+_INJECTIONS = {
+    "ARCH001": (
+        "repro/apps/scratch_injected.py",
+        "from repro.guard import Guard\n\n"
+        "def build(trust):\n    return Guard(trust)\n",
+    ),
+    "ARCH002": (
+        "repro/http/scratch_injected.py",
+        "from repro.prover import Prover\n",
+    ),
+    "ARCH003": (
+        "repro/net/scratch_injected.py",
+        "import random\n\n"
+        "def mint(rng=None):\n"
+        "    return (rng or random.SystemRandom()).getrandbits(64)\n",
+    ),
+    "ARCH004": (
+        "repro/guard/pipeline.py",  # appended to the real module
+        "\n\ndef sneaky_fast_path(request):\n"
+        "    return GuardDecision(True, stage='bypass')\n",
+    ),
+    "ARCH005": (
+        "repro/cluster/scratch_injected.py",
+        "import time\n\ndef backoff():\n    time.sleep(0.5)\n",
+    ),
+    "ARCH006": (
+        "repro/smtp/scratch_injected.py",
+        "def parse(wire):\n"
+        "    try:\n        return wire.decode()\n"
+        "    except Exception:\n        return None\n",
+    ),
+}
+
+
+@pytest.mark.parametrize("rule_id", sorted(_INJECTIONS))
+def test_injected_violation_turns_the_run_red(rule_id, tmp_path):
+    # Copy the real tree so ARCH004's append lands on the real pipeline.
+    tree = tmp_path / "repro"
+    shutil.copytree(SRC_REPRO, tree)
+    rel, source = _INJECTIONS[rule_id]
+    target = tmp_path / rel
+    if target.exists():
+        target.write_text(target.read_text() + source)
+    else:
+        target.write_text(source)
+    result = run([str(tree)], baseline=Baseline.load(str(BASELINE)))
+    assert not result.ok
+    assert rule_id in {finding.rule for finding in result.findings}
