@@ -1,0 +1,51 @@
+"""Benchmark result capture: every harness dumps ``BENCH_<name>.json``.
+
+A benchmark that only prints to a terminal evaporates; one that lands
+in a JSON artifact next to the repo root can be diffed across commits,
+graphed, and asserted on by CI.  Each dump records the metrics, the
+git revision they were measured at, and a wall-clock timestamp — the
+one place in the tree where the wall clock is the *point*, since the
+artifact describes a real run of a real machine.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict
+
+#: Repo root: BENCH files sit next to pyproject.toml, not inside benchmarks/.
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def git_rev() -> str:
+    """The short revision the numbers were measured at."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(ROOT),
+            capture_output=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.decode("ascii", "replace").strip() or "unknown"
+
+
+def write_bench(name: str, metrics: Dict[str, object]) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root and return its path."""
+    path = ROOT / ("BENCH_%s.json" % name)
+    payload = {
+        "bench": name,
+        "git_rev": git_rev(),
+        "written_at": datetime.now(timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        "metrics": metrics,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -22,6 +22,7 @@ to one per shard batch.
 
 import time
 
+from benchmarks._bench_output import write_bench
 from repro.cluster import AuthCluster
 from repro.core.principals import KeyPrincipal, MacPrincipal
 from repro.core.proofs import SignedCertificateStep
@@ -98,6 +99,16 @@ def test_throughput_scales_near_linearly_to_8_nodes(keypool, rng):
         )
         + " | wall s: "
         + ", ".join("%.2f" % wall[n] for n in NODES)
+    )
+    write_bench(
+        "cluster_scaling",
+        {
+            "sessions": SESSIONS,
+            "requests": REQUESTS,
+            "modeled_rps": {str(n): throughput[n] for n in NODES},
+            "speedup_at_8": throughput[8] / throughput[1],
+            "wall_seconds": {str(n): wall[n] for n in NODES},
+        },
     )
     # Sharding conserves work: the serial-equivalent cost is identical.
     for nodes in NODES[1:]:

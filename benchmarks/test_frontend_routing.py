@@ -23,6 +23,7 @@ work still conserved, and a revocation still denied on every replica
 after one invalidation-bus round.
 """
 
+from benchmarks._bench_output import write_bench
 from repro.cluster import AuthCluster, fleet
 from repro.core.errors import NeedAuthorizationError
 from repro.core.principals import KeyPrincipal, MacPrincipal
@@ -113,6 +114,19 @@ def test_fleet_over_cluster_beats_fleet_pinned_to_one_guard(keypool, rng):
             aggregate.imbalance(),
             ", ".join(str(front.stats["grants"]) for front in fronts),
         )
+    )
+
+    write_bench(
+        "frontend_routing",
+        {
+            "listeners": LISTENERS,
+            "nodes": NODES,
+            "requests": REQUESTS,
+            "pinned_modeled_rps": pinned_rps,
+            "routed_modeled_rps": routed_rps,
+            "speedup": routed_rps / pinned_rps,
+            "imbalance": aggregate.imbalance(),
+        },
     )
 
     # Routing moves work between CPUs; it must not create or lose any.

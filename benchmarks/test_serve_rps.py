@@ -1,0 +1,230 @@
+"""Real requests/sec over loopback sockets: the serve fleet measured.
+
+Every other harness in this directory reports *modeled* throughput —
+Table 1 charges on simulated CPUs.  This one opens actual TCP sockets
+on 127.0.0.1, frames actual bytes through :mod:`repro.serve`, and
+reports wall-clock requests/sec, printed next to the modeled numbers so
+the two scales stay visibly distinct:
+
+- **fast serial vs fast pipelined** (1 listener): the same MAC-session
+  steady state, driven one-request-per-round-trip and then with 32 in
+  flight.  Pipelining is the client half of server-side batching — the
+  in-flight frames coalesce into ``check_many`` batches, so the framing
+  and dispatch overhead amortizes and the pipelined run must clear
+  ≥ 1.2× the serial run (it clears far more).
+- **fast pipelined, 4 listeners**: the fleet shape — four sockets,
+  four clients, one shared 4-node cluster ring.
+- **cold pipelined** (1 listener): every request carries a fresh
+  signed-certificate proof for a fresh subject, so each one pays real
+  RSA verification — the cold path the paper's Figure 6/7 first bars
+  price.
+
+Results land in ``BENCH_serve.json`` (real RPS, modeled RPS, batching
+counters, git revision) for cross-commit comparison.
+"""
+
+import asyncio
+import time
+
+from benchmarks._bench_output import write_bench
+from repro.cluster import AuthCluster
+from repro.core.principals import HashPrincipal, KeyPrincipal, MacPrincipal
+from repro.core.proofs import SignedCertificateStep
+from repro.crypto.hashes import HashValue
+from repro.guard import GuardRequest, ProofCredential, SessionCredential
+from repro.serve import ServeClient, ServeFleet
+from repro.sexp import sexp, to_canonical, to_transport
+from repro.sim import ClusterAggregate
+from repro.sim.metrics import BarChart
+from repro.spki import Certificate
+from repro.tags import Tag
+
+NODES = 4
+SESSIONS = 32
+FAST_REQUESTS = 256
+COLD_REQUESTS = 48
+WINDOW = 32
+LISTENERS = 4
+SPEEDUP_BAR = 1.2  # pipelined must beat serial by at least this factor
+
+
+def _cluster_world(server_kp, rng):
+    """A 4-node cluster in the MAC-session steady state."""
+    issuer = KeyPrincipal(server_kp.public)
+    cluster = AuthCluster(node_count=NODES)
+    sessions = []
+    for _ in range(SESSIONS):
+        mac_id, mac_key = cluster.mint_session(rng)
+        certificate = Certificate.issue(
+            server_kp, MacPrincipal(mac_key.fingerprint()), Tag.all(), rng=rng
+        )
+        cluster.add_delegation(SignedCertificateStep(certificate))
+        sessions.append((mac_id, mac_key))
+    return cluster, issuer, sessions
+
+
+def _fast_request(issuer, sessions, index):
+    mac_id, mac_key = sessions[index % len(sessions)]
+    logical = sexp(["web", ["method", "GET"], ["path", "/doc-%d" % index]])
+    message = to_canonical(logical)
+    return GuardRequest(
+        logical,
+        issuer=issuer,
+        credential=SessionCredential(mac_id, mac_key.tag(message), message),
+        transport="http",
+    )
+
+
+def _cold_requests(server_kp, issuer, rng, count):
+    """Each request: a fresh subject, a fresh signed certificate, a
+    proof the guard has never seen — nothing amortizes."""
+    requests = []
+    for index in range(count):
+        logical = sexp(
+            ["web", ["method", "GET"], ["path", "/cold-%d" % index]]
+        )
+        subject = HashPrincipal(HashValue.of_bytes(to_canonical(logical)))
+        certificate = Certificate.issue(
+            server_kp, subject, Tag.all(), rng=rng
+        )
+        wire = to_transport(SignedCertificateStep(certificate).to_sexp())
+        requests.append(
+            GuardRequest(
+                logical,
+                issuer=issuer,
+                credential=ProofCredential(subject, wire=wire),
+                transport="http",
+            )
+        )
+    return requests
+
+
+async def _drive_serial(address, requests):
+    """One request per round trip: the unpipelined baseline."""
+    client = await ServeClient.connect(*address)
+    start = time.perf_counter()
+    replies = []
+    for request in requests:
+        replies.append(await client.check(request))
+    elapsed = time.perf_counter() - start
+    await client.close()
+    return replies, elapsed
+
+
+async def _drive_pipelined(addresses, slices, window=WINDOW):
+    """One client per listener, ``window`` requests in flight each."""
+    clients = [await ServeClient.connect(*address) for address in addresses]
+
+    async def drive(client, requests):
+        replies = []
+        for base in range(0, len(requests), window):
+            replies.extend(
+                await client.check_pipelined(requests[base:base + window])
+            )
+        return replies
+
+    start = time.perf_counter()
+    results = await asyncio.gather(
+        *[drive(client, chunk) for client, chunk in zip(clients, slices)]
+    )
+    elapsed = time.perf_counter() - start
+    for client in clients:
+        await client.close()
+    return [reply for chunk in results for reply in chunk], elapsed
+
+
+async def _scenario(backend_world, requests, listeners, pipelined):
+    """Serve ``requests`` over a fresh fleet; returns (replies, elapsed,
+    fleet stats, modeled rps from the cluster's meters)."""
+    cluster = backend_world
+    fleet = ServeFleet(cluster, listeners=listeners)
+    addresses = await fleet.start()
+    if pipelined:
+        slices = [requests[i::listeners] for i in range(listeners)]
+        replies, elapsed = await _drive_pipelined(addresses, slices)
+    else:
+        replies, elapsed = await _drive_serial(addresses[0], requests)
+    stats = fleet.stats()
+    await fleet.shutdown()
+    modeled = ClusterAggregate.of_nodes(cluster.nodes()).throughput(
+        len(requests)
+    )
+    return replies, elapsed, stats, modeled
+
+
+def test_real_rps_over_loopback(keypool, rng):
+    server_kp = keypool[0]
+    results = {}
+
+    def run(name, pipelined, listeners, cold=False):
+        cluster, issuer, sessions = _cluster_world(server_kp, rng)
+        if cold:
+            requests = _cold_requests(
+                server_kp, issuer, rng, COLD_REQUESTS
+            )
+        else:
+            requests = [
+                _fast_request(issuer, sessions, index)
+                for index in range(FAST_REQUESTS)
+            ]
+        replies, elapsed, stats, modeled = asyncio.run(
+            _scenario(cluster, requests, listeners, pipelined)
+        )
+        assert len(replies) == len(requests)
+        assert all(reply.granted for reply in replies), (
+            "non-grants in %s: %s"
+            % (name, {reply.status for reply in replies})
+        )
+        results[name] = {
+            "requests": len(requests),
+            "real_rps": len(requests) / elapsed,
+            "modeled_rps": modeled,
+            "elapsed_s": elapsed,
+            "batches": stats["batches"],
+            "batched_requests": stats["batched_requests"],
+            "coalesced": stats["coalesced"],
+            "listeners": listeners,
+        }
+
+    run("fast_serial_1l", pipelined=False, listeners=1)
+    run("fast_pipelined_1l", pipelined=True, listeners=1)
+    run("fast_pipelined_4l", pipelined=True, listeners=LISTENERS)
+    run("cold_pipelined_1l", pipelined=True, listeners=1, cold=True)
+
+    chart = BarChart("serve fleet (REAL loopback req/s)", unit="rps")
+    for name, row in results.items():
+        chart.add(name, row["real_rps"])
+    print("\n" + chart.render())
+    for name, row in results.items():
+        print(
+            "  %-18s real %8.0f rps | modeled %8.0f rps | "
+            "%d requests in %d batches" % (
+                name, row["real_rps"], row["modeled_rps"],
+                row["batched_requests"], row["batches"],
+            )
+        )
+
+    serial = results["fast_serial_1l"]
+    pipelined = results["fast_pipelined_1l"]
+    # Serial traffic degenerates to batches of one; pipelined traffic
+    # must actually coalesce (fewer check_many calls than requests)...
+    assert serial["batches"] >= serial["batched_requests"]
+    assert pipelined["batches"] < pipelined["batched_requests"]
+    assert pipelined["coalesced"] > 0
+    # ...and the coalescing must be worth real wall-clock: the tentpole
+    # acceptance bar.
+    assert pipelined["real_rps"] >= SPEEDUP_BAR * serial["real_rps"], (
+        "pipelining bought only %.2fx over serial"
+        % (pipelined["real_rps"] / serial["real_rps"])
+    )
+
+    path = write_bench(
+        "serve",
+        {
+            "speedup_pipelined_vs_serial": (
+                pipelined["real_rps"] / serial["real_rps"]
+            ),
+            "scenarios": results,
+        },
+    )
+    print("  wrote %s" % path.name)

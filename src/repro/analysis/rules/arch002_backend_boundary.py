@@ -12,6 +12,7 @@ _TRANSPORT_PREFIXES = (
     "repro/rmi/",
     "repro/smtp/",
     "repro/net/",
+    "repro/serve/",
 )
 
 # Off-limits to transports: the prover package wholesale, and the guard's

@@ -7,10 +7,10 @@ import ast
 from repro.analysis.registry import Rule, register
 from repro.analysis.symbols import qualified
 
-# The packages the coming asyncio listener fleet (ROADMAP: repro.serve)
-# will call from connection handlers.  One time.sleep() here stalls every
+# The asyncio listener fleet (repro.serve) and the packages its
+# connection handlers call into.  One time.sleep() here stalls every
 # connection sharing the event loop.
-_SCOPE_PREFIXES = ("repro/guard/", "repro/cluster/")
+_SCOPE_PREFIXES = ("repro/guard/", "repro/cluster/", "repro/serve/")
 
 _BLOCKING_CALLS = {
     "time.sleep",
@@ -52,7 +52,12 @@ class AsyncReadyRule(Rule):
 
     def check(self, source):
         imports = source.imports
-        for node in ast.walk(source.parse()):
+        tree = source.parse()
+        for handler in ast.walk(tree):
+            if isinstance(handler, ast.AsyncFunctionDef):
+                for finding in self._awaitless_loops(source, handler):
+                    yield finding
+        for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
@@ -76,3 +81,50 @@ class AsyncReadyRule(Rule):
                     "asyncio handler awaiting this stalls the event loop"
                     % target,
                 )
+
+    def _awaitless_loops(self, source, handler):
+        """Flag ``while True`` (or any constant-true test) loops inside an
+        ``async def`` whose bodies never suspend: with no ``await`` (or
+        async iteration) in the loop, the coroutine monopolizes the event
+        loop for as long as the loop spins, which starves every other
+        connection exactly like a blocking call — only harder to grep
+        for.  Nested function bodies do not count as suspension points:
+        an ``await`` inside a closure defined in the loop runs on
+        *someone else's* schedule, not this iteration's."""
+        stack = list(ast.iter_child_nodes(handler))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue  # nested defs run on their own schedule
+            if (
+                isinstance(node, ast.While)
+                and self._constant_true(node.test)
+                and not self._suspends(node)
+            ):
+                yield self.finding(
+                    source, node,
+                    "unbounded synchronous loop in async handler — a "
+                    "while-True with no await never yields the event "
+                    "loop back",
+                )
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _constant_true(test) -> bool:
+        return isinstance(test, ast.Constant) and bool(test.value)
+
+    @staticmethod
+    def _suspends(loop) -> bool:
+        """True when the loop body contains a suspension point, not
+        counting ones hidden inside nested function definitions."""
+        stack = list(ast.iter_child_nodes(loop))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.Await, ast.AsyncFor, ast.AsyncWith)):
+                return True
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+        return False

@@ -11,6 +11,7 @@ _TRANSPORT_PREFIXES = (
     "repro/rmi/",
     "repro/smtp/",
     "repro/net/",
+    "repro/serve/",
 )
 
 _OVERBROAD = {"Exception", "BaseException"}

@@ -30,6 +30,7 @@ from repro.cluster.bus import InvalidationBus, InvalidationEvent
 from repro.cluster.dispatch import AuthCluster, BatchDispatcher
 from repro.cluster.frontend import ClusterFrontend, fleet
 from repro.cluster.membership import (
+    CRASHED,
     FAILED,
     LEFT,
     UP,
@@ -55,6 +56,7 @@ __all__ = [
     "UP",
     "LEFT",
     "FAILED",
+    "CRASHED",
     "InvalidationBus",
     "InvalidationEvent",
     "GuardNode",

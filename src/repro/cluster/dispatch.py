@@ -246,6 +246,17 @@ class AuthCluster:
         self.bus.unsubscribe(node_id)
         return node
 
+    def crash_node(self, node_id: str) -> GuardNode:
+        """Kill a node without repairing the ring: its points linger, so
+        requests that route onto the corpse raise
+        :class:`~repro.core.errors.NodeUnavailableError` until
+        :meth:`sweep_failures` (or the serving layer's repair path) runs.
+        This is the mid-connection failure mode ``fail_node`` cannot
+        model, because ``fail_node`` reassigns the shards atomically."""
+        node = self.membership.crash(node_id)
+        self.bus.unsubscribe(node_id)
+        return node
+
     def heartbeat(self, node_id: Optional[str] = None) -> int:
         """Record heartbeats (every live node when ``node_id`` is None)
         and pump the session sweep on the beat: the heartbeat is the

@@ -24,12 +24,16 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.cluster.ring import GuardNode, HashRing
+from repro.core.errors import NodeUnavailableError
 from repro.sim.clock import SimClock
 
 #: Node lifecycle states.
 UP = "up"
 LEFT = "left"
 FAILED = "failed"
+#: Died without a leave: still holds its ring points until the next
+#: sweep, so lookups that land on it raise ``NodeUnavailableError``.
+CRASHED = "crashed"
 
 
 class MembershipEvent:
@@ -39,7 +43,7 @@ class MembershipEvent:
 
     def __init__(self, when: float, action: str, node_id: str):
         self.when = when
-        self.action = action  # "join" | "leave" | "fail"
+        self.action = action  # "join" | "leave" | "fail" | "crash"
         self.node_id = node_id
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -73,6 +77,7 @@ class ClusterMembership:
             "joins": 0,
             "leaves": 0,
             "failures": 0,
+            "crashes": 0,
             "sweeps": 0,
             "heartbeats": 0,
         }
@@ -113,6 +118,21 @@ class ClusterMembership:
         self.stats["failures"] += 1
         return node
 
+    def crash(self, node_id: str) -> GuardNode:
+        """Model a node dying *without* telling anyone: no leave, no
+        handover — and, crucially, no ring update.  Its ring points stay
+        where they are until :meth:`sweep` notices, so a lookup that
+        lands on the corpse raises :class:`NodeUnavailableError` (the
+        retryable condition the serving layer maps to its wire-level
+        RETRY code).  This is the mid-connection failure a graceful
+        :meth:`fail` cannot represent, because ``fail`` repairs the ring
+        in the same breath."""
+        node = self._checked_up(node_id)
+        self._state[node_id] = CRASHED
+        self._record("crash", node_id)
+        self.stats["crashes"] += 1
+        return node
+
     def _checked_up(self, node_id: str) -> GuardNode:
         if self._state.get(node_id) != UP:
             raise ValueError("node %r is not up" % node_id)
@@ -131,7 +151,10 @@ class ClusterMembership:
         self.stats["heartbeats"] += 1
 
     def sweep(self) -> List[str]:
-        """Fail every up node whose heartbeat lapsed; returns their ids."""
+        """Fail every up node whose heartbeat lapsed — and finalize every
+        crashed node, whose heartbeat is by definition never coming:
+        their lingering ring points are removed so their shards reassign
+        to the survivors.  Returns the ids declared failed."""
         now = self.clock.now()
         lapsed = [
             node_id
@@ -141,21 +164,45 @@ class ClusterMembership:
         ]
         for node_id in lapsed:
             self.fail(node_id)
+        crashed = [
+            node_id
+            for node_id, state in self._state.items()
+            if state == CRASHED
+        ]
+        for node_id in crashed:
+            self.ring.remove(node_id)
+            self._state[node_id] = FAILED
+            self._record("fail", node_id)
+            self.stats["failures"] += 1
         self.stats["sweeps"] += 1
-        return lapsed
+        return lapsed + crashed
 
     # -- lookups -----------------------------------------------------------
 
     def node_for(self, key: bytes) -> GuardNode:
-        """The live owner of ``key`` (ring lookup + dereference)."""
-        return self._nodes[self.ring.node_for(key)]
+        """The live owner of ``key`` (ring lookup + dereference).
+
+        Raises :class:`NodeUnavailableError` when the ring still points
+        at a crashed node — the caller should trigger (or wait for) a
+        sweep and retry, which is exactly what the serving layer's RETRY
+        code tells a wire client to do."""
+        node_id = self.ring.node_for(key)
+        if self._state.get(node_id) != UP:
+            raise NodeUnavailableError(node_id)
+        return self._nodes[node_id]
 
     def nodes_for(self, key: bytes, count: int = 1) -> List[GuardNode]:
         """The live replica set of ``key``: the owner followed by up to
-        ``count - 1`` distinct ring successors."""
+        ``count - 1`` distinct ring successors.  A crashed owner raises
+        :class:`NodeUnavailableError`; crashed successors are simply
+        dropped from the set (a spread check can land anywhere live)."""
+        node_ids = self.ring.successors(key, count)
+        if self._state.get(node_ids[0]) != UP:
+            raise NodeUnavailableError(node_ids[0])
         return [
             self._nodes[node_id]
-            for node_id in self.ring.successors(key, count)
+            for node_id in node_ids
+            if self._state.get(node_id) == UP
         ]
 
     def known(self) -> List[GuardNode]:

@@ -23,6 +23,31 @@ class AuthorizationError(SnowflakeError):
     """A request was denied: no acceptable proof of authority."""
 
 
+class NodeUnavailableError(SnowflakeError, LookupError):
+    """A request routed to a cluster node that is not serving.
+
+    Raised by the membership table when the consistent-hash ring still
+    resolves a key to a node that has *crashed* — died without a
+    graceful leave, so its ring points linger until the failure sweep
+    notices.  The condition is retryable, not a denial: one membership
+    sweep reassigns the dead node's shards to its ring successors, and
+    the identical request then routes to a live node.  The serving layer
+    maps this onto its wire-level RETRY code so clients can resubmit
+    against the re-swept ring.
+    """
+
+    def __init__(self, node_id=None):
+        if node_id is None:
+            message = "no serving node is available for this key"
+        else:
+            message = (
+                "node %r is not serving (crashed, awaiting failure sweep)"
+                % node_id
+            )
+        super().__init__(message)
+        self.node_id = node_id
+
+
 class NeedAuthorizationError(SnowflakeError):
     """The server challenge: "prove you speak for *issuer* regarding *tag*".
 

@@ -1,0 +1,85 @@
+"""Real wire serving: an asyncio listener fleet over loopback sockets.
+
+Every earlier layer of the reproduction exercises the guard in-process;
+this package puts it behind actual TCP sockets, the way the paper's
+guards sit behind HTTP and RMI endpoints.  The wire is deliberately
+thin — a 4-byte length prefix framing one canonical S-expression per
+message (:mod:`repro.serve.protocol`) — because the interesting part is
+what the *server* does between frames:
+
+- **Pipelining → batching.** A connection's reader keeps pulling frames
+  while earlier ones are being served; whatever has accumulated when
+  the dispatch loop comes around is coalesced into one
+  ``check_many`` batch, so in-flight pipelined requests pay one
+  premise snapshot and one meter charge per batch, not per request
+  (:mod:`repro.serve.server`).
+- **Backpressure.** Each connection has a bounded in-flight window;
+  when it fills, the reader stops pulling frames and the kernel's TCP
+  window pushes back on the client.
+- **Failure mapping.** A batch that routes onto a crashed cluster node
+  raises :class:`~repro.core.errors.NodeUnavailableError`; the server
+  triggers the failure sweep and answers RETRY, and the client
+  resubmits once against the repaired ring
+  (:mod:`repro.serve.client`).
+- **Executor seam.** Backend calls run through a
+  :class:`~repro.serve.dispatch.Dispatcher` — inline on the event loop
+  for benchmarks, or a thread pool so one cold proof check cannot
+  stall every connection (:mod:`repro.serve.dispatch`).
+
+:mod:`repro.serve.fleet` scales this to N listeners sharing one
+backend (one :class:`~repro.cluster.ClusterFrontend` each when the
+backend is a cluster), and ``benchmarks/test_serve_rps.py`` measures
+real requests/sec over loopback against the modeled numbers.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.dispatch import (
+    Dispatcher,
+    InlineDispatcher,
+    ThreadedDispatcher,
+    resolve_dispatcher,
+)
+from repro.serve.fleet import ServeFleet
+from repro.serve.protocol import (
+    FrameBuffer,
+    MAX_FRAME,
+    Reply,
+    WireError,
+    decode_command,
+    decode_reply,
+    encode_check,
+    encode_frame,
+    encode_ping,
+    encode_reply,
+    encode_submit_proof,
+    guard_request_from_sexp,
+    guard_request_to_sexp,
+    read_frame,
+    write_frame,
+)
+from repro.serve.server import ServeListener
+
+__all__ = [
+    "ServeClient",
+    "ServeFleet",
+    "ServeListener",
+    "Dispatcher",
+    "InlineDispatcher",
+    "ThreadedDispatcher",
+    "resolve_dispatcher",
+    "FrameBuffer",
+    "MAX_FRAME",
+    "Reply",
+    "WireError",
+    "decode_command",
+    "decode_reply",
+    "encode_check",
+    "encode_frame",
+    "encode_ping",
+    "encode_reply",
+    "encode_submit_proof",
+    "guard_request_from_sexp",
+    "guard_request_to_sexp",
+    "read_frame",
+    "write_frame",
+]

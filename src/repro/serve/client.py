@@ -1,0 +1,171 @@
+"""A pipelining wire client with single-shot crash retry.
+
+The client exists for the benchmarks and tests, but it is a faithful
+model of what any consumer of this protocol must do:
+
+- **Pipelining.** Requests carry client-assigned ids, so a client can
+  keep many in flight and match replies as they arrive.  One receiver
+  coroutine resolves a future per id; ``check_pipelined`` fans a whole
+  workload through the window without waiting request-by-request.
+  Server-side, those in-flight frames are what coalesce into
+  ``check_many`` batches — pipelining is the *client's* half of the
+  batching optimisation.
+- **Crash retry.** A RETRY reply means the serving node crashed and
+  the server has already re-swept the ring.  The client resends the
+  stored frame for that id exactly once; a second RETRY for the same
+  id resolves as the failure it is (one sweep reassigns the shards, so
+  a second crash on the same request is not a blip worth hiding).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Set
+
+from repro.guard.request import GuardRequest
+from repro.serve.protocol import (
+    MAX_FRAME,
+    RETRY,
+    Reply,
+    WireError,
+    decode_reply,
+    encode_check,
+    encode_frame,
+    encode_ping,
+    encode_submit_proof,
+    read_frame,
+)
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.ServeListener`."""
+
+    def __init__(self, reader, writer, max_frame: int = MAX_FRAME):
+        self.reader = reader
+        self.writer = writer
+        self.max_frame = max_frame
+        self.stats = {"sent": 0, "replies": 0, "retries": 0}
+        #: Replies that matched no pending request (e.g. the server's
+        #: id-0 report of an unparseable frame) — kept for inspection.
+        self.orphans: List[Reply] = []
+        self._next_id = 1
+        self._futures: Dict[int, "asyncio.Future"] = {}
+        self._sent_frames: Dict[int, bytes] = {}
+        self._retried: Set[int] = set()
+        self._receiver = asyncio.ensure_future(self._receive())
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, max_frame: int = MAX_FRAME
+    ) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, max_frame=max_frame)
+
+    async def close(self) -> None:
+        self._receiver.cancel()
+        try:
+            await self._receiver
+        except asyncio.CancelledError:
+            pass
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    # -- sending -----------------------------------------------------------
+
+    def _dispatch(self, encoder, retryable: bool) -> "asyncio.Future":
+        """Assign an id, frame and queue one command; the returned future
+        resolves when its reply arrives (no drain here — callers batch
+        drains)."""
+        request_id = self._next_id
+        self._next_id += 1
+        framed = encode_frame(encoder(request_id), self.max_frame)
+        if retryable:
+            self._sent_frames[request_id] = framed
+        future = asyncio.get_running_loop().create_future()
+        self._futures[request_id] = future
+        self.writer.write(framed)
+        self.stats["sent"] += 1
+        return future
+
+    async def check(self, request: GuardRequest) -> Reply:
+        """One request, one reply — the serial (unpipelined) shape."""
+        future = self._dispatch(
+            lambda rid: encode_check(rid, request), retryable=True
+        )
+        await self.writer.drain()
+        return await future
+
+    async def check_pipelined(
+        self, requests: List[GuardRequest]
+    ) -> List[Reply]:
+        """Send every request before waiting for any reply.  The frames
+        land back-to-back on the server's in-flight queue, which is what
+        lets it coalesce them into ``check_many`` batches."""
+        futures = [
+            self._dispatch(
+                lambda rid, request=request: encode_check(rid, request),
+                retryable=True,
+            )
+            for request in requests
+        ]
+        await self.writer.drain()
+        return list(await asyncio.gather(*futures))
+
+    async def submit_proof(self, proof_wire: bytes) -> Reply:
+        future = self._dispatch(
+            lambda rid: encode_submit_proof(rid, proof_wire), retryable=True
+        )
+        await self.writer.drain()
+        return await future
+
+    async def ping(self) -> Reply:
+        future = self._dispatch(encode_ping, retryable=False)
+        await self.writer.drain()
+        return await future
+
+    # -- receiving ---------------------------------------------------------
+
+    async def _receive(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self.reader, self.max_frame)
+                if frame is None:
+                    break
+                self._resolve(decode_reply(frame))
+        except (ConnectionError, OSError, WireError) as exc:
+            self._fail_pending(exc)
+            return
+        self._fail_pending(WireError("connection closed by server"))
+
+    def _resolve(self, reply: Reply) -> None:
+        request_id = reply.request_id
+        if (
+            reply.status == RETRY
+            and request_id in self._sent_frames
+            and request_id not in self._retried
+        ):
+            # The server re-swept the ring; resend this frame once.
+            self._retried.add(request_id)
+            self.stats["retries"] += 1
+            self.writer.write(self._sent_frames[request_id])
+            return
+        future = self._futures.pop(request_id, None)
+        self._sent_frames.pop(request_id, None)
+        self._retried.discard(request_id)
+        if future is None:
+            self.orphans.append(reply)
+            return
+        self.stats["replies"] += 1
+        if not future.done():
+            future.set_result(reply)
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending = list(self._futures.values())
+        self._futures.clear()
+        self._sent_frames.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(exc)

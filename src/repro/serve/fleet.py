@@ -1,0 +1,80 @@
+"""A fleet of listeners sharing one backend (and one ring).
+
+The multi-listener shape from the ROADMAP: N listening sockets, one
+authorization state.  When the shared backend is an
+:class:`~repro.cluster.AuthCluster`, each listener fronts it through its
+own counted :class:`~repro.cluster.ClusterFrontend` handle — the same
+arrangement ``benchmarks/test_frontend_routing.py`` models in-process —
+so per-listener traffic shows up in the frontend stats.  Any other
+:class:`AuthBackend` (a bare guard, a single frontend) is shared
+directly by every listener.
+
+The fleet owns one dispatcher for all listeners (a thread pool split
+per-listener would fragment it) and closes it on shutdown if it created
+it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.cluster.dispatch import AuthCluster
+from repro.cluster.frontend import fleet as frontend_fleet
+from repro.serve.dispatch import Dispatcher, resolve_dispatcher
+from repro.serve.server import ServeListener
+
+
+class ServeFleet:
+    """N :class:`ServeListener`\\ s over one shared backend."""
+
+    def __init__(
+        self,
+        backend,
+        listeners: int = 1,
+        host: str = "127.0.0.1",
+        dispatcher: Optional[Union[str, Dispatcher]] = None,
+        **listener_kwargs,
+    ):
+        if listeners < 1:
+            raise ValueError("a fleet needs at least one listener")
+        self.backend = backend
+        self.dispatcher = resolve_dispatcher(dispatcher)
+        self._owns_dispatcher = not isinstance(dispatcher, Dispatcher)
+        if isinstance(backend, AuthCluster):
+            frontends = frontend_fleet(backend, listeners)
+        else:
+            frontends = [backend] * listeners
+        self.listeners: List[ServeListener] = [
+            ServeListener(
+                frontend,
+                host=host,
+                name="listener-%d" % index,
+                dispatcher=self.dispatcher,
+                **listener_kwargs,
+            )
+            for index, frontend in enumerate(frontends)
+        ]
+
+    async def start(self) -> List[Tuple[str, int]]:
+        """Start every listener; returns their bound addresses."""
+        addresses = []
+        for listener in self.listeners:
+            addresses.append(await listener.start())
+        return addresses
+
+    async def shutdown(self) -> None:
+        for listener in self.listeners:
+            await listener.shutdown()
+        if self._owns_dispatcher:
+            self.dispatcher.close()
+
+    def addresses(self) -> List[Tuple[str, int]]:
+        return [listener.address for listener in self.listeners]
+
+    def stats(self) -> dict:
+        """Fleet-wide counters: the sum over listeners."""
+        total: dict = {}
+        for listener in self.listeners:
+            for key, value in listener.stats.items():
+                total[key] = total.get(key, 0) + value
+        return total

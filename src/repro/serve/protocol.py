@@ -1,0 +1,488 @@
+"""The ``repro.serve`` wire protocol: framing and the request/reply codec.
+
+Everything on the wire is a *frame*: a 4-byte big-endian length prefix
+followed by that many payload bytes, where the payload is one canonical
+S-expression — the repo's native wire form, so principals, tags, and
+proofs ride the same encoders every other transport uses.
+
+Client commands (``<id>`` is a client-assigned decimal request id; ids
+let a client pipeline many commands and match replies out of order):
+
+- ``(check <id> <guard-request>)`` — one authorization question;
+- ``(proof <id> <proof-bytes>)`` — submit a delegation chain to the
+  backend's proof recipient (canonical proof bytes);
+- ``(ping <id>)`` — liveness probe.
+
+The guard-request form carries exactly what a transport hands the guard
+pipeline in-process::
+
+    (request (transport <atom>) (logical <sexp>)
+             [(issuer <principal>)] [(min-tag <tag>)]
+             [(credential <credential>)])
+
+with the three credential kinds of :mod:`repro.guard.request`::
+
+    (channel <principal>)
+    (session <id> <tag-bytes> <message-bytes> [<proof-transport-bytes>])
+    (proof <proof-transport-bytes> [(subject <principal>)])
+
+Server replies:
+
+- ``(ok <id> (via <atom>) (stage <atom>))`` — granted;
+- ``(challenge <id> (issuer <principal>) [(tag <tag>)])`` — the wire
+  form of :class:`NeedAuthorizationError`: prove you speak for *issuer*
+  regarding *tag*, then retry;
+- ``(denied <id> <message>)`` — :class:`AuthorizationError`;
+- ``(retry <id> <message>)`` — the serving node crashed mid-connection;
+  the server has re-swept the ring, resubmit the identical request once;
+- ``(error <id> <message>)`` — the frame could not be served (malformed
+  command, oversize payload); ``<id>`` is 0 when the id itself was
+  unreadable;
+- ``(proof-ok <id>)`` / ``(pong <id>)``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Iterator, List, Optional
+
+from repro.core.errors import (
+    AuthorizationError,
+    NeedAuthorizationError,
+    NodeUnavailableError,
+    SnowflakeError,
+)
+from repro.core.principals import Principal, principal_from_sexp
+from repro.guard.request import (
+    ChannelCredential,
+    Credential,
+    GuardRequest,
+    ProofCredential,
+    SessionCredential,
+)
+from repro.sexp import (
+    Atom,
+    SExp,
+    SList,
+    SexpParseError,
+    parse_canonical,
+    to_canonical,
+    to_transport,
+)
+from repro.tags import Tag
+
+#: Frame length prefix: unsigned 32-bit big-endian.
+HEADER = struct.Struct("!I")
+
+#: Default ceiling on one frame's payload; a peer announcing more is
+#: speaking a different protocol (or attacking the allocator).
+MAX_FRAME = 1 << 20
+
+# Reply status atoms.
+OK = "ok"
+CHALLENGE = "challenge"
+DENIED = "denied"
+RETRY = "retry"
+ERROR = "error"
+PROOF_OK = "proof-ok"
+PONG = "pong"
+
+
+class WireError(SnowflakeError):
+    """The peer's bytes do not parse as this protocol."""
+
+
+# -- framing ---------------------------------------------------------------
+
+
+def encode_frame(payload: bytes, max_frame: int = MAX_FRAME) -> bytes:
+    """Prefix ``payload`` with its length."""
+    if len(payload) > max_frame:
+        raise WireError(
+            "frame of %d bytes exceeds the %d-byte ceiling"
+            % (len(payload), max_frame)
+        )
+    return HEADER.pack(len(payload)) + payload
+
+
+class FrameBuffer:
+    """An incremental frame decoder for any byte stream.
+
+    Feed it whatever the transport produced — one byte or one megabyte —
+    and pop complete frames as they materialize.  This is the
+    partial-read seam: the network owes us no alignment, so the buffer
+    owns reassembly and the caller only ever sees whole payloads.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME):
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    def pending(self) -> int:
+        """Bytes buffered but not yet framed (for diagnostics/tests)."""
+        return len(self._buffer)
+
+    def frames(self) -> Iterator[bytes]:
+        """Yield every complete frame currently buffered."""
+        while True:
+            if len(self._buffer) < HEADER.size:
+                return
+            (length,) = HEADER.unpack_from(self._buffer)
+            if length > self.max_frame:
+                raise WireError(
+                    "announced frame of %d bytes exceeds the %d-byte "
+                    "ceiling" % (length, self.max_frame)
+                )
+            end = HEADER.size + length
+            if len(self._buffer) < end:
+                return
+            payload = bytes(self._buffer[HEADER.size:end])
+            del self._buffer[:end]
+            yield payload
+
+
+async def read_frame(reader, max_frame: int = MAX_FRAME) -> Optional[bytes]:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF.
+
+    ``readexactly`` owns the partial-read loop; an EOF landing *inside*
+    a frame is a protocol error, not a close."""
+    header = await reader.read(HEADER.size)
+    if not header:
+        return None
+    while len(header) < HEADER.size:
+        more = await reader.read(HEADER.size - len(header))
+        if not more:
+            raise WireError("connection closed inside a frame header")
+        header += more
+    (length,) = HEADER.unpack(header)
+    if length > max_frame:
+        raise WireError(
+            "announced frame of %d bytes exceeds the %d-byte ceiling"
+            % (length, max_frame)
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise WireError("connection closed inside a frame body")
+
+
+def write_frame(writer, payload: bytes, max_frame: int = MAX_FRAME) -> None:
+    """Queue one frame on an asyncio stream writer (caller drains)."""
+    writer.write(encode_frame(payload, max_frame))
+
+
+# -- guard-request codec ---------------------------------------------------
+
+
+def _as_bytes(value) -> bytes:
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    return bytes(value)
+
+
+def credential_to_sexp(credential: Credential) -> SExp:
+    if isinstance(credential, ChannelCredential):
+        return SList([Atom("channel"), credential.speaker.to_sexp()])
+    if isinstance(credential, SessionCredential):
+        items = [
+            Atom("session"),
+            Atom(credential.session_id),
+            Atom(credential.tag),
+            Atom(credential.message),
+        ]
+        if credential.proof_wire is not None:
+            items.append(Atom(_as_bytes(credential.proof_wire)))
+        return SList(items)
+    if isinstance(credential, ProofCredential):
+        wire = (
+            _as_bytes(credential.wire)
+            if credential.wire is not None
+            else to_transport(credential.node)
+        )
+        items = [Atom("proof"), Atom(wire)]
+        if credential.expected_subject is not None:
+            items.append(
+                SList([Atom("subject"),
+                       credential.expected_subject.to_sexp()])
+            )
+        return SList(items)
+    raise WireError("unencodable credential kind %r" % credential.kind)
+
+
+def credential_from_sexp(node: SExp) -> Credential:
+    if not isinstance(node, SList) or not node.items:
+        raise WireError("credential must be a non-empty list")
+    head = node.head()
+    try:
+        if head == "channel":
+            if len(node) != 2:
+                raise WireError("bad (channel principal) form")
+            return ChannelCredential(principal_from_sexp(node.items[1]))
+        if head == "session":
+            if len(node) not in (4, 5):
+                raise WireError("bad (session id tag message [proof]) form")
+            session_id, tag, message = node.items[1:4]
+            proof_wire = node.items[4].value if len(node) == 5 else None
+            return SessionCredential(
+                session_id.text(), tag.value, message.value,
+                proof_wire=proof_wire,
+            )
+        if head == "proof":
+            if len(node) not in (2, 3):
+                raise WireError("bad (proof wire [subject]) form")
+            subject: Optional[Principal] = None
+            if len(node) == 3:
+                field = node.items[2]
+                if (
+                    not isinstance(field, SList)
+                    or field.head() != "subject"
+                    or len(field) != 2
+                ):
+                    raise WireError("bad (subject principal) field")
+                subject = principal_from_sexp(field.items[1])
+            return ProofCredential(subject, wire=node.items[1].value)
+    except (ValueError, AttributeError) as exc:
+        raise WireError("credential rejected: %s" % exc)
+    raise WireError("unknown credential kind %r" % head)
+
+
+def guard_request_to_sexp(request: GuardRequest) -> SExp:
+    items: List[SExp] = [
+        Atom("request"),
+        SList([Atom("transport"), Atom(request.transport)]),
+        SList([Atom("logical"), request.logical]),
+    ]
+    if request.issuer is not None:
+        items.append(SList([Atom("issuer"), request.issuer.to_sexp()]))
+    if request.min_tag is not None:
+        items.append(SList([Atom("min-tag"), request.min_tag.to_sexp()]))
+    if request.credential is not None:
+        items.append(
+            SList([Atom("credential"),
+                   credential_to_sexp(request.credential)])
+        )
+    return SList(items)
+
+
+def guard_request_from_sexp(node: SExp) -> GuardRequest:
+    if not isinstance(node, SList) or node.head() != "request":
+        raise WireError("expected a (request ...) form")
+    logical = None
+    transport = "serve"
+    issuer = None
+    min_tag = None
+    credential = None
+    for field in node.items[1:]:
+        if not isinstance(field, SList) or len(field) != 2:
+            raise WireError("bad request field %r" % (field,))
+        name = field.head()
+        value = field.items[1]
+        try:
+            if name == "transport":
+                transport = value.text()
+            elif name == "logical":
+                logical = value
+            elif name == "issuer":
+                issuer = principal_from_sexp(value)
+            elif name == "min-tag":
+                min_tag = Tag.from_sexp(value)
+            elif name == "credential":
+                credential = credential_from_sexp(value)
+            else:
+                raise WireError("unknown request field %r" % name)
+        except (ValueError, AttributeError) as exc:
+            raise WireError("request field %r rejected: %s" % (name, exc))
+    if logical is None:
+        raise WireError("request carries no (logical ...) field")
+    return GuardRequest(
+        logical,
+        issuer=issuer,
+        min_tag=min_tag,
+        credential=credential,
+        transport=transport,
+    )
+
+
+# -- commands --------------------------------------------------------------
+
+
+class Command:
+    """One decoded client command."""
+
+    __slots__ = ("op", "request_id", "body")
+
+    def __init__(self, op: str, request_id: int, body=None):
+        self.op = op            # "check" | "proof" | "ping"
+        self.request_id = request_id
+        self.body = body        # GuardRequest | proof bytes | None
+
+
+def encode_check(request_id: int, request: GuardRequest) -> bytes:
+    return to_canonical(
+        SList([Atom("check"), Atom(str(request_id)),
+               guard_request_to_sexp(request)])
+    )
+
+
+def encode_submit_proof(request_id: int, proof_wire: bytes) -> bytes:
+    return to_canonical(
+        SList([Atom("proof"), Atom(str(request_id)),
+               Atom(_as_bytes(proof_wire))])
+    )
+
+
+def encode_ping(request_id: int) -> bytes:
+    return to_canonical(SList([Atom("ping"), Atom(str(request_id))]))
+
+
+def _parse_payload(payload: bytes) -> SList:
+    try:
+        node = parse_canonical(payload)
+    except (SexpParseError, ValueError) as exc:
+        raise WireError("unparseable frame: %s" % exc)
+    if not isinstance(node, SList) or len(node) < 2:
+        raise WireError("frame is not a command list")
+    return node
+
+
+def _request_id(node: SList) -> int:
+    atom = node.items[1]
+    if not isinstance(atom, Atom):
+        raise WireError("request id must be an atom")
+    try:
+        return int(atom.text())
+    except (UnicodeDecodeError, ValueError):
+        raise WireError("unreadable request id %r" % (atom,))
+
+
+def decode_command(payload: bytes) -> Command:
+    node = _parse_payload(payload)
+    op = node.head()
+    request_id = _request_id(node)
+    if op == "check":
+        if len(node) != 3:
+            raise WireError("bad (check id request) form")
+        return Command("check", request_id,
+                       guard_request_from_sexp(node.items[2]))
+    if op == "proof":
+        if len(node) != 3 or not isinstance(node.items[2], Atom):
+            raise WireError("bad (proof id bytes) form")
+        return Command("proof", request_id, node.items[2].value)
+    if op == "ping":
+        return Command("ping", request_id)
+    raise WireError("unknown command %r" % op)
+
+
+# -- replies ---------------------------------------------------------------
+
+
+class Reply:
+    """One decoded server reply."""
+
+    __slots__ = ("status", "request_id", "via", "stage", "issuer", "tag",
+                 "message")
+
+    def __init__(
+        self,
+        status: str,
+        request_id: int,
+        via: Optional[str] = None,
+        stage: Optional[str] = None,
+        issuer: Optional[Principal] = None,
+        tag: Optional[Tag] = None,
+        message: Optional[str] = None,
+    ):
+        self.status = status
+        self.request_id = request_id
+        self.via = via
+        self.stage = stage
+        self.issuer = issuer
+        self.tag = tag
+        self.message = message
+
+    @property
+    def granted(self) -> bool:
+        return self.status == OK
+
+    def raise_for_status(self) -> "Reply":
+        """Map a non-granting reply back onto the exceptions an
+        in-process backend would have raised, so wire callers and
+        in-process callers share one error-handling idiom."""
+        if self.status in (OK, PROOF_OK, PONG):
+            return self
+        if self.status == CHALLENGE:
+            raise NeedAuthorizationError(self.issuer, self.tag)
+        if self.status == RETRY:
+            raise NodeUnavailableError()
+        if self.status == DENIED:
+            raise AuthorizationError(self.message or "denied")
+        raise WireError(self.message or "protocol error")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Reply(%s #%d)" % (self.status, self.request_id)
+
+
+def encode_reply(reply: Reply) -> bytes:
+    items: List[SExp] = [Atom(reply.status), Atom(str(reply.request_id))]
+    if reply.status == OK:
+        items.append(SList([Atom("via"), Atom(reply.via or "unknown")]))
+        items.append(SList([Atom("stage"), Atom(reply.stage or "unknown")]))
+    elif reply.status == CHALLENGE:
+        if reply.issuer is not None:
+            items.append(SList([Atom("issuer"), reply.issuer.to_sexp()]))
+        if reply.tag is not None:
+            items.append(SList([Atom("tag"), reply.tag.to_sexp()]))
+    elif reply.status in (DENIED, RETRY, ERROR):
+        items.append(Atom(reply.message or ""))
+    return to_canonical(SList(items))
+
+
+def decode_reply(payload: bytes) -> Reply:
+    node = _parse_payload(payload)
+    status = node.head()
+    request_id = _request_id(node)
+    if status == OK:
+        via = stage = None
+        for field in node.items[2:]:
+            if not isinstance(field, SList) or len(field) != 2:
+                raise WireError("bad ok field %r" % (field,))
+            if field.head() == "via":
+                via = field.items[1].text()
+            elif field.head() == "stage":
+                stage = field.items[1].text()
+        return Reply(OK, request_id, via=via, stage=stage)
+    if status == CHALLENGE:
+        issuer = None
+        tag = None
+        for field in node.items[2:]:
+            if not isinstance(field, SList) or len(field) != 2:
+                raise WireError("bad challenge field %r" % (field,))
+            try:
+                if field.head() == "issuer":
+                    issuer = principal_from_sexp(field.items[1])
+                elif field.head() == "tag":
+                    tag = Tag.from_sexp(field.items[1])
+            except ValueError as exc:
+                raise WireError("challenge field rejected: %s" % exc)
+        return Reply(CHALLENGE, request_id, issuer=issuer, tag=tag)
+    if status in (DENIED, RETRY, ERROR):
+        message = node.items[2].text() if len(node) > 2 else ""
+        return Reply(status, request_id, message=message)
+    if status in (PROOF_OK, PONG):
+        return Reply(status, request_id)
+    raise WireError("unknown reply status %r" % status)
+
+
+def decision_reply(request_id: int, decision) -> Reply:
+    """Render one :class:`GuardDecision` (from ``check_many``) as a reply."""
+    if decision.granted:
+        return Reply(OK, request_id, via=decision.via, stage=decision.stage)
+    error = decision.error
+    if isinstance(error, NeedAuthorizationError):
+        return Reply(CHALLENGE, request_id, issuer=error.issuer,
+                     tag=error.tag)
+    return Reply(DENIED, request_id, message=str(error))

@@ -282,6 +282,90 @@ def cmd_audit(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve the demo cluster workload over real loopback sockets and
+    print measured requests/sec as JSON — the CLI face of
+    ``benchmarks/test_serve_rps.py`` (and the CI smoke for it)."""
+    import asyncio
+    import time
+
+    from repro.cluster import AuthCluster
+    from repro.core.principals import KeyPrincipal, MacPrincipal
+    from repro.guard import GuardRequest, SessionCredential
+    from repro.serve import ServeClient, ServeFleet
+    from repro.sexp import sexp
+
+    rng = random.Random(args.seed)
+    server = generate_keypair(512, rng)
+    issuer = KeyPrincipal(server.public)
+    cluster = AuthCluster(node_count=args.nodes)
+    sessions = []
+    for _ in range(args.sessions):
+        mac_id, mac_key = cluster.mint_session(rng)
+        certificate = Certificate.issue(
+            server, MacPrincipal(mac_key.fingerprint()), Tag.all(), rng=rng
+        )
+        cluster.add_delegation(SignedCertificateStep(certificate))
+        sessions.append((mac_id, mac_key))
+
+    def request(index: int) -> GuardRequest:
+        mac_id, mac_key = sessions[index % len(sessions)]
+        logical = sexp(["web", ["method", "GET"], ["path", "/doc-%d" % index]])
+        message = to_canonical(logical)
+        return GuardRequest(
+            logical,
+            issuer=issuer,
+            credential=SessionCredential(mac_id, mac_key.tag(message), message),
+            transport="http",
+        )
+
+    async def drive():
+        fleet = ServeFleet(cluster, listeners=args.listeners)
+        addresses = await fleet.start()
+        clients = [
+            await ServeClient.connect(*address) for address in addresses
+        ]
+        slices = [
+            [request(index) for index in
+             range(offset, args.requests, len(clients))]
+            for offset in range(len(clients))
+        ]
+        start = time.perf_counter()  # archlint: ignore[ARCH003] real RPS over real sockets needs the wall clock
+        chunks = await asyncio.gather(
+            *[
+                client.check_pipelined(chunk)
+                for client, chunk in zip(clients, slices)
+            ]
+        )
+        elapsed = time.perf_counter() - start  # archlint: ignore[ARCH003] real RPS over real sockets needs the wall clock
+        for client in clients:
+            await client.close()
+        stats = fleet.stats()
+        await fleet.shutdown()
+        return chunks, elapsed, stats
+
+    chunks, elapsed, stats = asyncio.run(drive())
+    replies = [reply for chunk in chunks for reply in chunk]
+    granted = sum(1 for reply in replies if reply.granted)
+    print(
+        json.dumps(
+            {
+                "listeners": args.listeners,
+                "nodes": args.nodes,
+                "requests": args.requests,
+                "granted": granted,
+                "real_rps": args.requests / elapsed if elapsed else None,
+                "batches": stats["batches"],
+                "batched_requests": stats["batched_requests"],
+                "coalesced": stats["coalesced"],
+            },
+            indent=args.indent,
+            sort_keys=True,
+        )
+    )
+    return 0 if granted == args.requests else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools", description=__doc__
@@ -360,6 +444,19 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--retain", type=int, default=None,
                        help="keep only the most recent N records")
     audit.set_defaults(func=cmd_audit)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve the demo workload over real loopback sockets and "
+             "print measured requests/sec",
+    )
+    serve.add_argument("--nodes", type=int, default=4)
+    serve.add_argument("--sessions", type=int, default=16)
+    serve.add_argument("--requests", type=int, default=64)
+    serve.add_argument("--listeners", type=int, default=2)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--indent", type=int, default=2)
+    serve.set_defaults(func=cmd_serve)
 
     tag = commands.add_parser("tag", help="authorization-tag algebra")
     tag.add_argument("first", help="a tag, e.g. '(tag (web))'")

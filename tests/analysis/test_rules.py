@@ -292,6 +292,74 @@ class TestArch005AsyncReady:
         )
         assert rule_ids(result) == []
 
+    def test_serve_package_is_in_scope(self, lint):
+        result = lint(
+            "repro/serve/scratch.py",
+            """
+            import time
+
+            def settle():
+                time.sleep(0.1)
+            """,
+        )
+        assert rule_ids(result) == ["ARCH005"]
+
+    def test_awaitless_while_true_in_async_handler_flagged(self, lint):
+        result = lint(
+            "repro/serve/scratch.py",
+            """
+            async def pump(queue):
+                while True:
+                    if queue.empty():
+                        continue
+                    queue.get_nowait()
+            """,
+        )
+        assert rule_ids(result) == ["ARCH005"]
+        assert "unbounded synchronous loop" in result.findings[0].message
+
+    def test_while_true_with_await_is_clean(self, lint):
+        result = lint(
+            "repro/serve/scratch.py",
+            """
+            async def pump(queue):
+                while True:
+                    frame = await queue.get()
+                    if frame is None:
+                        break
+            """,
+        )
+        assert rule_ids(result) == []
+
+    def test_nested_closure_await_does_not_launder_the_loop(self, lint):
+        # An await inside a function *defined* in the loop body runs on
+        # someone else's schedule; the loop itself still never yields.
+        result = lint(
+            "repro/serve/scratch.py",
+            """
+            async def pump(queue):
+                while True:
+                    async def later():
+                        await queue.get()
+                    register(later)
+            """,
+        )
+        assert rule_ids(result) == ["ARCH005"]
+
+    def test_sync_while_true_outside_async_def_is_clean(self, lint):
+        # A synchronous decoder loop never holds an event loop hostage.
+        result = lint(
+            "repro/serve/scratch.py",
+            """
+            def frames(buffer):
+                while True:
+                    if len(buffer) < 4:
+                        return
+                    yield buffer.pop()
+            """,
+        )
+        assert rule_ids(result) == []
+
 
 class TestArch006ExceptionDiscipline:
     def test_bare_except_flagged(self, lint):
@@ -310,6 +378,20 @@ class TestArch006ExceptionDiscipline:
     def test_except_exception_flagged(self, lint):
         result = lint(
             "repro/rmi/scratch.py",
+            """
+            def parse(wire):
+                try:
+                    return decode(wire)
+                except Exception:
+                    return None
+            """,
+        )
+        assert rule_ids(result) == ["ARCH006"]
+
+    def test_serve_package_is_in_scope(self, lint):
+        # repro.serve is a transport: the same discipline applies.
+        result = lint(
+            "repro/serve/scratch.py",
             """
             def parse(wire):
                 try:

@@ -1,0 +1,196 @@
+"""The wire codec: framing, request/reply round trips, error mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    AuthorizationError,
+    NeedAuthorizationError,
+    NodeUnavailableError,
+)
+from repro.core.principals import HashPrincipal, KeyPrincipal
+from repro.crypto.hashes import HashValue
+from repro.guard import (
+    ChannelCredential,
+    GuardRequest,
+    ProofCredential,
+    SessionCredential,
+)
+from repro.serve.protocol import (
+    CHALLENGE,
+    DENIED,
+    ERROR,
+    OK,
+    PONG,
+    PROOF_OK,
+    RETRY,
+    FrameBuffer,
+    Reply,
+    WireError,
+    decode_command,
+    decode_reply,
+    encode_check,
+    encode_frame,
+    encode_ping,
+    encode_reply,
+    encode_submit_proof,
+    guard_request_from_sexp,
+    guard_request_to_sexp,
+)
+from repro.sexp import sexp, to_canonical, to_transport
+from repro.tags import Tag, parse_tag
+
+LOGICAL = sexp(["web", ["method", "GET"], ["path", "/doc"]])
+
+
+def _round_trip(request):
+    return guard_request_from_sexp(guard_request_to_sexp(request))
+
+
+class TestFraming:
+    def test_single_byte_dribble_reassembles(self):
+        frames = [b"alpha", b"", b"a much longer frame body here"]
+        wire = b"".join(encode_frame(frame) for frame in frames)
+        buffer = FrameBuffer()
+        seen = []
+        for index in range(len(wire)):
+            buffer.feed(wire[index:index + 1])
+            seen.extend(buffer.frames())
+        assert seen == frames
+        assert buffer.pending() == 0
+
+    def test_batched_feed_yields_all_frames(self):
+        wire = encode_frame(b"one") + encode_frame(b"two")
+        buffer = FrameBuffer()
+        buffer.feed(wire)
+        assert list(buffer.frames()) == [b"one", b"two"]
+
+    def test_oversize_announcement_is_a_wire_error(self):
+        buffer = FrameBuffer(max_frame=16)
+        buffer.feed(encode_frame(b"x" * 17))
+        with pytest.raises(WireError):
+            list(buffer.frames())
+
+    def test_oversize_payload_refused_at_encode(self):
+        with pytest.raises(WireError):
+            encode_frame(b"x" * 17, max_frame=16)
+
+
+class TestGuardRequestCodec:
+    def test_channel_credential_round_trips(self, alice_kp):
+        request = GuardRequest(
+            LOGICAL,
+            issuer=KeyPrincipal(alice_kp.public),
+            min_tag=parse_tag("(tag (web))"),
+            credential=ChannelCredential(KeyPrincipal(alice_kp.public)),
+            transport="rmi",
+        )
+        decoded = _round_trip(request)
+        assert to_canonical(decoded.logical) == to_canonical(LOGICAL)
+        assert decoded.issuer == request.issuer
+        assert decoded.credential.speaker == request.credential.speaker
+        assert decoded.min_tag.to_sexp() == request.min_tag.to_sexp()
+        assert decoded.transport == "rmi"
+
+    def test_session_credential_round_trips(self):
+        credential = SessionCredential(
+            "mac-17", b"\x01\x02tagbytes", b"the message",
+            proof_wire=b"{cHJvb2Y=}",
+        )
+        decoded = _round_trip(
+            GuardRequest(LOGICAL, credential=credential, transport="http")
+        )
+        assert decoded.credential.session_id == "mac-17"
+        assert decoded.credential.tag == credential.tag
+        assert decoded.credential.message == credential.message
+        assert decoded.credential.proof_wire == credential.proof_wire
+
+    def test_proof_credential_round_trips(self):
+        subject = HashPrincipal(HashValue.of_bytes(b"the message"))
+        wire = to_transport(sexp(["proof", "stub"]))
+        decoded = _round_trip(
+            GuardRequest(
+                LOGICAL,
+                credential=ProofCredential(subject, wire=wire),
+                transport="http",
+            )
+        )
+        assert decoded.credential.expected_subject == subject
+        assert decoded.credential.wire == wire
+
+    def test_credential_free_request_round_trips(self):
+        decoded = _round_trip(GuardRequest(LOGICAL, transport="smtp"))
+        assert decoded.credential is None
+        assert decoded.issuer is None
+
+    def test_malformed_request_is_a_wire_error(self):
+        with pytest.raises(WireError):
+            guard_request_from_sexp(sexp(["not-a-request"]))
+        with pytest.raises(WireError):
+            guard_request_from_sexp(sexp(["request", ["transport", "x"]]))
+
+
+class TestCommandCodec:
+    def test_check_round_trips(self):
+        payload = encode_check(41, GuardRequest(LOGICAL, transport="http"))
+        command = decode_command(payload)
+        assert command.op == "check"
+        assert command.request_id == 41
+        assert to_canonical(command.body.logical) == to_canonical(LOGICAL)
+
+    def test_proof_and_ping_round_trip(self):
+        proof = decode_command(encode_submit_proof(7, b"proof-bytes"))
+        assert (proof.op, proof.request_id, proof.body) == (
+            "proof", 7, b"proof-bytes",
+        )
+        ping = decode_command(encode_ping(9))
+        assert (ping.op, ping.request_id) == ("ping", 9)
+
+    def test_garbage_is_a_wire_error(self):
+        with pytest.raises(WireError):
+            decode_command(b"not an sexp at all")
+        with pytest.raises(WireError):
+            decode_command(to_canonical(sexp(["frobnicate", "3"])))
+
+
+class TestReplyCodec:
+    @pytest.mark.parametrize(
+        "reply",
+        [
+            Reply(OK, 1, via="session", stage="prover"),
+            Reply(PROOF_OK, 2),
+            Reply(PONG, 3),
+            Reply(DENIED, 4, message="no acceptable proof"),
+            Reply(RETRY, 5, message="node crashed"),
+            Reply(ERROR, 0, message="unparseable frame"),
+        ],
+    )
+    def test_round_trips(self, reply):
+        decoded = decode_reply(encode_reply(reply))
+        assert decoded.status == reply.status
+        assert decoded.request_id == reply.request_id
+        assert decoded.via == reply.via
+        assert decoded.stage == reply.stage
+        assert decoded.message == reply.message
+
+    def test_challenge_round_trips(self, server_kp):
+        issuer = KeyPrincipal(server_kp.public)
+        reply = Reply(CHALLENGE, 6, issuer=issuer, tag=Tag.all())
+        decoded = decode_reply(encode_reply(reply))
+        assert decoded.issuer == issuer
+        assert decoded.tag.to_sexp() == Tag.all().to_sexp()
+
+    def test_raise_for_status_maps_to_backend_exceptions(self, server_kp):
+        issuer = KeyPrincipal(server_kp.public)
+        assert Reply(OK, 1, via="v", stage="s").raise_for_status()
+        with pytest.raises(NeedAuthorizationError) as need:
+            Reply(CHALLENGE, 2, issuer=issuer,
+                  tag=Tag.all()).raise_for_status()
+        assert need.value.issuer == issuer
+        with pytest.raises(AuthorizationError):
+            Reply(DENIED, 3, message="nope").raise_for_status()
+        with pytest.raises(NodeUnavailableError):
+            Reply(RETRY, 4, message="crashed").raise_for_status()
+        with pytest.raises(WireError):
+            Reply(ERROR, 0, message="junk").raise_for_status()

@@ -1,0 +1,309 @@
+"""The listener itself: batching, backpressure, shutdown, crash retry.
+
+Timing-sensitive behaviors (coalescing, backpressure) are made
+deterministic with a deliberately slow backend wrapper: while one
+``check_many`` batch grinds on the thread pool, every frame the client
+pipelined behind it is guaranteed to be queued (or to overflow the
+in-flight window) before the next batch forms.  The sleep lives in test
+code — the serving package itself is wall-clock-free and archlint keeps
+it that way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.cluster import AuthCluster, session_routing_key
+from repro.core.principals import KeyPrincipal, MacPrincipal
+from repro.core.proofs import SignedCertificateStep
+from repro.guard import GuardRequest, SessionCredential, default_backend
+from repro.net.trust import TrustEnvironment
+from repro.prover import Prover
+from repro.serve import ServeClient, ServeFleet, ServeListener
+from repro.serve.dispatch import ThreadedDispatcher
+from repro.serve.protocol import (
+    encode_frame,
+    encode_ping,
+    read_frame,
+    decode_reply,
+)
+from repro.sexp import sexp, to_canonical
+from repro.sim import SimClock
+from repro.spki import Certificate
+from repro.tags import Tag
+
+
+class SlowBackend:
+    """Delegate everything, but make ``check_many`` take real time so a
+    pipelined client predictably stacks frames behind the first batch."""
+
+    def __init__(self, backend, delay=0.1):
+        self._backend = backend
+        self._delay = delay
+        self.batch_sizes = []
+
+    def check_many(self, requests):
+        self.batch_sizes.append(len(requests))
+        time.sleep(self._delay)
+        return self._backend.check_many(requests)
+
+    def __getattr__(self, name):
+        return getattr(self._backend, name)
+
+
+def _guard_world(server_kp, rng, sessions=4):
+    backend = default_backend(
+        TrustEnvironment(clock=SimClock()), check_charge=None,
+        prover=Prover(),
+    )
+    issuer = KeyPrincipal(server_kp.public)
+    minted = []
+    for _ in range(sessions):
+        mac_id, mac_key = backend.mint_session(rng)
+        backend.digest_delegation(
+            SignedCertificateStep(
+                Certificate.issue(
+                    server_kp, MacPrincipal(mac_key.fingerprint()),
+                    Tag.all(), rng=rng,
+                )
+            )
+        )
+        minted.append((mac_id, mac_key))
+    return backend, issuer, minted
+
+
+def _cluster_world(server_kp, rng, nodes=3, sessions=6):
+    cluster = AuthCluster(node_count=nodes, clock=SimClock())
+    issuer = KeyPrincipal(server_kp.public)
+    minted = []
+    for _ in range(sessions):
+        mac_id, mac_key = cluster.mint_session(rng)
+        cluster.add_delegation(
+            SignedCertificateStep(
+                Certificate.issue(
+                    server_kp, MacPrincipal(mac_key.fingerprint()),
+                    Tag.all(), rng=rng,
+                )
+            )
+        )
+        minted.append((mac_id, mac_key))
+    return cluster, issuer, minted
+
+
+def _request(issuer, minted, index):
+    mac_id, mac_key = minted[index % len(minted)]
+    logical = sexp(["web", ["method", "GET"], ["path", "/doc-%d" % index]])
+    message = to_canonical(logical)
+    return GuardRequest(
+        logical,
+        issuer=issuer,
+        credential=SessionCredential(mac_id, mac_key.tag(message), message),
+        transport="http",
+    )
+
+
+class TestServing:
+    def test_serial_requests_grant_and_pong(self, server_kp, rng):
+        backend, issuer, minted = _guard_world(server_kp, rng)
+
+        async def scenario():
+            listener = ServeListener(backend)
+            host, port = await listener.start()
+            client = await ServeClient.connect(host, port)
+            for index in range(4):
+                reply = await client.check(_request(issuer, minted, index))
+                assert reply.granted
+                assert reply.via == "session"
+            assert (await client.ping()).status == "pong"
+            await client.close()
+            await listener.shutdown()
+            return listener.stats
+
+        stats = asyncio.run(scenario())
+        assert stats["grants"] == 4
+        assert stats["pings"] == 1
+        # Serial traffic: every batch is a batch of one.
+        assert stats["batches"] >= stats["batched_requests"]
+
+    def test_pipelined_requests_coalesce_into_batches(self, server_kp, rng):
+        backend, issuer, minted = _guard_world(server_kp, rng)
+        slow = SlowBackend(backend)
+
+        async def scenario():
+            listener = ServeListener(slow, dispatcher=ThreadedDispatcher())
+            host, port = await listener.start()
+            client = await ServeClient.connect(host, port)
+            replies = await client.check_pipelined(
+                [_request(issuer, minted, index) for index in range(8)]
+            )
+            await client.close()
+            await listener.shutdown()
+            listener.dispatcher.close()
+            return replies, listener.stats
+
+        replies, stats = asyncio.run(scenario())
+        assert all(reply.granted for reply in replies)
+        # While the first (small) batch slept, the remaining frames all
+        # arrived: the rest of the pipeline coalesced.
+        assert stats["batches"] < stats["batched_requests"] == 8
+        assert stats["coalesced"] > 0
+        assert max(slow.batch_sizes) > 1
+
+    def test_full_inflight_window_pauses_the_reader(self, server_kp, rng):
+        backend, issuer, minted = _guard_world(server_kp, rng)
+        slow = SlowBackend(backend)
+
+        async def scenario():
+            listener = ServeListener(
+                slow, dispatcher=ThreadedDispatcher(),
+                inflight_window=2, max_batch=2,
+            )
+            host, port = await listener.start()
+            client = await ServeClient.connect(host, port)
+            replies = await client.check_pipelined(
+                [_request(issuer, minted, index) for index in range(10)]
+            )
+            await client.close()
+            await listener.shutdown()
+            listener.dispatcher.close()
+            return replies, listener.stats
+
+        replies, stats = asyncio.run(scenario())
+        assert all(reply.granted for reply in replies)
+        # 10 in flight against a window of 2: the pump had to stop
+        # reading at least once, and nothing was lost.
+        assert stats["paused"] >= 1
+        assert stats["grants"] == 10
+
+    def test_graceful_shutdown_drains_accepted_work(self, server_kp, rng):
+        backend, issuer, minted = _guard_world(server_kp, rng)
+        slow = SlowBackend(backend, delay=0.05)
+
+        async def scenario():
+            fleet = ServeFleet(slow, dispatcher=ThreadedDispatcher())
+            [(host, port)] = await fleet.start()
+            client = await ServeClient.connect(host, port)
+            pending = asyncio.ensure_future(
+                client.check_pipelined(
+                    [_request(issuer, minted, index) for index in range(6)]
+                )
+            )
+            await asyncio.sleep(0.02)  # let the frames reach the server
+            await fleet.shutdown()
+            replies = await pending
+            with pytest.raises((ConnectionError, OSError)):
+                await ServeClient.connect(host, port)
+            await client.close()
+            return replies
+
+        replies = asyncio.run(scenario())
+        # Everything accepted before the shutdown was served...
+        assert len(replies) == 6
+        assert all(reply.granted for reply in replies)
+        # ...and the listening socket is genuinely gone (the raises above).
+
+    def test_threaded_and_inline_dispatchers_agree(self, server_kp, rng):
+        backend, issuer, minted = _guard_world(server_kp, rng)
+
+        async def scenario(dispatcher):
+            listener = ServeListener(backend, dispatcher=dispatcher)
+            host, port = await listener.start()
+            client = await ServeClient.connect(host, port)
+            replies = await client.check_pipelined(
+                [_request(issuer, minted, index) for index in range(6)]
+            )
+            await client.close()
+            await listener.shutdown()
+            listener.dispatcher.close()
+            return [reply.status for reply in replies]
+
+        inline = asyncio.run(scenario(None))
+        threaded = asyncio.run(scenario(ThreadedDispatcher()))
+        assert inline == threaded == ["ok"] * 6
+
+
+class TestCrashRetry:
+    def test_client_retries_once_against_the_reswept_ring(
+        self, server_kp, rng
+    ):
+        cluster, issuer, minted = _cluster_world(server_kp, rng)
+        # Pick a session and find which node owns its shard.
+        mac_id, mac_key = minted[0]
+        owner = cluster.membership.ring.node_for(session_routing_key(mac_id))
+
+        async def scenario():
+            listener = ServeListener(cluster)
+            host, port = await listener.start()
+            client = await ServeClient.connect(host, port)
+            # The connection is live and serving...
+            first = await client.check(_request(issuer, minted, 0))
+            assert first.granted
+            # ...when the owning node dies without a goodbye.
+            cluster.crash_node(owner)
+            reply = await client.check(_request(issuer, minted, 0))
+            await client.close()
+            await listener.shutdown()
+            return reply, client.stats, listener.stats
+
+        reply, client_stats, listener_stats = asyncio.run(scenario())
+        # The wire saw RETRY, the client resent exactly once, and the
+        # re-swept ring granted on a surviving node.
+        assert reply.granted
+        assert client_stats["retries"] == 1
+        assert listener_stats["retries"] == 1
+        assert listener_stats["repairs"] == 1
+        assert cluster.membership.state_of(owner) == "failed"
+
+
+class TestWireErrors:
+    def test_malformed_command_gets_an_id_zero_error(self, server_kp, rng):
+        backend, issuer, minted = _guard_world(server_kp, rng)
+
+        async def scenario():
+            listener = ServeListener(backend)
+            host, port = await listener.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(encode_frame(b"this is not an s-expression"))
+            writer.write(encode_frame(encode_ping(5)))
+            await writer.drain()
+            replies = [
+                decode_reply(await read_frame(reader)) for _ in range(2)
+            ]
+            writer.close()
+            await writer.wait_closed()
+            await listener.shutdown()
+            return replies, listener.stats
+
+        (error, pong), stats = asyncio.run(scenario())
+        # The bad frame is answered (id 0: its id was unreadable) and
+        # the connection keeps serving the good frame behind it.
+        assert error.status == "error"
+        assert error.request_id == 0
+        assert pong.status == "pong"
+        assert stats["errors"] == 1
+
+    def test_oversize_frame_errors_and_closes(self, server_kp, rng):
+        backend, issuer, minted = _guard_world(server_kp, rng)
+
+        async def scenario():
+            listener = ServeListener(backend, max_frame=64)
+            host, port = await listener.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            # Announce a frame far beyond the ceiling: unframeable, so
+            # the server reports once and hangs up.
+            writer.write(encode_frame(b"x" * 1000))
+            await writer.drain()
+            reply = decode_reply(await read_frame(reader))
+            trailing = await read_frame(reader)
+            writer.close()
+            await writer.wait_closed()
+            await listener.shutdown()
+            return reply, trailing
+
+        reply, trailing = asyncio.run(scenario())
+        assert reply.status == "error"
+        assert reply.request_id == 0
+        assert trailing is None  # server closed after reporting
