@@ -36,8 +36,32 @@ def git_rev() -> str:
     return out.stdout.decode("ascii", "replace").strip() or "unknown"
 
 
-def write_bench(name: str, metrics: Dict[str, object]) -> Path:
-    """Write ``BENCH_<name>.json`` at the repo root and return its path."""
+def stage_latency(registry) -> Dict[str, Dict[str, float]]:
+    """Per-stage latency percentiles from a :class:`MetricsRegistry`:
+    every ``guard.stage.*_ms`` histogram summarized as count/p50/p95/p99,
+    keyed by the stage label (``fastpath``, ``proof_cache``,
+    ``prover``, ``refused``)."""
+    stages: Dict[str, Dict[str, float]] = {}
+    for name, histogram in registry.snapshot()["histograms"].items():
+        if not (name.startswith("guard.stage.") and name.endswith("_ms")):
+            continue
+        label = name[len("guard.stage."):-len("_ms")]
+        stages[label] = {
+            "count": histogram["count"],
+            "p50": histogram["p50"],
+            "p95": histogram["p95"],
+            "p99": histogram["p99"],
+        }
+    return stages
+
+
+def write_bench(
+    name: str, metrics: Dict[str, object], registry=None
+) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root and return its path.
+
+    Pass the run's :class:`MetricsRegistry` to add a ``stage_latency``
+    section — p50/p95/p99 per guard stage next to the RPS numbers."""
     path = ROOT / ("BENCH_%s.json" % name)
     payload = {
         "bench": name,
@@ -47,5 +71,7 @@ def write_bench(name: str, metrics: Dict[str, object]) -> Path:
         ),
         "metrics": metrics,
     }
+    if registry is not None:
+        payload["stage_latency"] = stage_latency(registry)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

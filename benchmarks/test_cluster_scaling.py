@@ -24,6 +24,7 @@ import time
 
 from benchmarks._bench_output import write_bench
 from repro.cluster import AuthCluster
+from repro.obs import MetricsRegistry, Tracer
 from repro.core.principals import KeyPrincipal, MacPrincipal
 from repro.core.proofs import SignedCertificateStep
 from repro.guard import GuardRequest, SessionCredential
@@ -38,12 +39,12 @@ SESSIONS = 96
 REQUESTS = 384
 
 
-def _workload(keypool, rng, nodes):
+def _workload(keypool, rng, nodes, metrics=None, tracer=None):
     """A cluster of ``nodes`` serving SESSIONS MAC sessions, plus the
     request stream: REQUESTS requests round-robined over the sessions."""
     server_kp = keypool[0]
     issuer = KeyPrincipal(server_kp.public)
-    cluster = AuthCluster(node_count=nodes)
+    cluster = AuthCluster(node_count=nodes, metrics=metrics, tracer=tracer)
     sessions = []
     for _ in range(SESSIONS):
         mac_id, mac_key = cluster.mint_session(rng)
@@ -77,8 +78,12 @@ def test_throughput_scales_near_linearly_to_8_nodes(keypool, rng):
     throughput = {}
     sums = {}
     wall = {}
+    registry = MetricsRegistry()
+    tracer = Tracer(registry=registry)
     for nodes in NODES:
-        cluster, requests = _workload(keypool, rng, nodes)
+        cluster, requests = _workload(
+            keypool, rng, nodes, metrics=registry, tracer=tracer
+        )
         start = time.perf_counter()
         for request in requests:
             assert cluster.check(request).granted
@@ -109,6 +114,7 @@ def test_throughput_scales_near_linearly_to_8_nodes(keypool, rng):
             "speedup_at_8": throughput[8] / throughput[1],
             "wall_seconds": {str(n): wall[n] for n in NODES},
         },
+        registry=registry,
     )
     # Sharding conserves work: the serial-equivalent cost is identical.
     for nodes in NODES[1:]:

@@ -25,6 +25,7 @@ after one invalidation-bus round.
 
 from benchmarks._bench_output import write_bench
 from repro.cluster import AuthCluster, fleet
+from repro.obs import MetricsRegistry, Tracer
 from repro.core.errors import NeedAuthorizationError
 from repro.core.principals import KeyPrincipal, MacPrincipal
 from repro.core.proofs import SignedCertificateStep
@@ -89,7 +90,10 @@ def test_fleet_over_cluster_beats_fleet_pinned_to_one_guard(keypool, rng):
     pinned_rps = REQUESTS / (pinned_ms / 1000.0)
 
     # -- routed: the same four listeners as frontends on one ring --------
-    cluster = AuthCluster(node_count=NODES)
+    registry = MetricsRegistry()
+    cluster = AuthCluster(
+        node_count=NODES, metrics=registry, tracer=Tracer(registry=registry)
+    )
     fronts = fleet(cluster, ["listener-%d" % i for i in range(LISTENERS)])
     routed_sessions = []
     for _ in range(SESSIONS):
@@ -127,6 +131,7 @@ def test_fleet_over_cluster_beats_fleet_pinned_to_one_guard(keypool, rng):
             "speedup": routed_rps / pinned_rps,
             "imbalance": aggregate.imbalance(),
         },
+        registry=registry,
     )
 
     # Routing moves work between CPUs; it must not create or lose any.

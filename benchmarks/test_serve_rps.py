@@ -26,8 +26,9 @@ counters, git revision) for cross-commit comparison.
 import asyncio
 import time
 
-from benchmarks._bench_output import write_bench
+from benchmarks._bench_output import stage_latency, write_bench
 from repro.cluster import AuthCluster
+from repro.obs import MetricsRegistry, Tracer
 from repro.core.principals import HashPrincipal, KeyPrincipal, MacPrincipal
 from repro.core.proofs import SignedCertificateStep
 from repro.crypto.hashes import HashValue
@@ -48,10 +49,10 @@ LISTENERS = 4
 SPEEDUP_BAR = 1.2  # pipelined must beat serial by at least this factor
 
 
-def _cluster_world(server_kp, rng):
+def _cluster_world(server_kp, rng, metrics=None, tracer=None):
     """A 4-node cluster in the MAC-session steady state."""
     issuer = KeyPrincipal(server_kp.public)
-    cluster = AuthCluster(node_count=NODES)
+    cluster = AuthCluster(node_count=NODES, metrics=metrics, tracer=tracer)
     sessions = []
     for _ in range(SESSIONS):
         mac_id, mac_key = cluster.mint_session(rng)
@@ -155,9 +156,15 @@ async def _scenario(backend_world, requests, listeners, pipelined):
 def test_real_rps_over_loopback(keypool, rng):
     server_kp = keypool[0]
     results = {}
+    # One registry across every scenario: the stage-latency percentiles
+    # in BENCH_serve.json describe the whole run, fast and cold.
+    registry = MetricsRegistry()
+    tracer = Tracer(registry=registry)
 
     def run(name, pipelined, listeners, cold=False):
-        cluster, issuer, sessions = _cluster_world(server_kp, rng)
+        cluster, issuer, sessions = _cluster_world(
+            server_kp, rng, metrics=registry, tracer=tracer
+        )
         if cold:
             requests = _cold_requests(
                 server_kp, issuer, rng, COLD_REQUESTS
@@ -218,6 +225,15 @@ def test_real_rps_over_loopback(keypool, rng):
         % (pipelined["real_rps"] / serial["real_rps"])
     )
 
+    # The run must have priced both ends of the staged pipeline: the
+    # MAC fast path (fast scenarios) and the full prover (cold run,
+    # plus each session's first check).
+    stages = stage_latency(registry)
+    assert stages.get("fastpath", {}).get("count", 0) > 0
+    assert stages.get("prover", {}).get("count", 0) > 0
+    for row in stages.values():
+        assert row["p50"] <= row["p95"] <= row["p99"]
+
     path = write_bench(
         "serve",
         {
@@ -226,5 +242,6 @@ def test_real_rps_over_loopback(keypool, rng):
             ),
             "scenarios": results,
         },
+        registry=registry,
     )
     print("  wrote %s" % path.name)

@@ -12,4 +12,5 @@ from repro.analysis.rules import (  # noqa: F401  (registration side effects)
     arch004_audit_complete,
     arch005_async_ready,
     arch006_exception_discipline,
+    arch007_counted_failures,
 )

@@ -7,9 +7,10 @@ import ast
 from repro.analysis.registry import Rule, register
 from repro.analysis.symbols import qualified
 
-# Where ambient time/entropy is the point: the rng seam itself, and the
-# simulation package that owns the clock.
-_ALLOWED = ("repro/crypto/rng.py", "repro/sim/")
+# Where ambient time/entropy is the point: the rng and timebase seams
+# themselves, and the simulation package that owns the clock.
+_ALLOWED_FILES = ("repro/crypto/rng.py", "repro/core/timebase.py")
+_ALLOWED_PREFIXES = ("repro/sim/",)
 
 # Ambient wall-clock reads.  (time.sleep is ARCH005's: it is a blocking
 # call, not a clock read.)
@@ -49,11 +50,14 @@ class InjectedEntropyRule(Rule):
     title = "naked wall-clock or entropy"
     rationale = (
         "Clock and rng are injected everywhere (sim-clock replay, seeded "
-        "tests); ambient reads belong only in crypto/rng.py and repro.sim."
+        "tests); ambient reads belong only in crypto/rng.py, "
+        "core/timebase.py and repro.sim."
     )
 
     def applies_to(self, rel: str) -> bool:
-        return not (rel in _ALLOWED or rel.startswith(_ALLOWED[1]))
+        return not (
+            rel in _ALLOWED_FILES or rel.startswith(_ALLOWED_PREFIXES)
+        )
 
     def check(self, source):
         imports = source.imports

@@ -42,6 +42,8 @@ from repro.core.statements import SpeaksFor
 from repro.crypto.mac import MacKey
 from repro.crypto.rng import default_rng
 from repro.guard.pipeline import GuardDecision
+from repro.obs.registry import SIZE_BUCKETS, default_registry
+from repro.obs.trace import Tracer, default_tracer
 from repro.guard.request import (
     ChannelCredential,
     GuardRequest,
@@ -66,9 +68,11 @@ class BatchDispatcher:
         self,
         membership: ClusterMembership,
         router: Optional[Callable[[GuardRequest], GuardNode]] = None,
+        metrics=None,
     ):
         self.membership = membership
         self.router = router
+        self.metrics = default_registry(metrics)
         self.stats = {"dispatches": 0, "requests": 0, "shard_batches": 0}
 
     def _resolve(self, request: GuardRequest) -> GuardNode:
@@ -93,12 +97,17 @@ class BatchDispatcher:
                 entry[1].append(index)
         decisions: List[Optional[GuardDecision]] = [None] * len(requests)
         for node, indices in groups.values():
+            self.metrics.observe(
+                "cluster.shard_batch_size", len(indices),
+                buckets=SIZE_BUCKETS,
+            )
             batch = node.check_many([requests[i] for i in indices])
             for i, decision in zip(indices, batch):
                 decisions[i] = decision
         self.stats["dispatches"] += 1
         self.stats["requests"] += len(requests)
         self.stats["shard_batches"] += len(groups)
+        self.metrics.inc("cluster.dispatches")
         return decisions  # type: ignore[return-value]
 
 
@@ -143,17 +152,32 @@ class AuthCluster:
         hot_speaker_cap: int = 4096,
         audit_retain: Optional[int] = None,
         rng=None,
+        metrics=None,
+        tracer=None,
     ):
         if replica_reads < 1:
             raise ValueError("replica_reads must be at least 1")
         self.clock = clock if clock is not None else SimClock()
+        # One registry/tracer pair for the whole subsystem: every node's
+        # guard, the dispatcher, and (via source registration) the full
+        # ``stats_snapshot`` tree land in the same scrape point.
+        self.metrics = default_registry(metrics)
+        if tracer is not None:
+            self.tracer = tracer
+        elif metrics is not None:
+            self.tracer = Tracer(registry=self.metrics)
+        else:
+            self.tracer = default_tracer()
+        self.metrics.register_source("cluster", self.stats_snapshot)
         self.bus = InvalidationBus()
         self.membership = ClusterMembership(
             clock=self.clock,
             ring=HashRing(vnodes=vnodes),
             heartbeat_timeout=heartbeat_timeout,
         )
-        self.dispatcher = BatchDispatcher(self.membership, router=self._route)
+        self.dispatcher = BatchDispatcher(
+            self.membership, router=self._route, metrics=self.metrics
+        )
         self.session_ttl = session_ttl
         self.directory_cap = directory_cap
         self.check_charge = check_charge
@@ -220,6 +244,8 @@ class AuthCluster:
             clock=self.clock,
             session_ttl=self.session_ttl,
             check_charge=self.check_charge,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         node.guard.invalidation_hooks.append(
             lambda kind, payload, _origin=node_id: self.bus.publish(
@@ -295,6 +321,7 @@ class AuthCluster:
         reaped = sum(node.guard.sweep_sessions() for node in nodes)
         self._sweep_directory()
         self.stats["sessions_swept"] += reaped
+        self.metrics.inc("cluster.sessions_swept", reaped)
         return reaped
 
     def _sweep_directory(self) -> int:
@@ -360,6 +387,7 @@ class AuthCluster:
         node = replicas[count % len(replicas)]
         if node is not replicas[0]:
             self.stats["replica_reads"] += 1
+            self.metrics.inc("cluster.replica_reads")
         return node
 
     # -- replicated delegations and invalidation ---------------------------
@@ -424,6 +452,7 @@ class AuthCluster:
         """Pump one invalidation-bus round.  (The ``AuthBackend`` protocol
         claims the plain ``deliver`` name for transport delivery, matching
         ``Guard.deliver``.)"""
+        self.metrics.inc("cluster.bus_rounds")
         return self.bus.deliver()
 
     # -- channels and sessions ---------------------------------------------

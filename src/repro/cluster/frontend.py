@@ -41,6 +41,10 @@ class ClusterFrontend:
         # Frontend-local RNG (e.g. one per listener process) used for
         # session minting unless the caller supplies one per mint.
         self.rng = rng
+        # The cluster's registry/tracer are the frontend's too: a fleet
+        # of frontends scrapes as one surface, tallied per listener.
+        self.metrics = cluster.metrics
+        self.tracer = cluster.tracer
         self.stats = {
             "checks": 0,
             "grants": 0,
@@ -52,6 +56,8 @@ class ClusterFrontend:
             "sessions_minted": 0,
             "proofs_submitted": 0,
         }
+        # The dict itself is the source: snapshots see live counts.
+        self.metrics.register_source("frontend.%s" % name, self.stats)
 
     # -- decisions --------------------------------------------------------
 

@@ -166,6 +166,8 @@ class GuardNode:
         check_charge: Optional[str] = "rmi_checkauth",
         max_speakers: int = 4096,
         max_sessions: int = 4096,
+        metrics=None,
+        tracer=None,
     ):
         self.node_id = node_id
         self.trust = trust if trust is not None else TrustEnvironment(clock=clock)
@@ -181,6 +183,8 @@ class GuardNode:
             max_sessions=max_sessions,
             session_ttl=session_ttl,
             check_charge=check_charge,
+            metrics=metrics,
+            tracer=tracer,
         )
 
     # The node surface is the guard surface; dispatchers call these.

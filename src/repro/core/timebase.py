@@ -1,0 +1,31 @@
+"""Injectable monotonic time with a real-clock default.
+
+Code that measures durations — the metrics registry, span lifecycles,
+the serve CLI's RPS figures — takes an optional ``timebase`` parameter.
+Deterministic tests inject a :class:`~repro.sim.clock.SimClock` (whose
+``now()`` satisfies the same surface); production code that omits the
+parameter gets the process monotonic clock.  This mirrors
+``crypto.rng.default_rng``: ambient reads live *here*, behind the seam,
+so ARCH003 can keep the rest of the tree honest.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class MonotonicTimebase:
+    """The slice of a clock the measuring code draws on: ``now()`` in
+    seconds, monotonic, with an arbitrary epoch."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+DEFAULT_TIMEBASE = MonotonicTimebase()
+
+
+def default_timebase(timebase=None):
+    """``timebase`` if one was injected, else the process-wide monotonic
+    clock."""
+    return DEFAULT_TIMEBASE if timebase is None else timebase

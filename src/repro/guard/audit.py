@@ -29,7 +29,8 @@ def proof_skeleton(proof: Proof) -> Tuple:
 class AuditRecord:
     """One granted request and the proof that justified it."""
 
-    __slots__ = ("request", "speaker", "issuer", "proof", "when", "transport")
+    __slots__ = ("request", "speaker", "issuer", "proof", "when", "transport",
+                 "trace_id", "span_id")
 
     def __init__(
         self,
@@ -39,6 +40,8 @@ class AuditRecord:
         proof: Proof,
         when: float,
         transport: Optional[str] = None,
+        trace_id: Optional[str] = None,
+        span_id: Optional[str] = None,
     ):
         self.request = request
         self.speaker = speaker
@@ -46,6 +49,11 @@ class AuditRecord:
         self.proof = proof
         self.when = when
         self.transport = transport
+        # The trace/span that produced this grant (see repro.obs.trace):
+        # the correlation key between the merged cluster audit trail and
+        # the serving layer's spans.
+        self.trace_id = trace_id
+        self.span_id = span_id
 
     def involved_principals(self):
         """Every principal that appears in the justifying proof — the
@@ -70,6 +78,8 @@ class AuditRecord:
 
     def render(self) -> str:
         label = " [%s]" % self.transport if self.transport else ""
+        if self.trace_id is not None:
+            label += " trace=%s/%s" % (self.trace_id, self.span_id or "-")
         return "%.3f%s %s by %s:\n%s" % (
             self.when,
             label,

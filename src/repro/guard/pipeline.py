@@ -53,9 +53,21 @@ from repro.guard.request import (
 )
 from repro.guard.sessions import SessionRegistry
 from repro.crypto.rng import default_rng
+from repro.obs.registry import SIZE_BUCKETS, default_registry
+from repro.obs.trace import Tracer, default_tracer
 from repro.sexp import from_transport, parse_canonical, sexp
 from repro.sim.costmodel import Meter, maybe_charge
 from repro.tags import Tag
+
+
+def stage_label(via, stage) -> str:
+    """The observability name of a granting stage: the paper's three
+    answers.  ``session`` admission hitting the cache is the MAC
+    fast path; any other cache hit is a proof-cache grant; a prover
+    grant paid full verification."""
+    if stage == "cache":
+        return "fastpath" if via == "session" else "proof_cache"
+    return "prover"
 
 
 class GuardDecision:
@@ -109,10 +121,23 @@ class Guard:
         audit: Optional[AuditLog] = None,
         check_charge: Optional[str] = "rmi_checkauth",
         rng=None,
+        metrics=None,
+        tracer=None,
     ):
         self.trust = trust
         self.meter = meter
         self.prover = prover
+        # The metrics registry and tracer ride in together (a cluster
+        # passes one pair to every node).  An injected registry without
+        # a tracer gets a private tracer bound to it, so span-duration
+        # histograms land beside the counters they explain.
+        self.metrics = default_registry(metrics)
+        if tracer is not None:
+            self.tracer = tracer
+        elif metrics is not None:
+            self.tracer = Tracer(registry=self.metrics)
+        else:
+            self.tracer = default_tracer()
         # Default RNG for session minting; ``None`` falls back to the
         # secrets-backed default at mint time.  Injected for determinism
         # the same way the clock rides in on ``trust``.
@@ -266,8 +291,9 @@ class Guard:
         :class:`AuthorizationError`.
         """
         self.stats["checks"] += 1
+        span = self.tracer.start_span("guard.check", trace=request.trace)
         try:
-            admitted = self._admit(request)
+            admitted = self._admit_timed(request, span)
             if self.check_charge:
                 maybe_charge(self.meter, self.check_charge)
             # The transport (or the request's own bytes) vouches the
@@ -276,13 +302,17 @@ class Guard:
             # accumulate for the life of the server.
             context = self.trust.context()
             context.trust(Says(admitted.speaker, request.logical))
-            return self._authorize(admitted, context)
+            return self._authorize_timed(admitted, context, span)
         except NeedAuthorizationError:
             self.stats["challenges"] += 1
+            span.annotate("status", "challenge")
             raise
         except AuthorizationError:
             self.stats["denials"] += 1
+            span.annotate("status", "denied")
             raise
+        finally:
+            self.tracer.finish(span)
 
     def check_many(self, requests: Iterable[GuardRequest]) -> List[GuardDecision]:
         """Verify independent requests in one pass.
@@ -295,13 +325,26 @@ class Guard:
         requests = list(requests)
         self.stats["batches"] += 1
         self.stats["batched_requests"] += len(requests)
+        self.metrics.observe(
+            "guard.batch_size", len(requests), buckets=SIZE_BUCKETS
+        )
         if self.check_charge:
             maybe_charge(self.meter, self.check_charge)
+        # One span per request, opened un-activated — a batch holds many
+        # open spans; each is made current only around its own authorize
+        # call (so ``_grant`` stamps the right ids into the audit record).
+        spans = [
+            self.tracer.start_span(
+                "guard.check", trace=request.trace, activate=False
+            )
+            for request in requests
+        ]
         admitted_batch: List[Tuple[Optional[_Admitted], Optional[Exception]]] = []
-        for request in requests:
+        for request, span in zip(requests, spans):
             try:
-                admitted = self._admit(request)
+                admitted = self._admit_timed(request, span)
             except (AuthorizationError, NeedAuthorizationError, ValueError) as exc:
+                span.annotate("status", "denied")
                 admitted_batch.append((None, exc))
                 continue
             admitted_batch.append((admitted, None))
@@ -313,25 +356,64 @@ class Guard:
             if admitted is not None:
                 context.trust(Says(admitted.speaker, admitted.request.logical))
         decisions: List[GuardDecision] = []
-        for admitted, error in admitted_batch:
+        for (admitted, error), span in zip(admitted_batch, spans):
             if admitted is None:
                 self.stats["denials"] += 1
                 decisions.append(GuardDecision(False, error=error))
-                continue
-            try:
-                decisions.append(self._authorize(admitted, context))
-            except (AuthorizationError, NeedAuthorizationError) as exc:
-                key = (
-                    "challenges"
-                    if isinstance(exc, NeedAuthorizationError)
-                    else "denials"
-                )
-                self.stats[key] += 1
-                decisions.append(
-                    GuardDecision(False, via=admitted.via,
-                                  speaker=admitted.speaker, error=exc)
-                )
+            else:
+                try:
+                    with self.tracer.activate(span):
+                        decisions.append(
+                            self._authorize_timed(admitted, context, span)
+                        )
+                except (AuthorizationError, NeedAuthorizationError) as exc:
+                    if isinstance(exc, NeedAuthorizationError):
+                        self.stats["challenges"] += 1
+                        span.annotate("status", "challenge")
+                    else:
+                        self.stats["denials"] += 1
+                        span.annotate("status", "denied")
+                    decisions.append(
+                        GuardDecision(False, via=admitted.via,
+                                      speaker=admitted.speaker, error=exc)
+                    )
+            self.tracer.finish(span)
         return decisions
+
+    def _admit_timed(self, request: GuardRequest, span) -> _Admitted:
+        """Admission plus its observability: duration histogram and span
+        annotations (stage 1 of the per-stage latency story)."""
+        timebase = self.metrics.timebase
+        started = timebase.now()
+        admitted = self._admit(request)
+        admission_ms = (timebase.now() - started) * 1000.0
+        self.metrics.observe("guard.admission_ms", admission_ms)
+        span.annotate("via", admitted.via)
+        span.annotate("admission_ms", admission_ms)
+        return admitted
+
+    def _authorize_timed(self, admitted: _Admitted, context,
+                         span) -> GuardDecision:
+        """Authorize plus its observability: the granting stage's label
+        (fastpath / proof_cache / prover) and latency, per request."""
+        timebase = self.metrics.timebase
+        started = timebase.now()
+        try:
+            decision = self._authorize(admitted, context)
+        except (AuthorizationError, NeedAuthorizationError):
+            self.metrics.observe(
+                "guard.stage.refused_ms",
+                (timebase.now() - started) * 1000.0,
+            )
+            raise
+        elapsed_ms = (timebase.now() - started) * 1000.0
+        label = stage_label(decision.via, decision.stage)
+        self.metrics.observe("guard.stage.%s_ms" % label, elapsed_ms)
+        self.metrics.inc("guard.stage.%s" % label)
+        span.annotate("stage", label)
+        span.annotate("authorize_ms", elapsed_ms)
+        span.annotate("status", "granted")
+        return decision
 
     def _authorize(self, admitted: _Admitted, context) -> GuardDecision:
         request = admitted.request
@@ -407,9 +489,15 @@ class Guard:
         utterance = PremiseStep(Says(admitted.speaker, request.logical))
         derived = DerivedSaysStep(utterance, proof)
         derived.verify(context)
+        # The current span (activated by check/check_many around this
+        # request) is the correlation key: its ids go into the record, so
+        # the merged cluster audit trail lines up with the trace store.
+        span = self.tracer.current()
         record = AuditRecord(
             request.logical, admitted.speaker, request.issuer, derived,
             context.now, transport=request.transport,
+            trace_id=span.trace_id if span is not None else request.trace,
+            span_id=span.span_id if span is not None else None,
         )
         self.audit.record(record)
         self.stats["grants"] += 1
@@ -561,9 +649,12 @@ class Guard:
         conclusion = proof.conclusion
         if not isinstance(conclusion, SpeaksFor):
             raise AuthorizationError("authentication proofs conclude speaks-for")
+        span = self.tracer.current()
         record = AuditRecord(
             sexp(logical), conclusion.subject, conclusion.issuer, proof,
             self.trust.clock.now(), transport=transport,
+            trace_id=span.trace_id if span is not None else None,
+            span_id=span.span_id if span is not None else None,
         )
         self.audit.record(record)
         return record

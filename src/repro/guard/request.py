@@ -96,7 +96,7 @@ class GuardRequest:
     """One request, ready for the guard pipeline."""
 
     __slots__ = ("logical", "issuer", "min_tag", "credential", "transport",
-                 "channel")
+                 "channel", "trace")
 
     def __init__(
         self,
@@ -106,6 +106,7 @@ class GuardRequest:
         credential: Optional[Credential] = None,
         transport: str = "unknown",
         channel: Optional[Dict[str, object]] = None,
+        trace: Optional[str] = None,
     ):
         self.logical = sexp(logical)
         self.issuer = issuer
@@ -113,6 +114,11 @@ class GuardRequest:
         self.credential = credential
         self.transport = transport
         self.channel = dict(channel) if channel else {}
+        # The trace id this request belongs to (hex, minted by the wire
+        # client or serve layer); ``None`` lets the guard's tracer mint
+        # one at check entry.  A resent (RETRY) frame carries the same
+        # id, which is what makes the retry visible as one trace.
+        self.trace = trace
 
     def effective_min_tag(self) -> Tag:
         """The minimum restriction set a challenge should name: the given

@@ -1,0 +1,211 @@
+"""Request tracing: one trace per logical request, one span per hop.
+
+A *trace* is a 64-bit hex id minted where a request is born — in the
+serve client (so a wire retry reuses it), in the listener's reader pump
+for requests that arrive without one, or at ``Guard.check`` entry for
+in-process callers.  A *span* is one timed hop within a trace: the
+serve layer opens a ``serve.request`` span per frame, and the guard
+pipeline opens a ``guard.check`` span per decision, annotated with the
+stage that granted it (fast-path / proof-cache / prover) and its
+per-stage durations.  Span ids are stamped into every
+:class:`~repro.guard.audit.AuditRecord`, which is what makes the merged
+cluster audit trail correlatable with traces.
+
+Propagation is via a :mod:`contextvars` context variable — natural for
+asyncio.  One deliberate exception: ``run_in_executor`` (the serve
+layer's ``ThreadedDispatcher``) does *not* propagate context, so the
+guard never relies on an ambient serve-layer span; it opens its own
+span from the ``trace`` id riding on the :class:`GuardRequest` itself.
+
+Finished spans land in a bounded ring (``max_spans``) for inspection —
+enough for tests and the CLI, not an unbounded history.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.crypto.rng import default_rng
+from repro.obs.registry import MetricsRegistry, default_registry
+
+_CURRENT_SPAN: "contextvars.ContextVar[Optional[Span]]" = (
+    contextvars.ContextVar("repro_obs_span", default=None)
+)
+
+
+def new_trace_id(rng=None) -> str:
+    """A fresh 64-bit hex trace id (secrets-backed unless seeded)."""
+    return "%016x" % default_rng(rng).getrandbits(64)
+
+
+class Span:
+    """One timed, annotated hop of a trace."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "started_at",
+                 "ended_at", "annotations", "_token")
+
+    def __init__(self, trace_id: str, span_id: str, parent_id: Optional[str],
+                 name: str, started_at: float):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.started_at = started_at
+        self.ended_at: Optional[float] = None
+        self.annotations: Dict[str, object] = {}
+        self._token = None
+
+    def annotate(self, key: str, value) -> "Span":
+        self.annotations[key] = value
+        return self
+
+    @property
+    def duration_ms(self) -> Optional[float]:
+        if self.ended_at is None:
+            return None
+        return (self.ended_at - self.started_at) * 1000.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Span(%s/%s %s)" % (self.trace_id, self.span_id, self.name)
+
+
+class _Activation:
+    """``with tracer.activate(span):`` — current-span scoping without
+    owning the span's lifetime (the caller still finishes it)."""
+
+    __slots__ = ("_span", "_token")
+
+    def __init__(self, span: Span):
+        self._span = span
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = _CURRENT_SPAN.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _CURRENT_SPAN.reset(self._token)
+
+
+class _SpanScope:
+    """``with tracer.span(name):`` — start, activate, finish."""
+
+    __slots__ = ("_tracer", "_name", "_trace", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, trace: Optional[str]):
+        self._tracer = tracer
+        self._name = name
+        self._trace = trace
+        self._span = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer.start_span(self._name, trace=self._trace)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None:
+            self._span.annotate("error", str(exc))
+        self._tracer.finish(self._span)
+
+
+class Tracer:
+    """Mints spans, tracks the current one, retains the finished ones."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        rng=None,
+        max_spans: int = 2048,
+    ):
+        self.registry = default_registry(registry)
+        self.rng = rng
+        self._lock = threading.Lock()
+        self._next_span = 0
+        self._finished: "deque[Span]" = deque(maxlen=max_spans)
+
+    def current(self) -> Optional[Span]:
+        return _CURRENT_SPAN.get()
+
+    def start_span(
+        self, name: str, trace: Optional[str] = None, activate: bool = True
+    ) -> Span:
+        """Open a span.  ``trace`` joins an existing trace (the id that
+        rode in on the wire); ``None`` adopts the current span's trace,
+        or mints a fresh one at a trace root.  ``activate=False`` opens
+        the span without making it current — a batch holds many open
+        spans at once; each is activated around its own work."""
+        parent = _CURRENT_SPAN.get()
+        if trace is None:
+            trace = parent.trace_id if parent is not None else (
+                new_trace_id(self.rng)
+            )
+        parent_id = (
+            parent.span_id
+            if parent is not None and parent.trace_id == trace
+            else None
+        )
+        with self._lock:
+            self._next_span += 1
+            span_id = "s%d" % self._next_span
+        span = Span(trace, span_id, parent_id, name,
+                    self.registry.timebase.now())
+        if activate:
+            span._token = _CURRENT_SPAN.set(span)
+        return span
+
+    def finish(self, span: Span) -> Span:
+        """Close a span: stamp its end, observe its duration as a
+        ``span.<name>_ms`` histogram, retire it to the ring.  Idempotent
+        — finishing twice records once."""
+        if span.ended_at is not None:
+            return span
+        span.ended_at = self.registry.timebase.now()
+        if span._token is not None:
+            _CURRENT_SPAN.reset(span._token)
+            span._token = None
+        self.registry.observe("span.%s_ms" % span.name, span.duration_ms)
+        with self._lock:
+            self._finished.append(span)
+        return span
+
+    def activate(self, span: Span) -> _Activation:
+        """Scope ``span`` as current for a ``with`` block (without
+        finishing it on exit — the batch loop owns the lifetime)."""
+        return _Activation(span)
+
+    def span(self, name: str, trace: Optional[str] = None) -> _SpanScope:
+        """``with tracer.span("stage") as span:`` — the common shape."""
+        return _SpanScope(self, name, trace)
+
+    def finished(self) -> List[Span]:
+        with self._lock:
+            return list(self._finished)
+
+    def spans_for(self, trace_id: str) -> List[Span]:
+        """Every retained finished span of one trace, in finish order."""
+        return [
+            span for span in self.finished() if span.trace_id == trace_id
+        ]
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-wide default (tests save and restore)."""
+    global _TRACER
+    _TRACER = tracer
+    return tracer
+
+
+def default_tracer(tracer: Optional[Tracer] = None) -> Tracer:
+    """``tracer`` if one was injected, else the process-wide default."""
+    return _TRACER if tracer is None else tracer

@@ -43,6 +43,7 @@ from repro.serve.fleet import ServeFleet
 from repro.serve.protocol import (
     FrameBuffer,
     MAX_FRAME,
+    STATS_OK,
     Reply,
     WireError,
     decode_command,
@@ -51,10 +52,13 @@ from repro.serve.protocol import (
     encode_frame,
     encode_ping,
     encode_reply,
+    encode_stats,
     encode_submit_proof,
     guard_request_from_sexp,
     guard_request_to_sexp,
     read_frame,
+    value_from_sexp,
+    value_to_sexp,
     write_frame,
 )
 from repro.serve.server import ServeListener
@@ -69,6 +73,7 @@ __all__ = [
     "resolve_dispatcher",
     "FrameBuffer",
     "MAX_FRAME",
+    "STATS_OK",
     "Reply",
     "WireError",
     "decode_command",
@@ -77,9 +82,12 @@ __all__ = [
     "encode_frame",
     "encode_ping",
     "encode_reply",
+    "encode_stats",
     "encode_submit_proof",
     "guard_request_from_sexp",
     "guard_request_to_sexp",
     "read_frame",
+    "value_from_sexp",
+    "value_to_sexp",
     "write_frame",
 ]

@@ -23,6 +23,8 @@ import asyncio
 from typing import Dict, List, Optional, Set
 
 from repro.guard.request import GuardRequest
+from repro.obs.registry import default_registry
+from repro.obs.trace import new_trace_id
 from repro.serve.protocol import (
     MAX_FRAME,
     RETRY,
@@ -32,6 +34,7 @@ from repro.serve.protocol import (
     encode_check,
     encode_frame,
     encode_ping,
+    encode_stats,
     encode_submit_proof,
     read_frame,
 )
@@ -40,14 +43,26 @@ from repro.serve.protocol import (
 class ServeClient:
     """One connection to a :class:`~repro.serve.server.ServeListener`."""
 
-    def __init__(self, reader, writer, max_frame: int = MAX_FRAME):
+    def __init__(
+        self,
+        reader,
+        writer,
+        max_frame: int = MAX_FRAME,
+        rng=None,
+        metrics=None,
+    ):
         self.reader = reader
         self.writer = writer
         self.max_frame = max_frame
+        self.rng = rng  # trace-id entropy; None uses the default RNG
+        self.metrics = default_registry(metrics)
         self.stats = {"sent": 0, "replies": 0, "retries": 0}
         #: Replies that matched no pending request (e.g. the server's
         #: id-0 report of an unparseable frame) — kept for inspection.
         self.orphans: List[Reply] = []
+        #: request id -> the trace id its frame carries (check commands
+        #: only), so callers can join replies to server-side traces.
+        self.trace_ids: Dict[int, str] = {}
         self._next_id = 1
         self._futures: Dict[int, "asyncio.Future"] = {}
         self._sent_frames: Dict[int, bytes] = {}
@@ -56,10 +71,16 @@ class ServeClient:
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, max_frame: int = MAX_FRAME
+        cls,
+        host: str,
+        port: int,
+        max_frame: int = MAX_FRAME,
+        rng=None,
+        metrics=None,
     ) -> "ServeClient":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer, max_frame=max_frame)
+        return cls(reader, writer, max_frame=max_frame, rng=rng,
+                   metrics=metrics)
 
     async def close(self) -> None:
         self._receiver.cancel()
@@ -71,11 +92,22 @@ class ServeClient:
         try:
             await self.writer.wait_closed()
         except (ConnectionError, OSError):
-            pass
+            self.metrics.inc("serve.client.close_errors")
 
     # -- sending -----------------------------------------------------------
 
-    def _dispatch(self, encoder, retryable: bool) -> "asyncio.Future":
+    def _ensure_trace(self, request: GuardRequest) -> str:
+        """Mint a trace id for ``request`` unless the caller set one.
+
+        Minted *before* framing, so the id rides inside the stored
+        frame bytes and a crash-retry resend carries the same trace."""
+        if request.trace is None:
+            request.trace = new_trace_id(self.rng)
+        return request.trace
+
+    def _dispatch(
+        self, encoder, retryable: bool, trace: Optional[str] = None
+    ) -> "asyncio.Future":
         """Assign an id, frame and queue one command; the returned future
         resolves when its reply arrives (no drain here — callers batch
         drains)."""
@@ -84,6 +116,8 @@ class ServeClient:
         framed = encode_frame(encoder(request_id), self.max_frame)
         if retryable:
             self._sent_frames[request_id] = framed
+        if trace is not None:
+            self.trace_ids[request_id] = trace
         future = asyncio.get_running_loop().create_future()
         self._futures[request_id] = future
         self.writer.write(framed)
@@ -92,8 +126,10 @@ class ServeClient:
 
     async def check(self, request: GuardRequest) -> Reply:
         """One request, one reply — the serial (unpipelined) shape."""
+        trace = self._ensure_trace(request)
         future = self._dispatch(
-            lambda rid: encode_check(rid, request), retryable=True
+            lambda rid: encode_check(rid, request), retryable=True,
+            trace=trace,
         )
         await self.writer.drain()
         return await future
@@ -108,6 +144,7 @@ class ServeClient:
             self._dispatch(
                 lambda rid, request=request: encode_check(rid, request),
                 retryable=True,
+                trace=self._ensure_trace(request),
             )
             for request in requests
         ]
@@ -126,6 +163,12 @@ class ServeClient:
         await self.writer.drain()
         return await future
 
+    async def stats_snapshot(self) -> Reply:
+        """Ask the listener for its metrics snapshot (``reply.data``)."""
+        future = self._dispatch(encode_stats, retryable=False)
+        await self.writer.drain()
+        return await future
+
     # -- receiving ---------------------------------------------------------
 
     async def _receive(self) -> None:
@@ -136,6 +179,7 @@ class ServeClient:
                     break
                 self._resolve(decode_reply(frame))
         except (ConnectionError, OSError, WireError) as exc:
+            self.metrics.inc("serve.client.receive_errors")
             self._fail_pending(exc)
             return
         self._fail_pending(WireError("connection closed by server"))

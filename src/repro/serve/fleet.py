@@ -20,6 +20,8 @@ from typing import List, Optional, Tuple, Union
 
 from repro.cluster.dispatch import AuthCluster
 from repro.cluster.frontend import fleet as frontend_fleet
+from repro.obs.registry import default_registry
+from repro.obs.trace import default_tracer
 from repro.serve.dispatch import Dispatcher, resolve_dispatcher
 from repro.serve.server import ServeListener
 
@@ -33,6 +35,8 @@ class ServeFleet:
         listeners: int = 1,
         host: str = "127.0.0.1",
         dispatcher: Optional[Union[str, Dispatcher]] = None,
+        metrics=None,
+        tracer=None,
         **listener_kwargs,
     ):
         if listeners < 1:
@@ -40,6 +44,15 @@ class ServeFleet:
         self.backend = backend
         self.dispatcher = resolve_dispatcher(dispatcher)
         self._owns_dispatcher = not isinstance(dispatcher, Dispatcher)
+        # One registry/tracer per fleet: the backend's (so guard, frontend
+        # and listener counters merge) unless the caller injects one.
+        if metrics is None:
+            metrics = getattr(backend, "metrics", None)
+        self.metrics = default_registry(metrics)
+        if tracer is None:
+            tracer = getattr(backend, "tracer", None)
+        self.tracer = default_tracer(tracer)
+        self.metrics.register_source("serve.fleet", self.stats)
         if isinstance(backend, AuthCluster):
             frontends = frontend_fleet(backend, listeners)
         else:
@@ -50,6 +63,8 @@ class ServeFleet:
                 host=host,
                 name="listener-%d" % index,
                 dispatcher=self.dispatcher,
+                metrics=self.metrics,
+                tracer=self.tracer,
                 **listener_kwargs,
             )
             for index, frontend in enumerate(frontends)

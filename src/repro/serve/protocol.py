@@ -11,14 +11,19 @@ let a client pipeline many commands and match replies out of order):
 - ``(check <id> <guard-request>)`` — one authorization question;
 - ``(proof <id> <proof-bytes>)`` — submit a delegation chain to the
   backend's proof recipient (canonical proof bytes);
-- ``(ping <id>)`` — liveness probe.
+- ``(ping <id>)`` — liveness probe;
+- ``(stats <id>)`` — ask the listener for its metrics snapshot.
 
 The guard-request form carries exactly what a transport hands the guard
 pipeline in-process::
 
     (request (transport <atom>) (logical <sexp>)
              [(issuer <principal>)] [(min-tag <tag>)]
-             [(credential <credential>)])
+             [(credential <credential>)] [(trace <hex>)])
+
+The optional ``trace`` field is the request's trace id: a client mints
+one per logical request and a RETRY resend carries the same bytes, so
+both server-side attempts land in one trace.
 
 with the three credential kinds of :mod:`repro.guard.request`::
 
@@ -38,7 +43,12 @@ Server replies:
 - ``(error <id> <message>)`` — the frame could not be served (malformed
   command, oversize payload); ``<id>`` is 0 when the id itself was
   unreadable;
-- ``(proof-ok <id>)`` / ``(pong <id>)``.
+- ``(proof-ok <id>)``;
+- ``(pong <id> [(uptime <seconds>)] [(inflight <n> <window>)])`` — the
+  liveness reply doubles as a cheap health probe: listener uptime plus
+  current in-flight queue occupancy against its window;
+- ``(stats-ok <id> <value>)`` — the listener's metrics snapshot, as the
+  tagged value encoding of :func:`value_to_sexp`.
 """
 
 from __future__ import annotations
@@ -61,6 +71,7 @@ from repro.guard.request import (
     ProofCredential,
     SessionCredential,
 )
+from repro.obs.registry import default_registry
 from repro.sexp import (
     Atom,
     SExp,
@@ -87,10 +98,23 @@ RETRY = "retry"
 ERROR = "error"
 PROOF_OK = "proof-ok"
 PONG = "pong"
+STATS_OK = "stats-ok"
 
 
 class WireError(SnowflakeError):
     """The peer's bytes do not parse as this protocol."""
+
+
+def _reject(message: str) -> WireError:
+    """Build a :class:`WireError`, counting it first.
+
+    Every malformed-peer path in this module funnels through here so
+    ``serve.protocol.wire_errors`` tallies how often the codec turned
+    bytes away — the difference between "quiet wire" and "noisy peer"
+    is invisible without the counter.
+    """
+    default_registry().inc("serve.protocol.wire_errors")
+    return WireError(message)
 
 
 # -- framing ---------------------------------------------------------------
@@ -167,7 +191,7 @@ async def read_frame(reader, max_frame: int = MAX_FRAME) -> Optional[bytes]:
     try:
         return await reader.readexactly(length)
     except asyncio.IncompleteReadError:
-        raise WireError("connection closed inside a frame body")
+        raise _reject("connection closed inside a frame body")
 
 
 def write_frame(writer, payload: bytes, max_frame: int = MAX_FRAME) -> None:
@@ -246,7 +270,7 @@ def credential_from_sexp(node: SExp) -> Credential:
                 subject = principal_from_sexp(field.items[1])
             return ProofCredential(subject, wire=node.items[1].value)
     except (ValueError, AttributeError) as exc:
-        raise WireError("credential rejected: %s" % exc)
+        raise _reject("credential rejected: %s" % exc)
     raise WireError("unknown credential kind %r" % head)
 
 
@@ -265,6 +289,10 @@ def guard_request_to_sexp(request: GuardRequest) -> SExp:
             SList([Atom("credential"),
                    credential_to_sexp(request.credential)])
         )
+    if request.trace is not None:
+        # Inside the frame bytes on purpose: a RETRY resend is a
+        # verbatim re-send, so both attempts share one trace id.
+        items.append(SList([Atom("trace"), Atom(request.trace)]))
     return SList(items)
 
 
@@ -276,6 +304,7 @@ def guard_request_from_sexp(node: SExp) -> GuardRequest:
     issuer = None
     min_tag = None
     credential = None
+    trace = None
     for field in node.items[1:]:
         if not isinstance(field, SList) or len(field) != 2:
             raise WireError("bad request field %r" % (field,))
@@ -292,10 +321,12 @@ def guard_request_from_sexp(node: SExp) -> GuardRequest:
                 min_tag = Tag.from_sexp(value)
             elif name == "credential":
                 credential = credential_from_sexp(value)
+            elif name == "trace":
+                trace = value.text()
             else:
                 raise WireError("unknown request field %r" % name)
         except (ValueError, AttributeError) as exc:
-            raise WireError("request field %r rejected: %s" % (name, exc))
+            raise _reject("request field %r rejected: %s" % (name, exc))
     if logical is None:
         raise WireError("request carries no (logical ...) field")
     return GuardRequest(
@@ -304,6 +335,7 @@ def guard_request_from_sexp(node: SExp) -> GuardRequest:
         min_tag=min_tag,
         credential=credential,
         transport=transport,
+        trace=trace,
     )
 
 
@@ -316,7 +348,7 @@ class Command:
     __slots__ = ("op", "request_id", "body")
 
     def __init__(self, op: str, request_id: int, body=None):
-        self.op = op            # "check" | "proof" | "ping"
+        self.op = op            # "check" | "proof" | "ping" | "stats"
         self.request_id = request_id
         self.body = body        # GuardRequest | proof bytes | None
 
@@ -339,11 +371,15 @@ def encode_ping(request_id: int) -> bytes:
     return to_canonical(SList([Atom("ping"), Atom(str(request_id))]))
 
 
+def encode_stats(request_id: int) -> bytes:
+    return to_canonical(SList([Atom("stats"), Atom(str(request_id))]))
+
+
 def _parse_payload(payload: bytes) -> SList:
     try:
         node = parse_canonical(payload)
     except (SexpParseError, ValueError) as exc:
-        raise WireError("unparseable frame: %s" % exc)
+        raise _reject("unparseable frame: %s" % exc)
     if not isinstance(node, SList) or len(node) < 2:
         raise WireError("frame is not a command list")
     return node
@@ -356,7 +392,7 @@ def _request_id(node: SList) -> int:
     try:
         return int(atom.text())
     except (UnicodeDecodeError, ValueError):
-        raise WireError("unreadable request id %r" % (atom,))
+        raise _reject("unreadable request id %r" % (atom,))
 
 
 def decode_command(payload: bytes) -> Command:
@@ -374,7 +410,75 @@ def decode_command(payload: bytes) -> Command:
         return Command("proof", request_id, node.items[2].value)
     if op == "ping":
         return Command("ping", request_id)
+    if op == "stats":
+        return Command("stats", request_id)
     raise WireError("unknown command %r" % op)
+
+
+# -- value codec -----------------------------------------------------------
+#
+# The STATS reply carries an arbitrary JSON-shaped snapshot (nested
+# dicts, lists, numbers, strings).  Canonical s-expressions have no
+# native numbers or null, so every value rides a tagged form:
+#
+#     (nil) (true) (false) (int <decimal>) (num <repr>) (str <utf8>)
+#     (vec <value>...) (map (<key> <value>)...)
+
+
+def value_to_sexp(value) -> SExp:
+    """Encode a JSON-shaped Python value as a tagged s-expression."""
+    if value is None:
+        return SList([Atom("nil")])
+    if value is True:
+        return SList([Atom("true")])
+    if value is False:
+        return SList([Atom("false")])
+    if isinstance(value, int):
+        return SList([Atom("int"), Atom(str(value))])
+    if isinstance(value, float):
+        return SList([Atom("num"), Atom(repr(value))])
+    if isinstance(value, str):
+        return SList([Atom("str"), Atom(value)])
+    if isinstance(value, (list, tuple)):
+        return SList([Atom("vec")] + [value_to_sexp(item) for item in value])
+    if isinstance(value, dict):
+        items: List[SExp] = [Atom("map")]
+        for key, entry in value.items():
+            items.append(SList([Atom(str(key)), value_to_sexp(entry)]))
+        return SList(items)
+    raise WireError("unencodable value of type %s" % type(value).__name__)
+
+
+def value_from_sexp(node: SExp):
+    """Decode :func:`value_to_sexp`'s tagged forms."""
+    if not isinstance(node, SList) or not node.items:
+        raise WireError("value must be a tagged list")
+    head = node.head()
+    try:
+        if head == "nil":
+            return None
+        if head == "true":
+            return True
+        if head == "false":
+            return False
+        if head == "int":
+            return int(node.items[1].text())
+        if head == "num":
+            return float(node.items[1].text())
+        if head == "str":
+            return node.items[1].text()
+        if head == "vec":
+            return [value_from_sexp(item) for item in node.items[1:]]
+        if head == "map":
+            result = {}
+            for field in node.items[1:]:
+                if not isinstance(field, SList) or len(field) != 2:
+                    raise WireError("bad map entry %r" % (field,))
+                result[field.head()] = value_from_sexp(field.items[1])
+            return result
+    except (IndexError, UnicodeDecodeError, ValueError) as exc:
+        raise _reject("bad %s value: %s" % (head, exc))
+    raise WireError("unknown value tag %r" % head)
 
 
 # -- replies ---------------------------------------------------------------
@@ -384,7 +488,7 @@ class Reply:
     """One decoded server reply."""
 
     __slots__ = ("status", "request_id", "via", "stage", "issuer", "tag",
-                 "message")
+                 "message", "uptime", "inflight", "window", "data")
 
     def __init__(
         self,
@@ -395,6 +499,10 @@ class Reply:
         issuer: Optional[Principal] = None,
         tag: Optional[Tag] = None,
         message: Optional[str] = None,
+        uptime: Optional[float] = None,
+        inflight: Optional[int] = None,
+        window: Optional[int] = None,
+        data=None,
     ):
         self.status = status
         self.request_id = request_id
@@ -403,6 +511,10 @@ class Reply:
         self.issuer = issuer
         self.tag = tag
         self.message = message
+        self.uptime = uptime      # PONG: listener uptime, seconds
+        self.inflight = inflight  # PONG: queued frames right now
+        self.window = window      # PONG: the in-flight ceiling
+        self.data = data          # STATS_OK: the metrics snapshot
 
     @property
     def granted(self) -> bool:
@@ -412,7 +524,7 @@ class Reply:
         """Map a non-granting reply back onto the exceptions an
         in-process backend would have raised, so wire callers and
         in-process callers share one error-handling idiom."""
-        if self.status in (OK, PROOF_OK, PONG):
+        if self.status in (OK, PROOF_OK, PONG, STATS_OK):
             return self
         if self.status == CHALLENGE:
             raise NeedAuthorizationError(self.issuer, self.tag)
@@ -438,6 +550,16 @@ def encode_reply(reply: Reply) -> bytes:
             items.append(SList([Atom("tag"), reply.tag.to_sexp()]))
     elif reply.status in (DENIED, RETRY, ERROR):
         items.append(Atom(reply.message or ""))
+    elif reply.status == PONG:
+        if reply.uptime is not None:
+            items.append(SList([Atom("uptime"),
+                                Atom("%.6f" % reply.uptime)]))
+        if reply.inflight is not None:
+            items.append(SList([Atom("inflight"),
+                                Atom(str(reply.inflight)),
+                                Atom(str(reply.window or 0))]))
+    elif reply.status == STATS_OK:
+        items.append(value_to_sexp(reply.data))
     return to_canonical(SList(items))
 
 
@@ -467,12 +589,33 @@ def decode_reply(payload: bytes) -> Reply:
                 elif field.head() == "tag":
                     tag = Tag.from_sexp(field.items[1])
             except ValueError as exc:
-                raise WireError("challenge field rejected: %s" % exc)
+                raise _reject("challenge field rejected: %s" % exc)
         return Reply(CHALLENGE, request_id, issuer=issuer, tag=tag)
     if status in (DENIED, RETRY, ERROR):
         message = node.items[2].text() if len(node) > 2 else ""
         return Reply(status, request_id, message=message)
-    if status in (PROOF_OK, PONG):
+    if status == PONG:
+        uptime = inflight = window = None
+        for field in node.items[2:]:
+            if not isinstance(field, SList) or len(field) < 2:
+                raise WireError("bad pong field %r" % (field,))
+            try:
+                if field.head() == "uptime":
+                    uptime = float(field.items[1].text())
+                elif field.head() == "inflight":
+                    inflight = int(field.items[1].text())
+                    if len(field) > 2:
+                        window = int(field.items[2].text())
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise _reject("pong field rejected: %s" % exc)
+        return Reply(PONG, request_id, uptime=uptime, inflight=inflight,
+                     window=window)
+    if status == STATS_OK:
+        if len(node) != 3:
+            raise WireError("bad (stats-ok id value) form")
+        return Reply(STATS_OK, request_id,
+                     data=value_from_sexp(node.items[2]))
+    if status == PROOF_OK:
         return Reply(status, request_id)
     raise WireError("unknown reply status %r" % status)
 

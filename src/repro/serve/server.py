@@ -33,6 +33,8 @@ import asyncio
 from typing import List, Optional, Set, Tuple
 
 from repro.core.errors import NodeUnavailableError, SnowflakeError
+from repro.obs.registry import SIZE_BUCKETS, default_registry
+from repro.obs.trace import default_tracer
 from repro.serve.dispatch import Dispatcher, resolve_dispatcher
 from repro.serve.protocol import (
     CHALLENGE,
@@ -43,6 +45,7 @@ from repro.serve.protocol import (
     PONG,
     PROOF_OK,
     RETRY,
+    STATS_OK,
     Command,
     Reply,
     WireError,
@@ -75,6 +78,8 @@ class ServeListener:
         max_batch: int = 64,
         inflight_window: int = 64,
         max_frame: int = MAX_FRAME,
+        metrics=None,
+        tracer=None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -89,6 +94,16 @@ class ServeListener:
         self.inflight_window = inflight_window
         self.max_frame = max_frame
         self.closing = False
+        # A listener inherits the backend's registry/tracer so serve
+        # spans and guard spans land in one place; explicit injection
+        # wins, and a bare backend falls back to the process globals.
+        if metrics is None:
+            metrics = getattr(backend, "metrics", None)
+        self.metrics = default_registry(metrics)
+        if tracer is None:
+            tracer = getattr(backend, "tracer", None)
+        self.tracer = default_tracer(tracer)
+        self._started_at: Optional[float] = None
         self.stats = {
             "connections": 0,
             "frames": 0,
@@ -102,9 +117,11 @@ class ServeListener:
             "errors": 0,
             "proofs": 0,
             "pings": 0,
+            "stats_requests": 0,
             "paused": 0,
             "repairs": 0,
         }
+        self.metrics.register_source("serve.%s" % name, self.stats)
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set["_Connection"] = set()
 
@@ -116,7 +133,14 @@ class ServeListener:
         )
         bound = self._server.sockets[0].getsockname()
         self.host, self.port = bound[0], bound[1]
+        self._started_at = self.metrics.timebase.now()
         return self.host, self.port
+
+    def uptime_s(self) -> float:
+        """Seconds since :meth:`start` bound the socket (0.0 before)."""
+        if self._started_at is None:
+            return 0.0
+        return self.metrics.timebase.now() - self._started_at
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -151,11 +175,13 @@ class ServeListener:
         if callable(sweep):
             sweep()
             self.stats["repairs"] += 1
+            self.metrics.inc("serve.repairs")
 
     def _count(self, reply: Reply) -> Reply:
         counter = _STATUS_COUNTERS.get(reply.status)
         if counter is not None:
             self.stats[counter] += 1
+        self.metrics.inc("serve.replies.%s" % reply.status)
         return reply
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -193,7 +219,7 @@ class _Connection:
             try:
                 await self.writer.wait_closed()
             except (ConnectionError, OSError):
-                pass
+                self.listener.metrics.inc("serve.conn.close_errors")
             self._done.set()
 
     async def drain_and_close(self) -> None:
@@ -217,11 +243,15 @@ class _Connection:
                     break
                 if self.queue.full():
                     self.listener.stats["paused"] += 1
-                await self.queue.put(frame)
+                await self.queue.put(
+                    (frame, self.listener.metrics.timebase.now())
+                )
         except WireError as exc:
+            self.listener.metrics.inc("serve.conn.wire_errors")
             self._wire_error = exc
         except (ConnectionError, OSError):
-            pass  # peer vanished; the dispatch loop drains what arrived
+            # Peer vanished; the dispatch loop drains what arrived.
+            self.listener.metrics.inc("serve.conn.read_errors")
         finally:
             self._eof = True
             self._nudge()
@@ -240,8 +270,10 @@ class _Connection:
         while True:
             if self.queue.empty() and (self._eof or self.draining):
                 break
-            frame = await self.queue.get()
-            batch: List[bytes] = [] if frame is None else [frame]
+            entry = await self.queue.get()
+            batch: List[Tuple[bytes, float]] = (
+                [] if entry is None else [entry]
+            )
             while len(batch) < self.listener.max_batch:
                 try:
                     extra = self.queue.get_nowait()
@@ -258,16 +290,24 @@ class _Connection:
                 [Reply(ERROR, 0, message=str(self._wire_error))]
             )
 
-    async def _serve(self, frames: List[bytes]) -> bool:
+    async def _serve(self, entries: List[Tuple[bytes, float]]) -> bool:
         """Serve one coalesced batch; returns False when the peer is
         gone and the connection should wind down."""
         listener = self.listener
         stats = listener.stats
+        metrics = listener.metrics
+        tracer = listener.tracer
+        now = metrics.timebase.now()
         stats["batches"] += 1
-        stats["frames"] += len(frames)
-        replies: List[Optional[Reply]] = [None] * len(frames)
-        checks = []  # (slot, request_id, GuardRequest)
-        for slot, payload in enumerate(frames):
+        stats["frames"] += len(entries)
+        metrics.observe("serve.batch_size", len(entries),
+                        buckets=SIZE_BUCKETS)
+        replies: List[Optional[Reply]] = [None] * len(entries)
+        checks = []  # (slot, request_id, GuardRequest, span)
+        spans = {}   # slot -> the request's serve-layer span
+        for slot, (payload, arrived_at) in enumerate(entries):
+            metrics.observe("serve.queue_wait_ms",
+                            (now - arrived_at) * 1000.0)
             try:
                 command = decode_command(payload)
             except WireError as exc:
@@ -277,13 +317,45 @@ class _Connection:
                 continue
             if command.op == "ping":
                 stats["pings"] += 1
-                replies[slot] = Reply(PONG, command.request_id)
+                replies[slot] = Reply(
+                    PONG, command.request_id,
+                    uptime=listener.uptime_s(),
+                    inflight=self.queue.qsize(),
+                    window=listener.inflight_window,
+                )
+            elif command.op == "stats":
+                stats["stats_requests"] += 1
+                replies[slot] = Reply(STATS_OK, command.request_id,
+                                      data=metrics.snapshot())
             elif command.op == "proof":
                 replies[slot] = await self._submit_proof(command)
             else:
-                checks.append((slot, command.request_id, command.body))
+                # The serve span is the request's root unless the frame
+                # already carries a trace id (a RETRY resend does): then
+                # both attempts become spans of that one trace.
+                span = tracer.start_span("serve.request",
+                                         trace=command.body.trace,
+                                         activate=False)
+                if command.body.trace is None:
+                    command.body.trace = span.trace_id
+                spans[slot] = span
+                checks.append(
+                    (slot, command.request_id, command.body, span)
+                )
         if checks:
             await self._serve_checks(checks, replies)
+        for slot, span in spans.items():
+            reply = replies[slot]
+            if reply is not None:
+                span.annotate("status", reply.status)
+                if reply.status == RETRY:
+                    span.annotate("retry", True)
+                elif reply.status == OK:
+                    span.annotate("via", reply.via)
+                    span.annotate("stage", reply.stage)
+            # Finish before the write so a STATS probe sent after the
+            # reply lands sees these spans' histograms already updated.
+            tracer.finish(span)
         return await self._write_replies(
             [reply for reply in replies if reply is not None]
         )
@@ -293,17 +365,21 @@ class _Connection:
         ``check_many`` call — one premise snapshot, one meter charge."""
         listener = self.listener
         stats = listener.stats
-        requests = [request for (_, _, request) in checks]
+        requests = [request for (_, _, request, _) in checks]
         stats["batched_requests"] += len(requests)
         if len(requests) > 1:
             stats["coalesced"] += len(requests)
+        listener.metrics.inc(
+            "serve.dispatch.%s"
+            % getattr(listener.dispatcher, "name", "custom")
+        )
         try:
             decisions = await listener.dispatcher.run(
                 listener.backend.check_many, requests
             )
         except NodeUnavailableError as exc:
             listener.repair()
-            for slot, request_id, _ in checks:
+            for slot, request_id, _, _ in checks:
                 replies[slot] = listener._count(
                     Reply(RETRY, request_id, message=str(exc))
                 )
@@ -311,12 +387,12 @@ class _Connection:
         except (SnowflakeError, ValueError) as exc:
             # A whole-batch refusal (e.g. a routing error the cluster
             # raises before dispatch): every check learns the reason.
-            for slot, request_id, _ in checks:
+            for slot, request_id, _, _ in checks:
                 replies[slot] = listener._count(
                     Reply(DENIED, request_id, message=str(exc))
                 )
             return
-        for (slot, request_id, _), decision in zip(checks, decisions):
+        for (slot, request_id, _, _), decision in zip(checks, decisions):
             replies[slot] = listener._count(
                 decision_reply(request_id, decision)
             )
@@ -352,5 +428,6 @@ class _Connection:
             self.writer.write(payload)
             await self.writer.drain()
         except (ConnectionError, OSError):
+            self.listener.metrics.inc("serve.conn.write_errors")
             return False
         return True

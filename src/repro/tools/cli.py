@@ -282,15 +282,15 @@ def cmd_audit(args) -> int:
     return 0
 
 
-def cmd_serve(args) -> int:
-    """Serve the demo cluster workload over real loopback sockets and
-    print measured requests/sec as JSON — the CLI face of
-    ``benchmarks/test_serve_rps.py`` (and the CI smoke for it)."""
+def _drive_fleet(args, cluster):
+    """Mint MAC sessions on ``cluster``, serve ``args.requests`` checks
+    through a real loopback listener fleet, and return ``(chunks,
+    elapsed, stats)`` — the workload the ``serve`` and ``metrics``
+    subcommands share."""
     import asyncio
-    import time
 
-    from repro.cluster import AuthCluster
     from repro.core.principals import KeyPrincipal, MacPrincipal
+    from repro.core.timebase import default_timebase
     from repro.guard import GuardRequest, SessionCredential
     from repro.serve import ServeClient, ServeFleet
     from repro.sexp import sexp
@@ -298,7 +298,6 @@ def cmd_serve(args) -> int:
     rng = random.Random(args.seed)
     server = generate_keypair(512, rng)
     issuer = KeyPrincipal(server.public)
-    cluster = AuthCluster(node_count=args.nodes)
     sessions = []
     for _ in range(args.sessions):
         mac_id, mac_key = cluster.mint_session(rng)
@@ -319,6 +318,10 @@ def cmd_serve(args) -> int:
             transport="http",
         )
 
+    # Real RPS over real sockets needs the wall clock — taken through
+    # the injected-timebase seam, not an ambient perf_counter() read.
+    timebase = default_timebase()
+
     async def drive():
         fleet = ServeFleet(cluster, listeners=args.listeners)
         addresses = await fleet.start()
@@ -330,21 +333,31 @@ def cmd_serve(args) -> int:
              range(offset, args.requests, len(clients))]
             for offset in range(len(clients))
         ]
-        start = time.perf_counter()  # archlint: ignore[ARCH003] real RPS over real sockets needs the wall clock
+        start = timebase.now()
         chunks = await asyncio.gather(
             *[
                 client.check_pipelined(chunk)
                 for client, chunk in zip(clients, slices)
             ]
         )
-        elapsed = time.perf_counter() - start  # archlint: ignore[ARCH003] real RPS over real sockets needs the wall clock
+        elapsed = timebase.now() - start
         for client in clients:
             await client.close()
         stats = fleet.stats()
         await fleet.shutdown()
         return chunks, elapsed, stats
 
-    chunks, elapsed, stats = asyncio.run(drive())
+    return asyncio.run(drive())
+
+
+def cmd_serve(args) -> int:
+    """Serve the demo cluster workload over real loopback sockets and
+    print measured requests/sec as JSON — the CLI face of
+    ``benchmarks/test_serve_rps.py`` (and the CI smoke for it)."""
+    from repro.cluster import AuthCluster
+
+    cluster = AuthCluster(node_count=args.nodes)
+    chunks, elapsed, stats = _drive_fleet(args, cluster)
     replies = [reply for chunk in chunks for reply in chunk]
     granted = sum(1 for reply in replies if reply.granted)
     print(
@@ -363,6 +376,32 @@ def cmd_serve(args) -> int:
             sort_keys=True,
         )
     )
+    return 0 if granted == args.requests else 1
+
+
+def cmd_metrics(args) -> int:
+    """Drive the scripted serve-fleet workload against a private
+    :class:`MetricsRegistry` and print it — text by default, ``--json``
+    for the snapshot, ``--prom`` for Prometheus exposition."""
+    from repro.cluster import AuthCluster
+    from repro.obs import MetricsRegistry, Tracer
+
+    registry = MetricsRegistry()
+    tracer = Tracer(registry=registry)
+    cluster = AuthCluster(
+        node_count=args.nodes, metrics=registry, tracer=tracer
+    )
+    chunks, _, _ = _drive_fleet(args, cluster)
+    granted = sum(
+        1 for chunk in chunks for reply in chunk if reply.granted
+    )
+    if args.json:
+        print(json.dumps(registry.snapshot(), indent=args.indent,
+                         sort_keys=True))
+    elif args.prom:
+        print(registry.render_prometheus())
+    else:
+        print(registry.render_text())
     return 0 if granted == args.requests else 1
 
 
@@ -457,6 +496,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=7)
     serve.add_argument("--indent", type=int, default=2)
     serve.set_defaults(func=cmd_serve)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="drive the serve-fleet workload against a private metrics "
+             "registry and print it (text, --json, or --prom)",
+    )
+    metrics.add_argument("--nodes", type=int, default=4)
+    metrics.add_argument("--sessions", type=int, default=16)
+    metrics.add_argument("--requests", type=int, default=64)
+    metrics.add_argument("--listeners", type=int, default=2)
+    metrics.add_argument("--seed", type=int, default=7)
+    metrics.add_argument("--indent", type=int, default=2)
+    style = metrics.add_mutually_exclusive_group()
+    style.add_argument("--json", action="store_true",
+                       help="the full registry snapshot as JSON")
+    style.add_argument("--prom", action="store_true",
+                       help="Prometheus text exposition format")
+    metrics.set_defaults(func=cmd_metrics)
 
     tag = commands.add_parser("tag", help="authorization-tag algebra")
     tag.add_argument("first", help="a tag, e.g. '(tag (web))'")

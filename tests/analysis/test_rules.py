@@ -389,7 +389,8 @@ class TestArch006ExceptionDiscipline:
         assert rule_ids(result) == ["ARCH006"]
 
     def test_serve_package_is_in_scope(self, lint):
-        # repro.serve is a transport: the same discipline applies.
+        # repro.serve is a transport: the same discipline applies (and
+        # ARCH007 also fires — the swallow is uncounted).
         result = lint(
             "repro/serve/scratch.py",
             """
@@ -400,7 +401,7 @@ class TestArch006ExceptionDiscipline:
                     return None
             """,
         )
-        assert rule_ids(result) == ["ARCH006"]
+        assert rule_ids(result) == ["ARCH006", "ARCH007"]
 
     def test_overbroad_tuple_flagged(self, lint):
         result = lint(
@@ -442,3 +443,126 @@ class TestArch006ExceptionDiscipline:
             """,
         )
         assert rule_ids(result) == []
+
+
+class TestArch007CountedFailures:
+    def test_silent_swallow_flagged(self, lint):
+        result = lint(
+            "repro/serve/scratch.py",
+            """
+            def pump(self):
+                try:
+                    return self.read()
+                except ValueError:
+                    return None
+            """,
+        )
+        assert rule_ids(result) == ["ARCH007"]
+        assert "ValueError" in result.findings[0].message
+
+    def test_inline_inc_is_clean(self, lint):
+        result = lint(
+            "repro/serve/scratch.py",
+            """
+            def pump(self):
+                try:
+                    return self.read()
+                except ValueError:
+                    self.metrics.inc("serve.conn.read_errors")
+                    return None
+            """,
+        )
+        assert rule_ids(result) == []
+
+    def test_stats_dict_bump_is_clean(self, lint):
+        result = lint(
+            "repro/serve/scratch.py",
+            """
+            def pump(self):
+                try:
+                    return self.read()
+                except ValueError:
+                    self.stats["read_errors"] += 1
+                    return None
+            """,
+        )
+        assert rule_ids(result) == []
+
+    def test_counting_helper_is_reached_transitively(self, lint):
+        # The handler calls a local helper (by attribute, off a base
+        # that is not ``self``); the helper is what counts.
+        result = lint(
+            "repro/serve/scratch.py",
+            """
+            def _count(listener, status):
+                listener.metrics.inc("serve.replies.%s" % status)
+
+            def serve(listener, frame):
+                try:
+                    return listener.dispatch(frame)
+                except ValueError:
+                    return listener._count("error")
+            """,
+        )
+        assert rule_ids(result) == []
+
+    def test_bare_reraise_is_clean(self, lint):
+        result = lint(
+            "repro/serve/scratch.py",
+            """
+            def pump(self):
+                try:
+                    return self.read()
+                except ValueError:
+                    self.cleanup()
+                    raise
+            """,
+        )
+        assert rule_ids(result) == []
+
+    def test_flow_control_signals_are_exempt(self, lint):
+        result = lint(
+            "repro/serve/scratch.py",
+            """
+            import asyncio
+
+            def drain(self):
+                try:
+                    return self.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return None
+
+            async def pump(self):
+                try:
+                    await self.task
+                except asyncio.CancelledError:
+                    return None
+            """,
+        )
+        assert rule_ids(result) == []
+
+    def test_guard_package_is_out_of_scope(self, lint):
+        result = lint(
+            "repro/guard/scratch.py",
+            """
+            def check(self, request):
+                try:
+                    return self.backend.check(request)
+                except ValueError:
+                    return None
+            """,
+        )
+        assert rule_ids(result) == []
+
+    def test_cluster_dispatch_is_in_scope(self, lint):
+        result = lint(
+            "repro/cluster/dispatch.py",
+            """
+            def route(self, batch):
+                try:
+                    return self.owner.check_many(batch)
+                except ValueError:
+                    return []
+            """,
+        )
+        assert rule_ids(result) == ["ARCH007"]

@@ -37,10 +37,11 @@ def test_committed_baseline_is_empty():
     assert Baseline.load(str(BASELINE)).entries == []
 
 
-def test_all_six_rules_are_registered():
+def test_all_seven_rules_are_registered():
     ids = [rule.rule_id for rule in all_rules()]
     assert ids == [
         "ARCH001", "ARCH002", "ARCH003", "ARCH004", "ARCH005", "ARCH006",
+        "ARCH007",
     ]
 
 

@@ -175,3 +175,36 @@ class TestTagCommand:
 
     def test_empty_intersection_exit_code(self):
         assert main(["tag", "(tag (web))", "--intersect", "(tag (ftp))"]) == 1
+
+
+class TestMetricsCommand:
+    ARGS = ["--nodes", "2", "--sessions", "4", "--requests", "16",
+            "--listeners", "1", "--seed", "5"]
+
+    def test_text_report_lists_stages_and_spans(self, capsys):
+        assert main(["metrics", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "counter guard.stage.prover" in out
+        assert "counter guard.stage.fastpath" in out
+        assert "histogram span.serve.request_ms" in out
+        assert "source serve.fleet" in out
+
+    def test_json_snapshot_parses_and_balances(self, capsys):
+        import json
+
+        assert main(["metrics", "--json", *self.ARGS]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        counters = snapshot["counters"]
+        assert counters["serve.replies.ok"] == 16
+        # Every grant was priced by exactly one stage.
+        staged = sum(
+            value for name, value in counters.items()
+            if name.startswith("guard.stage.")
+        )
+        assert staged == 16
+
+    def test_prometheus_exposition(self, capsys):
+        assert main(["metrics", "--prom", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE" in out
+        assert 'le="+Inf"' in out

@@ -1,0 +1,171 @@
+"""The metrics registry: primitives, percentile math, exposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    get_registry,
+    set_registry,
+)
+from repro.sim import SimClock
+
+
+class TestCountersAndGauges:
+    def test_inc_accumulates_and_counter_reads_back(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.grants")
+        registry.inc("serve.grants", 4)
+        assert registry.counter("serve.grants") == 5
+        assert registry.counter("never.touched") == 0
+
+    def test_gauge_is_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("queue.depth", 3)
+        registry.gauge("queue.depth", 1)
+        assert registry.snapshot()["gauges"]["queue.depth"] == 1
+
+
+class TestHistogram:
+    def test_rejects_unsorted_or_empty_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((5.0, 1.0))
+
+    def test_percentiles_interpolate_within_the_target_bucket(self):
+        histogram = Histogram((10.0, 20.0, 30.0))
+        for value in (10.0, 12.0, 18.0, 28.0):
+            histogram.observe(value)
+        # Rank 2 of 4 lands in the (10, 20] bucket: interpolated,
+        # never outside the observed [10, 28] range.
+        p50 = histogram.percentile(0.50)
+        assert 10.0 <= p50 <= 20.0
+        assert histogram.percentile(0.99) <= 28.0
+        assert histogram.percentile(1.0) == pytest.approx(28.0)
+
+    def test_overflow_bucket_degrades_to_observed_max(self):
+        histogram = Histogram((1.0,))
+        histogram.observe(50.0)
+        histogram.observe(75.0)
+        assert histogram.percentile(0.99) == 75.0
+        assert histogram.summary()["buckets"][-1] == ["+inf", 2]
+
+    def test_empty_histogram_has_no_percentiles(self):
+        assert Histogram().percentile(0.5) is None
+
+    def test_registry_observe_builds_one_histogram_per_name(self):
+        registry = MetricsRegistry()
+        registry.observe("batch", 3, buckets=(4, 8))
+        registry.observe("batch", 7)
+        summary = registry.snapshot()["histograms"]["batch"]
+        assert summary["count"] == 2
+        # The first observe fixed the ladder; the second reused it.
+        assert registry.histogram("batch").bounds == (4, 8)
+
+
+class TestTimer:
+    def test_timer_observes_elapsed_ms_on_the_injected_timebase(self):
+        clock = SimClock()
+        registry = MetricsRegistry(timebase=clock)
+        with registry.timer("work_ms"):
+            clock.advance(0.25)
+        summary = registry.snapshot()["histograms"]["work_ms"]
+        assert summary["count"] == 1
+        assert summary["sum"] == pytest.approx(250.0)
+
+    def test_uptime_follows_the_injected_timebase(self):
+        clock = SimClock()
+        registry = MetricsRegistry(timebase=clock)
+        clock.advance(3.5)
+        assert registry.uptime_s() == pytest.approx(3.5)
+
+
+class TestSources:
+    def test_dict_sources_are_live_views(self):
+        registry = MetricsRegistry()
+        stats = {"grants": 0}
+        registry.register_source("serve.listener-0", stats)
+        stats["grants"] = 7
+        assert (
+            registry.snapshot()["sources"]["serve.listener-0"]["grants"] == 7
+        )
+
+    def test_callable_sources_are_pulled_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        calls = []
+
+        def source():
+            calls.append(1)
+            return {"pulls": len(calls)}
+
+        registry.register_source("fleet", source)
+        assert registry.snapshot()["sources"]["fleet"]["pulls"] == 1
+        assert registry.snapshot()["sources"]["fleet"]["pulls"] == 2
+
+    def test_reregistering_replaces_and_unregister_drops(self):
+        registry = MetricsRegistry()
+        registry.register_source("x", {"old": 1})
+        registry.register_source("x", {"new": 1})
+        assert registry.snapshot()["sources"]["x"] == {"new": 1}
+        registry.unregister_source("x")
+        assert "x" not in registry.snapshot()["sources"]
+
+
+class TestExposition:
+    def _populated(self):
+        clock = SimClock()
+        registry = MetricsRegistry(timebase=clock)
+        registry.inc("serve.grants", 3)
+        registry.gauge("inflight", 2)
+        registry.observe("latency_ms", 0.3)
+        registry.observe("latency_ms", 40.0)
+        registry.register_source("serve.l0", {"frames": 9})
+        return registry
+
+    def test_snapshot_shape_is_json_able(self):
+        import json
+
+        snapshot = self._populated().snapshot()
+        assert set(snapshot) == {
+            "uptime_s", "counters", "gauges", "histograms", "sources",
+        }
+        json.dumps(snapshot)  # no exotic types anywhere in the tree
+
+    def test_render_text_lists_every_kind(self):
+        text = self._populated().render_text()
+        assert "counter serve.grants = 3" in text
+        assert "gauge inflight = 2" in text
+        assert "histogram latency_ms count=2" in text
+        assert "source serve.l0" in text
+
+    def test_render_prometheus_emits_cumulative_buckets(self):
+        prom = self._populated().render_prometheus()
+        assert "# TYPE serve_grants counter" in prom
+        assert "serve_grants 3" in prom
+        assert 'latency_ms_bucket{le="+Inf"} 2' in prom
+        assert "latency_ms_count 2" in prom
+        assert 'latency_ms{quantile="0.50"}' in prom
+        # Bucket series are cumulative: each le= count never decreases.
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in prom.splitlines()
+            if line.startswith("latency_ms_bucket")
+        ]
+        assert counts == sorted(counts)
+
+
+class TestDefaultRegistry:
+    def test_default_registry_mirrors_the_rng_seam(self):
+        original = get_registry()
+        try:
+            mine = MetricsRegistry()
+            assert default_registry(mine) is mine
+            assert default_registry(None) is original
+            swapped = set_registry(MetricsRegistry())
+            assert default_registry(None) is swapped
+        finally:
+            set_registry(original)

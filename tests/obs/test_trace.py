@@ -1,0 +1,84 @@
+"""Tracing: span lifecycle, trace joining, contextvar propagation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer, new_trace_id
+from repro.sim import SimClock
+
+
+def _tracer(clock=None):
+    registry = MetricsRegistry(timebase=clock)
+    return Tracer(registry=registry, rng=random.Random(42)), registry
+
+
+class TestTraceIds:
+    def test_seeded_rng_makes_ids_deterministic(self):
+        first = new_trace_id(random.Random(7))
+        second = new_trace_id(random.Random(7))
+        assert first == second
+        assert len(first) == 16
+        int(first, 16)  # well-formed hex
+
+
+class TestSpanLifecycle:
+    def test_root_span_mints_a_trace_and_child_joins_it(self):
+        tracer, _ = _tracer()
+        root = tracer.start_span("serve.request")
+        child = tracer.start_span("guard.check")
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        tracer.finish(child)
+        tracer.finish(root)
+        assert tracer.spans_for(root.trace_id) == [child, root]
+
+    def test_explicit_trace_joins_without_parenting_across_traces(self):
+        tracer, _ = _tracer()
+        root = tracer.start_span("serve.request")
+        other = tracer.start_span("guard.check", trace="feedfeedfeedfeed")
+        # Same-name field, different trace: no cross-trace parent edge.
+        assert other.trace_id == "feedfeedfeedfeed"
+        assert other.parent_id is None
+        tracer.finish(other)
+        tracer.finish(root)
+
+    def test_unactivated_span_is_not_current_until_activated(self):
+        tracer, _ = _tracer()
+        span = tracer.start_span("guard.check", activate=False)
+        assert tracer.current() is None
+        with tracer.activate(span):
+            assert tracer.current() is span
+        assert tracer.current() is None
+        tracer.finish(span)
+
+    def test_finish_is_idempotent_and_observes_duration_once(self):
+        clock = SimClock()
+        tracer, registry = _tracer(clock)
+        span = tracer.start_span("guard.check", activate=False)
+        clock.advance(0.002)
+        tracer.finish(span)
+        tracer.finish(span)
+        assert span.duration_ms == pytest.approx(2.0)
+        summary = registry.snapshot()["histograms"]["span.guard.check_ms"]
+        assert summary["count"] == 1
+        assert len(tracer.finished()) == 1
+
+    def test_span_scope_annotates_errors_and_always_finishes(self):
+        tracer, _ = _tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("risky") as span:
+                raise RuntimeError("boom")
+        assert span.ended_at is not None
+        assert span.annotations["error"] == "boom"
+
+    def test_finished_ring_is_bounded(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry, max_spans=4)
+        spans = [
+            tracer.finish(tracer.start_span("s", activate=False))
+            for _ in range(10)
+        ]
+        assert tracer.finished() == spans[-4:]

@@ -1,0 +1,220 @@
+"""Observability on the wire: STATS round-trips, pong vitals, and one
+trace spanning a crash, a RETRY, and the resend that granted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cluster import AuthCluster, session_routing_key
+from repro.core.principals import KeyPrincipal, MacPrincipal
+from repro.core.proofs import SignedCertificateStep
+from repro.guard import GuardRequest, SessionCredential
+from repro.obs import MetricsRegistry, Tracer
+from repro.serve import STATS_OK, ServeClient, ServeListener
+from repro.sexp import sexp, to_canonical
+from repro.sim import SimClock
+from repro.spki import Certificate
+from repro.tags import Tag
+
+
+def _observed_cluster(server_kp, rng, nodes=3, sessions=6):
+    """The test_server cluster world, with an injected registry/tracer
+    the listener inherits off the backend."""
+    registry = MetricsRegistry()
+    tracer = Tracer(registry=registry)
+    cluster = AuthCluster(
+        node_count=nodes, clock=SimClock(), metrics=registry, tracer=tracer
+    )
+    issuer = KeyPrincipal(server_kp.public)
+    minted = []
+    for _ in range(sessions):
+        mac_id, mac_key = cluster.mint_session(rng)
+        cluster.add_delegation(
+            SignedCertificateStep(
+                Certificate.issue(
+                    server_kp, MacPrincipal(mac_key.fingerprint()),
+                    Tag.all(), rng=rng,
+                )
+            )
+        )
+        minted.append((mac_id, mac_key))
+    return cluster, issuer, minted, registry, tracer
+
+
+def _request(issuer, minted, index):
+    mac_id, mac_key = minted[index % len(minted)]
+    logical = sexp(["web", ["method", "GET"], ["path", "/doc-%d" % index]])
+    message = to_canonical(logical)
+    return GuardRequest(
+        logical,
+        issuer=issuer,
+        credential=SessionCredential(mac_id, mac_key.tag(message), message),
+        transport="http",
+    )
+
+
+class TestStatsWire:
+    def test_stats_round_trip_matches_the_in_process_registry(
+        self, server_kp, rng
+    ):
+        cluster, issuer, minted, registry, _ = _observed_cluster(
+            server_kp, rng
+        )
+
+        async def scenario():
+            listener = ServeListener(cluster)
+            host, port = await listener.start()
+            client = await ServeClient.connect(host, port)
+            # Same session twice: the first check pays the prover, the
+            # repeats ride the MAC fast path — both stages on the wire.
+            for index in (0, 0, 1, 1):
+                assert (
+                    await client.check(_request(issuer, minted, index))
+                ).granted
+            reply = await client.stats_snapshot()
+            await client.close()
+            await listener.shutdown()
+            return listener, reply
+
+        listener, reply = asyncio.run(scenario())
+        assert listener.metrics is registry
+        assert reply.status == STATS_OK
+        # The wire snapshot IS the registry's: same counters, verbatim.
+        assert reply.data["counters"] == registry.snapshot()["counters"]
+        assert reply.data["counters"]["serve.replies.ok"] == 4
+        assert reply.data["counters"]["guard.stage.fastpath"] == 2
+        assert reply.data["counters"]["guard.stage.prover"] == 2
+        # The listener's own stats dict rides along as a source.
+        source = reply.data["sources"]["serve.%s" % listener.name]
+        assert source["grants"] == 4
+        assert listener.stats["stats_requests"] == 1
+        histograms = reply.data["histograms"]
+        assert histograms["serve.batch_size"]["count"] >= 4
+        assert histograms["span.serve.request_ms"]["count"] == 4
+
+    def test_stats_inside_a_pipelined_burst_sees_finished_spans(
+        self, server_kp, rng
+    ):
+        # Spans finish before replies are written, so even a probe
+        # racing a burst sees every granted request's span histogram.
+        cluster, issuer, minted, registry, _ = _observed_cluster(
+            server_kp, rng
+        )
+
+        async def scenario():
+            listener = ServeListener(cluster)
+            host, port = await listener.start()
+            client = await ServeClient.connect(host, port)
+            await client.check_pipelined(
+                [_request(issuer, minted, index) for index in range(6)]
+            )
+            reply = await client.stats_snapshot()
+            await client.close()
+            await listener.shutdown()
+            return reply
+
+        reply = asyncio.run(scenario())
+        spans = reply.data["histograms"]["span.serve.request_ms"]
+        assert spans["count"] == 6
+
+
+class TestPongVitals:
+    def test_pong_reports_uptime_and_inflight_window(self, server_kp, rng):
+        cluster, issuer, minted, _, _ = _observed_cluster(server_kp, rng)
+
+        async def scenario():
+            listener = ServeListener(cluster, inflight_window=16)
+            host, port = await listener.start()
+            client = await ServeClient.connect(host, port)
+            assert (
+                await client.check(_request(issuer, minted, 0))
+            ).granted
+            reply = await client.ping()
+            await client.close()
+            await listener.shutdown()
+            return reply
+
+        reply = asyncio.run(scenario())
+        assert reply.status == "pong"
+        assert isinstance(reply.uptime, float) and reply.uptime >= 0.0
+        assert reply.inflight == 0  # pong is served after the queue drains
+        assert reply.window == 16
+
+
+class TestTraceAcrossRetry:
+    def test_one_trace_covers_the_retry_and_the_resend(
+        self, server_kp, rng
+    ):
+        cluster, issuer, minted, _, tracer = _observed_cluster(
+            server_kp, rng
+        )
+        mac_id, _ = minted[0]
+        owner = cluster.membership.ring.node_for(session_routing_key(mac_id))
+
+        async def scenario():
+            listener = ServeListener(cluster)
+            host, port = await listener.start()
+            client = await ServeClient.connect(host, port)
+            assert (
+                await client.check(_request(issuer, minted, 0))
+            ).granted
+            cluster.crash_node(owner)
+            request = _request(issuer, minted, 0)
+            reply = await client.check(request)
+            await client.close()
+            await listener.shutdown()
+            return reply, request.trace, client.stats
+
+        reply, trace, client_stats = asyncio.run(scenario())
+        assert reply.granted
+        assert client_stats["retries"] == 1
+
+        # One logical request, one trace id, two serve-layer spans: the
+        # attempt the crash turned into RETRY and the resend that won.
+        attempts = [
+            span
+            for span in tracer.spans_for(trace)
+            if span.name == "serve.request"
+        ]
+        assert len(attempts) == 2
+        first, second = attempts
+        assert first.annotations["status"] == "retry"
+        assert first.annotations["retry"] is True
+        assert second.annotations["status"] == "ok"
+
+        # The grant's audit record — read through the merged cluster
+        # view — carries the same trace id, so trail and trace join.
+        stamped = [
+            record
+            for record in cluster.audit.records
+            if record.trace_id == trace
+        ]
+        assert len(stamped) == 1
+        assert "trace=%s" % trace in stamped[0].render()
+
+    def test_fresh_checks_get_distinct_traces(self, server_kp, rng):
+        cluster, issuer, minted, _, _ = _observed_cluster(server_kp, rng)
+
+        async def scenario():
+            listener = ServeListener(cluster)
+            host, port = await listener.start()
+            client = await ServeClient.connect(host, port)
+            first = _request(issuer, minted, 0)
+            second = _request(issuer, minted, 1)
+            assert (await client.check(first)).granted
+            assert (await client.check(second)).granted
+            await client.close()
+            await listener.shutdown()
+            return first.trace, second.trace
+
+        first_trace, second_trace = asyncio.run(scenario())
+        assert first_trace is not None
+        assert second_trace is not None
+        assert first_trace != second_trace
+        records = cluster.audit.records
+        assert {record.trace_id for record in records} == {
+            first_trace, second_trace,
+        }

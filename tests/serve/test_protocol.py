@@ -25,6 +25,7 @@ from repro.serve.protocol import (
     PONG,
     PROOF_OK,
     RETRY,
+    STATS_OK,
     FrameBuffer,
     Reply,
     WireError,
@@ -34,9 +35,12 @@ from repro.serve.protocol import (
     encode_frame,
     encode_ping,
     encode_reply,
+    encode_stats,
     encode_submit_proof,
     guard_request_from_sexp,
     guard_request_to_sexp,
+    value_from_sexp,
+    value_to_sexp,
 )
 from repro.sexp import sexp, to_canonical, to_transport
 from repro.tags import Tag, parse_tag
@@ -194,3 +198,82 @@ class TestReplyCodec:
             Reply(RETRY, 4, message="crashed").raise_for_status()
         with pytest.raises(WireError):
             Reply(ERROR, 0, message="junk").raise_for_status()
+
+
+class TestTraceField:
+    def test_trace_id_rides_the_request_frame(self):
+        request = GuardRequest(
+            LOGICAL, transport="http", trace="deadbeef00000001"
+        )
+        assert _round_trip(request).trace == "deadbeef00000001"
+
+    def test_absent_trace_decodes_to_none(self):
+        decoded = _round_trip(GuardRequest(LOGICAL, transport="http"))
+        assert decoded.trace is None
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -17,
+            3.5,
+            "text with spaces",
+            [1, "two", None],
+            {"a": 1, "b": {"c": [True, 2.5]}, "empty": []},
+        ],
+    )
+    def test_round_trips(self, value):
+        assert value_from_sexp(value_to_sexp(value)) == value
+
+    def test_snapshot_sized_tree_round_trips(self):
+        snapshot = {
+            "uptime_s": 1.25,
+            "counters": {"serve.replies.ok": 4, "guard.stage.prover": 2},
+            "histograms": {
+                "serve.batch_size": {
+                    "count": 4,
+                    "p50": 1.0,
+                    "buckets": [["+inf", 4]],
+                }
+            },
+            "sources": {"serve.l0": {"grants": 4}},
+        }
+        assert value_from_sexp(value_to_sexp(snapshot)) == snapshot
+
+    def test_untagged_value_is_a_wire_error(self):
+        with pytest.raises(WireError):
+            value_from_sexp(sexp(["wat", "x"]))
+
+
+class TestStatsCodec:
+    def test_stats_command_round_trips(self):
+        command = decode_command(encode_stats(9))
+        assert command.op == "stats"
+        assert command.request_id == 9
+
+    def test_stats_reply_carries_the_snapshot(self):
+        data = {"counters": {"serve.grants": 3}, "uptime_s": 1.25}
+        decoded = decode_reply(encode_reply(Reply(STATS_OK, 9, data=data)))
+        assert decoded.status == STATS_OK
+        assert decoded.request_id == 9
+        assert decoded.data == data
+
+
+class TestPongVitalsCodec:
+    def test_pong_round_trips_uptime_and_inflight(self):
+        reply = Reply(PONG, 3, uptime=1.5, inflight=2, window=32)
+        decoded = decode_reply(encode_reply(reply))
+        assert decoded.uptime == pytest.approx(1.5)
+        assert decoded.inflight == 2
+        assert decoded.window == 32
+
+    def test_bare_pong_still_decodes(self):
+        decoded = decode_reply(encode_reply(Reply(PONG, 4)))
+        assert decoded.uptime is None
+        assert decoded.inflight is None
+        assert decoded.window is None
