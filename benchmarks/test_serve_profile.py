@@ -1,0 +1,150 @@
+"""Where the serve hot path spends its time: a cProfile section for
+``BENCH_serve.json``.
+
+``test_serve_rps.py`` answers *how fast*; this harness answers *why* —
+it drives the same MAC-session steady state through a loopback listener
+under ``cProfile`` and merges the top functions (by cumulative time)
+into the shared artifact.  Diffing the section across commits shows
+which optimisation actually moved the needle, and a regression shows up
+as a function climbing back into the top rows.
+
+The profile deliberately wraps only the *client-side drive loop* of a
+pipelined run: the profiler sees the client encode/decode work directly,
+and the listener thread's service time shows up as the wall-clock the
+drive awaits.  Server-internal attribution comes from the stage-latency
+histograms the RPS harness already records.
+"""
+
+import asyncio
+import cProfile
+import time
+
+from benchmarks._bench_output import update_bench
+from repro.cluster import AuthCluster
+from repro.obs import MetricsRegistry, Tracer
+from repro.core.principals import KeyPrincipal, MacPrincipal
+from repro.core.proofs import SignedCertificateStep
+from repro.guard import GuardRequest, SessionCredential
+from repro.serve import ServeClient, ThreadedFleet
+from repro.sexp import sexp, to_canonical
+from repro.spki import Certificate
+from repro.tags import Tag
+from repro.tools.cli import profile_top
+
+NODES = 4
+SESSIONS = 16
+REQUESTS = 384
+WINDOW = 64
+DISTINCT_PATHS = 8
+TRACE_SAMPLE = 64
+SERVER_SAMPLE = 8
+TOP = 25
+
+
+def _world(server_kp, rng, registry, tracer):
+    issuer = KeyPrincipal(server_kp.public)
+    cluster = AuthCluster(
+        node_count=NODES, metrics=registry, tracer=tracer
+    )
+    sessions = []
+    for _ in range(SESSIONS):
+        mac_id, mac_key = cluster.mint_session(rng)
+        certificate = Certificate.issue(
+            server_kp, MacPrincipal(mac_key.fingerprint()), Tag.all(),
+            rng=rng,
+        )
+        cluster.add_delegation(SignedCertificateStep(certificate))
+        sessions.append((mac_id, mac_key))
+    return cluster, issuer, sessions
+
+
+def _requests(issuer, sessions, count):
+    logicals = []
+    for path in range(DISTINCT_PATHS):
+        node = sexp(
+            ["web", ["method", "GET"], ["path", "/doc-%d" % path]]
+        )
+        logicals.append((node, to_canonical(node)))
+    out = []
+    for index in range(count):
+        mac_id, mac_key = sessions[index % len(sessions)]
+        logical, message = logicals[index % DISTINCT_PATHS]
+        out.append(
+            GuardRequest(
+                logical,
+                issuer=issuer,
+                credential=SessionCredential(
+                    mac_id, mac_key.tag(message), message
+                ),
+                transport="http",
+            )
+        )
+    return out
+
+
+def test_profile_serve_hot_path(keypool, rng):
+    registry = MetricsRegistry()
+    tracer = Tracer(registry=registry, sample=SERVER_SAMPLE)
+    cluster, issuer, sessions = _world(
+        keypool[0], rng, registry, tracer
+    )
+    fleet = ThreadedFleet(cluster, listeners=1)
+    address = fleet.start()[0]
+    try:
+        async def drive(requests):
+            client = await ServeClient.connect(
+                *address, trace_sample=TRACE_SAMPLE
+            )
+            await client.ping()
+            replies = []
+            for base in range(0, len(requests), WINDOW):
+                replies.extend(
+                    await client.check_pipelined(
+                        requests[base:base + WINDOW]
+                    )
+                )
+            await client.close()
+            return replies
+
+        # Warm pass: session first-checks, decode/derived caches, codec
+        # tail maps — the profile should describe the steady state.
+        asyncio.run(drive(_requests(issuer, sessions, REQUESTS)))
+        requests = _requests(issuer, sessions, REQUESTS)
+        profiler = cProfile.Profile()
+        started = time.perf_counter()
+        profiler.enable()
+        replies = asyncio.run(drive(requests))
+        profiler.disable()
+        elapsed = time.perf_counter() - started
+    finally:
+        fleet.shutdown()
+
+    assert len(replies) == len(requests)
+    assert all(reply.granted for reply in replies)
+    rows = profile_top(profiler, top=TOP)
+    assert rows, "profiler captured nothing"
+    # The drive loop must actually dominate: the top cumulative row
+    # should account for most of the elapsed window.
+    assert rows[0]["cumtime_s"] > 0
+
+    path = update_bench(
+        "serve",
+        {
+            "profile": {
+                "requests": len(requests),
+                "elapsed_s": elapsed,
+                "real_rps": len(requests) / elapsed,
+                "window": WINDOW,
+                "top": rows,
+            }
+        },
+    )
+    print("\n  profiled %d requests at %.0f rps; top functions:" % (
+        len(requests), len(requests) / elapsed
+    ))
+    for row in rows[:8]:
+        print(
+            "    %-52s %6d calls %8.4fs cum"
+            % (row["function"], row["calls"], row["cumtime_s"])
+        )
+    print("  wrote %s" % path.name)

@@ -188,6 +188,10 @@ class AuthCluster:
         self.rng = rng
         self.audit = ClusterAuditView(self.membership, retain=audit_retain)
         self._next_node = 0
+        # Base term of ``invalidation_generation``: compensates for node
+        # departures (a departing guard's counter leaves the sum) so the
+        # cluster-wide generation never revisits an earlier value.
+        self._generation_base = 0
         self._delegations: Dict[bytes, Proof] = {}
         # routing-key -> (request count, last seen); LRU-bounded.
         # Hotness decays on idleness, not lifetime: a counter whose
@@ -258,11 +262,29 @@ class AuthCluster:
         self.membership.join(node)
         return node
 
+    @property
+    def invalidation_generation(self) -> int:
+        """The cluster-wide invalidation generation: the sum of every
+        live guard's counter plus a base term that absorbs departures.
+        Any retraction, revocation, channel close, or membership change
+        moves it, so a wire decode cache stamped with one generation can
+        never serve bytes decoded under an older trust state."""
+        total = self._generation_base
+        for node in self.membership.alive():
+            total += node.guard.invalidation_generation
+        return total
+
+    def _absorb_departure(self, node: GuardNode) -> None:
+        """Fold a departing node's counter into the base (+1 so the
+        membership change itself reads as a new generation)."""
+        self._generation_base += node.guard.invalidation_generation + 1
+
     def remove_node(self, node_id: str) -> GuardNode:
         """Graceful leave: shards reassign; the departing node stops
         receiving bus traffic."""
         node = self.membership.leave(node_id)
         self.bus.unsubscribe(node_id)
+        self._absorb_departure(node)
         return node
 
     def fail_node(self, node_id: str) -> GuardNode:
@@ -270,6 +292,7 @@ class AuthCluster:
         the detector-driven path)."""
         node = self.membership.fail(node_id)
         self.bus.unsubscribe(node_id)
+        self._absorb_departure(node)
         return node
 
     def crash_node(self, node_id: str) -> GuardNode:

@@ -141,6 +141,14 @@ class ClusterFrontend:
 
     # -- introspection ----------------------------------------------------
 
+    @property
+    def invalidation_generation(self) -> int:
+        """The cluster-wide invalidation generation (see
+        :meth:`AuthCluster.invalidation_generation`) — frontends expose
+        it so wire decode caches can stamp entries without knowing
+        whether their backend is a cluster or a frontend."""
+        return self.cluster.invalidation_generation
+
     def context(self, now=None):
         return self.cluster.context(now)
 

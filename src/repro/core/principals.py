@@ -17,13 +17,40 @@ from typing import Dict, FrozenSet, Iterable, Tuple
 
 from repro.crypto.hashes import HashValue
 from repro.crypto.rsa import RsaPublicKey
-from repro.sexp import Atom, SExp, SList
+from repro.sexp import Atom, SExp, SList, to_canonical
 
 
 class Principal:
     """Base class.  Subclasses define ``to_sexp`` and equality."""
 
-    __slots__ = ()
+    # Memoized canonical encoding: principals are immutable and are
+    # compared/hashed constantly on the guard's hot path (premise-cache
+    # buckets, proof verification, ring routing), so identity questions
+    # reduce to one C-speed bytes compare instead of rebuilding and
+    # walking two AST trees per question.
+    __slots__ = ("_key", "_node")
+
+    def canonical_key(self) -> bytes:
+        """The canonical encoding of :meth:`to_sexp`, computed once.
+        Canonical form is injective over ASTs, so bytes equality *is*
+        tree equality."""
+        key = getattr(self, "_key", None)
+        if key is None:
+            key = to_canonical(self.sexp_node())
+            object.__setattr__(self, "_key", key)
+        return key
+
+    def sexp_node(self) -> SExp:
+        """A shared, memoized :meth:`to_sexp` tree.  Principals are
+        immutable and AST nodes are never mutated after construction,
+        so encoders can embed this one instance everywhere the
+        principal appears and let the memoizing canonical encoder pay
+        the subtree walk once.  Treat the result as read-only."""
+        node = getattr(self, "_node", None)
+        if node is None:
+            node = self.to_sexp()
+            object.__setattr__(self, "_node", node)
+        return node
 
     def to_sexp(self) -> SExp:
         raise NotImplementedError
@@ -44,16 +71,18 @@ class Principal:
         return self.quoting(other)
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Principal):
             return NotImplemented
-        return self.to_sexp() == other.to_sexp()
+        return self.canonical_key() == other.canonical_key()
 
     def __ne__(self, other) -> bool:
         result = self.__eq__(other)
         return result if result is NotImplemented else not result
 
     def __hash__(self) -> int:
-        return hash(self.to_sexp())
+        return hash(self.canonical_key())
 
     def __repr__(self) -> str:
         return self.display()

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.principals import Principal, principal_from_sexp
-from repro.sexp import Atom, SExp, SList, sexp
+from repro.sexp import Atom, SExp, SList, sexp, to_canonical
 from repro.tags import Tag
 
 
@@ -144,22 +144,36 @@ def _format_time(value: float) -> str:
 class Statement:
     """Base class for logical statements."""
 
-    __slots__ = ()
+    # Memoized canonical encoding, mirroring ``Principal.canonical_key``:
+    # statements are hashable value objects (the proof cache and the
+    # prover's tables key on them), so equality and hashing reduce to
+    # one bytes compare instead of rebuilding two AST trees.
+    __slots__ = ("_key",)
 
     def to_sexp(self) -> SExp:
         raise NotImplementedError
 
+    def canonical_key(self) -> bytes:
+        """The canonical encoding of :meth:`to_sexp`, computed once."""
+        key = getattr(self, "_key", None)
+        if key is None:
+            key = to_canonical(self.to_sexp())
+            object.__setattr__(self, "_key", key)
+        return key
+
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Statement):
             return NotImplemented
-        return self.to_sexp() == other.to_sexp()
+        return self.canonical_key() == other.canonical_key()
 
     def __ne__(self, other) -> bool:
         result = self.__eq__(other)
         return result if result is NotImplemented else not result
 
     def __hash__(self) -> int:
-        return hash(self.to_sexp())
+        return hash(self.canonical_key())
 
     def __repr__(self) -> str:
         return self.display()

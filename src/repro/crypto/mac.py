@@ -29,12 +29,13 @@ DEFAULT_MAC_BYTES = 20
 class MacKey:
     """A shared MAC secret with HMAC-MD5 tagging (matching the paper's MD5)."""
 
-    __slots__ = ("secret",)
+    __slots__ = ("secret", "_fingerprint")
 
     def __init__(self, secret: bytes):
         if not secret:
             raise ValueError("MAC secret must be non-empty")
         self.secret = secret
+        self._fingerprint: Optional[HashValue] = None
 
     @classmethod
     def generate(cls, rng: Optional[random.Random] = None) -> "MacKey":
@@ -48,8 +49,12 @@ class MacKey:
         return hmac.compare_digest(self.tag(message), tag)
 
     def fingerprint(self) -> HashValue:
-        """Public name of this MAC: hash of the secret (reveals nothing)."""
-        return HashValue.of_bytes(self.secret)
+        """Public name of this MAC: hash of the secret (reveals nothing).
+        The secret is immutable, so the hash is computed once — admission
+        asks for it on every steady-state request."""
+        if self._fingerprint is None:
+            self._fingerprint = HashValue.of_bytes(self.secret)
+        return self._fingerprint
 
     def sealed_for(self, recipient: RsaPublicKey) -> int:
         """Encrypt the secret to the client's public key (server → client)."""

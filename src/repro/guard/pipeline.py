@@ -31,7 +31,7 @@ The class also exposes the legacy ``SfAuthState`` surface (``check_auth``,
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.errors import (
     AuthorizationError,
@@ -55,7 +55,7 @@ from repro.guard.sessions import SessionRegistry
 from repro.crypto.rng import default_rng
 from repro.obs.registry import SIZE_BUCKETS, default_registry
 from repro.obs.trace import Tracer, default_tracer
-from repro.sexp import from_transport, parse_canonical, sexp
+from repro.sexp import from_transport, parse_canonical, sexp, to_canonical
 from repro.sim.costmodel import Meter, maybe_charge
 from repro.tags import Tag
 
@@ -156,10 +156,30 @@ class Guard:
             )
         self.audit = audit if audit is not None else AuditLog()
         self.check_charge = check_charge
+        # Derived-step memo for the grant hot path ("each proof need be
+        # verified only once" — Section 4.3).  Keyed by (speaker, logical)
+        # canonical bytes; a hit is honored only when it still hangs off
+        # the *same* proof object the cache/prover just produced, and the
+        # two context-sensitive obligations (utterance vouched now,
+        # validity window contains now) are re-checked per request.
+        self._derived_memo: Dict[Tuple[bytes, bytes], "DerivedSaysStep"] = {}
+        # Value-object interning for the admission/vouch hot path: the
+        # session principal per MAC fingerprint, and the ``speaker says
+        # logical`` utterance per (speaker, logical) canonical pair.
+        # Both are immutable value objects, so sharing instances only
+        # shares their memoized canonical encodings.
+        self._session_principals: Dict[object, MacPrincipal] = {}
+        self._says_memo: Dict[Tuple[bytes, bytes], Says] = {}
         # Invalidation-event hooks: callables invoked as ``hook(kind,
         # payload)`` after this guard retracts state that other caches may
         # also hold (a cluster node forwards them onto its bus).
         self.invalidation_hooks: List = []
+        # Monotonic invalidation generation: bumped by every event that
+        # retracts derived authorization state (channel close, delegation
+        # retraction, serial revocation — local or bus-delivered).  Wire
+        # layers stamp their decode caches with it, so a cached decode
+        # can never outlive the justification it was parsed under.
+        self.invalidation_generation = 0
         self.stats = {
             "checks": 0,
             "grants": 0,
@@ -226,7 +246,7 @@ class Guard:
         mac_key = self.sessions.verify_tag(
             credential.session_id, credential.message, credential.tag
         )
-        principal = MacPrincipal(mac_key.fingerprint())
+        principal = self._session_principal(mac_key.fingerprint())
         proof: Optional[Proof] = None
         if credential.proof_wire is not None:
             # First request of the session: digest the delegation chain.
@@ -301,7 +321,7 @@ class Guard:
             # durable premise set, so per-request utterances do not
             # accumulate for the life of the server.
             context = self.trust.context()
-            context.trust(Says(admitted.speaker, request.logical))
+            context.trust(self._utterance(admitted.speaker, request.logical))
             return self._authorize_timed(admitted, context, span)
         except NeedAuthorizationError:
             self.stats["challenges"] += 1
@@ -354,7 +374,11 @@ class Guard:
         context = self.trust.context()
         for admitted, _ in admitted_batch:
             if admitted is not None:
-                context.trust(Says(admitted.speaker, admitted.request.logical))
+                context.trust(
+                    self._utterance(
+                        admitted.speaker, admitted.request.logical
+                    )
+                )
         decisions: List[GuardDecision] = []
         for (admitted, error), span in zip(admitted_batch, spans):
             if admitted is None:
@@ -425,7 +449,10 @@ class Guard:
         now = context.now
         bucket = self.cache.bucket(speaker)
         stale: List[bytes] = []
-        for key, entry in bucket.items():
+        # Snapshot the bucket: under a ThreadedFleet two listeners can
+        # land the same speaker on two loops, and a concurrent cache.add
+        # mid-iteration would otherwise raise "dict changed size".
+        for key, entry in list(bucket.items()):
             # The cache's only write path requires speaks-for conclusions.
             conclusion = entry.proof.conclusion
             # The lapsed-window check runs before the issuer filter so
@@ -486,9 +513,7 @@ class Guard:
     def _grant(self, admitted: _Admitted, proof: Proof, context,
                stage: str) -> GuardDecision:
         request = admitted.request
-        utterance = PremiseStep(Says(admitted.speaker, request.logical))
-        derived = DerivedSaysStep(utterance, proof)
-        derived.verify(context)
+        derived = self._derived_step(admitted, proof, context)
         # The current span (activated by check/check_many around this
         # request) is the correlation key: its ids go into the record, so
         # the merged cluster audit trail lines up with the trace store.
@@ -505,6 +530,77 @@ class Guard:
             True, via=admitted.via, stage=stage, speaker=admitted.speaker,
             proof=derived, record=record,
         )
+
+    #: Bound on the hot-path memo dicts; each is cleared wholesale when
+    #: exceeded (the steady state is a small working set of (speaker,
+    #: logical) pairs, so a rare full reset beats per-entry bookkeeping).
+    DERIVED_MEMO_LIMIT = 4096
+
+    def _session_principal(self, fingerprint) -> MacPrincipal:
+        """One :class:`MacPrincipal` instance per MAC fingerprint, so
+        every steady-state request for a session reuses the principal's
+        memoized canonical encoding."""
+        principal = self._session_principals.get(fingerprint)
+        if principal is None:
+            if len(self._session_principals) >= self.DERIVED_MEMO_LIMIT:
+                self._session_principals.clear()
+            principal = MacPrincipal(fingerprint)
+            self._session_principals[fingerprint] = principal
+        return principal
+
+    def _utterance(self, speaker: Principal, logical) -> Says:
+        """One ``speaker says logical`` instance per canonical pair:
+        the statement is vouched into a context snapshot and looked up
+        again at grant time on every request, and interning makes both
+        sides one memoized-bytes hash instead of a tree walk."""
+        key = (speaker.canonical_key(), to_canonical(logical))
+        says = self._says_memo.get(key)
+        if says is None:
+            if len(self._says_memo) >= self.DERIVED_MEMO_LIMIT:
+                self._says_memo.clear()
+            says = Says(speaker, logical)
+            self._says_memo[key] = says
+        return says
+
+    def _derived_step(self, admitted: _Admitted, proof: Proof,
+                      context) -> DerivedSaysStep:
+        """Build-or-reuse the final ``issuer says r`` inference.
+
+        The derivation's structural checks (subject matches the utterer,
+        the request is inside the delegated restriction set, the
+        conclusion is well-formed) are pure functions of (speaker,
+        logical, proof), so a repeat of the same question over the same
+        proof object can reuse the step verified the first time.  What
+        the environment controls is re-checked on every hit: the
+        utterance must be vouched in *this* request's context snapshot,
+        and the delegation's validity window must contain *this* ``now``.
+        A memo entry hanging off a different proof object than the one
+        the cache/prover just validated is ignored — retraction swaps
+        the proof object, so staleness can never satisfy the identity
+        test."""
+        request = admitted.request
+        key = (
+            admitted.speaker.canonical_key(),
+            to_canonical(request.logical),
+        )
+        derived = self._derived_memo.get(key)
+        if (
+            derived is not None
+            and derived.premises[1] is proof
+            and derived.premises[0].conclusion in context.trusted_premises
+            and proof.conclusion.validity.contains(context.now)
+        ):
+            context.mark_verified(derived)
+            return derived
+        utterance = PremiseStep(
+            self._utterance(admitted.speaker, request.logical)
+        )
+        derived = DerivedSaysStep(utterance, proof)
+        derived.verify(context)
+        if len(self._derived_memo) >= self.DERIVED_MEMO_LIMIT:
+            self._derived_memo.clear()
+        self._derived_memo[key] = derived
+        return derived
 
     # -- transport delivery (secure channels, local pipes) ----------------
 
@@ -525,6 +621,7 @@ class Guard:
         self.trust.retract(premise)
         self.cache.retract_premise(premise)
         self.stats["channels_closed"] += 1
+        self.invalidation_generation += 1
         self._notify("channel_closed", premise)
 
     def deliver(self, request: GuardRequest) -> Principal:
@@ -596,6 +693,7 @@ class Guard:
         )
         removed = self._retract_delegation(digest)
         self.stats["delegations_retracted"] += 1
+        self.invalidation_generation += 1
         self._notify("delegation_retracted", digest)
         return removed
 
@@ -609,6 +707,7 @@ class Guard:
         """
         removed = self._revoke_serial(serial)
         self.stats["serials_revoked"] += 1
+        self.invalidation_generation += 1
         self._notify("serial_revoked", serial)
         return removed
 
@@ -625,6 +724,7 @@ class Guard:
         else:
             raise ValueError("unknown invalidation kind %r" % kind)
         self.stats["invalidations_applied"] += 1
+        self.invalidation_generation += 1
         return removed
 
     def _retract_delegation(self, digest: bytes) -> int:

@@ -31,6 +31,8 @@ from repro.obs.registry import (
     set_registry,
 )
 from repro.obs.trace import (
+    NULL_SPAN,
+    NullSpan,
     Span,
     Tracer,
     default_tracer,
@@ -41,6 +43,8 @@ from repro.obs.trace import (
 
 __all__ = [
     "LATENCY_BUCKETS_MS",
+    "NULL_SPAN",
+    "NullSpan",
     "SIZE_BUCKETS",
     "Histogram",
     "MetricsRegistry",

@@ -30,6 +30,7 @@ backs the ``metrics=None`` constructor defaults, mirroring
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.timebase import default_timebase
@@ -72,16 +73,16 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         value = float(value)
-        index = len(self.bounds)
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                index = i
-                break
-        self.counts[index] += 1
+        # First bound >= value, i.e. the bucket whose ceiling holds it;
+        # past-the-end lands in the overflow slot.  Bisect rather than a
+        # linear scan: observe sits on the per-request hot path.
+        self.counts[bisect_left(self.bounds, value)] += 1
         self.count += 1
         self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
 
     def percentile(self, q: float) -> Optional[float]:
         """Estimate the ``q``-quantile (``0 < q <= 1``) by linear

@@ -19,6 +19,19 @@ span from the ``trace`` id riding on the :class:`GuardRequest` itself.
 
 Finished spans land in a bounded ring (``max_spans``) for inspection —
 enough for tests and the CLI, not an unbounded history.
+
+**Sampling.**  ``Tracer(sample=N)`` captures every Nth trace *root*:
+a ``start_span`` call with no carried trace id and no active parent is
+where a trace is born, and a sampled-out birth returns the shared
+:data:`NULL_SPAN` — no allocation, no lock, no histogram, no retention.
+The decision is made exactly once per trace: a span that *joins* an
+existing trace (the id rode in on the wire, or an active parent is
+current) is always captured, so a RETRY resend of a sampled request
+still lands in the same trace, and tests that mint their own trace ids
+see every span regardless of the sample rate.  Counters and non-span
+histograms are untouched by sampling — only ``span.*_ms`` capture
+thins, which is the exactness guarantee ``docs/observability.md``
+spells out.
 """
 
 from __future__ import annotations
@@ -72,6 +85,62 @@ class Span:
         return "Span(%s/%s %s)" % (self.trace_id, self.span_id, self.name)
 
 
+class NullSpan:
+    """The zero-cost stand-in for a sampled-out trace root.
+
+    Every operation is a no-op: ``annotate`` drops its arguments,
+    ``trace_id``/``span_id`` are ``None`` (so audit records fall back to
+    the request's own trace field), and :meth:`Tracer.finish` returns
+    immediately without touching the registry or the retention ring.
+    One shared instance (:data:`NULL_SPAN`) serves every sampled-out
+    request — the "zero-allocation" half of the sampling contract.
+    """
+
+    __slots__ = ()
+
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
+    name = "null"
+    started_at: Optional[float] = None
+    ended_at: Optional[float] = None
+
+    @property
+    def annotations(self) -> Dict[str, object]:
+        return {}
+
+    def annotate(self, key: str, value) -> "NullSpan":
+        return self
+
+    @property
+    def duration_ms(self) -> Optional[float]:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NullSpan()"
+
+
+#: The shared sampled-out span; identity-checked on every hot path.
+NULL_SPAN = NullSpan()
+
+
+class _NullActivation:
+    """``with tracer.activate(NULL_SPAN):`` — leaves the current span
+    untouched, so ``tracer.current()`` stays honest (``None`` or the
+    real enclosing span, never a null)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_ACTIVATION = _NullActivation()
+
+
 class _Activation:
     """``with tracer.activate(span):`` — current-span scoping without
     owning the span's lifetime (the caller still finishes it)."""
@@ -119,11 +188,21 @@ class Tracer:
         registry: Optional[MetricsRegistry] = None,
         rng=None,
         max_spans: int = 2048,
+        sample: int = 1,
     ):
+        if sample < 1:
+            raise ValueError("sample must be at least 1 (1 = every trace)")
         self.registry = default_registry(registry)
         self.rng = rng
+        #: Capture every Nth trace root; joins are always captured.
+        self.sample = sample
         self._lock = threading.Lock()
         self._next_span = 0
+        # Root-birth counter for the 1-in-N decision.  Incremented
+        # without the lock: under the GIL the int += is safe enough,
+        # and a rare race only shifts *which* roots are sampled, never
+        # the counters-stay-exact guarantee.
+        self._roots = 0
         self._finished: "deque[Span]" = deque(maxlen=max_spans)
 
     def current(self) -> Optional[Span]:
@@ -136,12 +215,23 @@ class Tracer:
         rode in on the wire); ``None`` adopts the current span's trace,
         or mints a fresh one at a trace root.  ``activate=False`` opens
         the span without making it current — a batch holds many open
-        spans at once; each is activated around its own work."""
+        spans at once; each is activated around its own work.
+
+        A trace *root* (no carried trace, no active parent) is where the
+        sampling decision lands: with ``sample=N``, N-1 of every N roots
+        return :data:`NULL_SPAN` and cost nothing downstream.  Carried
+        traces and child spans always capture — the decision is made
+        once, where the trace was born."""
         parent = _CURRENT_SPAN.get()
         if trace is None:
-            trace = parent.trace_id if parent is not None else (
-                new_trace_id(self.rng)
-            )
+            if parent is not None:
+                trace = parent.trace_id
+            else:
+                if self.sample > 1:
+                    self._roots += 1
+                    if (self._roots - 1) % self.sample:
+                        return NULL_SPAN
+                trace = new_trace_id(self.rng)
         parent_id = (
             parent.span_id
             if parent is not None and parent.trace_id == trace
@@ -159,7 +249,10 @@ class Tracer:
     def finish(self, span: Span) -> Span:
         """Close a span: stamp its end, observe its duration as a
         ``span.<name>_ms`` histogram, retire it to the ring.  Idempotent
-        — finishing twice records once."""
+        — finishing twice records once.  Finishing :data:`NULL_SPAN` is
+        free: sampled-out requests never touch the registry or ring."""
+        if span is NULL_SPAN:
+            return span
         if span.ended_at is not None:
             return span
         span.ended_at = self.registry.timebase.now()
@@ -173,7 +266,12 @@ class Tracer:
 
     def activate(self, span: Span) -> _Activation:
         """Scope ``span`` as current for a ``with`` block (without
-        finishing it on exit — the batch loop owns the lifetime)."""
+        finishing it on exit — the batch loop owns the lifetime).
+        Activating :data:`NULL_SPAN` deliberately leaves the current
+        span alone, so downstream ``current()`` callers (audit
+        stamping) never mistake a null for a real span."""
+        if span is NULL_SPAN:
+            return _NULL_ACTIVATION
         return _Activation(span)
 
     def span(self, name: str, trace: Optional[str] = None) -> _SpanScope:

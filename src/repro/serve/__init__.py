@@ -39,8 +39,9 @@ from repro.serve.dispatch import (
     ThreadedDispatcher,
     resolve_dispatcher,
 )
-from repro.serve.fleet import ServeFleet
+from repro.serve.fleet import ServeFleet, ThreadedFleet
 from repro.serve.protocol import (
+    DecodeCache,
     FrameBuffer,
     MAX_FRAME,
     STATS_OK,
@@ -67,6 +68,8 @@ __all__ = [
     "ServeClient",
     "ServeFleet",
     "ServeListener",
+    "ThreadedFleet",
+    "DecodeCache",
     "Dispatcher",
     "InlineDispatcher",
     "ThreadedDispatcher",

@@ -28,6 +28,7 @@ from repro.obs.trace import new_trace_id
 from repro.serve.protocol import (
     MAX_FRAME,
     RETRY,
+    FrameBuffer,
     Reply,
     WireError,
     decode_reply,
@@ -36,7 +37,6 @@ from repro.serve.protocol import (
     encode_ping,
     encode_stats,
     encode_submit_proof,
-    read_frame,
 )
 
 
@@ -50,12 +50,28 @@ class ServeClient:
         max_frame: int = MAX_FRAME,
         rng=None,
         metrics=None,
+        trace_sample: int = 1,
     ):
+        if trace_sample < 1:
+            raise ValueError("trace_sample must be at least 1")
         self.reader = reader
         self.writer = writer
         self.max_frame = max_frame
         self.rng = rng  # trace-id entropy; None uses the default RNG
         self.metrics = default_registry(metrics)
+        #: Mint a trace id for 1 in N requests that arrive without one.
+        #: Untraced requests carry no ``(trace ...)`` field at all, so
+        #: their frame bytes repeat across requests — which is what lets
+        #: the server's decode cache hit.  The server still traces them
+        #: at its own sample rate; the ids just will not be client-known.
+        self.trace_sample = trace_sample
+        self._trace_births = 0
+        #: Frames staged since the last drain point.  ``_dispatch`` only
+        #: queues bytes here; ``_flush`` joins and writes them as one
+        #: buffer, so a pipelined window costs one socket send instead
+        #: of one per request (and lands on the server as one read,
+        #: which is what its batcher coalesces).
+        self._outbox: List[bytes] = []
         self.stats = {"sent": 0, "replies": 0, "retries": 0}
         #: Replies that matched no pending request (e.g. the server's
         #: id-0 report of an unparseable frame) — kept for inspection.
@@ -77,10 +93,11 @@ class ServeClient:
         max_frame: int = MAX_FRAME,
         rng=None,
         metrics=None,
+        trace_sample: int = 1,
     ) -> "ServeClient":
         reader, writer = await asyncio.open_connection(host, port)
         return cls(reader, writer, max_frame=max_frame, rng=rng,
-                   metrics=metrics)
+                   metrics=metrics, trace_sample=trace_sample)
 
     async def close(self) -> None:
         self._receiver.cancel()
@@ -96,12 +113,19 @@ class ServeClient:
 
     # -- sending -----------------------------------------------------------
 
-    def _ensure_trace(self, request: GuardRequest) -> str:
+    def _ensure_trace(self, request: GuardRequest) -> Optional[str]:
         """Mint a trace id for ``request`` unless the caller set one.
 
         Minted *before* framing, so the id rides inside the stored
-        frame bytes and a crash-retry resend carries the same trace."""
+        frame bytes and a crash-retry resend carries the same trace.
+        With ``trace_sample=N`` only every Nth untraced request gets an
+        id (``None`` for the rest — the server traces those on its own
+        terms); caller-set traces always ride."""
         if request.trace is None:
+            if self.trace_sample > 1:
+                self._trace_births += 1
+                if (self._trace_births - 1) % self.trace_sample:
+                    return None
             request.trace = new_trace_id(self.rng)
         return request.trace
 
@@ -120,9 +144,22 @@ class ServeClient:
             self.trace_ids[request_id] = trace
         future = asyncio.get_running_loop().create_future()
         self._futures[request_id] = future
-        self.writer.write(framed)
+        self._outbox.append(framed)
         self.stats["sent"] += 1
         return future
+
+    async def _flush(self) -> None:
+        """Write everything staged since the last flush as one buffer
+        and drain: the client half of write coalescing."""
+        if self._outbox:
+            payload = (
+                self._outbox[0]
+                if len(self._outbox) == 1
+                else b"".join(self._outbox)
+            )
+            del self._outbox[:]
+            self.writer.write(payload)
+        await self.writer.drain()
 
     async def check(self, request: GuardRequest) -> Reply:
         """One request, one reply — the serial (unpipelined) shape."""
@@ -131,7 +168,7 @@ class ServeClient:
             lambda rid: encode_check(rid, request), retryable=True,
             trace=trace,
         )
-        await self.writer.drain()
+        await self._flush()
         return await future
 
     async def check_pipelined(
@@ -148,36 +185,42 @@ class ServeClient:
             )
             for request in requests
         ]
-        await self.writer.drain()
+        await self._flush()
         return list(await asyncio.gather(*futures))
 
     async def submit_proof(self, proof_wire: bytes) -> Reply:
         future = self._dispatch(
             lambda rid: encode_submit_proof(rid, proof_wire), retryable=True
         )
-        await self.writer.drain()
+        await self._flush()
         return await future
 
     async def ping(self) -> Reply:
         future = self._dispatch(encode_ping, retryable=False)
-        await self.writer.drain()
+        await self._flush()
         return await future
 
     async def stats_snapshot(self) -> Reply:
         """Ask the listener for its metrics snapshot (``reply.data``)."""
         future = self._dispatch(encode_stats, retryable=False)
-        await self.writer.drain()
+        await self._flush()
         return await future
 
     # -- receiving ---------------------------------------------------------
 
     async def _receive(self) -> None:
+        # Chunk reads through a FrameBuffer instead of two awaits per
+        # frame: a pipelined window's replies arrive as one coalesced
+        # buffer, and this drains them all on a single loop wakeup.
+        buffer = FrameBuffer(self.max_frame)
         try:
             while True:
-                frame = await read_frame(self.reader, self.max_frame)
-                if frame is None:
+                chunk = await self.reader.read(1 << 16)
+                if not chunk:
                     break
-                self._resolve(decode_reply(frame))
+                buffer.feed(chunk)
+                for payload in buffer.frames():
+                    self._resolve(decode_reply(payload))
         except (ConnectionError, OSError, WireError) as exc:
             self.metrics.inc("serve.client.receive_errors")
             self._fail_pending(exc)

@@ -55,7 +55,8 @@ from __future__ import annotations
 
 import asyncio
 import struct
-from typing import Iterator, List, Optional
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.errors import (
     AuthorizationError,
@@ -139,49 +140,77 @@ class FrameBuffer:
     owns reassembly and the caller only ever sees whole payloads.
     """
 
+    #: Consumed prefixes below this size are left in place; beyond it
+    #: the one ``del`` reclaims them.  Keeps compaction amortized O(1)
+    #: per byte instead of the old per-frame ``del`` (O(frames²) on a
+    #: dribbled stream).
+    COMPACT_THRESHOLD = 1 << 16
+
     def __init__(self, max_frame: int = MAX_FRAME):
         self.max_frame = max_frame
         self._buffer = bytearray()
+        # Consumed-prefix length: frames are *read* at an offset, not
+        # carved off the front, so a drain of N frames costs one
+        # compaction instead of N head-deletions.
+        self._offset = 0
 
     def feed(self, data: bytes) -> None:
+        if self._offset >= self.COMPACT_THRESHOLD:
+            self._compact()
         self._buffer.extend(data)
 
     def pending(self) -> int:
         """Bytes buffered but not yet framed (for diagnostics/tests)."""
-        return len(self._buffer)
+        return len(self._buffer) - self._offset
 
     def frames(self) -> Iterator[bytes]:
         """Yield every complete frame currently buffered."""
         while True:
-            if len(self._buffer) < HEADER.size:
-                return
-            (length,) = HEADER.unpack_from(self._buffer)
+            buffer = self._buffer
+            offset = self._offset
+            if len(buffer) - offset < HEADER.size:
+                break
+            (length,) = HEADER.unpack_from(buffer, offset)
             if length > self.max_frame:
                 raise WireError(
                     "announced frame of %d bytes exceeds the %d-byte "
                     "ceiling" % (length, self.max_frame)
                 )
-            end = HEADER.size + length
-            if len(self._buffer) < end:
-                return
-            payload = bytes(self._buffer[HEADER.size:end])
-            del self._buffer[:end]
+            start = offset + HEADER.size
+            end = start + length
+            if len(buffer) < end:
+                break
+            payload = bytes(buffer[start:end])
+            self._offset = end
             yield payload
+        self._compact()
+
+    def _compact(self) -> None:
+        """Reclaim the consumed prefix in one move (or for free, when
+        the buffer was fully drained)."""
+        offset = self._offset
+        if not offset:
+            return
+        if offset == len(self._buffer):
+            del self._buffer[:]
+            self._offset = 0
+        elif offset >= self.COMPACT_THRESHOLD:
+            del self._buffer[:offset]
+            self._offset = 0
 
 
 async def read_frame(reader, max_frame: int = MAX_FRAME) -> Optional[bytes]:
     """Read one frame from an asyncio stream; ``None`` on clean EOF.
 
-    ``readexactly`` owns the partial-read loop; an EOF landing *inside*
-    a frame is a protocol error, not a close."""
-    header = await reader.read(HEADER.size)
-    if not header:
-        return None
-    while len(header) < HEADER.size:
-        more = await reader.read(HEADER.size - len(header))
-        if not more:
-            raise WireError("connection closed inside a frame header")
-        header += more
+    ``readexactly`` owns the partial-read loop for header and body
+    alike; an EOF landing *inside* a frame is a protocol error, not a
+    close — only a clean EOF on a frame boundary returns ``None``."""
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise _reject("connection closed inside a frame header")
     (length,) = HEADER.unpack(header)
     if length > max_frame:
         raise WireError(
@@ -281,7 +310,7 @@ def guard_request_to_sexp(request: GuardRequest) -> SExp:
         SList([Atom("logical"), request.logical]),
     ]
     if request.issuer is not None:
-        items.append(SList([Atom("issuer"), request.issuer.to_sexp()]))
+        items.append(SList([Atom("issuer"), request.issuer.sexp_node()]))
     if request.min_tag is not None:
         items.append(SList([Atom("min-tag"), request.min_tag.to_sexp()]))
     if request.credential is not None:
@@ -415,6 +444,114 @@ def decode_command(payload: bytes) -> Command:
     raise WireError("unknown command %r" % op)
 
 
+# -- decode fast path ------------------------------------------------------
+
+
+def _split_check_frame(payload: bytes) -> Optional[Tuple[int, bytes]]:
+    """``(request_id, request_bytes)`` for a canonical check frame.
+
+    Canonical check frames are ``(5:check<len>:<id><request>)``, so the
+    request subtree can be sliced out with byte arithmetic — no sexp
+    parse.  Anything irregular returns ``None`` and takes the full
+    decode path, which owns the error reporting."""
+    if not payload.startswith(b"(5:check") or not payload.endswith(b")"):
+        return None
+    digits_start = 8
+    colon = payload.find(b":", digits_start, digits_start + 11)
+    if colon <= digits_start:
+        return None
+    try:
+        id_len = int(payload[digits_start:colon])
+        id_end = colon + 1 + id_len
+        request_id = int(payload[colon + 1:id_end])
+    except ValueError:
+        # Irregular header bytes: count the fallback and let the full
+        # decoder own the (possibly-erroring) parse.
+        default_registry().inc("serve.protocol.decode_fallbacks")
+        return None
+    if id_end >= len(payload) - 1:
+        return None
+    return request_id, payload[id_end:-1]
+
+
+def _clone_request(request: GuardRequest) -> GuardRequest:
+    """A fresh :class:`GuardRequest` sharing the immutable parts.
+
+    The serve layer mutates ``trace`` (and the pipeline fills
+    ``channel``) in place, so a cache may never hand out its stored
+    template — but logical form, principals, and credentials are
+    immutable and shared freely."""
+    return GuardRequest(
+        request.logical,
+        issuer=request.issuer,
+        min_tag=request.min_tag,
+        credential=request.credential,
+        transport=request.transport,
+        trace=request.trace,
+    )
+
+
+class DecodeCache:
+    """An LRU from check-frame request bytes to decoded requests.
+
+    Decoding a check frame — sexp parse, principal reconstruction,
+    credential validation — dominates the listener's per-request Python
+    cost, and real clients repeat themselves: the same session re-asks
+    the same question with a fresh request id.  The cache keys on the
+    *request subtree bytes* (the id is sliced off first), so a repeat
+    question skips the whole codec no matter what id it rides under.
+
+    Hits stay semantically transparent: the pipeline still verifies the
+    MAC / proof / session on every request, so a hit can never turn a
+    deny into a grant.  Entries are nonetheless stamped with the
+    backend's ``invalidation_generation`` as defense in depth — any
+    revocation, retraction, channel close, or membership change bumps
+    the generation and strands every prior entry.
+
+    Non-check frames (ping, stats, proof) and irregular bytes fall
+    through to :func:`decode_command` untouched.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[bytes, Tuple[int, GuardRequest]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def decode(self, payload: bytes, generation: int = 0) -> Command:
+        """Decode one frame, through the cache when it is a check."""
+        split = _split_check_frame(payload)
+        if split is None:
+            return decode_command(payload)
+        request_id, request_bytes = split
+        entry = self._entries.get(request_bytes)
+        if entry is not None:
+            if entry[0] == generation:
+                self._entries.move_to_end(request_bytes)
+                self.hits += 1
+                return Command(
+                    "check", request_id, _clone_request(entry[1])
+                )
+            # Stale trust state: drop it and re-decode below.
+            del self._entries[request_bytes]
+        self.misses += 1
+        command = decode_command(payload)
+        if command.op == "check":
+            self._entries[request_bytes] = (
+                generation, _clone_request(command.body)
+            )
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return command
+
+
 # -- value codec -----------------------------------------------------------
 #
 # The STATS reply carries an arbitrary JSON-shaped snapshot (nested
@@ -538,7 +675,35 @@ class Reply:
         return "Reply(%s #%d)" % (self.status, self.request_id)
 
 
+#: Canonical ``(via X)(stage Y)`` tails, memoized per label pair: every
+#: granted reply in a steady-state run carries one of a handful of
+#: (via, stage) combinations, and only the request id varies.
+_OK_TAILS: Dict[Tuple[str, str], bytes] = {}
+
+
+def _ok_reply_bytes(request_id: int, via: str, stage: str) -> bytes:
+    pair = (via, stage)
+    tail = _OK_TAILS.get(pair)
+    if tail is None:
+        if len(_OK_TAILS) >= 256:
+            _OK_TAILS.clear()
+        tail = to_canonical(
+            SList([Atom("via"), Atom(via)])
+        ) + to_canonical(SList([Atom("stage"), Atom(stage)]))
+        _OK_TAILS[pair] = tail
+    rid = b"%d" % request_id
+    return b"(2:ok%d:%s%s)" % (len(rid), rid, tail)
+
+
 def encode_reply(reply: Reply) -> bytes:
+    if reply.status == OK:
+        # Byte-identical to the generic encoding below, minus the tree
+        # build and walk (the grant path emits thousands of these).
+        return _ok_reply_bytes(
+            reply.request_id,
+            reply.via or "unknown",
+            reply.stage or "unknown",
+        )
     items: List[SExp] = [Atom(reply.status), Atom(str(reply.request_id))]
     if reply.status == OK:
         items.append(SList([Atom("via"), Atom(reply.via or "unknown")]))
@@ -563,7 +728,40 @@ def encode_reply(reply: Reply) -> bytes:
     return to_canonical(SList(items))
 
 
+#: Parsed ``(via X)(stage Y)`` tails by their canonical bytes — the
+#: decode twin of :data:`_OK_TAILS`: a pipelined client drains floods of
+#: granted replies that differ only in request id.
+_OK_TAIL_LABELS: Dict[bytes, Tuple[str, str]] = {}
+
+
+def _split_ok_reply(payload: bytes) -> Optional[Reply]:
+    """Decode a granted reply without building its AST, or ``None`` to
+    fall back to the generic parser (which also handles malformed
+    frames' error reporting)."""
+    if not payload.startswith(b"(2:ok") or not payload.endswith(b")"):
+        return None
+    digits_start = 5
+    colon = payload.find(b":", digits_start, digits_start + 11)
+    if colon <= digits_start:
+        return None
+    try:
+        id_len = int(payload[digits_start:colon])
+        id_end = colon + 1 + id_len
+        request_id = int(payload[colon + 1:id_end])
+    except ValueError:
+        default_registry().inc("serve.protocol.decode_fallbacks")
+        return None
+    tail = payload[id_end:-1]
+    labels = _OK_TAIL_LABELS.get(tail)
+    if labels is None:
+        return None
+    return Reply(OK, request_id, via=labels[0], stage=labels[1])
+
+
 def decode_reply(payload: bytes) -> Reply:
+    fast = _split_ok_reply(payload)
+    if fast is not None:
+        return fast
     node = _parse_payload(payload)
     status = node.head()
     request_id = _request_id(node)
@@ -576,6 +774,16 @@ def decode_reply(payload: bytes) -> Reply:
                 via = field.items[1].text()
             elif field.head() == "stage":
                 stage = field.items[1].text()
+        if via is not None and stage is not None:
+            # Teach the fast path this (via, stage) pair: the learned
+            # key is our own canonical re-encoding, so only frames that
+            # are byte-identical to what we would emit can ever match.
+            if len(_OK_TAIL_LABELS) >= 256:
+                _OK_TAIL_LABELS.clear()
+            _OK_TAIL_LABELS[
+                to_canonical(SList([Atom("via"), Atom(via)]))
+                + to_canonical(SList([Atom("stage"), Atom(stage)]))
+            ] = (via, stage)
         return Reply(OK, request_id, via=via, stage=stage)
     if status == CHALLENGE:
         issuer = None

@@ -40,6 +40,7 @@ from repro.serve.protocol import (
     CHALLENGE,
     DENIED,
     ERROR,
+    HEADER,
     MAX_FRAME,
     OK,
     PONG,
@@ -47,11 +48,10 @@ from repro.serve.protocol import (
     RETRY,
     STATS_OK,
     Command,
+    DecodeCache,
     Reply,
     WireError,
     decision_reply,
-    decode_command,
-    encode_frame,
     encode_reply,
     read_frame,
 )
@@ -80,6 +80,7 @@ class ServeListener:
         max_frame: int = MAX_FRAME,
         metrics=None,
         tracer=None,
+        decode_cache: int = 1024,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -93,6 +94,9 @@ class ServeListener:
         self.max_batch = max_batch
         self.inflight_window = inflight_window
         self.max_frame = max_frame
+        # Per-listener, so under ThreadedFleet each event loop owns its
+        # cache outright — no cross-thread sharing on the hot path.
+        self.decode_cache = DecodeCache(capacity=decode_cache)
         self.closing = False
         # A listener inherits the backend's registry/tracer so serve
         # spans and guard spans land in one place; explicit injection
@@ -120,6 +124,8 @@ class ServeListener:
             "stats_requests": 0,
             "paused": 0,
             "repairs": 0,
+            "decode_hits": 0,
+            "decode_misses": 0,
         }
         self.metrics.register_source("serve.%s" % name, self.stats)
         self._server: Optional[asyncio.AbstractServer] = None
@@ -305,11 +311,18 @@ class _Connection:
         replies: List[Optional[Reply]] = [None] * len(entries)
         checks = []  # (slot, request_id, GuardRequest, span)
         spans = {}   # slot -> the request's serve-layer span
+        # One generation read per batch: every cached decode this batch
+        # serves is vouched for by the trust state as of *now*.  (Hits
+        # are transparent anyway — the pipeline re-verifies — but the
+        # stamp means a revocation also strands the stale bytes.)
+        cache = listener.decode_cache
+        generation = getattr(listener.backend, "invalidation_generation", 0)
+        hits, misses = cache.hits, cache.misses
         for slot, (payload, arrived_at) in enumerate(entries):
             metrics.observe("serve.queue_wait_ms",
                             (now - arrived_at) * 1000.0)
             try:
-                command = decode_command(payload)
+                command = cache.decode(payload, generation)
             except WireError as exc:
                 replies[slot] = listener._count(
                     Reply(ERROR, 0, message=str(exc))
@@ -342,6 +355,12 @@ class _Connection:
                 checks.append(
                     (slot, command.request_id, command.body, span)
                 )
+        if cache.hits != hits:
+            stats["decode_hits"] += cache.hits - hits
+            metrics.inc("serve.decode.hits", cache.hits - hits)
+        if cache.misses != misses:
+            stats["decode_misses"] += cache.misses - misses
+            metrics.inc("serve.decode.misses", cache.misses - misses)
         if checks:
             await self._serve_checks(checks, replies)
         for slot, span in spans.items():
@@ -420,12 +439,21 @@ class _Connection:
         if not replies:
             return True
         # max_frame bounds what we *accept*; our own replies are framed
-        # against the protocol ceiling.
-        payload = b"".join(
-            encode_frame(encode_reply(reply)) for reply in replies
-        )
+        # against the protocol ceiling.  One growing buffer, one write,
+        # one drain for the whole batch — header and body appended
+        # directly, no per-reply frame concatenation.
+        buffer = bytearray()
+        for reply in replies:
+            body = encode_reply(reply)
+            if len(body) > MAX_FRAME:
+                raise WireError(
+                    "reply frame of %d bytes exceeds the %d-byte "
+                    "ceiling" % (len(body), MAX_FRAME)
+                )
+            buffer += HEADER.pack(len(body))
+            buffer += body
         try:
-            self.writer.write(payload)
+            self.writer.write(bytes(buffer))
             await self.writer.drain()
         except (ConnectionError, OSError):
             self.listener.metrics.inc("serve.conn.write_errors")

@@ -43,7 +43,7 @@ class Atom(SExp):
     rarely uses them but the encoder and parser round-trip them faithfully.
     """
 
-    __slots__ = ("value", "hint")
+    __slots__ = ("value", "hint", "_canonical")
 
     def __init__(self, value: Union[bytes, str], hint: Optional[bytes] = None):
         if isinstance(value, str):
@@ -52,6 +52,9 @@ class Atom(SExp):
             raise TypeError("Atom value must be bytes or str, got %r" % (value,))
         object.__setattr__(self, "value", value)
         object.__setattr__(self, "hint", hint)
+        # Memoized canonical encoding: nodes are immutable, so the bytes
+        # can never go stale.  Filled lazily by the encoder.
+        object.__setattr__(self, "_canonical", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("Atom instances are immutable")
@@ -76,7 +79,7 @@ class Atom(SExp):
 class SList(SExp):
     """An immutable list of S-expressions."""
 
-    __slots__ = ("items",)
+    __slots__ = ("items", "_canonical")
 
     def __init__(self, items: Iterable[SExp] = ()):
         items = tuple(items)
@@ -84,6 +87,8 @@ class SList(SExp):
             if not isinstance(item, SExp):
                 raise TypeError("SList items must be SExp, got %r" % (item,))
         object.__setattr__(self, "items", items)
+        # Memoized canonical encoding (see Atom._canonical).
+        object.__setattr__(self, "_canonical", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("SList instances are immutable")

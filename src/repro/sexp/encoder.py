@@ -22,30 +22,65 @@ _QUOTABLE = re.compile(rb"\A[\x20-\x7e]*\Z")
 
 
 def to_canonical(node: SExp) -> bytes:
-    """Encode in canonical form: ``<len>:<bytes>`` atoms, ``(`` ``)`` lists."""
-    out = bytearray()
-    _canonical_into(node, out)
-    return bytes(out)
+    """Encode in canonical form: ``<len>:<bytes>`` atoms, ``(`` ``)`` lists.
 
-
-def _canonical_into(node: SExp, out: bytearray) -> None:
+    Nodes are immutable, so every node memoizes its encoding on first
+    use (the ``_canonical`` slot): a request's logical form is encoded
+    once even though it is hashed, MAC-tagged, and framed separately.
+    The encoder itself is iterative — an explicit frame stack instead of
+    recursion — and each completed list is assembled with one pre-sized
+    ``join`` over its children's (mostly memoized) encodings.
+    """
+    encoded = node._canonical
+    if encoded is not None:
+        return encoded
     if isinstance(node, Atom):
-        if node.hint is not None:
-            out += b"["
-            out += str(len(node.hint)).encode("ascii")
-            out += b":"
-            out += node.hint
-            out += b"]"
-        out += str(len(node.value)).encode("ascii")
-        out += b":"
-        out += node.value
-    elif isinstance(node, SList):
-        out += b"("
-        for item in node.items:
-            _canonical_into(item, out)
-        out += b")"
-    else:  # pragma: no cover - type guard
+        encoded = _atom_canonical(node)
+        object.__setattr__(node, "_canonical", encoded)
+        return encoded
+    if not isinstance(node, SList):
         raise TypeError("not an SExp: %r" % (node,))
+    # One frame per open list: (node, collected parts, next child index).
+    frames = [(node, [b"("], 0)]
+    while True:
+        current, parts, index = frames[-1]
+        items = current.items
+        descended = False
+        while index < len(items):
+            child = items[index]
+            index += 1
+            cached = child._canonical
+            if cached is not None:
+                parts.append(cached)
+            elif isinstance(child, Atom):
+                encoded = _atom_canonical(child)
+                object.__setattr__(child, "_canonical", encoded)
+                parts.append(encoded)
+            elif isinstance(child, SList):
+                frames[-1] = (current, parts, index)
+                frames.append((child, [b"("], 0))
+                descended = True
+                break
+            else:  # pragma: no cover - type guard
+                raise TypeError("not an SExp: %r" % (child,))
+        if descended:
+            continue
+        parts.append(b")")
+        encoded = b"".join(parts)
+        object.__setattr__(current, "_canonical", encoded)
+        frames.pop()
+        if not frames:
+            return encoded
+        frames[-1][1].append(encoded)
+
+
+def _atom_canonical(atom: Atom) -> bytes:
+    value = atom.value
+    if atom.hint is not None:
+        return b"[%d:%s]%d:%s" % (
+            len(atom.hint), atom.hint, len(value), value
+        )
+    return b"%d:%s" % (len(value), value)
 
 
 def to_transport(node: SExp) -> bytes:

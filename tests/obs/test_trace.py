@@ -7,6 +7,7 @@ import random
 import pytest
 
 from repro.obs import MetricsRegistry, Tracer, new_trace_id
+from repro.obs.trace import NULL_SPAN
 from repro.sim import SimClock
 
 
@@ -82,3 +83,109 @@ class TestSpanLifecycle:
             for _ in range(10)
         ]
         assert tracer.finished() == spans[-4:]
+
+
+class TestSampling:
+    def _sampled(self, sample, clock=None):
+        registry = MetricsRegistry(timebase=clock)
+        tracer = Tracer(
+            registry=registry, rng=random.Random(42), sample=sample
+        )
+        return tracer, registry
+
+    def test_one_in_n_roots_is_real_and_the_rest_are_null(self):
+        tracer, _ = self._sampled(4)
+        roots = [
+            tracer.start_span("serve.request", activate=False)
+            for _ in range(8)
+        ]
+        for span in roots:
+            tracer.finish(span)
+        real = [span for span in roots if span is not NULL_SPAN]
+        nulls = [span for span in roots if span is NULL_SPAN]
+        # The very first root is captured; then every 4th.
+        assert real == [roots[0], roots[4]]
+        assert len(nulls) == 6
+        # Zero allocation: every sampled-out root is the one shared
+        # singleton, not a fresh null object.
+        assert all(span is roots[1] for span in nulls[1:])
+
+    def test_sample_one_captures_every_root(self):
+        tracer, _ = self._sampled(1)
+        roots = [
+            tracer.start_span("serve.request", activate=False)
+            for _ in range(5)
+        ]
+        assert all(span is not NULL_SPAN for span in roots)
+
+    def test_carried_trace_is_always_captured(self):
+        tracer, _ = self._sampled(1000)
+        for _ in range(10):
+            span = tracer.start_span(
+                "serve.request", trace="feedfeedfeedfeed", activate=False
+            )
+            assert span is not NULL_SPAN
+            assert span.trace_id == "feedfeedfeedfeed"
+            tracer.finish(span)
+        assert len(tracer.spans_for("feedfeedfeedfeed")) == 10
+
+    def test_children_of_a_sampled_root_are_always_captured(self):
+        tracer, _ = self._sampled(1000)
+        root = tracer.start_span("serve.request")  # first root: sampled
+        assert root is not NULL_SPAN
+        child = tracer.start_span("guard.check")
+        assert child is not NULL_SPAN
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        tracer.finish(child)
+        tracer.finish(root)
+
+    def test_null_span_operations_are_inert(self):
+        tracer, registry = self._sampled(2)
+        tracer.start_span("serve.request", activate=False)  # sampled
+        null = tracer.start_span("serve.request", activate=False)
+        assert null is NULL_SPAN
+        assert null.annotate("stage", "fastpath") is NULL_SPAN
+        assert null.annotations == {}
+        assert null.trace_id is None and null.span_id is None
+        assert null.duration_ms is None
+        with tracer.activate(null) as active:
+            assert active is NULL_SPAN
+            assert tracer.current() is None
+        tracer.finish(null)
+        # Never retained, never observed into span histograms.
+        assert null not in tracer.finished()
+        histograms = registry.snapshot()["histograms"]
+        assert (
+            "span.serve.request_ms" not in histograms
+            or histograms["span.serve.request_ms"]["count"] == 1
+        )
+
+    def test_sampling_never_thins_counters_or_plain_histograms(self):
+        clock = SimClock()
+
+        def workload(sample):
+            registry = MetricsRegistry(timebase=clock)
+            tracer = Tracer(
+                registry=registry, rng=random.Random(42), sample=sample
+            )
+            for index in range(32):
+                span = tracer.start_span("serve.request", activate=False)
+                registry.inc("serve.requests")
+                registry.observe("guard.stage.fastpath_ms", index * 0.1)
+                tracer.finish(span)
+            return registry.snapshot()
+
+        exact, sampled = workload(1), workload(4)
+        assert exact["counters"] == sampled["counters"]
+        # Only span.* capture thins; every other histogram is exact.
+        assert (
+            exact["histograms"]["guard.stage.fastpath_ms"]
+            == sampled["histograms"]["guard.stage.fastpath_ms"]
+        )
+        assert exact["histograms"]["span.serve.request_ms"]["count"] == 32
+        assert sampled["histograms"]["span.serve.request_ms"]["count"] == 8
+
+    def test_sample_below_one_is_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(registry=MetricsRegistry(), sample=0)

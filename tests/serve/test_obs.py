@@ -20,11 +20,11 @@ from repro.spki import Certificate
 from repro.tags import Tag
 
 
-def _observed_cluster(server_kp, rng, nodes=3, sessions=6):
+def _observed_cluster(server_kp, rng, nodes=3, sessions=6, sample=1):
     """The test_server cluster world, with an injected registry/tracer
     the listener inherits off the backend."""
     registry = MetricsRegistry()
-    tracer = Tracer(registry=registry)
+    tracer = Tracer(registry=registry, sample=sample)
     cluster = AuthCluster(
         node_count=nodes, clock=SimClock(), metrics=registry, tracer=tracer
     )
@@ -121,6 +121,54 @@ class TestStatsWire:
         assert spans["count"] == 6
 
 
+class TestServerSampling:
+    def test_counters_stay_exact_while_span_capture_thins(
+        self, server_kp, rng
+    ):
+        # Server tracer at sample=4, client minting no trace ids at all
+        # (trace_sample far above the request count): every serve root
+        # makes its own sampling decision.  Counters and stage
+        # histograms must count all 8 requests; only span.*_ms thins.
+        cluster, issuer, minted, registry, tracer = _observed_cluster(
+            server_kp, rng, sample=4
+        )
+
+        async def scenario():
+            listener = ServeListener(cluster)
+            host, port = await listener.start()
+            client = await ServeClient.connect(
+                host, port, trace_sample=1000
+            )
+            requests = [_request(issuer, minted, 0)]  # birth 1: traced
+            requests += [
+                _request(issuer, minted, index) for index in range(1, 8)
+            ]
+            replies = await client.check_pipelined(requests)
+            await client.close()
+            await listener.shutdown()
+            return replies, [request.trace for request in requests]
+
+        replies, traces = asyncio.run(scenario())
+        assert all(reply.granted for reply in replies)
+        # Only the first client birth minted an id; the other frames
+        # carried none, so the server saw 7 fresh trace roots.
+        assert traces[0] is not None
+        assert all(trace is None for trace in traces[1:])
+
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["serve.replies.ok"] == 8
+        stage_counts = sum(
+            snapshot["counters"].get("guard.stage.%s" % stage, 0)
+            for stage in ("fastpath", "proof_cache", "prover")
+        )
+        assert stage_counts == 8
+        # Span capture: the carried trace always lands, plus 1-in-4 of
+        # the 7 server-born roots (births 1 and 5) — 3 of 8 requests.
+        spans = snapshot["histograms"]["span.serve.request_ms"]
+        assert spans["count"] == 3
+        assert len(tracer.spans_for(traces[0])) >= 1
+
+
 class TestPongVitals:
     def test_pong_reports_uptime_and_inflight_window(self, server_kp, rng):
         cluster, issuer, minted, _, _ = _observed_cluster(server_kp, rng)
@@ -194,6 +242,52 @@ class TestTraceAcrossRetry:
         ]
         assert len(stamped) == 1
         assert "trace=%s" % trace in stamped[0].render()
+
+    def test_sampled_request_keeps_one_trace_across_the_retry(
+        self, server_kp, rng
+    ):
+        # Client-side sampling (trace_sample=2): births alternate
+        # sampled / unsampled.  The retried request is birth 3 — sampled
+        # — so the whole crash/RETRY/resend arc must land in one trace
+        # even though its neighbors carry no trace id at all.
+        cluster, issuer, minted, _, tracer = _observed_cluster(
+            server_kp, rng
+        )
+        mac_id, _ = minted[0]
+        owner = cluster.membership.ring.node_for(session_routing_key(mac_id))
+
+        async def scenario():
+            listener = ServeListener(cluster)
+            host, port = await listener.start()
+            client = await ServeClient.connect(host, port, trace_sample=2)
+            warm = _request(issuer, minted, 0)          # birth 1: sampled
+            assert (await client.check(warm)).granted
+            filler = _request(issuer, minted, 1)        # birth 2: not
+            assert (await client.check(filler)).granted
+            cluster.crash_node(owner)
+            retried = _request(issuer, minted, 0)       # birth 3: sampled
+            reply = await client.check(retried)
+            await client.close()
+            await listener.shutdown()
+            return reply, filler.trace, retried.trace, client.stats
+
+        reply, filler_trace, trace, client_stats = asyncio.run(scenario())
+        assert reply.granted
+        assert client_stats["retries"] == 1
+        # The sampled-out neighbor really carried no id; the server
+        # traced it on its own terms (or not), invisibly to the client.
+        assert filler_trace is None
+        assert trace is not None
+
+        attempts = [
+            span
+            for span in tracer.spans_for(trace)
+            if span.name == "serve.request"
+        ]
+        assert len(attempts) == 2
+        first, second = attempts
+        assert first.annotations["status"] == "retry"
+        assert second.annotations["status"] == "ok"
 
     def test_fresh_checks_get_distinct_traces(self, server_kp, rng):
         cluster, issuer, minted, _, _ = _observed_cluster(server_kp, rng)

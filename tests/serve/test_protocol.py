@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.core.errors import (
@@ -69,6 +71,35 @@ class TestFraming:
         buffer = FrameBuffer()
         buffer.feed(wire)
         assert list(buffer.frames()) == [b"one", b"two"]
+
+    def test_ten_thousand_dribbled_frames_reassemble_in_linear_time(self):
+        # The offset-based consumer must not re-copy the whole buffer
+        # per frame (the old ``del buf[:n]`` decoder was quadratic in
+        # the worst case).  10k frames, fed one byte at a time and then
+        # again as one slab, must both yield byte-identical payloads —
+        # and do it fast enough that quadratic behavior would stick out.
+        frames = [
+            b"payload-%06d-%s" % (index, b"x" * (index % 23))
+            for index in range(10_000)
+        ]
+        wire = b"".join(encode_frame(frame) for frame in frames)
+
+        started = time.perf_counter()
+        buffer = FrameBuffer()
+        dribbled = []
+        view = memoryview(wire)
+        for index in range(len(wire)):
+            buffer.feed(view[index:index + 1])
+            dribbled.extend(buffer.frames())
+        elapsed = time.perf_counter() - started
+        assert dribbled == frames
+        assert buffer.pending() == 0
+        assert elapsed < 5.0, "dribbled reassembly took %.2fs" % elapsed
+
+        slab = FrameBuffer()
+        slab.feed(wire)
+        assert list(slab.frames()) == frames
+        assert slab.pending() == 0
 
     def test_oversize_announcement_is_a_wire_error(self):
         buffer = FrameBuffer(max_frame=16)

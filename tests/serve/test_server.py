@@ -25,6 +25,8 @@ from repro.prover import Prover
 from repro.serve import ServeClient, ServeFleet, ServeListener
 from repro.serve.dispatch import ThreadedDispatcher
 from repro.serve.protocol import (
+    CHALLENGE,
+    encode_check,
     encode_frame,
     encode_ping,
     read_frame,
@@ -307,3 +309,54 @@ class TestWireErrors:
         assert reply.status == "error"
         assert reply.request_id == 0
         assert trailing is None  # server closed after reporting
+
+
+class TestRevocationOnTheWire:
+    def test_revoked_speaker_replaying_identical_bytes_is_denied(
+        self, server_kp, rng
+    ):
+        # The decode cache serves byte-identical frames without
+        # re-parsing — but a cached *decode* must never become a cached
+        # *decision*.  Grant once, revoke the session's certificate,
+        # replay the exact same frame bytes: the cache may hit, the
+        # grant must not.
+        cluster = AuthCluster(node_count=3, clock=SimClock())
+        issuer = KeyPrincipal(server_kp.public)
+        mac_id, mac_key = cluster.mint_session(rng)
+        certificate = Certificate.issue(
+            server_kp, MacPrincipal(mac_key.fingerprint()), Tag.all(),
+            rng=rng,
+        )
+        cluster.add_delegation(SignedCertificateStep(certificate))
+        request = _request(issuer, [(mac_id, mac_key)], 0)
+        frame = encode_frame(encode_check(7, request))
+
+        async def scenario():
+            listener = ServeListener(cluster)
+            host, port = await listener.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            async def replay():
+                writer.write(frame)
+                await writer.drain()
+                return decode_reply(await read_frame(reader))
+            first = await replay()
+            # Warm the decode cache: an identical replay while still
+            # authorized is granted (and served from the cache).
+            warm = await replay()
+            cluster.revoke_serial(certificate.serial)
+            cluster.deliver_invalidations()
+            second = await replay()
+            writer.close()
+            await writer.wait_closed()
+            stats = listener.stats.copy()
+            await listener.shutdown()
+            return first, warm, second, stats
+
+        first, warm, second, stats = asyncio.run(scenario())
+        assert first.granted
+        assert warm.granted
+        assert not second.granted
+        # With its only chain revoked the speaker is back to square one:
+        # the server challenges for a fresh proof rather than granting.
+        assert second.status == CHALLENGE
+        assert stats["grants"] == 2 and stats["challenges"] == 1
