@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.audit import ClusterAuditView
 from repro.cluster.bus import InvalidationBus
+from repro.cluster.handoff import DrainReport, HandoffCoordinator
 from repro.cluster.membership import ClusterMembership
 from repro.cluster.ring import (
     GuardNode,
@@ -36,7 +37,7 @@ from repro.cluster.ring import (
     session_routing_key,
 )
 from repro.core.errors import AuthorizationError
-from repro.core.principals import Principal, QuotingPrincipal
+from repro.core.principals import MacPrincipal, Principal, QuotingPrincipal
 from repro.core.proofs import Proof, proof_cites_serial, proof_from_sexp
 from repro.core.statements import SpeaksFor
 from repro.crypto.mac import MacKey
@@ -134,7 +135,14 @@ class AuthCluster:
     - **failure**: a failed node's shards reassign by ring arithmetic;
       its MAC sessions re-mint onto the new owners from the cluster
       directory on first miss, carrying their original mint stamp so
-      the absolute TTL never restarts.
+      the absolute TTL never restarts;
+    - **planned departure**: :meth:`drain` marks the node DRAINING (still
+      serving), streams its warm state — cached proofs, shortcuts, MAC
+      sessions, channel bindings — to the inheriting ring successors via
+      :class:`~repro.cluster.handoff.HandoffCoordinator`, then finalizes
+      the leave, so a planned topology change costs ~no re-derivations;
+      with ``gossip=True`` the same records warm a hot speaker's replica
+      set the moment its checks start spreading.
     """
 
     def __init__(
@@ -150,6 +158,7 @@ class AuthCluster:
         hot_threshold: int = 16,
         hot_window: Optional[float] = 300.0,
         hot_speaker_cap: int = 4096,
+        gossip: bool = True,
         audit_retain: Optional[int] = None,
         rng=None,
         metrics=None,
@@ -185,8 +194,12 @@ class AuthCluster:
         self.hot_threshold = hot_threshold
         self.hot_window = hot_window
         self.hot_speaker_cap = hot_speaker_cap
+        self.gossip = gossip
         self.rng = rng
         self.audit = ClusterAuditView(self.membership, retain=audit_retain)
+        # The handoff/gossip plane: warm-state transfer for planned
+        # departures, and proof-cache pushes when a speaker goes hot.
+        self.handoff = HandoffCoordinator(self)
         self._next_node = 0
         # Base term of ``invalidation_generation``: compensates for node
         # departures (a departing guard's counter leaves the sum) so the
@@ -281,11 +294,26 @@ class AuthCluster:
 
     def remove_node(self, node_id: str) -> GuardNode:
         """Graceful leave: shards reassign; the departing node stops
-        receiving bus traffic."""
+        receiving bus traffic.  Called on an UP node this is the *cold*
+        path — successors re-derive on first miss; :meth:`drain` is the
+        warm path, and calls here to finalize."""
         node = self.membership.leave(node_id)
         self.bus.unsubscribe(node_id)
         self._absorb_departure(node)
         return node
+
+    def drain(self, node_id: str) -> DrainReport:
+        """Planned departure, warm: mark the node DRAINING (it keeps its
+        ring points and keeps serving — no wire-level RETRY for a planned
+        leave), stream its warm state to the inheriting successors, then
+        finalize with the ordinary leave.  Returns the transfer report;
+        the per-shard flip happens at the final ring update, by which
+        point every inheritor already holds the state it needs."""
+        self.membership.begin_drain(node_id)
+        node = self.membership.get(node_id)
+        report = self.handoff.drain(node)
+        self.remove_node(node_id)
+        return report
 
     def fail_node(self, node_id: str) -> GuardNode:
         """Declare a node dead (operator-driven; the heartbeat sweep is
@@ -407,11 +435,42 @@ class AuthCluster:
         if count <= self.hot_threshold:
             return self.membership.node_for(key)
         replicas = self.membership.nodes_for(key, self.replica_reads)
+        if (
+            self.gossip
+            and count == self.hot_threshold + 1
+            and len(replicas) > 1
+        ):
+            # The speaker just crossed the hot threshold: its next checks
+            # spread over the replica set, so push the owner's warm cache
+            # entries there now — each replica then hits the proof-cache
+            # stage instead of paying the same Prover derivation again.
+            speaker = self._gossip_speaker(request, replicas[0])
+            if speaker is not None:
+                self.handoff.gossip(replicas[0], replicas[1:], speaker)
         node = replicas[count % len(replicas)]
         if node is not replicas[0]:
             self.stats["replica_reads"] += 1
             self.metrics.inc("cluster.replica_reads")
         return node
+
+    def _gossip_speaker(
+        self, request: GuardRequest, owner: GuardNode
+    ) -> Optional[Principal]:
+        """The cache-bucket key the owner holds this request's warm state
+        under — the speaker gossip must export by.  Mirrors how the guard
+        buckets each credential kind: channels by the channel speaker,
+        sessions by the MAC principal of the session key, subject-bound
+        proofs by the expected subject."""
+        credential = request.credential
+        if isinstance(credential, ChannelCredential):
+            return credential.speaker
+        if isinstance(credential, SessionCredential):
+            mac_key = owner.guard.sessions.get(credential.session_id)
+            if mac_key is None:
+                return None
+            return MacPrincipal(mac_key.fingerprint())
+        expected = getattr(credential, "expected_subject", None)
+        return expected
 
     # -- replicated delegations and invalidation ---------------------------
 
@@ -511,6 +570,12 @@ class AuthCluster:
         owner = self.node_for_speaker(premise.subject)
         owner.guard.close_channel(premise)
         self.stats["channels_closed"] += 1
+
+    def channel_bindings(self) -> List[Tuple[bytes, SpeaksFor]]:
+        """The live channel directory as ``(fingerprint, premise)`` pairs
+        — what the handoff plane enumerates when a draining node's channel
+        shards move to their inheritors."""
+        return list(self._channel_directory.items())
 
     def mint_session(self, rng=None) -> Tuple[str, MacKey]:
         """Mint a MAC session on its owning node and escrow the secret in
@@ -714,6 +779,7 @@ class AuthCluster:
             "cluster": dict(self.stats),
             "membership": dict(self.membership.stats),
             "dispatch": dict(self.dispatcher.stats),
+            "handoff": dict(self.handoff.stats),
             "bus": dict(self.bus.stats),
             "ring": {
                 "nodes": self.membership.ring.nodes(),

@@ -139,6 +139,15 @@ class ClusterFrontend:
     def revoke_serial(self, serial):
         return self.cluster.revoke_serial(serial)
 
+    # -- topology -----------------------------------------------------------
+
+    def drain(self, node_id):
+        """Planned node departure through this listener's handle: warm
+        state streams to the inheriting successors while the node keeps
+        serving, then the leave finalizes (see
+        :meth:`AuthCluster.drain`).  Returns the transfer report."""
+        return self.cluster.drain(node_id)
+
     # -- introspection ----------------------------------------------------
 
     @property

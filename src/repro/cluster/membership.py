@@ -17,6 +17,12 @@ cached proofs re-derive from the replicated delegation graph.  Channel
 premises are the deliberate exception — a connection terminates at
 exactly one node, so its premise dies with that node and the client
 reconnects and re-vouches.
+
+*Planned* departures get a warmer deal: a DRAINING node keeps serving
+while :mod:`repro.cluster.handoff` streams its sessions, cached proofs,
+and channel bindings to the inheriting successors, so the eventual
+``leave()`` flips each shard to an owner that re-derives ~nothing.
+
 """
 
 from __future__ import annotations
@@ -34,6 +40,17 @@ FAILED = "failed"
 #: Died without a leave: still holds its ring points until the next
 #: sweep, so lookups that land on it raise ``NodeUnavailableError``.
 CRASHED = "crashed"
+#: Planned departure in progress: the node is *still serving* — it keeps
+#: its ring points, answers lookups, heartbeats, and receives bus traffic
+#: — while its warm state streams to the inheriting successors shard by
+#: shard.  ``leave()`` finalizes the transition to LEFT.
+DRAINING = "draining"
+
+#: States whose nodes serve requests (lookups resolve, heartbeats count,
+#: delegations replicate).  A draining node serves until the instant its
+#: ring points are withdrawn — that is what makes a planned departure
+#: RETRY-free at the wire, unlike a crash.
+SERVING = (UP, DRAINING)
 
 
 class MembershipEvent:
@@ -43,7 +60,7 @@ class MembershipEvent:
 
     def __init__(self, when: float, action: str, node_id: str):
         self.when = when
-        self.action = action  # "join" | "leave" | "fail" | "crash"
+        self.action = action  # "join" | "drain" | "leave" | "fail" | "crash"
         self.node_id = node_id
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -78,6 +95,7 @@ class ClusterMembership:
             "leaves": 0,
             "failures": 0,
             "crashes": 0,
+            "drains": 0,
             "sweeps": 0,
             "heartbeats": 0,
         }
@@ -87,7 +105,7 @@ class ClusterMembership:
     def join(self, node: GuardNode) -> None:
         """Admit a node: it takes its ring points and starts heartbeating.
         A previously left or failed id may rejoin (fresh caches)."""
-        if self._state.get(node.node_id) == UP:
+        if self._state.get(node.node_id) in SERVING:
             raise ValueError("node %r is already up" % node.node_id)
         self.ring.add(node.node_id)
         self._nodes[node.node_id] = node
@@ -96,11 +114,31 @@ class ClusterMembership:
         self._record("join", node.node_id)
         self.stats["joins"] += 1
 
+    def begin_drain(self, node_id: str) -> GuardNode:
+        """Start a planned departure: the node transitions UP → DRAINING
+        but keeps its ring points and keeps serving while its warm state
+        streams to the inheriting successors.  :meth:`leave` finalizes
+        the departure (DRAINING → LEFT) once the transfer completes."""
+        if self._state.get(node_id) != UP:
+            raise ValueError("node %r is not up" % node_id)
+        node = self._nodes[node_id]
+        self._state[node_id] = DRAINING
+        self._record("drain", node_id)
+        self.stats["drains"] += 1
+        return node
+
     def leave(self, node_id: str) -> GuardNode:
         """Graceful departure: the node's shards reassign deterministically
-        to the ring successors; its state is returned to the caller (a
-        draining deployment could hand sessions over; we re-mint lazily)."""
-        node = self._checked_up(node_id)
+        to the ring successors; its state is returned to the caller.
+
+        When a drain is in progress (state DRAINING), this *is* the drain
+        path's final step: the node's sessions, cached proofs, and channel
+        bindings have already been handed to the inheriting successors
+        (see :mod:`repro.cluster.handoff`), so withdrawing the ring points
+        flips each shard to an already-warm owner.  A plain leave from UP
+        is the cold path — successors re-mint sessions lazily from the
+        escrow directory and re-derive proofs on first miss."""
+        node = self._checked_serving(node_id)
         self.ring.remove(node_id)
         self._state[node_id] = LEFT
         self._record("leave", node_id)
@@ -111,7 +149,7 @@ class ClusterMembership:
         """Declare a node dead.  Identical ring effect to a leave — the
         difference is bookkeeping (and that nothing could be handed over:
         the dead node's sessions re-mint on first miss)."""
-        node = self._checked_up(node_id)
+        node = self._checked_serving(node_id)
         self.ring.remove(node_id)
         self._state[node_id] = FAILED
         self._record("fail", node_id)
@@ -127,14 +165,14 @@ class ClusterMembership:
         RETRY code).  This is the mid-connection failure a graceful
         :meth:`fail` cannot represent, because ``fail`` repairs the ring
         in the same breath."""
-        node = self._checked_up(node_id)
+        node = self._checked_serving(node_id)
         self._state[node_id] = CRASHED
         self._record("crash", node_id)
         self.stats["crashes"] += 1
         return node
 
-    def _checked_up(self, node_id: str) -> GuardNode:
-        if self._state.get(node_id) != UP:
+    def _checked_serving(self, node_id: str) -> GuardNode:
+        if self._state.get(node_id) not in SERVING:
             raise ValueError("node %r is not up" % node_id)
         return self._nodes[node_id]
 
@@ -146,7 +184,7 @@ class ClusterMembership:
     # -- failure detection -------------------------------------------------
 
     def heartbeat(self, node_id: str) -> None:
-        self._checked_up(node_id)
+        self._checked_serving(node_id)
         self._last_heartbeat[node_id] = self.clock.now()
         self.stats["heartbeats"] += 1
 
@@ -159,7 +197,7 @@ class ClusterMembership:
         lapsed = [
             node_id
             for node_id, state in self._state.items()
-            if state == UP
+            if state in SERVING
             and now - self._last_heartbeat[node_id] > self.heartbeat_timeout
         ]
         for node_id in lapsed:
@@ -185,24 +223,47 @@ class ClusterMembership:
         Raises :class:`NodeUnavailableError` when the ring still points
         at a crashed node — the caller should trigger (or wait for) a
         sweep and retry, which is exactly what the serving layer's RETRY
-        code tells a wire client to do."""
-        node_id = self.ring.node_for(key)
-        if self._state.get(node_id) != UP:
-            raise NodeUnavailableError(node_id)
+        code tells a wire client to do.  A *planned* departure repairs
+        the ring in the same breath it flips the state, so a lookup that
+        catches the flip mid-stride (threaded serving during a drain)
+        re-resolves against the repaired ring instead of surfacing a
+        retryable error for a node that left cleanly."""
+        node_id = self._resolve_serving(key)
+        if node_id is None:
+            raise NodeUnavailableError(self.ring.node_for(key))
         return self._nodes[node_id]
+
+    def _resolve_serving(self, key: bytes) -> Optional[str]:
+        for _ in range(2):
+            node_id = self.ring.node_for(key)
+            if self._state.get(node_id) in SERVING:
+                return node_id
+            if node_id in self.ring:
+                # Genuinely dead-with-points (a crash): no amount of
+                # re-resolving helps until a sweep repairs the ring.
+                return None
+            # The owner left between our ring lookup and the state
+            # check; its points are already gone — look again.
+        return None
 
     def nodes_for(self, key: bytes, count: int = 1) -> List[GuardNode]:
         """The live replica set of ``key``: the owner followed by up to
         ``count - 1`` distinct ring successors.  A crashed owner raises
         :class:`NodeUnavailableError`; crashed successors are simply
-        dropped from the set (a spread check can land anywhere live)."""
+        dropped from the set (a spread check can land anywhere live).
+        As in :meth:`node_for`, an owner that *left cleanly* mid-lookup
+        triggers a re-resolve, not an error."""
         node_ids = self.ring.successors(key, count)
-        if self._state.get(node_ids[0]) != UP:
-            raise NodeUnavailableError(node_ids[0])
+        if self._state.get(node_ids[0]) not in SERVING:
+            if node_ids[0] in self.ring:
+                raise NodeUnavailableError(node_ids[0])
+            node_ids = self.ring.successors(key, count)
+            if self._state.get(node_ids[0]) not in SERVING:
+                raise NodeUnavailableError(node_ids[0])
         return [
             self._nodes[node_id]
             for node_id in node_ids
-            if self._state.get(node_id) == UP
+            if self._state.get(node_id) in SERVING
         ]
 
     def known(self) -> List[GuardNode]:
@@ -217,10 +278,13 @@ class ClusterMembership:
         return self._state.get(node_id)
 
     def alive(self) -> List[GuardNode]:
+        """The serving nodes — UP plus DRAINING: a draining node still
+        answers checks, so it must keep receiving delegations and bus
+        traffic until the moment it leaves."""
         return [
             self._nodes[node_id]
             for node_id, state in self._state.items()
-            if state == UP
+            if state in SERVING
         ]
 
     def __len__(self) -> int:

@@ -79,12 +79,20 @@ class HashRing:
             raise ValueError("a node needs at least one ring point")
         self.vnodes = vnodes
         self._points: List[Tuple[int, str]] = []  # sorted (point, node_id)
-        self._point_keys: List[int] = []          # the points alone, for bisect
+        # Immutable lookup snapshot ``(point_keys, points)``, replaced
+        # wholesale by ``_reindex``.  Lookups unpack it *once*, so a
+        # concurrent add/remove (a drain finalizing under a threaded
+        # serve fleet) can never catch a reader between two attribute
+        # reads that disagree about the ring's shape.
+        self._index: Tuple[Tuple[int, ...], Tuple[Tuple[int, str], ...]] = (
+            (), ()
+        )
         self._node_ids: List[str] = []
 
     def _reindex(self) -> None:
         self._points.sort()
-        self._point_keys = [point for point, _ in self._points]
+        points = tuple(self._points)
+        self._index = (tuple(point for point, _ in points), points)
 
     def add(self, node_id: str) -> None:
         if node_id in self._node_ids:
@@ -107,12 +115,13 @@ class HashRing:
     def node_for(self, key: bytes) -> str:
         """The node owning ``key``: first ring point clockwise from the
         key's hash (wrapping at the top of the circle)."""
-        if not self._points:
+        point_keys, points = self._index
+        if not points:
             raise LookupError("the ring has no nodes")
-        index = bisect_right(self._point_keys, _point(key))
-        if index == len(self._points):
+        index = bisect_right(point_keys, _point(key))
+        if index == len(points):
             index = 0
-        return self._points[index][1]
+        return points[index][1]
 
     def successors(self, key: bytes, count: int = 1) -> List[str]:
         """The replica set of ``key``: up to ``count`` *distinct* node
@@ -122,13 +131,14 @@ class HashRing:
         nodes on the ring yields them all."""
         if count < 1:
             raise ValueError("a replica set needs at least one node")
-        if not self._points:
+        point_keys, points = self._index
+        if not points:
             raise LookupError("the ring has no nodes")
-        index = bisect_right(self._point_keys, _point(key))
+        index = bisect_right(point_keys, _point(key))
         result: List[str] = []
-        total = len(self._points)
+        total = len(points)
         for step in range(total):
-            node_id = self._points[(index + step) % total][1]
+            node_id = points[(index + step) % total][1]
             if node_id not in result:
                 result.append(node_id)
                 if len(result) == count:

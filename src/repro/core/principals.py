@@ -161,7 +161,7 @@ class NamePrincipal(Principal):
         raise AttributeError("principals are immutable")
 
     def to_sexp(self) -> SExp:
-        return SList([Atom("name"), self.base.to_sexp(), Atom(self.label)])
+        return SList([Atom("name"), self.base.sexp_node(), Atom(self.label)])
 
     def display(self) -> str:
         return "%s.%s" % (self.base.display(), self.label)
@@ -204,8 +204,8 @@ class ConjunctPrincipal(Principal):
 
     def to_sexp(self) -> SExp:
         # Sort by canonical encoding for a deterministic wire form.
-        ordered = sorted(self.members, key=lambda p: p.to_sexp().to_canonical())
-        return SList([Atom("conjunct")] + [p.to_sexp() for p in ordered])
+        ordered = sorted(self.members, key=lambda p: p.canonical_key())
+        return SList([Atom("conjunct")] + [p.sexp_node() for p in ordered])
 
     def display(self) -> str:
         return "(" + " & ".join(sorted(m.display() for m in self.members)) + ")"
@@ -242,10 +242,10 @@ class ThresholdPrincipal(Principal):
         raise AttributeError("principals are immutable")
 
     def to_sexp(self) -> SExp:
-        ordered = sorted(self.members, key=lambda p: p.to_sexp().to_canonical())
+        ordered = sorted(self.members, key=lambda p: p.canonical_key())
         return SList(
             [Atom("threshold"), Atom(str(self.k)), Atom(str(len(ordered)))]
-            + [p.to_sexp() for p in ordered]
+            + [p.sexp_node() for p in ordered]
         )
 
     def display(self) -> str:
@@ -276,7 +276,7 @@ class QuotingPrincipal(Principal):
         raise AttributeError("principals are immutable")
 
     def to_sexp(self) -> SExp:
-        return SList([Atom("quoting"), self.quoter.to_sexp(), self.quotee.to_sexp()])
+        return SList([Atom("quoting"), self.quoter.sexp_node(), self.quotee.sexp_node()])
 
     def display(self) -> str:
         return "%s|%s" % (self.quoter.display(), self.quotee.display())
@@ -372,7 +372,21 @@ def substitute(principal: Principal, replacement: Principal) -> Principal:
 
 
 def principal_from_sexp(node: SExp) -> Principal:
-    """Parse any principal from its S-expression wire form."""
+    """Parse any principal from its S-expression wire form.
+
+    The returned principal adopts ``node`` as its memoized sexp tree
+    (see :meth:`Principal.sexp_node`): honest encoders are
+    deterministic, so the parsed node is exactly what ``to_sexp`` would
+    rebuild, and a decoded principal compares, hashes, and re-encodes
+    without another serialization pass.
+    """
+    principal = _principal_from_sexp(node)
+    if getattr(principal, "_node", None) is None:
+        object.__setattr__(principal, "_node", node)
+    return principal
+
+
+def _principal_from_sexp(node: SExp) -> Principal:
     if not isinstance(node, SList):
         raise ValueError("principal must be an S-expression list: %r" % (node,))
     head = node.head()

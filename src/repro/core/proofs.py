@@ -24,7 +24,7 @@ Design points taken from the paper:
 from __future__ import annotations
 
 import hashlib as _hashlib
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import ProofError, VerificationError
 from repro.core.statements import (
@@ -78,11 +78,18 @@ class Proof:
 
     rule: str = "abstract"
 
+    #: True for rule steps whose constructor derives the conclusion from
+    #: premises and payload alone — their wire form may omit the
+    #: ``(conclusion ...)`` field (the compact lemma-citation encoding
+    #: does; see :func:`proof_to_lemma_sexp`).
+    conclusion_derivable: bool = False
+
     def __init__(self, conclusion: Statement, premises: Tuple["Proof", ...] = ()):
         if not isinstance(conclusion, Statement):
             raise ProofError("conclusion must be a Statement")
         self._conclusion = conclusion
         self._premises = tuple(premises)
+        self._sexp: Optional[SExp] = None
         self._canonical: Optional[bytes] = None
         self._digest: Optional[bytes] = None
 
@@ -127,6 +134,18 @@ class Proof:
     # -- serialization ----------------------------------------------------
 
     def to_sexp(self) -> SExp:
+        """Wire form, memoized.
+
+        Proof trees are immutable and S-expression nodes are immutable,
+        so the node (with its own memoized canonical encoding) is built
+        at most once per proof — a proof that is digested, streamed in a
+        handoff record, and attached to a wire reply serializes exactly
+        once.  ``proof_from_sexp`` seeds this memo with the node it just
+        parsed, so decoded proofs never rebuild the tree at all.
+        """
+        cached = self._sexp
+        if cached is not None:
+            return cached
         items: List[SExp] = [Atom("proof"), Atom(self.rule)]
         payload = self._payload_sexp()
         if payload is not None:
@@ -135,8 +154,10 @@ class Proof:
             items.append(
                 SList([Atom("premises")] + [p.to_sexp() for p in self._premises])
             )
-        items.append(SList([Atom("conclusion"), self._conclusion.to_sexp()]))
-        return SList(items)
+        items.append(SList([Atom("conclusion"), self._conclusion.sexp_node()]))
+        node = SList(items)
+        self._sexp = node
+        return node
 
     def _payload_sexp(self) -> Optional[List[SExp]]:
         return None
@@ -184,22 +205,74 @@ class Proof:
         return "\n".join(lines)
 
 
-_RULE_REGISTRY: Dict[str, Callable[[List[SExp], List["Proof"], Statement], "Proof"]] = {}
+_RULE_REGISTRY: Dict[str, type] = {}
 
 
 def register_rule(cls):
     """Class decorator: register a step type for wire deserialization."""
-    _RULE_REGISTRY[cls.rule] = cls._from_parts
+    _RULE_REGISTRY[cls.rule] = cls
     return cls
 
 
-def proof_from_sexp(node: SExp) -> Proof:
+def proof_to_lemma_sexp(proof: Proof, cite) -> SExp:
+    """Wire form that cites shared premises instead of restating them.
+
+    "It is simple to extract lemmas (subproofs) from structured proofs" —
+    and just as simple to *cite* them: a premise for which ``cite(premise)``
+    returns True is emitted as a ``(lemma <digest>)`` stub rather than a
+    full subtree, on the understanding that the receiver already holds the
+    identical proof (e.g. a base delegation replicated cluster-wide) and
+    will resolve the digest against its own trusted copy.  The receiving
+    side is :func:`proof_from_sexp` with a ``lemmas`` resolver; a receiver
+    that cannot resolve a citation refuses the whole proof — fail-closed.
+    """
+    premises = proof.premises
+    if not premises:
+        return proof.to_sexp()
+    encoded = []
+    cited = False
+    for premise in premises:
+        if cite(premise):
+            encoded.append(SList([Atom("lemma"), Atom(premise.digest())]))
+            cited = True
+        else:
+            sub = proof_to_lemma_sexp(premise, cite)
+            cited = cited or sub is not premise.to_sexp()
+            encoded.append(sub)
+    if not cited:
+        return proof.to_sexp()
+    items: List[SExp] = [Atom("proof"), Atom(proof.rule)]
+    payload = proof._payload_sexp()
+    if payload is not None:
+        items.append(SList([Atom("payload")] + list(payload)))
+    items.append(SList([Atom("premises")] + encoded))
+    # A rule step that derives its conclusion needs no conclusion on the
+    # wire: the receiver's trusted step constructor recomputes it, and
+    # the caller's digest-of-the-full-form check pins the result.
+    if not proof.conclusion_derivable:
+        items.append(SList([Atom("conclusion"), proof.conclusion.sexp_node()]))
+    return SList(items)
+
+
+def proof_from_sexp(node: SExp, lemmas=None) -> Proof:
     """Reconstruct a proof tree from the wire.
 
     The step objects come from this local code base (never from the peer),
     so the verification methods are trustworthy even though the proof came
     from an untrusted party.
+
+    ``lemmas`` (optional) resolves ``(lemma <digest>)`` premise citations
+    (see :func:`proof_to_lemma_sexp`): it is called with the cited digest
+    and must return the locally-held :class:`Proof` or ``None``.  An
+    unresolved citation raises :class:`ProofError` — the peer claimed we
+    hold a lemma we do not, so the proof cannot be admitted.  Without a
+    resolver, citations are rejected outright.
     """
+    proof, _ = _proof_from_sexp(node, lemmas)
+    return proof
+
+
+def _proof_from_sexp(node: SExp, lemmas) -> Tuple[Proof, bool]:
     if not isinstance(node, SList) or node.head() != "proof" or len(node) < 3:
         raise ProofError("expected (proof rule ... (conclusion ..))")
     rule_atom = node.items[1]
@@ -212,22 +285,56 @@ def proof_from_sexp(node: SExp) -> Proof:
     payload_field = node.find("payload")
     payload = list(payload_field.tail()) if payload_field is not None else []
     premises_field = node.find("premises")
-    premises = (
-        [proof_from_sexp(item) for item in premises_field.tail()]
-        if premises_field is not None
-        else []
-    )
+    premises: List[Proof] = []
+    cited = False
+    if premises_field is not None:
+        for item in premises_field.tail():
+            if isinstance(item, SList) and item.head() == "lemma":
+                if lemmas is None:
+                    raise ProofError("lemma citation without a resolver")
+                if len(item) != 2 or not isinstance(item.items[1], Atom):
+                    raise ProofError("bad (lemma <digest>) citation")
+                resolved = lemmas(item.items[1].value)
+                if resolved is None:
+                    raise ProofError(
+                        "cited lemma is not held locally (stale or unknown)"
+                    )
+                premises.append(resolved)
+                cited = True
+            else:
+                sub, sub_cited = _proof_from_sexp(item, lemmas)
+                cited = cited or sub_cited
+                premises.append(sub)
     conclusion_field = node.find("conclusion")
-    if conclusion_field is None or len(conclusion_field) != 2:
-        raise ProofError("proof missing conclusion")
-    conclusion = statement_from_sexp(conclusion_field.items[1])
-    proof = builder(payload, premises, conclusion)
-    # The claimed conclusion must be exactly what the step derives; a
-    # mismatch is tampering, caught here rather than at verify time so the
-    # object can never exist in an inconsistent state.
-    if proof.conclusion != conclusion:
-        raise ProofError("conclusion does not match rule derivation")
-    return proof
+    elided = conclusion_field is None
+    if elided:
+        # The compact lemma-citation form omits derivable conclusions;
+        # anything else must carry one.
+        if not builder.conclusion_derivable:
+            raise ProofError("proof missing conclusion")
+        proof = builder._from_parts(payload, premises, None)
+    else:
+        if len(conclusion_field) != 2:
+            raise ProofError("proof missing conclusion")
+        conclusion = statement_from_sexp(conclusion_field.items[1])
+        proof = builder._from_parts(payload, premises, conclusion)
+        # The claimed conclusion must be exactly what the step derives; a
+        # mismatch is tampering, caught here rather than at verify time so
+        # the object can never exist in an inconsistent state.
+        if proof.conclusion != conclusion:
+            raise ProofError("conclusion does not match rule derivation")
+    if elided:
+        # An elided node is never the proof's canonical form, so it must
+        # not seed the serialization memo.
+        cited = True
+    if not cited:
+        # Adopt the parsed node as the proof's serialization memo: honest
+        # encoders are deterministic, so the node equals what to_sexp
+        # would rebuild, and decode → digest → re-stream never
+        # re-serializes.  (A tree holding resolved citations must NOT
+        # adopt the stubbed wire form — its digest names the full form.)
+        proof._sexp = node
+    return proof, cited
 
 
 @register_rule

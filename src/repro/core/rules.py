@@ -45,6 +45,7 @@ class TransitivityStep(Proof):
     """
 
     rule = "transitivity"
+    conclusion_derivable = True
 
     def __init__(self, left: Proof, right: Proof):
         first = _speaks_for(left, "left")
@@ -168,6 +169,7 @@ class NameMonotonicityStep(Proof):
     """From ``A =T=> B``, conclude ``A·N =T=> B·N`` (Figure 1's rule)."""
 
     rule = "name-monotonicity"
+    conclusion_derivable = True
 
     def __init__(self, premise: Proof, label: str):
         base = _speaks_for(premise, "naming")
@@ -215,6 +217,7 @@ class QuotingLeftMonotonicityStep(Proof):
     """
 
     rule = "quoting-left"
+    conclusion_derivable = True
 
     def __init__(self, premise: Proof, quotee: Principal):
         base = _speaks_for(premise, "quoting")
@@ -256,6 +259,7 @@ class QuotingRightMonotonicityStep(Proof):
     """From ``A =T=> B``, conclude ``C|A =T=> C|B``."""
 
     rule = "quoting-right"
+    conclusion_derivable = True
 
     def __init__(self, premise: Proof, quoter: Principal):
         base = _speaks_for(premise, "quoting")
@@ -334,6 +338,7 @@ class ConjunctionIntroStep(Proof):
     """
 
     rule = "conjunction-intro"
+    conclusion_derivable = True
 
     def __init__(self, left: Proof, right: Proof):
         first = _speaks_for(left, "left")
@@ -550,6 +555,7 @@ class DerivedSaysStep(Proof):
     """
 
     rule = "derived-says"
+    conclusion_derivable = True
 
     def __init__(self, says_proof: Proof, speaks_for_proof: Proof):
         utterance = says_proof.conclusion

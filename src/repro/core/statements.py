@@ -148,16 +148,26 @@ class Statement:
     # statements are hashable value objects (the proof cache and the
     # prover's tables key on them), so equality and hashing reduce to
     # one bytes compare instead of rebuilding two AST trees.
-    __slots__ = ("_key",)
+    __slots__ = ("_key", "_node")
 
     def to_sexp(self) -> SExp:
         raise NotImplementedError
+
+    def sexp_node(self) -> SExp:
+        """A shared, memoized :meth:`to_sexp` tree (statements and AST
+        nodes are immutable); encoders embed this one instance so the
+        memoizing canonical encoder pays the subtree walk once."""
+        node = getattr(self, "_node", None)
+        if node is None:
+            node = self.to_sexp()
+            object.__setattr__(self, "_node", node)
+        return node
 
     def canonical_key(self) -> bytes:
         """The canonical encoding of :meth:`to_sexp`, computed once."""
         key = getattr(self, "_key", None)
         if key is None:
-            key = to_canonical(self.to_sexp())
+            key = to_canonical(self.sexp_node())
             object.__setattr__(self, "_key", key)
         return key
 
@@ -211,8 +221,8 @@ class SpeaksFor(Statement):
     def to_sexp(self) -> SExp:
         items = [
             Atom("speaks-for"),
-            SList([Atom("subject"), self.subject.to_sexp()]),
-            SList([Atom("issuer"), self.issuer.to_sexp()]),
+            SList([Atom("subject"), self.subject.sexp_node()]),
+            SList([Atom("issuer"), self.issuer.sexp_node()]),
             self.tag.to_sexp(),
         ]
         if not self.validity.is_unbounded():
@@ -261,7 +271,7 @@ class Says(Statement):
         self.request = sexp(request)
 
     def to_sexp(self) -> SExp:
-        return SList([Atom("says"), self.speaker.to_sexp(), self.request])
+        return SList([Atom("says"), self.speaker.sexp_node(), self.request])
 
     @classmethod
     def from_sexp(cls, node: SExp) -> "Says":
@@ -276,8 +286,20 @@ class Says(Statement):
 def statement_from_sexp(node: SExp) -> Statement:
     """Parse either statement form from the wire."""
     if isinstance(node, SList):
-        if node.head() == "speaks-for":
-            return SpeaksFor.from_sexp(node)
-        if node.head() == "says":
-            return Says.from_sexp(node)
+        head = node.head()
+        statement = None
+        if head == "speaks-for":
+            statement = SpeaksFor.from_sexp(node)
+        elif head == "says":
+            statement = Says.from_sexp(node)
+        if statement is not None:
+            # Adopt the parsed node's (memoized) canonical encoding as
+            # the statement's key: honest encoders are deterministic, so
+            # this equals what to_sexp would rebuild, and the decoded
+            # statement compares/hashes without ever re-serializing.  A
+            # peer that ships a non-normal encoding merely gets a key
+            # that matches nothing local — fail-closed.
+            object.__setattr__(statement, "_node", node)
+            object.__setattr__(statement, "_key", to_canonical(node))
+            return statement
     raise ValueError("unknown statement form: %r" % (node,))

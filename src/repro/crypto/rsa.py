@@ -25,29 +25,38 @@ _SIG_HASH = "sha256"
 class RsaPublicKey:
     """An RSA public key, serializable as ``(public-key (rsa (e ..) (n ..)))``."""
 
-    __slots__ = ("n", "e", "_hash_cache")
+    __slots__ = ("n", "e", "_hash_cache", "_node")
 
     def __init__(self, n: int, e: int):
         self.n = n
         self.e = e
         self._hash_cache = None
+        self._node = None
 
     def bit_length(self) -> int:
         return self.n.bit_length()
 
     def to_sexp(self) -> SExp:
-        return SList(
-            [
-                Atom("public-key"),
-                SList(
-                    [
-                        Atom("rsa"),
-                        SList([Atom("e"), Atom(numtheory.int_to_bytes(self.e))]),
-                        SList([Atom("n"), Atom(numtheory.int_to_bytes(self.n))]),
-                    ]
-                ),
-            ]
-        )
+        """Wire form, memoized: keys are immutable in practice and their
+        encoding (two bignum-to-bytes conversions) shows up on every
+        certificate and speaks-for that embeds the key, so it is built
+        at most once.  ``from_sexp`` seeds the memo with the node it
+        decoded."""
+        node = self._node
+        if node is None:
+            node = self._node = SList(
+                [
+                    Atom("public-key"),
+                    SList(
+                        [
+                            Atom("rsa"),
+                            SList([Atom("e"), Atom(numtheory.int_to_bytes(self.e))]),
+                            SList([Atom("n"), Atom(numtheory.int_to_bytes(self.n))]),
+                        ]
+                    ),
+                ]
+            )
+        return node
 
     @classmethod
     def from_sexp(cls, node: SExp) -> "RsaPublicKey":
@@ -60,10 +69,15 @@ class RsaPublicKey:
         n_field = body.find("n")
         if e_field is None or n_field is None:
             raise ValueError("public key missing e or n")
-        return cls(
+        key = cls(
             numtheory.bytes_to_int(n_field.items[1].value),
             numtheory.bytes_to_int(e_field.items[1].value),
         )
+        # Honest encoders are deterministic, so the parsed node (whose
+        # canonical bytes the parser already memoized) is the encoding
+        # this key would rebuild; decoded keys never re-serialize.
+        key._node = node
+        return key
 
     def fingerprint(self) -> HashValue:
         """The SPKI name of this key: hash of its canonical S-expression."""

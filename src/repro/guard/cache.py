@@ -71,6 +71,7 @@ class ProofCache:
             "evictions": 0,
             "retractions": 0,
             "invalidations": 0,
+            "imported": 0,
         }
 
     def add(self, proof: Proof, speaker=None) -> bool:
@@ -97,6 +98,36 @@ class ProofCache:
             return False
         bucket[key] = CachedProof(proof)
         self.stats["insertions"] += 1
+        return True
+
+    def install(self, entry: CachedProof, speaker=None) -> bool:
+        """The warm-handoff import hook: adopt an already-built entry
+        (its premise/lemma/serial indexes travel with it) under
+        ``speaker``'s bucket.  The *caller* — the guard's import hook —
+        is responsible for having re-validated the entry against the
+        receiving trust state; the cache only places it.  Returns False
+        on digest-level duplicates, so a handoff into a bucket that
+        already derived the same proof is a no-op, not a double-entry.
+        """
+        conclusion = entry.proof.conclusion
+        if not isinstance(conclusion, SpeaksFor):
+            raise AuthorizationError("cached proofs must conclude speaks-for")
+        if speaker is None:
+            speaker = conclusion.subject
+        bucket = self._buckets.get(speaker)
+        if bucket is None:
+            bucket = self._buckets[speaker] = {}
+            while len(self._buckets) > self.max_speakers:
+                self._buckets.popitem(last=False)
+                self.stats["evictions"] += 1
+        else:
+            self._buckets.move_to_end(speaker)
+        key = entry.proof.digest()
+        if key in bucket:
+            self.stats["dedup_hits"] += 1
+            return False
+        bucket[key] = entry
+        self.stats["imported"] += 1
         return True
 
     def bucket(self, speaker) -> Dict[bytes, CachedProof]:

@@ -31,6 +31,7 @@ The class also exposes the legacy ``SfAuthState`` surface (``check_auth``,
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.errors import (
@@ -180,6 +181,17 @@ class Guard:
         # layers stamp their decode caches with it, so a cached decode
         # can never outlive the justification it was parsed under.
         self.invalidation_generation = 0
+        # Invalidation tombstones: the serials, lemma digests, and channel
+        # premises this guard has seen retracted.  Purging derived state
+        # is not enough once warm state can *arrive* from a peer — a
+        # handoff record exported before a revocation must be refused at
+        # install, and the tombstones are how the import hooks recognize
+        # it.  Bounded FIFO: under churn an aged-out tombstone only costs
+        # a full re-verification (the generation check forces one), never
+        # a stale admit.
+        self._revoked_serials: "OrderedDict[bytes, None]" = OrderedDict()
+        self._retracted_digests: "OrderedDict[bytes, None]" = OrderedDict()
+        self._closed_channels: "OrderedDict[bytes, None]" = OrderedDict()
         self.stats = {
             "checks": 0,
             "grants": 0,
@@ -200,6 +212,8 @@ class Guard:
             "delegations_retracted": 0,
             "serials_revoked": 0,
             "invalidations_applied": 0,
+            "handoff_installed": 0,
+            "handoff_refused_stale": 0,
         }
 
     # -- stage 1: admission (session/MAC fast path) ----------------------
@@ -620,6 +634,7 @@ class Guard:
         peers holding copies drop theirs too."""
         self.trust.retract(premise)
         self.cache.retract_premise(premise)
+        self._tombstone(self._closed_channels, to_canonical(premise.to_sexp()))
         self.stats["channels_closed"] += 1
         self.invalidation_generation += 1
         self._notify("channel_closed", premise)
@@ -719,6 +734,9 @@ class Guard:
         elif kind == "channel_closed":
             self.trust.retract(payload)
             removed = self.cache.retract_premise(payload)
+            self._tombstone(
+                self._closed_channels, to_canonical(payload.to_sexp())
+            )
         elif kind == "serial_revoked":
             removed = self._revoke_serial(payload)
         else:
@@ -728,16 +746,177 @@ class Guard:
         return removed
 
     def _retract_delegation(self, digest: bytes) -> int:
+        self._tombstone(self._retracted_digests, digest)
         removed = self.cache.retract_dependents(digest)
         if self.prover is not None:
             removed += self.prover.invalidate_proof(digest)
         return removed
 
     def _revoke_serial(self, serial: bytes) -> int:
+        self._tombstone(self._revoked_serials, serial)
         removed = self.cache.retract_serial(serial)
         if self.prover is not None:
             removed += self.prover.invalidate_serial(serial)
         return removed
+
+    #: Bound on each tombstone table (FIFO).  Aging a tombstone out can
+    #: never admit stale state: any import racing an invalidation sees a
+    #: moved generation and pays full re-verification instead.
+    TOMBSTONE_LIMIT = 4096
+
+    def _tombstone(self, table: "OrderedDict[bytes, None]", key: bytes) -> None:
+        table[key] = None
+        table.move_to_end(key)
+        while len(table) > self.TOMBSTONE_LIMIT:
+            table.popitem(last=False)
+
+    # -- warm-state handoff (export / import hooks) -------------------------
+    #
+    # A draining cluster node (or a hot-speaker owner gossiping to its
+    # replica set) exports its warm state through the three ``export_*``
+    # snapshots and the receiver re-admits each record through the
+    # ``import_*`` hooks.  The contract is the one invariant the whole
+    # protocol hangs on: *a handed-off proof is never a handed-off
+    # decision*.  Every import re-validates against the receiving guard's
+    # own premise snapshot, clock, and invalidation tombstones; anything
+    # revoked, retracted, closed, or lapsed between export and install is
+    # refused, and the next check for it pays the full Prover path.
+
+    def export_proof_entries(self, speaker=None) -> List[Tuple[object, Proof]]:
+        """Snapshot the proof cache as ``(speaker, proof)`` pairs —
+        ``speaker`` narrows to one bucket (replica gossip), ``None``
+        exports every bucket (a drain).  Pure read: no LRU touches, so
+        enumerating warm state does not reorder it."""
+        if speaker is not None:
+            bucket = self.cache.buckets.get(speaker)
+            if bucket is None:
+                return []
+            return [(speaker, entry.proof) for entry in list(bucket.values())]
+        return [
+            (spk, entry.proof)
+            for spk, bucket in list(self.cache.buckets.items())
+            for entry in list(bucket.values())
+        ]
+
+    def export_shortcuts(self, subject=None) -> List[Proof]:
+        """Snapshot the attached prover's shortcut cache (empty without
+        a prover) — the derived chains a successor would otherwise
+        re-search for."""
+        if self.prover is None:
+            return []
+        return self.prover.export_shortcuts(subject)
+
+    def export_sessions(self) -> List[Tuple[str, object, float]]:
+        """Snapshot the live MAC sessions as ``(mac_id, key, minted_at)``
+        triples (expired sessions are excluded at the source)."""
+        return self.sessions.live_sessions()
+
+    def import_proof_entry(
+        self, proof: Proof, speaker=None, full_verify: bool = False
+    ) -> str:
+        """Admit a handed-off proof-cache entry after re-validation.
+
+        Checks run against *this* guard's state: the validity window on
+        this clock, the invalidation tombstones (a serial revoked or a
+        delegation retracted between export and install refuses the
+        record), and the premise snapshot (a chain leaning on a channel
+        binding this guard does not vouch is refused).  ``full_verify``
+        additionally re-verifies the whole tree — the coordinator sets
+        it when the cluster generation moved between export and install,
+        covering invalidations the bounded tombstones may have aged out.
+        Returns ``"installed"``, ``"duplicate"``, or ``"refused"``.
+        """
+        conclusion = proof.conclusion
+        if not isinstance(conclusion, SpeaksFor):
+            return self._refuse_import()
+        entry = CachedProof(proof)
+        if not self._import_admissible(entry, full_verify):
+            return self._refuse_import()
+        if not self.cache.install(entry, speaker):
+            return "duplicate"
+        if self.prover is not None:
+            # One admitted chain warms both stages: the cache entry
+            # answers repeat checks, and digesting it into the prover's
+            # graph keeps the chain derivable after a cache eviction —
+            # so the sender never streams the same proof twice.
+            self.prover.add_proof(proof)
+        self.stats["handoff_installed"] += 1
+        return "installed"
+
+    def import_shortcut(self, proof: Proof, full_verify: bool = False) -> str:
+        """Admit a handed-off prover shortcut (same re-validation as
+        proof-cache entries; refused without an attached prover)."""
+        if self.prover is None:
+            return self._refuse_import()
+        conclusion = proof.conclusion
+        if not isinstance(conclusion, SpeaksFor):
+            return self._refuse_import()
+        entry = CachedProof(proof)
+        if not self._import_admissible(entry, full_verify):
+            return self._refuse_import()
+        self.prover.add_proof(proof)
+        self.stats["handoff_installed"] += 1
+        return "installed"
+
+    def resolve_lemma(self, digest: bytes):
+        """Resolve a ``(lemma <digest>)`` handoff citation against this
+        guard's prover (None without one, or when the digest is unknown
+        — e.g. the delegation was revoked here after the sender cited
+        it, which correctly refuses the citing record)."""
+        if self.prover is None:
+            return None
+        return self.prover.lemma(digest)
+
+    def replicated_lemma(self, proof) -> bool:
+        """Whether ``proof`` may be cited by digest when exporting from
+        this guard: it must be a base delegation every serving peer
+        also holds (see ``Prover.replicated``)."""
+        return self.prover is not None and self.prover.replicated(proof)
+
+    def import_session(self, mac_id: str, mac_key, minted_at: float) -> str:
+        """Admit a handed-off MAC session; the registry re-judges the
+        absolute TTL on this guard's clock (a session that lapsed in
+        transit is refused, never resurrected)."""
+        if self.sessions.import_session(mac_id, mac_key, minted_at):
+            self.stats["handoff_installed"] += 1
+            return "installed"
+        return self._refuse_import()
+
+    def import_channel(self, premise: SpeaksFor) -> str:
+        """Admit a handed-off channel binding — unless this guard saw the
+        channel close (tombstoned), in which case the binding is refused
+        and any chain leaning on it fails its premise re-validation."""
+        if not isinstance(premise, SpeaksFor):
+            return self._refuse_import()
+        if to_canonical(premise.to_sexp()) in self._closed_channels:
+            return self._refuse_import()
+        if self.trust.vouches_for(premise):
+            return "duplicate"
+        self.trust.vouch(premise)
+        self.stats["handoff_installed"] += 1
+        return "installed"
+
+    def _import_admissible(self, entry: CachedProof, full_verify: bool) -> bool:
+        context = self.trust.context()
+        if not entry.proof.conclusion.validity.contains(context.now):
+            return False
+        if any(serial in self._revoked_serials for serial in entry.serials):
+            return False
+        if any(key in self._retracted_digests for key in entry.lemma_keys):
+            return False
+        for statement in entry.premises:
+            if statement not in context.trusted_premises:
+                return False
+        if full_verify:
+            try:
+                entry.proof.verify(context)
+            except VerificationError:
+                return False
+        return True
+
+    def _refuse_import(self) -> str:
+        self.stats["handoff_refused_stale"] += 1
+        return "refused"
 
     # -- audit helpers ------------------------------------------------------
 

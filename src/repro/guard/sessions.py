@@ -62,6 +62,8 @@ class SessionRegistry:
             "expired": 0,
             "verified": 0,
             "failures": 0,
+            "imported": 0,
+            "refused_expired": 0,
         }
 
     def _now(self) -> float:
@@ -106,6 +108,25 @@ class SessionRegistry:
         session never extends its absolute lifetime."""
         self._register(mac_id, mac_key, minted_at)
         self.stats["installed"] += 1
+
+    def import_session(
+        self, mac_id: str, mac_key: MacKey, minted_at: float
+    ) -> bool:
+        """The warm-handoff import hook: adopt a session streamed from a
+        draining peer, preserving its original mint stamp.
+
+        Unlike :meth:`install`, the receiver re-judges the session
+        against *its own* clock before admitting it — a record whose
+        absolute TTL lapsed in transit is refused, not resurrected.
+        Returns True when the session was installed.
+        """
+        if self.ttl is not None and self.clock is not None:
+            if self.clock.now() - minted_at > self.ttl:
+                self.stats["refused_expired"] += 1
+                return False
+        self._register(mac_id, mac_key, minted_at)
+        self.stats["imported"] += 1
+        return True
 
     def get(self, mac_id: str) -> Optional[MacKey]:
         session = self._sessions.get(mac_id)

@@ -400,6 +400,11 @@ class DelegationGraph:
     def edges(self) -> Iterator[Edge]:
         return iter(self._edges.values())
 
+    def find(self, digest: bytes) -> Optional[Edge]:
+        """The edge whose proof has this digest, if present (lemma
+        citation lookups — see ``Prover.lemma``)."""
+        return self._edges.get(digest)
+
     def edge_count(self, include_shortcuts: bool = True) -> int:
         if include_shortcuts:
             return self._basic_count + self._shortcut_count

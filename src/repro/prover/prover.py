@@ -63,6 +63,11 @@ class Prover:
         self._closures: Dict[Principal, Closure] = {}
         self.max_depth = max_depth
         self.max_visits = max_visits
+        # Canonical-suffix memo for derived transitivity chains, keyed by
+        # the digests of the remaining leaves (see _canonical_chain);
+        # flushed whenever the graph's invalidation generation moves.
+        self._suffixes: Dict[Tuple[bytes, ...], Proof] = {}
+        self._suffix_generation = 0
         # Search statistics, reported by the prover-scaling benchmark.
         self.stats = {
             "searches": 0,
@@ -101,6 +106,43 @@ class Prover:
         from repro.core.proofs import SignedCertificateStep
 
         self.add_proof(SignedCertificateStep(certificate))
+
+    def export_shortcuts(self, subject: Optional[Principal] = None):
+        """Snapshot the shortcut cache as a list of derived proofs.
+
+        Shortcuts are the expensive part of a prover's warm state: base
+        delegations are replicated cluster-wide, but the derived chains
+        a node accumulated are local, and a successor inheriting its
+        shards would re-search for every one.  A draining node exports
+        them here; the receiver re-admits each through its guard's
+        import hook (which re-validates — an exported shortcut is never
+        an exported decision).  ``subject`` narrows the snapshot to one
+        speaker's chains (the replica-gossip case)."""
+        return [
+            edge.proof
+            for edge in list(self.graph.edges())
+            if edge.shortcut
+            and (subject is None or edge.subject == subject)
+        ]
+
+    def lemma(self, digest: bytes) -> Optional[Proof]:
+        """Resolve a lemma citation: the stored proof with this digest,
+        or None.  Receivers of ``(lemma <digest>)`` handoff stubs call
+        this to substitute their own trusted copy of a shared premise
+        for the subtree the sender elided."""
+        edge = self.graph.find(digest)
+        return edge.proof if edge is not None else None
+
+    def replicated(self, proof: Proof) -> bool:
+        """True when ``proof`` is a collected base delegation here.
+
+        Base (non-shortcut) edges are the ones the dispatch layer
+        replicates to every serving node, so a sender may cite them by
+        digest instead of restating them — any serving peer can resolve
+        the citation from its own graph.  Derived shortcuts are local
+        state and must always travel in full."""
+        edge = self.graph.find(proof.digest())
+        return edge is not None and not edge.shortcut
 
     def control(self, closure: Closure) -> None:
         """Register a principal this application can speak as (it is final)."""
@@ -247,8 +289,7 @@ class Prover:
             if self._covers(combined.conclusion,
                             sexp(request) if request is not None else None,
                             min_tag, now):
-                self._cache(combined)
-                return combined
+                return self._cache(combined)
         return None
 
     def _search(
@@ -369,8 +410,7 @@ class Prover:
             if completed is not None and self._covers(
                 completed.conclusion, request, min_tag, now
             ):
-                self._cache(completed)
-                return completed
+                return self._cache(completed)
 
         if depth >= self.max_depth:
             return None
@@ -405,8 +445,7 @@ class Prover:
                 else:
                     full = TransitivityStep(combined, other_half)
                 if self._covers(full.conclusion, request, min_tag, now):
-                    self._cache(full)
-                    return full
+                    return self._cache(full)
             wave.reached.setdefault(nxt, []).append((combined, child_depth))
             wave.queue.append((nxt, combined, child_depth))
         return None
@@ -466,7 +505,55 @@ class Prover:
         self.add_proof(minted)
         return TransitivityStep(minted, proof_to_issuer)
 
-    def _cache(self, proof: Proof) -> None:
-        """Record a derived proof as a shortcut edge (Figure 2's dotted lines)."""
+    def _canonical_chain(self, proof: Proof) -> Proof:
+        """Right-fold a derived transitivity chain over its leaf sequence.
+
+        The bidirectional search composes the same logical chain in
+        whatever association its waves happened to meet at, so two
+        sessions under one delegation spine end up with structurally
+        different trees.  Canonicalizing to the right-nested form —
+        ``(l0 (l1 (l2 l3)))`` — makes every chain over the same upper
+        hops share the suffix subproof *object* (memoized per leaf-digest
+        tuple), which is what lets the handoff plane stream a working
+        set's shared spine once and cite it by digest in every later
+        record.  Transitivity's conclusion is a pure intersection, hence
+        association-independent; if an exotic tag implementation ever
+        intersects unassociatively we fall back to the original tree.
+        """
+        if not isinstance(proof, TransitivityStep):
+            return proof
+        if self._suffix_generation != self.graph.generation:
+            self._suffixes.clear()
+            self._suffix_generation = self.graph.generation
+        leaves: List[Proof] = []
+        stack = [proof]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, TransitivityStep):
+                stack.append(node.premises[0])
+                stack.append(node.premises[1])
+            else:
+                leaves.append(node)
+        leaves.reverse()
+        digests = [leaf.digest() for leaf in leaves]
+        chain = leaves[-1]
+        for index in range(len(leaves) - 2, -1, -1):
+            key = tuple(digests[index:])
+            cached = self._suffixes.get(key)
+            if cached is None:
+                cached = TransitivityStep(leaves[index], chain)
+                self._suffixes[key] = cached
+            chain = cached
+        if chain.conclusion != proof.conclusion:
+            return proof
+        return chain
+
+    def _cache(self, proof: Proof) -> Proof:
+        """Record a derived proof as a shortcut edge (Figure 2's dotted
+        lines), in canonical chain form (see :meth:`_canonical_chain`) so
+        equivalent derivations share structure — and digests — across
+        cache entries, gossip pushes, and drain streams."""
+        proof = self._canonical_chain(proof)
         if proof.premises:
             self.graph.add(proof, shortcut=True)
+        return proof

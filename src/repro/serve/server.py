@@ -20,7 +20,12 @@ A batch that routes onto a crashed cluster node raises
 :class:`~repro.core.errors.NodeUnavailableError` out of ``check_many``.
 The listener answers every check in that batch with RETRY and triggers
 the backend's failure sweep, so the client's single retry lands on the
-repaired ring.
+repaired ring.  RETRY is the *crash* story only: a **planned** departure
+(``AuthCluster.drain``) never surfaces here, because a DRAINING node
+keeps its ring points and keeps serving until its warm state has been
+streamed to the inheriting successors — the ring flips shard owners in
+one final leave, and every post-flip lookup resolves to a live,
+already-warm node (see ``docs/serve.md`` and ``docs/cluster.md``).
 
 Graceful shutdown closes the listening socket first (new connects are
 refused), then asks each connection to stop reading, serve what it has

@@ -57,45 +57,103 @@ class _Cursor:
 
 
 def parse_canonical(data) -> SExp:
-    """Parse one canonical-form S-expression; reject trailing garbage."""
+    """Parse one canonical-form S-expression; reject trailing garbage.
+
+    This is the hot decode path (every wire request, every handoff
+    record), so it is iterative over plain ints and slices rather than
+    going through the :class:`_Cursor` methods the advanced parser
+    uses.  It also fills each node's memoized canonical encoding from
+    the input it just consumed — the mirror of the encoder's memo —
+    so a parsed node re-encodes, digests, and MAC-checks without ever
+    being serialized again.  The memo is only stamped when the consumed
+    bytes are verifiably canonical (length prefixes free of leading
+    zeros); degenerate-but-accepted input parses fine, it just skips
+    the shortcut.
+    """
     if isinstance(data, str):
         data = data.encode("utf-8")
-    cursor = _Cursor(data)
-    node = _parse_canonical_node(cursor)
-    if not cursor.at_end():
+    node, pos = _parse_canonical_prefix(data, 0)
+    if pos != len(data):
         raise SexpParseError("trailing bytes after canonical expression")
     return node
 
 
-def _parse_canonical_node(cursor: _Cursor) -> SExp:
-    ch = cursor.peek()
-    if ch == ord("("):
-        cursor.take(1)
-        items = []
-        while cursor.peek() != ord(")"):
-            items.append(_parse_canonical_node(cursor))
-        cursor.take(1)
-        return SList(items)
-    hint = None
-    if ch == ord("["):
-        cursor.take(1)
-        hint = _parse_verbatim(cursor)
-        if cursor.take(1) != b"]":
-            raise SexpParseError("unterminated display hint")
-    return Atom(_parse_verbatim(cursor), hint=hint)
+# Constructor bypass for the hot loop: the parser guarantees bytes-typed
+# values and SExp-typed items, so the public constructors' type checks
+# are pure overhead here.  ``object.__setattr__`` is how the immutable
+# nodes are populated everywhere (see ast.py).
+_NEW_ATOM = Atom.__new__
+_NEW_SLIST = SList.__new__
+_SET = object.__setattr__
 
 
-def _parse_verbatim(cursor: _Cursor) -> bytes:
-    length = 0
-    saw_digit = False
-    while not cursor.at_end() and cursor.peek() in _DIGITS:
-        length = length * 10 + (cursor.take(1)[0] - ord("0"))
-        saw_digit = True
-    if not saw_digit:
-        raise SexpParseError("expected length prefix at byte %d" % cursor.pos)
-    if cursor.take(1) != b":":
-        raise SexpParseError("expected ':' after length at byte %d" % cursor.pos)
-    return cursor.take(length)
+def _parse_canonical_prefix(data: bytes, pos: int) -> Tuple[SExp, int]:
+    size = len(data)
+    # One frame per open list: [items, start offset, canonical-clean].
+    stack: list = []
+    while True:
+        if pos >= size:
+            raise SexpParseError("unexpected end of input at byte %d" % pos)
+        ch = data[pos]
+        if ch == 40:  # "("
+            stack.append([[], pos, True])
+            pos += 1
+            continue
+        if ch == 41 and stack:  # ")"
+            pos += 1
+            items, start, clean = stack.pop()
+            node = _NEW_SLIST(SList)
+            _SET(node, "items", tuple(items))
+            _SET(node, "_canonical", data[start:pos] if clean else None)
+            if not stack:
+                return node, pos
+            frame = stack[-1]
+            frame[0].append(node)
+            if not clean:
+                frame[2] = False
+            continue
+        start = pos
+        hint = None
+        clean = True
+        if ch == 91:  # "["
+            hint, pos, clean = _verbatim_at(data, pos + 1)
+            if pos >= size or data[pos] != 93:  # "]"
+                raise SexpParseError("unterminated display hint")
+            pos += 1
+        value, pos, value_clean = _verbatim_at(data, pos)
+        clean = clean and value_clean
+        node = _NEW_ATOM(Atom)
+        _SET(node, "value", value)
+        _SET(node, "hint", hint)
+        _SET(node, "_canonical", data[start:pos] if clean else None)
+        if not stack:
+            return node, pos
+        frame = stack[-1]
+        frame[0].append(node)
+        if not clean:
+            frame[2] = False
+
+
+def _verbatim_at(data: bytes, pos: int) -> Tuple[bytes, int, bool]:
+    start = pos
+    size = len(data)
+    while pos < size and 48 <= data[pos] <= 57:  # "0".."9"
+        pos += 1
+    if pos == start:
+        raise SexpParseError("expected length prefix at byte %d" % pos)
+    length = int(data[start:pos])
+    if pos >= size or data[pos] != 58:  # ":"
+        raise SexpParseError("expected ':' after length at byte %d" % pos)
+    end = pos + 1 + length
+    if end > size:
+        raise SexpParseError(
+            "truncated input: wanted %d bytes at %d" % (length, pos + 1)
+        )
+    # Canonical length prefixes carry no leading zero ("0:" itself is
+    # the one single-digit exception), so a clean prefix means the
+    # consumed bytes equal the node's canonical encoding verbatim.
+    clean = data[start] != 48 or pos - start == 1
+    return data[pos + 1 : end], end, clean
 
 
 def parse(text) -> SExp:

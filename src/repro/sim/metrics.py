@@ -142,6 +142,16 @@ class ClusterAggregate:
             raise ValueError("no metered work to divide by")
         return requests / (makespan / 1000.0)
 
+    @staticmethod
+    def drain_makespan_ms(reports) -> float:
+        """The longest single drain across a sequence of
+        :class:`~repro.cluster.handoff.DrainReport` objects — the
+        topology-change analogue of :meth:`makespan_ms` (a rolling
+        upgrade's wall-clock is bounded by its slowest handoff)."""
+        return max(
+            (report.duration_ms for report in reports), default=0.0
+        )
+
 
 def shape_preserved(
     pairs: Sequence[Tuple[float, float]], tolerance: float = 0.0

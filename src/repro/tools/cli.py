@@ -224,6 +224,8 @@ def _demo_cluster(args):
     cluster.check_many([request(i) for i in range(half)])
     if args.fail_one and len(cluster.nodes()) > 1:
         cluster.fail_node(cluster.nodes()[0].node_id)
+    if getattr(args, "drain_one", False) and len(cluster.nodes()) > 1:
+        cluster.drain(cluster.nodes()[0].node_id)
     cluster.check_many([request(i) for i in range(half, args.requests)])
     return cluster, all_nodes
 
@@ -244,6 +246,11 @@ def cmd_stats(args) -> int:
         "sum_ms": aggregate.sum_ms(),
         "imbalance": aggregate.imbalance(),
         "throughput_rps": aggregate.throughput(args.requests),
+        # Topology-change cost: the slowest warm handoff of the run
+        # (0.0 when no node drained).
+        "drain_makespan_ms": ClusterAggregate.drain_makespan_ms(
+            cluster.handoff.reports
+        ),
     }
     print(json.dumps(snapshot, indent=args.indent, sort_keys=True))
     return 0
@@ -518,6 +525,9 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--sessions", type=int, default=16)
     stats.add_argument("--requests", type=int, default=64)
     stats.add_argument("--seed", type=int, default=7)
+    stats.add_argument("--drain-one", action="store_true",
+                       help="drain one node mid-run (warm handoff: the "
+                            "handoff counters and drain makespan go live)")
     stats.add_argument("--fail-one", action="store_true",
                        help="fail one node mid-run to exercise failover "
                             "session re-minting")

@@ -90,6 +90,32 @@ class TestArch002BackendBoundary:
         )
         assert rule_ids(result) == []
 
+    def test_handoff_plane_prover_import_flagged(self, lint):
+        """The warm-handoff module is in the boundary's scope: state it
+        moves must re-enter through the guard's import hooks, never by
+        touching the prover or the cache types directly."""
+        result = lint(
+            "repro/cluster/handoff.py",
+            "from repro.prover import Prover\n",
+        )
+        assert rule_ids(result) == ["ARCH002"]
+
+    def test_handoff_plane_cache_type_flagged(self, lint):
+        result = lint(
+            "repro/cluster/handoff.py",
+            "from repro.guard.cache import CachedProof\n",
+        )
+        assert rule_ids(result) == ["ARCH002"]
+
+    def test_other_cluster_modules_stay_exempt(self, lint):
+        # Only the handoff plane is scoped in: the dispatch layer builds
+        # nodes (prover included) and legitimately imports it.
+        result = lint(
+            "repro/cluster/scratch.py",
+            "from repro.prover import Prover\n",
+        )
+        assert rule_ids(result) == []
+
 
 class TestArch003InjectedEntropy:
     def test_system_random_default_flagged(self, lint):
@@ -117,6 +143,21 @@ class TestArch003InjectedEntropy:
         )
         assert rule_ids(result) == ["ARCH003"]
         assert "clock" in result.findings[0].message
+
+    def test_wall_clock_in_handoff_flagged(self, lint):
+        """Drain timing must ride the registry's injected timebase: a
+        naked wall-clock read in the handoff plane would make drain
+        makespans non-deterministic under simulation."""
+        result = lint(
+            "repro/cluster/handoff.py",
+            """
+            import time
+
+            def drain_started():
+                return time.time()
+            """,
+        )
+        assert rule_ids(result) == ["ARCH003"]
 
     def test_from_import_alias_resolved(self, lint):
         result = lint(

@@ -1,0 +1,552 @@
+"""Warm shard handoff and replica-set gossip.
+
+The protocol under test: a draining node enumerates its warm state
+(proof-cache entries, prover shortcuts, MAC sessions, channel bindings)
+into serializable :class:`HandoffRecord`\\ s and streams them to the
+ring successors inheriting each shard; receivers re-admit every record
+through the guard import hooks, which re-validate against *their own*
+premise snapshot, clock, and invalidation tombstones.  The safety
+property — a handed-off proof is never a handed-off decision — is what
+the refuse-stale tests pin down: state revoked between export and
+install is refused, and the next check pays the full Prover path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import AuthCluster
+from repro.cluster.handoff import HandoffRecord, shard_key_for
+from repro.cluster.membership import DRAINING, LEFT, UP
+from repro.cluster.ring import session_routing_key
+from repro.core.principals import (
+    ChannelPrincipal,
+    KeyPrincipal,
+    MacPrincipal,
+)
+from repro.core.proofs import PremiseStep, ProofError, SignedCertificateStep
+from repro.core.rules import TransitivityStep
+from repro.core.statements import SpeaksFor
+from repro.guard import ChannelCredential, GuardRequest, SessionCredential
+from repro.guard.audit import AuditRecord
+from repro.sexp import sexp, to_canonical
+from repro.sim import SimClock
+from repro.spki import Certificate
+from repro.tags import Tag
+
+from tests.cluster.conftest import ClusterWorld
+
+
+def _session_request(issuer, mac_id, mac_key, index=0):
+    logical = sexp(["web", ["method", "GET"], ["path", "/doc-%d" % index]])
+    message = to_canonical(logical)
+    return GuardRequest(
+        logical,
+        issuer=issuer,
+        credential=SessionCredential(mac_id, mac_key.tag(message), message),
+        transport="http",
+    )
+
+
+def _mint_session(world, rng):
+    mac_id, mac_key = world.cluster.mint_session(rng)
+    certificate = Certificate.issue(
+        world.server_kp, MacPrincipal(mac_key.fingerprint()), Tag.all(),
+        rng=rng,
+    )
+    world.cluster.add_delegation(SignedCertificateStep(certificate))
+    return mac_id, mac_key
+
+
+class TestRecordCodec:
+    def test_proof_record_round_trips(self, world):
+        proof = world.delegation
+        record = HandoffRecord("proof", 7, proof, speaker=world.client)
+        decoded = HandoffRecord.from_wire(record.to_wire())
+        assert decoded.kind == "proof"
+        assert decoded.generation == 7
+        assert decoded.speaker == world.client
+        assert decoded.payload.digest() == proof.digest()
+
+    def test_session_record_round_trips(self, world, rng):
+        mac_id, mac_key = world.cluster.mint_session(rng)
+        record = HandoffRecord("session", 3, (mac_id, mac_key, 12.5))
+        decoded = HandoffRecord.from_wire(record.to_wire())
+        got_id, got_key, got_stamp = decoded.payload
+        assert got_id == mac_id
+        assert got_key.secret == mac_key.secret
+        assert got_stamp == 12.5
+
+    def test_channel_record_round_trips(self, world):
+        channel = ChannelPrincipal.of_secret(b"\x05" * 32)
+        premise = SpeaksFor(channel, world.client, Tag.all())
+        record = HandoffRecord("channel", 0, premise)
+        decoded = HandoffRecord.from_wire(record.to_wire())
+        assert decoded.payload == premise
+
+    def test_tampered_proof_payload_is_rejected(self, world):
+        record = HandoffRecord("proof", 1, world.delegation)
+        good = record.to_sexp()
+        # Swap the declared digest for garbage: the decode recomputes
+        # the proof digest and must notice the mismatch.
+        from repro.sexp import Atom, SList
+        items = []
+        for field in good.items:
+            if isinstance(field, SList) and field.head() == "digest":
+                items.append(SList([Atom("digest"), Atom(b"\x00" * 32)]))
+            else:
+                items.append(field)
+        with pytest.raises(ValueError):
+            HandoffRecord.from_sexp(SList(items))
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError):
+            HandoffRecord("rumor", 0, None)
+
+    def test_mac_speaker_shards_by_session_id(self, world, rng):
+        """A MAC speaker's warm state must follow its *requests*, which
+        route by session id — not by principal fingerprint."""
+        mac_id, mac_key = world.cluster.mint_session(rng)
+        speaker = MacPrincipal(mac_key.fingerprint())
+        assert shard_key_for(speaker) == session_routing_key(mac_id)
+        assert shard_key_for(world.client) != session_routing_key(mac_id)
+
+
+class TestDrainTransfersWarmState:
+    def test_drain_hands_over_proofs_sessions_and_channels(
+        self, server_kp, alice_kp, rng
+    ):
+        world = ClusterWorld(server_kp, alice_kp, rng, session_ttl=100.0)
+        cluster = world.cluster
+
+        # Warm every kind of state: a channel-credential speaker (cached
+        # chain), a MAC session (secret + fastpath chain), and a live
+        # channel binding.
+        for index in range(4):
+            assert cluster.check(world.request()).granted
+        mac_id, mac_key = _mint_session(world, rng)
+        for index in range(4):
+            assert cluster.check(
+                _session_request(world.issuer, mac_id, mac_key, index)
+            ).granted
+        channel = ChannelPrincipal.of_secret(b"\x07" * 32)
+        cluster.open_channel(channel, world.client)
+
+        victim = next(
+            node for node in cluster.nodes()
+            if node.guard.cache.count() > 0
+        )
+        baseline = {
+            node.node_id: node.prover.stats["searches"]
+            for node in cluster.nodes()
+        }
+        report = cluster.drain(victim.node_id)
+
+        assert report.node_id == victim.node_id
+        assert report.offered > 0
+        assert report.installed == report.offered
+        assert report.refused == 0
+        assert victim.node_id not in report.successors
+        assert cluster.membership.state_of(victim.node_id) == LEFT
+
+        # The inherited shards are warm: the same traffic grants with
+        # zero new Prover searches anywhere in the cluster.
+        for index in range(4):
+            assert cluster.check(world.request()).granted
+            assert cluster.check(
+                _session_request(world.issuer, mac_id, mac_key, index)
+            ).granted
+        for node in cluster.nodes():
+            assert node.prover.stats["searches"] == baseline[node.node_id]
+        # The import hooks did the installing, and counted it.
+        installed = sum(
+            node.guard.stats["handoff_installed"] for node in cluster.nodes()
+        )
+        assert installed == report.installed
+        imported_entries = sum(
+            node.guard.cache.stats["imported"] for node in cluster.nodes()
+        )
+        assert imported_entries > 0
+        imported_sessions = sum(
+            node.guard.sessions.stats["imported"] for node in cluster.nodes()
+        )
+        assert imported_sessions >= 1
+
+    def test_node_keeps_serving_while_draining(self, world):
+        cluster = world.cluster
+        for _ in range(4):
+            assert cluster.check(world.request()).granted
+        victim = next(
+            node for node in cluster.nodes()
+            if node.guard.stats["checks"] > 0
+        )
+        cluster.membership.begin_drain(victim.node_id)
+        assert cluster.membership.state_of(victim.node_id) == DRAINING
+        # Still on the ring, still serving — a planned departure is
+        # invisible at the request surface until the final leave.
+        assert cluster.check(world.request()).granted
+        assert victim in cluster.membership.alive()
+        report = cluster.handoff.drain(victim)
+        cluster.remove_node(victim.node_id)
+        assert report.offered == report.installed + report.duplicates
+        assert cluster.check(world.request()).granted
+
+    def test_drain_report_feeds_the_aggregate_makespan(self, world):
+        from repro.sim.metrics import ClusterAggregate
+
+        cluster = world.cluster
+        for _ in range(4):
+            assert cluster.check(world.request()).granted
+        assert ClusterAggregate.drain_makespan_ms(
+            cluster.handoff.reports
+        ) == 0.0
+        cluster.drain(cluster.nodes()[0].node_id)
+        makespan = ClusterAggregate.drain_makespan_ms(cluster.handoff.reports)
+        assert makespan == cluster.handoff.stats["last_drain_ms"]
+        assert makespan >= 0.0
+        assert cluster.stats_snapshot()["handoff"]["drains"] == 1
+
+
+class TestMembershipOrdering:
+    def test_drain_then_leave_event_ordering(self, world):
+        """Satellite: the membership event log shows DRAINING -> LEFT as
+        ``drain`` then ``leave`` for the departing node, with the drain
+        strictly before the ring update."""
+        cluster = world.cluster
+        victim = cluster.nodes()[0].node_id
+        cluster.drain(victim)
+        actions = [
+            (event.action, event.node_id)
+            for event in cluster.membership.events
+            if event.node_id == victim
+        ]
+        assert actions == [("join", victim), ("drain", victim), ("leave", victim)]
+        assert cluster.membership.state_of(victim) == LEFT
+
+    def test_leave_finalizes_a_drain_in_progress(self, world):
+        """The ``leave()`` docstring's old promise, now real: a draining
+        node's leave is the drain path's final step, not an error."""
+        membership = world.cluster.membership
+        victim = world.cluster.nodes()[0].node_id
+        membership.begin_drain(victim)
+        assert membership.state_of(victim) == DRAINING
+        membership.leave(victim)  # must not raise
+        assert membership.state_of(victim) == LEFT
+
+    def test_begin_drain_requires_an_up_node(self, world):
+        membership = world.cluster.membership
+        victim = world.cluster.nodes()[0].node_id
+        membership.begin_drain(victim)
+        with pytest.raises(ValueError):
+            membership.begin_drain(victim)  # already draining
+        membership.leave(victim)
+        with pytest.raises(ValueError):
+            membership.begin_drain(victim)  # already left
+
+    def test_draining_node_still_heartbeats_and_sweeps_clean(self, world):
+        membership = world.cluster.membership
+        victim = world.cluster.nodes()[0].node_id
+        membership.begin_drain(victim)
+        membership.heartbeat(victim)  # must not raise
+        assert membership.sweep() == []  # a fresh drain never lapses
+        assert membership.state_of(victim) == DRAINING
+
+
+class TestRefuseStale:
+    def test_serial_revoked_between_export_and_install_is_refused(
+        self, server_kp, alice_kp, rng
+    ):
+        """Satellite: the race the tombstones exist for.  A proof-cache
+        entry exported from the draining node cites a serial that is
+        revoked before the successor installs it: the import hook must
+        refuse the record, and the next check for the speaker must take
+        the full Prover path (over an independently-derivable chain) and
+        leave a correct audit record."""
+        world = ClusterWorld(server_kp, alice_kp, rng)
+        cluster = world.cluster
+        for _ in range(4):
+            assert cluster.check(world.request()).granted
+        victim = next(
+            node for node in cluster.nodes()
+            if node.guard.cache.count() > 0
+        )
+
+        # Export first (records now reference the original certificate's
+        # serial), *then* revoke it and pump the bus so every receiver
+        # tombstones the serial before install.
+        plan = cluster.handoff.export_node(victim)
+        cluster.revoke_serial(world.certificate.serial)
+        cluster.deliver_invalidations()
+        # An independent grant path with a fresh serial: the client is
+        # still authorized — just not through the handed-off chain.
+        replacement = Certificate.issue(
+            world.server_kp, world.client, Tag.all(), rng=rng
+        )
+        cluster.add_delegation(SignedCertificateStep(replacement))
+
+        installed = refused = 0
+        receivers = []
+        for successor_id, records in plan.items():
+            receiver = cluster.membership.get(successor_id)
+            receivers.append(receiver)
+            got, bad, _ = cluster.handoff.install(receiver, records)
+            installed += got
+            refused += bad
+        assert refused >= 1
+        assert cluster.handoff.stats["records_refused_stale"] == refused
+        assert sum(
+            receiver.guard.stats["handoff_refused_stale"]
+            for receiver in receivers
+        ) == refused
+        # Nothing citing the dead serial landed in any receiver cache.
+        for receiver in receivers:
+            for _, bucket in receiver.guard.cache.buckets.items():
+                for entry in bucket.values():
+                    assert world.certificate.serial not in entry.serials
+
+        # Finalize the departure cold and check again: the successor
+        # pays a real Prover search over the replacement chain and the
+        # grant leaves a uniform audit record.
+        cluster.remove_node(victim.node_id)
+        owner = cluster.node_for_speaker(world.client)
+        searches_before = owner.prover.stats["searches"]
+        decision = cluster.check(world.request())
+        assert decision.granted
+        assert decision.stage == "prover"
+        assert owner.prover.stats["searches"] == searches_before + 1
+        record = decision.record
+        assert isinstance(record, AuditRecord)
+        assert record.speaker == world.client
+        assert record.issuer == world.issuer
+
+    def test_expired_session_is_refused_not_resurrected(
+        self, server_kp, alice_kp, rng
+    ):
+        world = ClusterWorld(server_kp, alice_kp, rng, session_ttl=50.0)
+        cluster = world.cluster
+        mac_id, mac_key = _mint_session(world, rng)
+        assert cluster.check(
+            _session_request(world.issuer, mac_id, mac_key)
+        ).granted
+        victim = cluster.membership.node_for(session_routing_key(mac_id))
+        plan = cluster.handoff.export_node(victim)
+        # The session lapses in transit: the receiver's clock-based TTL
+        # check must refuse it at install.
+        world.clock.advance(60.0)
+        refused = 0
+        for successor_id, records in plan.items():
+            receiver = cluster.membership.get(successor_id)
+            _, bad, _ = cluster.handoff.install(receiver, records)
+            refused += bad
+        assert refused >= 1
+        for node in cluster.nodes():
+            if node is victim:
+                continue
+            assert node.guard.sessions.get(mac_id) is None
+
+    def test_closed_channel_binding_is_refused(
+        self, server_kp, alice_kp, rng
+    ):
+        world = ClusterWorld(server_kp, alice_kp, rng)
+        cluster = world.cluster
+        channel = ChannelPrincipal.of_secret(b"\x09" * 32)
+        premise = cluster.open_channel(channel, world.client)
+        # A cached chain over the binding, so the drain carries both a
+        # channel record and a dependent proof record.
+        chain = TransitivityStep(
+            PremiseStep(SpeaksFor(channel, world.client, Tag.all())),
+            world.delegation,
+        )
+        cluster.submit_proof(to_canonical(chain.to_sexp()))
+        victim = cluster.node_for_speaker(channel)
+        plan = cluster.handoff.export_node(victim)
+        # Channel closes between export and install; the bus round
+        # tombstones the canonical binding on every node.
+        cluster.close_channel(premise)
+        cluster.deliver_invalidations()
+        refused = 0
+        for successor_id, records in plan.items():
+            receiver = cluster.membership.get(successor_id)
+            _, bad, _ = cluster.handoff.install(receiver, records)
+            refused += bad
+        # Both the binding and every chain leaning on it are refused.
+        assert refused >= 1
+        for node in cluster.nodes():
+            assert not node.trust.vouches_for(premise)
+
+
+class TestLemmaCitations:
+    """Proof payloads cite replicated premises by digest on the wire.
+
+    Base delegations reach every serving node through
+    ``add_delegation``, so a streamed chain need not restate them: the
+    sender emits ``(lemma <digest>)`` stubs for premises its
+    ``replicated_lemma`` predicate vouches for, and the receiver
+    resolves each stub against *its own* trusted graph — never against
+    bytes the sender shipped.  A citation the receiver cannot resolve
+    (revoked in transit, or simply unknown) refuses the record."""
+
+    def _chain(self, world):
+        """A two-premise chain: a node-local channel binding (travels in
+        full) over the world's replicated base delegation (citable)."""
+        channel = ChannelPrincipal.of_secret(b"\x0b" * 32)
+        chain = TransitivityStep(
+            PremiseStep(SpeaksFor(channel, world.client, Tag.all())),
+            world.delegation,
+        )
+        return channel, chain
+
+    def test_cited_premise_resolves_on_the_receiver(self, world):
+        node = world.cluster.nodes()[0]
+        channel, chain = self._chain(world)
+        full = HandoffRecord("proof", 0, chain, speaker=channel)
+        cited = HandoffRecord(
+            "proof", 0, chain, speaker=channel,
+            cite=node.guard.replicated_lemma,
+        )
+        full_wire = full.to_wire()
+        cited_wire = cited.to_wire()
+        assert b"lemma" in cited_wire
+        assert len(cited_wire) < len(full_wire)
+        decoded = HandoffRecord.from_wire(
+            cited_wire, lemmas=node.guard.resolve_lemma
+        )
+        # The digest field names the *full* form, and the resolved
+        # reconstruction re-derives exactly it — integrity end to end.
+        assert decoded.payload.digest() == chain.digest()
+        assert to_canonical(decoded.payload.to_sexp()) == to_canonical(
+            chain.to_sexp()
+        )
+
+    def test_citation_without_a_resolver_is_refused(self, world):
+        node = world.cluster.nodes()[0]
+        _, chain = self._chain(world)
+        record = HandoffRecord(
+            "proof", 0, chain, cite=node.guard.replicated_lemma
+        )
+        with pytest.raises(ProofError):
+            HandoffRecord.from_wire(record.to_wire())
+
+    def test_node_local_premises_are_never_cited(self, world):
+        """``replicated_lemma`` only vouches for base graph edges; a
+        chain whose premises are all node-local travels in full and
+        decodes without any resolver."""
+        node = world.cluster.nodes()[0]
+        record = HandoffRecord(
+            "proof", 0, world.delegation, speaker=world.client,
+            cite=node.guard.replicated_lemma,
+        )
+        decoded = HandoffRecord.from_wire(record.to_wire())
+        assert decoded.payload.digest() == world.delegation.digest()
+
+    def test_lemma_revoked_in_transit_refuses_the_record(self, world):
+        """The refuse-stale property holds one layer earlier for
+        citations: revoking the cited delegation removes the receiver's
+        graph edge, the resolver returns None, and the stream counts the
+        record refused instead of installing (or crashing)."""
+        cluster = world.cluster
+        node = cluster.nodes()[0]
+        channel, chain = self._chain(world)
+        # Freeze the sender's view at export time: the delegation was
+        # replicated when the record was planned, so it gets cited even
+        # though the revocation lands before the stream is decoded.
+        exported = {world.delegation.digest()}
+        record = HandoffRecord(
+            "proof", cluster.invalidation_generation, chain,
+            speaker=channel, cite=lambda proof: proof.digest() in exported,
+        )
+        wire = record.to_wire()
+        cluster.revoke_serial(world.certificate.serial)
+        cluster.deliver_invalidations()
+        with pytest.raises(ProofError):
+            HandoffRecord.from_wire(wire, lemmas=node.guard.resolve_lemma)
+        # The coordinator's stream turns that refusal into a counted
+        # outcome rather than a crash.
+        before = cluster.handoff.stats["records_refused_stale"]
+        decoded, refused = cluster.handoff._stream(
+            [record], node.guard.resolve_lemma
+        )
+        assert decoded == []
+        assert refused == 1
+        assert cluster.handoff.stats["records_refused_stale"] == before + 1
+
+
+class TestGossip:
+    HOT_THRESHOLD = 8
+
+    def _hot_world(self, server_kp, alice_kp, rng, replica_reads):
+        world = ClusterWorld(
+            server_kp, alice_kp, rng, nodes=6,
+            replica_reads=replica_reads,
+            hot_threshold=self.HOT_THRESHOLD,
+        )
+        return world
+
+    @pytest.mark.parametrize("replica_reads", [2, 4])
+    def test_hot_speaker_replicas_skip_duplicate_derivations(
+        self, server_kp, alice_kp, rng, replica_reads
+    ):
+        """The acceptance criterion: when a speaker goes hot and spreads
+        over R successors, the owner's gossip push means the R-1 replicas
+        pay *zero* Prover searches — every spread check lands in the
+        handed-off proof-cache entry."""
+        world = self._hot_world(server_kp, alice_kp, rng, replica_reads)
+        cluster = world.cluster
+        for _ in range(8 * self.HOT_THRESHOLD):
+            assert cluster.check(world.request()).granted
+        served = [
+            node for node in cluster.nodes()
+            if node.guard.stats["checks"] > 0
+        ]
+        assert len(served) == replica_reads
+        assert cluster.handoff.stats["gossip_pushes"] == 1
+        assert (
+            cluster.handoff.stats["rederivations_avoided"]
+            == replica_reads - 1
+        )
+        # Exactly one node — the owner — ever ran a Prover search.
+        searchers = [
+            node for node in served if node.prover.stats["searches"] > 0
+        ]
+        assert len(searchers) == 1
+        replicas = [node for node in served if node not in searchers]
+        for replica in replicas:
+            assert replica.prover.stats["searches"] == 0
+            assert replica.guard.stats["cache_hits"] > 0
+
+    def test_gossip_can_be_disabled(self, server_kp, alice_kp, rng):
+        world = ClusterWorld(
+            server_kp, alice_kp, rng, nodes=6, replica_reads=2,
+            hot_threshold=self.HOT_THRESHOLD, gossip=False,
+        )
+        cluster = world.cluster
+        for _ in range(8 * self.HOT_THRESHOLD):
+            assert cluster.check(world.request()).granted
+        assert cluster.handoff.stats["gossip_pushes"] == 0
+        # Without gossip each replica re-derives for itself.
+        searchers = [
+            node for node in cluster.nodes()
+            if node.prover.stats["searches"] > 0
+        ]
+        assert len(searchers) == 2
+
+    def test_hot_mac_session_gossips_by_session_principal(
+        self, server_kp, alice_kp, rng
+    ):
+        world = ClusterWorld(
+            server_kp, alice_kp, rng, nodes=6, replica_reads=2,
+            hot_threshold=self.HOT_THRESHOLD, session_ttl=100.0,
+        )
+        cluster = world.cluster
+        mac_id, mac_key = _mint_session(world, rng)
+        for index in range(8 * self.HOT_THRESHOLD):
+            assert cluster.check(
+                _session_request(world.issuer, mac_id, mac_key, index)
+            ).granted
+        assert cluster.handoff.stats["gossip_pushes"] == 1
+        assert cluster.handoff.stats["rederivations_avoided"] == 1
+        searchers = [
+            node for node in cluster.nodes()
+            if node.prover.stats["searches"] > 0
+        ]
+        assert len(searchers) == 1
